@@ -1,0 +1,78 @@
+/// \file
+/// Experiment E1 (Examples 4/5, Figure 2): the F_k family has domination
+/// width 1 for every k, so the Theorem 1 algorithm (2-pebble tests) stays
+/// polynomial as k grows, while the naive algorithm's exact homomorphism
+/// test at node n12 degenerates into a K_k search in a dense clique-free
+/// host: exponential growth in k.
+///
+/// Paper-predicted shape: pebble flat-ish in k; naive blowing up; both
+/// answering identically (membership TRUE via the dominating tree T2).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_support.h"
+#include "support/testlib.h"
+#include "wd/eval.h"
+#include "wd/paper_examples.h"
+
+namespace wdsparql {
+namespace {
+
+constexpr int kCopies = 3;  // Blow-up copies per colour class.
+
+struct E1Instance {
+  TermPool pool;
+  PatternForest forest;
+  RdfGraph graph{&pool};
+  Mapping mu;
+
+  explicit E1Instance(int k) {
+    forest = MakeFkForest(&pool, k);
+    benchsupport::MakeFkHardGraph(&pool, k, kCopies, &graph);
+    mu = testlib::MakeMapping(&pool, {{"x", "a"}, {"y", "b"}});
+  }
+};
+
+void BM_E1_NaiveWdEval(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  E1Instance instance(k);
+  // Both algorithms must agree on the answer (dw(F_k) = 1).
+  bool expected = NaiveWdEval(instance.forest, instance.graph, instance.mu);
+  WDSPARQL_CHECK(expected == PebbleWdEval(instance.forest, instance.graph, instance.mu, 1));
+  WDSPARQL_CHECK(expected);  // mu is maximal: no q-edges, no K_k.
+  uint64_t tests = 0;
+  for (auto _ : state) {
+    EvalStats stats;
+    bool answer = NaiveWdEval(instance.forest, instance.graph, instance.mu, &stats);
+    benchmark::DoNotOptimize(+answer);
+    tests += stats.extension_tests;
+  }
+  state.counters["k"] = k;
+  state.counters["graph_triples"] = static_cast<double>(instance.graph.size());
+  state.counters["extension_tests_per_iter"] =
+      static_cast<double>(tests) / static_cast<double>(state.iterations());
+}
+
+void BM_E1_PebbleWdEval(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  E1Instance instance(k);
+  uint64_t maps = 0;
+  for (auto _ : state) {
+    EvalStats stats;
+    bool answer = PebbleWdEval(instance.forest, instance.graph, instance.mu, 1, &stats);
+    benchmark::DoNotOptimize(+answer);
+    maps += stats.pebble_maps_created;
+  }
+  state.counters["k"] = k;
+  state.counters["graph_triples"] = static_cast<double>(instance.graph.size());
+  state.counters["pebble_maps_per_iter"] =
+      static_cast<double>(maps) / static_cast<double>(state.iterations());
+}
+
+BENCHMARK(BM_E1_NaiveWdEval)->DenseRange(2, 6)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E1_PebbleWdEval)->DenseRange(2, 6)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wdsparql
+
+BENCHMARK_MAIN();

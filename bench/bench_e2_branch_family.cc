@@ -1,0 +1,99 @@
+/// \file
+/// Experiment E2 (Section 3.2): the UNION-free family T'_k has branch
+/// treewidth 1 (and hence domination width 1 by Proposition 5) but local
+/// width k-1. Both evaluation algorithms therefore stay polynomial in k,
+/// while the *local-tractability criterion* — the best previously known
+/// sufficient condition — diverges: the bench reports local width and
+/// branch width side by side with the evaluation cost.
+///
+/// Paper-predicted shape: evaluation time roughly flat in k for the
+/// pebble algorithm (the k-clique child folds onto the root self-loop);
+/// local width growing linearly, branch width pinned at 1.
+
+#include <benchmark/benchmark.h>
+
+#include "support/testlib.h"
+#include "wd/branch_width.h"
+#include "wd/eval.h"
+#include "wd/local_tractability.h"
+#include "wd/paper_examples.h"
+
+namespace wdsparql {
+namespace {
+
+struct E2Instance {
+  TermPool pool;
+  PatternForest forest;
+  RdfGraph graph{&pool};
+  Mapping mu;       ///< Root-only mapping (not maximal here).
+  Mapping full_mu;  ///< Fully extended mapping (the answer).
+
+  explicit E2Instance(int k) {
+    forest.trees.push_back(MakeBranchFamilyTree(&pool, k));
+    graph.Insert("a", "r", "a");
+    // Extra r-structure so homomorphism tests have something to chew on.
+    for (int i = 0; i < 40; ++i) {
+      graph.Insert("a", "r", "m" + std::to_string(i));
+      graph.Insert("m" + std::to_string(i), "r", "m" + std::to_string((i + 7) % 40));
+    }
+    mu = testlib::MakeMapping(&pool, {{"y", "a"}});
+    full_mu = mu;
+    for (int i = 1; i <= k; ++i) {
+      WDSPARQL_CHECK(
+          full_mu.Bind(pool.InternVariable("o" + std::to_string(i)), pool.InternIri("a")));
+    }
+  }
+};
+
+void BM_E2_NaiveWdEval(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  E2Instance instance(k);
+  WDSPARQL_CHECK(!NaiveWdEval(instance.forest, instance.graph, instance.mu));
+  WDSPARQL_CHECK(NaiveWdEval(instance.forest, instance.graph, instance.full_mu));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NaiveWdEval(instance.forest, instance.graph, instance.mu));
+    benchmark::DoNotOptimize(
+        NaiveWdEval(instance.forest, instance.graph, instance.full_mu));
+  }
+  state.counters["k"] = k;
+}
+
+void BM_E2_PebbleWdEval(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  E2Instance instance(k);
+  // bw(T'_k) = 1: the pebble algorithm at k = 1 is complete.
+  WDSPARQL_CHECK(!PebbleWdEval(instance.forest, instance.graph, instance.mu, 1));
+  WDSPARQL_CHECK(PebbleWdEval(instance.forest, instance.graph, instance.full_mu, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PebbleWdEval(instance.forest, instance.graph, instance.mu, 1));
+    benchmark::DoNotOptimize(
+        PebbleWdEval(instance.forest, instance.graph, instance.full_mu, 1));
+  }
+  state.counters["k"] = k;
+}
+
+void BM_E2_WidthMeasures(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    TermPool pool;
+    PatternForest forest;
+    forest.trees.push_back(MakeBranchFamilyTree(&pool, k));
+    int local = LocalWidth(forest);
+    int branch = BranchTreewidth(forest.trees[0]);
+    benchmark::DoNotOptimize(+local);
+    benchmark::DoNotOptimize(+branch);
+    state.counters["local_width"] = local;    // Grows as k-1.
+    state.counters["branch_width"] = branch;  // Pinned at 1.
+  }
+  state.counters["k"] = k;
+}
+
+BENCHMARK(BM_E2_NaiveWdEval)->DenseRange(2, 8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E2_PebbleWdEval)->DenseRange(2, 8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E2_WidthMeasures)->DenseRange(2, 8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wdsparql
+
+BENCHMARK_MAIN();

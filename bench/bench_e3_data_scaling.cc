@@ -1,0 +1,86 @@
+/// \file
+/// Experiment E3 (Theorem 1): data-complexity scaling. For a fixed
+/// bounded-dw query (the F_3 forest, dw = 1) the pebble evaluation
+/// algorithm must scale polynomially in |G|.
+///
+/// Paper-predicted shape: pebble time grows as a low-degree polynomial in
+/// the number of triples (the 2-pebble fixpoint is O(n^2 d^2) partial
+/// maps); the naive algorithm on the same instances is also measured for
+/// reference (on random data it is usually fast — its pain is query
+/// width, not data size; see E1 for the query-side blow-up).
+
+#include <benchmark/benchmark.h>
+
+#include "rdf/generator.h"
+#include "support/testlib.h"
+#include "wd/eval.h"
+#include "wd/paper_examples.h"
+
+namespace wdsparql {
+namespace {
+
+struct E3Instance {
+  TermPool pool;
+  PatternForest forest;
+  RdfGraph graph{&pool};
+  Mapping mu;
+
+  explicit E3Instance(int num_nodes) {
+    forest = MakeFkForest(&pool, 3);
+    // Random background over the family's predicates plus the anchor edge.
+    Rng rng(424242);
+    graph.Insert("a", "p", "b");
+    for (int i = 0; i < num_nodes * 4; ++i) {
+      std::string u = "n" + std::to_string(rng.NextBounded(num_nodes));
+      std::string v = "n" + std::to_string(rng.NextBounded(num_nodes));
+      switch (rng.NextBounded(3)) {
+        case 0:
+          graph.Insert(u, "p", v);
+          break;
+        case 1:
+          graph.Insert(u, "q", v);
+          break;
+        default:
+          graph.Insert(u, "r", v);
+          break;
+      }
+    }
+    mu = testlib::MakeMapping(&pool, {{"x", "a"}, {"y", "b"}});
+  }
+};
+
+void BM_E3_PebbleDataScaling(benchmark::State& state) {
+  E3Instance instance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PebbleWdEval(instance.forest, instance.graph, instance.mu, 1));
+  }
+  state.counters["graph_triples"] = static_cast<double>(instance.graph.size());
+  state.SetComplexityN(static_cast<int64_t>(instance.graph.size()));
+}
+
+void BM_E3_NaiveDataScaling(benchmark::State& state) {
+  E3Instance instance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        NaiveWdEval(instance.forest, instance.graph, instance.mu));
+  }
+  state.counters["graph_triples"] = static_cast<double>(instance.graph.size());
+  state.SetComplexityN(static_cast<int64_t>(instance.graph.size()));
+}
+
+BENCHMARK(BM_E3_PebbleDataScaling)
+    ->RangeMultiplier(2)
+    ->Range(25, 400)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+BENCHMARK(BM_E3_NaiveDataScaling)
+    ->RangeMultiplier(2)
+    ->Range(25, 400)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+}  // namespace
+}  // namespace wdsparql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+/// \file
+/// Experiment E4 (Proposition 2): the existential k-pebble game is
+/// decidable in polynomial time for fixed k, with cost governed by the
+/// number of partial homomorphisms (~ C(n,k) * d^k for n free variables
+/// over a domain of size d).
+///
+/// Paper-predicted shape: for fixed k, time polynomial in |G|; for fixed
+/// G, cost multiplying by roughly d per unit of k. The bench sweeps both
+/// axes on clique sources (the family driving Examples 3-5) and reports
+/// the partial-map counts alongside wall time.
+
+#include <benchmark/benchmark.h>
+
+#include "hom/pebble.h"
+#include "rdf/generator.h"
+#include "wd/paper_examples.h"
+
+namespace wdsparql {
+namespace {
+
+/// Clique source K_6 against a dense clique-free host (5-partite blow-up)
+/// of varying size; fixed k.
+void BM_E4_PebbleVsGraphSize(benchmark::State& state) {
+  int copies = static_cast<int>(state.range(0));
+  TermPool pool;
+  TripleSet source = MakeClique(&pool, 6, "v", "e");
+  RdfGraph graph(&pool);
+  // 5-colour blow-up: no K_6, dense.
+  auto vertex = [](int c, int i) {
+    return "b" + std::to_string(c) + "_" + std::to_string(i);
+  };
+  for (int c1 = 0; c1 < 5; ++c1) {
+    for (int i1 = 0; i1 < copies; ++i1) {
+      for (int c2 = 0; c2 < 5; ++c2) {
+        if (c1 == c2) continue;
+        for (int i2 = 0; i2 < copies; ++i2) {
+          graph.Insert(vertex(c1, i1), "e", vertex(c2, i2));
+        }
+      }
+    }
+  }
+  uint64_t maps = 0;
+  bool wins = false;
+  for (auto _ : state) {
+    PebbleGameStats stats;
+    wins = PebbleGameWins(source, {}, graph.triples(), 2, &stats);
+    benchmark::DoNotOptimize(+wins);
+    maps += stats.maps_created;
+  }
+  state.counters["domain_size"] = static_cast<double>(5 * copies);
+  state.counters["duplicator_wins"] = wins ? 1 : 0;
+  state.counters["maps_per_iter"] =
+      static_cast<double>(maps) / static_cast<double>(state.iterations());
+  state.SetComplexityN(5 * copies);
+}
+
+/// Fixed host, growing pebble count k on a clique source: the exact
+/// threshold of Proposition 3 — at k-1 >= ctw the game turns exact and
+/// refutes the embedding.
+void BM_E4_PebbleVsK(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  TermPool pool;
+  TripleSet source = MakeClique(&pool, 5, "v", "e");  // ctw = 4.
+  RdfGraph graph(&pool);
+  UndirectedGraph host = GenerateErdosRenyi(14, 0.5, 99);
+  EncodeUndirectedGraph(host, "e", "h", &graph);
+
+  uint64_t maps = 0;
+  bool wins = false;
+  for (auto _ : state) {
+    PebbleGameStats stats;
+    wins = PebbleGameWins(source, {}, graph.triples(), k, &stats);
+    benchmark::DoNotOptimize(+wins);
+    maps += stats.maps_created;
+  }
+  state.counters["k"] = k;
+  state.counters["duplicator_wins"] = wins ? 1 : 0;
+  state.counters["maps_per_iter"] =
+      static_cast<double>(maps) / static_cast<double>(state.iterations());
+}
+
+BENCHMARK(BM_E4_PebbleVsGraphSize)
+    ->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+BENCHMARK(BM_E4_PebbleVsK)->DenseRange(1, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wdsparql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+/// \file
+/// Experiment E5 (Example 3 / Figure 1, Proposition 1): cost of the two
+/// recognition primitives everything else builds on — core computation
+/// and exact treewidth — on the paper's own t-graph families.
+///
+/// Paper-predicted shape: ctw(S_k) = k-1 (the clique is a core) while
+/// ctw(S'_k) = 1 (the clique folds into the self-loop); the *fold* for
+/// S' is found quickly, whereas *certifying* core-ness of S needs an
+/// exhaustive endomorphism refutation that grows with k. Exact treewidth
+/// (subset DP) grows exponentially in vertex count, bracketed by the
+/// min-fill / degeneracy bounds which stay cheap.
+
+#include <benchmark/benchmark.h>
+
+#include "hom/core.h"
+#include "hom/treewidth.h"
+#include "ptree/tgraph.h"
+#include "wd/paper_examples.h"
+
+namespace wdsparql {
+namespace {
+
+void BM_E5_CoreOfS(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  TermPool pool;
+  GeneralizedTGraph s = MakeExample3S(&pool, k);
+  for (auto _ : state) {
+    TripleSet core = ComputeCore(s.S, s.X);
+    benchmark::DoNotOptimize(core.size());
+    WDSPARQL_CHECK(core.size() == s.S.size());  // S is a core.
+  }
+  state.counters["k"] = k;
+  state.counters["triples"] = static_cast<double>(s.S.size());
+}
+
+void BM_E5_CoreOfSPrime(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  TermPool pool;
+  GeneralizedTGraph s_prime = MakeExample3SPrime(&pool, k);
+  std::size_t core_size = 0;
+  for (auto _ : state) {
+    TripleSet core = ComputeCore(s_prime.S, s_prime.X);
+    core_size = core.size();
+    benchmark::DoNotOptimize(+core_size);
+  }
+  state.counters["k"] = k;
+  state.counters["core_triples"] = static_cast<double>(core_size);  // Always 4.
+}
+
+void BM_E5_ExactTreewidthGrid(benchmark::State& state) {
+  int dim = static_cast<int>(state.range(0));
+  UndirectedGraph grid = UndirectedGraph::Grid(dim, dim);
+  int width = 0;
+  for (auto _ : state) {
+    TreewidthResult result = ComputeTreewidth(grid);
+    width = result.value();
+    benchmark::DoNotOptimize(+width);
+  }
+  WDSPARQL_CHECK(width == dim);
+  state.counters["vertices"] = dim * dim;
+  state.counters["treewidth"] = width;
+}
+
+void BM_E5_TreewidthBoundsOnly(benchmark::State& state) {
+  // Heuristic bounds on larger grids where the DP is out of reach.
+  int dim = static_cast<int>(state.range(0));
+  UndirectedGraph grid = UndirectedGraph::Grid(dim, dim);
+  TreewidthOptions options;
+  options.exact_dp_max_vertices = 0;  // Bounds only.
+  for (auto _ : state) {
+    TreewidthResult result = ComputeTreewidth(grid, options);
+    benchmark::DoNotOptimize(+result.upper);
+    state.counters["lower"] = result.lower;
+    state.counters["upper"] = result.upper;
+  }
+  state.counters["vertices"] = dim * dim;
+}
+
+void BM_E5_CtwOfBranchFamily(benchmark::State& state) {
+  // The end-to-end primitive used by bw/dw: ctw(S^br, X^br) on the
+  // Section 3.2 family (fold found) vs the clique family (refutation).
+  int k = static_cast<int>(state.range(0));
+  TermPool pool;
+  GeneralizedTGraph folding(MakeBranchFamilyTree(&pool, k).pattern(1), {});
+  {
+    PatternTree tree = MakeBranchFamilyTree(&pool, k);
+    TripleSet s = tree.pattern(0);
+    s.InsertAll(tree.pattern(1));
+    folding = GeneralizedTGraph(std::move(s), {pool.InternVariable("y")});
+  }
+  int width = 0;
+  for (auto _ : state) {
+    width = CoreTreewidthOf(folding).upper;
+    benchmark::DoNotOptimize(+width);
+  }
+  WDSPARQL_CHECK(width == 1);
+  state.counters["k"] = k;
+}
+
+BENCHMARK(BM_E5_CoreOfS)->DenseRange(2, 7)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E5_CoreOfSPrime)->DenseRange(2, 7)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E5_ExactTreewidthGrid)->DenseRange(2, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E5_TreewidthBoundsOnly)
+    ->DenseRange(4, 12, 4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E5_CtwOfBranchFamily)->DenseRange(2, 7)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wdsparql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+/// \file
+/// Experiment E7 (Definition 2, Proposition 5, Section 5): the
+/// *recognition* problem — computing dw / bw — is itself intractable
+/// (NP-hard for UNION-free patterns, Pi^p_2 upper bound in general).
+/// The bench measures the cost of the recognition APIs on the paper's
+/// families and checks the Proposition 5 coincidence dw = bw on
+/// UNION-free inputs.
+///
+/// Paper-predicted shape: recognition cost grows with k (the widths run
+/// core + exact-treewidth computations over exponentially many children
+/// assignments) even on families whose *evaluation* is flat — the reason
+/// the evaluation algorithm takes k as a promise instead of computing it.
+
+#include <benchmark/benchmark.h>
+
+#include "ptree/subtree.h"
+#include "wd/branch_width.h"
+#include "wd/domination.h"
+#include "wd/paper_examples.h"
+
+namespace wdsparql {
+namespace {
+
+void BM_E7_DominationWidthOfFk(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  int width = 0;
+  for (auto _ : state) {
+    TermPool pool;
+    PatternForest forest = MakeFkForest(&pool, k);
+    Result<int> dw = DominationWidth(forest, &pool);
+    WDSPARQL_CHECK(dw.ok());
+    width = dw.value();
+    benchmark::DoNotOptimize(+width);
+  }
+  WDSPARQL_CHECK(width == 1);
+  state.counters["k"] = k;
+  state.counters["dw"] = width;
+}
+
+void BM_E7_BranchTreewidthOfBranchFamily(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  int width = 0;
+  for (auto _ : state) {
+    TermPool pool;
+    PatternTree tree = MakeBranchFamilyTree(&pool, k);
+    width = BranchTreewidth(tree);
+    benchmark::DoNotOptimize(+width);
+  }
+  WDSPARQL_CHECK(width == 1);
+  state.counters["k"] = k;
+  state.counters["bw"] = width;
+}
+
+void BM_E7_BranchTreewidthOfCliqueFamily(benchmark::State& state) {
+  // Here the refutation side of the core computation dominates: the
+  // clique cannot fold, and certifying that is the expensive part.
+  int k = static_cast<int>(state.range(0));
+  int width = 0;
+  for (auto _ : state) {
+    TermPool pool;
+    PatternTree tree = MakeCliqueBranchTree(&pool, k);
+    width = BranchTreewidth(tree);
+    benchmark::DoNotOptimize(+width);
+  }
+  WDSPARQL_CHECK(width == std::max(static_cast<int>(state.range(0)) - 1, 1));
+  state.counters["k"] = k;
+  state.counters["bw"] = width;
+}
+
+void BM_E7_Proposition5Coincidence(benchmark::State& state) {
+  // dw = bw on the UNION-free clique-branch family: measure the *price*
+  // of computing the general measure instead of the simple one.
+  int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    TermPool pool;
+    PatternForest forest;
+    forest.trees.push_back(MakeCliqueBranchTree(&pool, k));
+    Result<int> dw = DominationWidth(forest, &pool);
+    int bw = BranchTreewidth(forest.trees[0]);
+    WDSPARQL_CHECK(dw.ok() && dw.value() == bw);
+    benchmark::DoNotOptimize(+bw);
+  }
+  state.counters["k"] = k;
+}
+
+void BM_E7_SubtreeEnumeration(benchmark::State& state) {
+  // The subtree-space factor behind recognition: a comb-shaped wdPT with
+  // `range` optional children has 2^range subtrees.
+  int children = static_cast<int>(state.range(0));
+  TermPool pool;
+  TermId x = pool.InternVariable("x");
+  TermId p = pool.InternIri("p");
+  TripleSet root;
+  root.Insert(Triple(x, p, x));
+  PatternTree tree(std::move(root));
+  for (int c = 0; c < children; ++c) {
+    TripleSet child;
+    child.Insert(Triple(x, p, pool.InternVariable("c" + std::to_string(c))));
+    tree.AddNode(tree.root(), std::move(child));
+  }
+  uint64_t count = 0;
+  for (auto _ : state) {
+    count = 0;
+    EnumerateSubtrees(tree, [&](const Subtree&) { ++count; });
+    benchmark::DoNotOptimize(+count);
+  }
+  WDSPARQL_CHECK(count == (uint64_t(1) << children));
+  state.counters["children"] = children;
+  state.counters["subtrees"] = static_cast<double>(count);
+}
+
+BENCHMARK(BM_E7_DominationWidthOfFk)->DenseRange(2, 5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E7_BranchTreewidthOfBranchFamily)
+    ->DenseRange(2, 7)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E7_BranchTreewidthOfCliqueFamily)
+    ->DenseRange(2, 7)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E7_Proposition5Coincidence)->DenseRange(2, 5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E7_SubtreeEnumeration)
+    ->DenseRange(4, 16, 4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wdsparql
+
+BENCHMARK_MAIN();

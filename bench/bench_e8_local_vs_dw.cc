@@ -1,0 +1,83 @@
+/// \file
+/// Experiment E8 (Section 3.1/3.2 discussion): bounded domination width
+/// strictly generalises local tractability [17]. On the F_k and T'_k
+/// families the local width grows linearly in k — the locally-tractable
+/// criterion rejects them — while dw and bw are pinned at 1 and the
+/// Theorem 1 algorithm evaluates them with 2-pebble tests whose cost is
+/// independent of k's clique size (up to the query's size itself).
+///
+/// Paper-predicted shape: `local_width` column rising as k-1; `dw`
+/// column flat at 1; pebble evaluation time polynomial throughout.
+
+#include <benchmark/benchmark.h>
+
+#include "support/testlib.h"
+#include "wd/branch_width.h"
+#include "wd/domination.h"
+#include "wd/eval.h"
+#include "wd/local_tractability.h"
+#include "wd/paper_examples.h"
+
+namespace wdsparql {
+namespace {
+
+void BM_E8_WidthGapOnFk(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    TermPool pool;
+    PatternForest forest = MakeFkForest(&pool, k);
+    int local = LocalWidth(forest);
+    Result<int> dw = DominationWidth(forest, &pool);
+    WDSPARQL_CHECK(dw.ok());
+    benchmark::DoNotOptimize(+local);
+    state.counters["local_width"] = local;       // k - 1.
+    state.counters["dw"] = dw.value();           // 1.
+  }
+  state.counters["k"] = k;
+}
+
+void BM_E8_WidthGapOnBranchFamily(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    TermPool pool;
+    PatternForest forest;
+    forest.trees.push_back(MakeBranchFamilyTree(&pool, k));
+    int local = LocalWidth(forest);
+    int bw = BranchTreewidth(forest.trees[0]);
+    benchmark::DoNotOptimize(+local);
+    state.counters["local_width"] = local;  // k - 1.
+    state.counters["bw"] = bw;              // 1.
+  }
+  state.counters["k"] = k;
+}
+
+void BM_E8_EvaluationDespiteUnboundedLocalWidth(benchmark::State& state) {
+  // The punchline: evaluation cost of the pebble algorithm on F_k stays
+  // polynomial although every locally-tractable bound fails.
+  int k = static_cast<int>(state.range(0));
+  TermPool pool;
+  PatternForest forest = MakeFkForest(&pool, k);
+  RdfGraph graph(&pool);
+  graph.Insert("a", "p", "b");
+  for (int i = 0; i < 30; ++i) {
+    graph.Insert("b", "r", "m" + std::to_string(i));
+    graph.Insert("m" + std::to_string(i), "r", "m" + std::to_string((i + 11) % 30));
+  }
+  Mapping mu = testlib::MakeMapping(&pool, {{"x", "a"}, {"y", "b"}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PebbleWdEval(forest, graph, mu, 1));
+  }
+  state.counters["k"] = k;
+  state.counters["local_width"] = k - 1;
+}
+
+BENCHMARK(BM_E8_WidthGapOnFk)->DenseRange(2, 5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E8_WidthGapOnBranchFamily)->DenseRange(2, 7)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_E8_EvaluationDespiteUnboundedLocalWidth)
+    ->DenseRange(2, 7)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wdsparql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+/// \file
+/// wdsparql query tool: evaluate a well-designed pattern over an RDF
+/// graph file from the command line.
+///
+///   query_tool <graph.nt> '<pattern>' [--plan] [--count] [--promise K]
+///
+///   <graph.nt>   N-Triples-like file (see rdf/ntriples.h)
+///   <pattern>    e.g. '(?x knows ?y) OPT (?y email ?e)'
+///   --plan       print wdpf(P) (the pattern forest) and the width report
+///   --count      print |JPKG| only
+///   --promise K  verify every answer with PebbleWdEval at promise K
+///
+/// Exit status: 0 on success, 1 on user error, 2 on internal disagreement
+/// (which would indicate a library bug).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "ptree/forest.h"
+#include "rdf/ntriples.h"
+#include "sparql/parser.h"
+#include "sparql/semantics.h"
+#include "sparql/well_designed.h"
+#include "wd/branch_width.h"
+#include "wd/domination.h"
+#include "wd/enumerate.h"
+#include "wd/eval.h"
+#include "wd/local_tractability.h"
+
+using namespace wdsparql;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: query_tool <graph.nt> '<pattern>' [--plan] [--count] "
+               "[--promise K]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const char* graph_path = argv[1];
+  const char* pattern_text = argv[2];
+  bool show_plan = false;
+  bool count_only = false;
+  int promise = 0;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--plan") == 0) {
+      show_plan = true;
+    } else if (std::strcmp(argv[i], "--count") == 0) {
+      count_only = true;
+    } else if (std::strcmp(argv[i], "--promise") == 0 && i + 1 < argc) {
+      promise = std::atoi(argv[++i]);
+      if (promise < 1) return Usage();
+    } else {
+      return Usage();
+    }
+  }
+
+  TermPool pool;
+  RdfGraph graph(&pool);
+  Status load = ReadNTriplesFile(graph_path, &graph);
+  if (!load.ok()) {
+    std::fprintf(stderr, "error loading %s: %s\n", graph_path, load.ToString().c_str());
+    return 1;
+  }
+
+  auto parsed = ParsePattern(pattern_text, &pool);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  PatternPtr pattern = parsed.value();
+
+  Status wd = CheckWellDesigned(pattern, pool);
+  if (!wd.ok()) {
+    std::fprintf(stderr, "note: %s\n", wd.ToString().c_str());
+    std::fprintf(stderr, "evaluating with the set semantics only.\n");
+  }
+
+  if (show_plan) {
+    if (wd.ok()) {
+      auto forest = BuildPatternForest(pattern, pool);
+      if (forest.ok()) {
+        std::printf("wdpf(P): %zu tree(s)\n", forest.value().trees.size());
+        for (std::size_t i = 0; i < forest.value().trees.size(); ++i) {
+          std::printf("--- tree %zu\n%s", i,
+                      forest.value().trees[i].ToString(pool).c_str());
+        }
+        std::printf("local width: %d\n", LocalWidth(forest.value()));
+        if (forest.value().trees.size() == 1) {
+          std::printf("branch treewidth: %d\n",
+                      BranchTreewidth(forest.value().trees[0]));
+        }
+        DominationOptions budget;
+        budget.max_subtrees = 1u << 12;
+        budget.max_assignments_per_subtree = 1u << 12;
+        Result<int> dw = DominationWidth(forest.value(), &pool, budget);
+        if (dw.ok()) {
+          std::printf("domination width: %d (promise k for PebbleWdEval)\n",
+                      dw.value());
+        } else {
+          std::printf("domination width: %s\n", dw.status().ToString().c_str());
+        }
+      } else {
+        std::printf("plan unavailable: %s\n", forest.status().ToString().c_str());
+      }
+    } else {
+      std::printf("plan unavailable: pattern is not well designed\n");
+    }
+    std::printf("\n");
+  }
+
+  std::vector<Mapping> answers = Evaluate(*pattern, graph);
+  if (count_only) {
+    std::printf("%zu\n", answers.size());
+    return 0;
+  }
+  for (const Mapping& mu : answers) {
+    std::printf("%s\n", mu.ToString(pool).c_str());
+  }
+  std::fprintf(stderr, "%zu answer(s), graph: %zu triple(s)\n", answers.size(),
+               graph.size());
+
+  if (promise > 0 && wd.ok()) {
+    auto forest = BuildPatternForest(pattern, pool);
+    if (!forest.ok()) {
+      std::fprintf(stderr, "cannot verify: %s\n", forest.status().ToString().c_str());
+      return 1;
+    }
+    for (const Mapping& mu : answers) {
+      if (!PebbleWdEval(forest.value(), graph, mu, promise)) {
+        std::fprintf(stderr,
+                     "DISAGREEMENT: pebble algorithm (k=%d) rejects %s — promise "
+                     "too small or library bug\n",
+                     promise, mu.ToString(pool).c_str());
+        return 2;
+      }
+    }
+    std::fprintf(stderr, "all answers verified by PebbleWdEval(k=%d)\n", promise);
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+#ifndef WDSPARQL_HOM_CORE_H_
+#define WDSPARQL_HOM_CORE_H_
+
+#include <vector>
+
+#include "hom/homomorphism.h"
+#include "rdf/triple_set.h"
+
+/// \file
+/// Cores of generalised t-graphs (Section 2, Proposition 1).
+///
+/// A generalised t-graph (S, X) is a core if it admits no homomorphism
+/// (fixing X pointwise) to a proper subgraph of itself. Every (S, X) has
+/// a unique core up to variable renaming; we compute it by repeatedly
+/// folding: find an endomorphism of (S, X) whose image misses some
+/// non-distinguished variable and replace S by its image. Each fold
+/// removes at least one variable, so at most |vars(S)| exponential
+/// endomorphism searches are made (core recognition is itself NP-hard,
+/// matching the paper's remarks on the recognition problem).
+
+namespace wdsparql {
+
+/// Computes the core of the generalised t-graph (S, X). The result is a
+/// subgraph of `S` containing every triple over X u I, with X untouched.
+TripleSet ComputeCore(const TripleSet& S, const std::vector<TermId>& X);
+
+/// True iff (S, X) is a core (no proper retract).
+bool IsCore(const TripleSet& S, const std::vector<TermId>& X);
+
+/// True iff (S, X) and (S2, X) are homomorphically equivalent (maps in
+/// both directions fixing X pointwise).
+bool HomEquivalent(const TripleSet& S, const TripleSet& S2,
+                   const std::vector<TermId>& X);
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_HOM_CORE_H_

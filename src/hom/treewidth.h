@@ -1,0 +1,76 @@
+#ifndef WDSPARQL_HOM_TREEWIDTH_H_
+#define WDSPARQL_HOM_TREEWIDTH_H_
+
+#include <vector>
+
+#include "util/undirected_graph.h"
+
+/// \file
+/// Treewidth of undirected graphs (Section 2, "Treewidth").
+///
+/// Used through the Gaifman graph to define tw(S, X) and ctw(S, X).
+/// The library computes:
+///  * a lower bound (degeneracy, plus the minor-monotone MMD+ style
+///    contraction bound),
+///  * an upper bound (min-fill greedy elimination), and
+///  * the exact value via the Bodlaender-Fomin-Koster-Kratsch-Thilikos
+///    O*(2^n) elimination-ordering subset DP when the (per-component)
+///    vertex count is small enough.
+///
+/// Treewidth is intractable in general; exactness is reported so callers
+/// can distinguish "tw = 4" from "tw in [3, 5]".
+
+namespace wdsparql {
+
+/// Result of a treewidth computation: bounds plus tree decomposition.
+struct TreewidthResult {
+  int lower = 0;  ///< Proven lower bound.
+  int upper = 0;  ///< Achieved upper bound (width of `order`-induced decomposition).
+  /// Elimination order achieving `upper` (vertex ids of the input graph).
+  std::vector<int> elimination_order;
+
+  /// True iff lower == upper.
+  bool exact() const { return lower == upper; }
+  /// The exact treewidth; fatal if not exact.
+  int value() const;
+};
+
+/// Options for `ComputeTreewidth`.
+struct TreewidthOptions {
+  /// Components with at most this many vertices get the exact 2^n DP.
+  int exact_dp_max_vertices = 18;
+};
+
+/// Computes treewidth bounds for `graph`. Graphs with no edges have
+/// treewidth 0 by convention of the underlying measure; the paper's
+/// tw(S, X) floors this at 1, which ptree/tgraph.h applies.
+TreewidthResult ComputeTreewidth(const UndirectedGraph& graph,
+                                 const TreewidthOptions& options = {});
+
+/// Width of eliminating `graph` along `order` (max back-degree over the
+/// fill-in closure). Exposed for testing.
+int EliminationWidth(const UndirectedGraph& graph, const std::vector<int>& order);
+
+/// A tree decomposition (tree + bags), as produced from an elimination
+/// order. Bag i corresponds to tree node i; `parent[i]` is its parent or
+/// -1 for the root.
+struct TreeDecomposition {
+  std::vector<std::vector<int>> bags;
+  std::vector<int> parent;
+
+  /// max |bag| - 1.
+  int Width() const;
+};
+
+/// Builds the tree decomposition induced by an elimination order.
+TreeDecomposition DecompositionFromOrder(const UndirectedGraph& graph,
+                                         const std::vector<int>& order);
+
+/// Verifies the three tree-decomposition axioms against `graph`
+/// (coverage of vertices, coverage of edges, connectivity of occurrences).
+bool IsValidTreeDecomposition(const UndirectedGraph& graph,
+                              const TreeDecomposition& decomposition);
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_HOM_TREEWIDTH_H_

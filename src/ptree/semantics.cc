@@ -1,0 +1,81 @@
+#include "ptree/semantics.h"
+
+#include <algorithm>
+
+#include "hom/homomorphism.h"
+
+namespace wdsparql {
+namespace {
+
+/// True iff some child of `subtree` admits a homomorphism into `graph`
+/// compatible with `mu` (the negation of Lemma 1, condition 2).
+bool SomeChildExtends(const Subtree& subtree, const TripleSet& graph,
+                      const Mapping& mu) {
+  for (NodeId child : SubtreeChildren(subtree)) {
+    const TripleSet& child_pattern = subtree.tree->pattern(child);
+    // A homomorphism nu from pat(child) compatible with mu is exactly a
+    // homomorphism extending mu's bindings on the shared variables.
+    VarAssignment fixed;
+    for (TermId var : subtree.tree->variables(child)) {
+      std::optional<TermId> image = mu.Get(var);
+      if (image.has_value()) fixed[var] = *image;
+    }
+    if (HasHomomorphism(child_pattern, fixed, graph)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool TreeContains(const PatternTree& tree, const RdfGraph& graph, const Mapping& mu) {
+  // Lemma 1: the only possible witness is the maximal subtree whose nodes
+  // mu satisfies (any excluded-but-qualifying child would violate
+  // condition 2), so check that one.
+  std::optional<Subtree> subtree = FindMatchingSubtree(tree, mu, graph.triples());
+  if (!subtree.has_value()) return false;
+  return !SomeChildExtends(*subtree, graph.triples(), mu);
+}
+
+bool ForestContains(const PatternForest& forest, const RdfGraph& graph,
+                    const Mapping& mu) {
+  for (const PatternTree& tree : forest.trees) {
+    if (TreeContains(tree, graph, mu)) return true;
+  }
+  return false;
+}
+
+std::vector<Mapping> EnumerateTreeSolutions(const PatternTree& tree,
+                                            const RdfGraph& graph) {
+  std::vector<Mapping> out;
+  EnumerateSubtrees(tree, [&](const Subtree& subtree) {
+    TripleSet pattern = SubtreePattern(subtree);
+    EnumerateHomomorphisms(pattern, VarAssignment{}, graph.triples(),
+                           [&](const VarAssignment& assignment) {
+                             Mapping mu;
+                             for (const auto& [var, value] : assignment) {
+                               WDSPARQL_CHECK(mu.Bind(var, value));
+                             }
+                             if (!SomeChildExtends(subtree, graph.triples(), mu)) {
+                               out.push_back(std::move(mu));
+                             }
+                             return true;
+                           });
+  });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<Mapping> EnumerateForestSolutions(const PatternForest& forest,
+                                              const RdfGraph& graph) {
+  std::vector<Mapping> out;
+  for (const PatternTree& tree : forest.trees) {
+    std::vector<Mapping> tree_solutions = EnumerateTreeSolutions(tree, graph);
+    out.insert(out.end(), tree_solutions.begin(), tree_solutions.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace wdsparql

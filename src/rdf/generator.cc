@@ -1,0 +1,107 @@
+#include "rdf/generator.h"
+
+#include <string>
+
+namespace wdsparql {
+namespace {
+
+std::string NumberedIri(std::string_view prefix, int i) {
+  std::string out(prefix);
+  out += std::to_string(i);
+  return out;
+}
+
+}  // namespace
+
+void GenerateRandomGraph(const RandomGraphOptions& options, RdfGraph* graph) {
+  WDSPARQL_CHECK(graph != nullptr);
+  WDSPARQL_CHECK(options.num_nodes > 0 && options.num_predicates > 0);
+  Rng rng(options.seed);
+  for (int i = 0; i < options.num_triples; ++i) {
+    int s = static_cast<int>(rng.NextBounded(options.num_nodes));
+    int p = static_cast<int>(rng.NextBounded(options.num_predicates));
+    int o = static_cast<int>(rng.NextBounded(options.num_nodes));
+    graph->Insert(NumberedIri(options.node_prefix, s), NumberedIri("p", p),
+                  NumberedIri(options.node_prefix, o));
+  }
+}
+
+void GeneratePathGraph(int length, std::string_view predicate, RdfGraph* graph) {
+  WDSPARQL_CHECK(graph != nullptr && length >= 0);
+  for (int i = 0; i < length; ++i) {
+    graph->Insert(NumberedIri("v", i), predicate, NumberedIri("v", i + 1));
+  }
+}
+
+void GenerateCycleGraph(int length, std::string_view predicate, RdfGraph* graph) {
+  WDSPARQL_CHECK(graph != nullptr && length >= 1);
+  for (int i = 0; i < length; ++i) {
+    graph->Insert(NumberedIri("v", i), predicate, NumberedIri("v", (i + 1) % length));
+  }
+}
+
+void EncodeUndirectedGraph(const UndirectedGraph& h, std::string_view edge_predicate,
+                           std::string_view vertex_prefix, RdfGraph* graph) {
+  WDSPARQL_CHECK(graph != nullptr);
+  for (int u = 0; u < h.NumVertices(); ++u) {
+    graph->Insert(NumberedIri(vertex_prefix, u), "node", NumberedIri(vertex_prefix, u));
+  }
+  for (const auto& [u, v] : h.Edges()) {
+    graph->Insert(NumberedIri(vertex_prefix, u), edge_predicate,
+                  NumberedIri(vertex_prefix, v));
+    graph->Insert(NumberedIri(vertex_prefix, v), edge_predicate,
+                  NumberedIri(vertex_prefix, u));
+  }
+}
+
+void GenerateSocialGraph(const SocialGraphOptions& options, RdfGraph* graph) {
+  WDSPARQL_CHECK(graph != nullptr);
+  WDSPARQL_CHECK(options.num_people > 0 && options.num_cities > 0);
+  Rng rng(options.seed);
+  for (int i = 0; i < options.num_people; ++i) {
+    std::string person = NumberedIri("person", i);
+    graph->Insert(person, "type", "Person");
+    graph->Insert(person, "livesIn",
+                  NumberedIri("city", static_cast<int>(rng.NextBounded(options.num_cities))));
+    if (rng.NextBernoulli(options.email_probability)) {
+      graph->Insert(person, "email", NumberedIri("mailto:user", i));
+    }
+    if (rng.NextBernoulli(options.phone_probability)) {
+      graph->Insert(person, "phone", NumberedIri("tel:", i));
+    }
+  }
+  for (int i = 0; i < options.num_people; ++i) {
+    for (int j = 0; j < options.num_people; ++j) {
+      if (i != j && rng.NextBernoulli(options.knows_probability)) {
+        graph->Insert(NumberedIri("person", i), "knows", NumberedIri("person", j));
+      }
+    }
+  }
+}
+
+UndirectedGraph GenerateErdosRenyi(int n, double p, uint64_t seed) {
+  UndirectedGraph g(n);
+  Rng rng(seed);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.NextBernoulli(p)) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+UndirectedGraph GeneratePlantedClique(int n, int k, double p, uint64_t seed) {
+  WDSPARQL_CHECK(k <= n);
+  UndirectedGraph g = GenerateErdosRenyi(n, p, seed);
+  // Plant the clique on a pseudo-random vertex subset.
+  Rng rng(seed ^ 0xabcdef1234567890ULL);
+  std::vector<int> vertices(n);
+  for (int i = 0; i < n; ++i) vertices[i] = i;
+  rng.Shuffle(vertices);
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) g.AddEdge(vertices[i], vertices[j]);
+  }
+  return g;
+}
+
+}  // namespace wdsparql

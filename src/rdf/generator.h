@@ -1,0 +1,70 @@
+#ifndef WDSPARQL_RDF_GENERATOR_H_
+#define WDSPARQL_RDF_GENERATOR_H_
+
+#include <string_view>
+
+#include "rdf/graph.h"
+#include "util/rng.h"
+#include "util/undirected_graph.h"
+
+/// \file
+/// Deterministic synthetic RDF workload generators.
+///
+/// The paper evaluates pure algorithms, not datasets, so every experiment
+/// in EXPERIMENTS.md runs on synthetic graphs produced here with explicit
+/// seeds (see DESIGN.md, "Substitutions").
+
+namespace wdsparql {
+
+/// Options for `GenerateRandomGraph`.
+struct RandomGraphOptions {
+  int num_nodes = 100;       ///< Number of distinct subject/object IRIs.
+  int num_predicates = 4;    ///< Number of distinct predicate IRIs.
+  int num_triples = 400;     ///< Triples to attempt (duplicates collapse).
+  uint64_t seed = 1;         ///< PRNG seed.
+  std::string_view node_prefix = "n";  ///< IRI prefix for nodes.
+};
+
+/// Uniform random triples over `num_nodes` nodes and `num_predicates`
+/// predicates. Deterministic in the seed.
+void GenerateRandomGraph(const RandomGraphOptions& options, RdfGraph* graph);
+
+/// A directed path n0 -p-> n1 -p-> ... of `length` edges.
+void GeneratePathGraph(int length, std::string_view predicate, RdfGraph* graph);
+
+/// A directed cycle with `length` >= 1 edges.
+void GenerateCycleGraph(int length, std::string_view predicate, RdfGraph* graph);
+
+/// Encodes the undirected graph `h` as RDF: for every edge {u, v} both
+/// (u, edge_predicate, v) and (v, edge_predicate, u) are added, plus a
+/// (u, "node", u) self-marker for isolated-vertex visibility.
+void EncodeUndirectedGraph(const UndirectedGraph& h, std::string_view edge_predicate,
+                           std::string_view vertex_prefix, RdfGraph* graph);
+
+/// Options for `GenerateSocialGraph`.
+struct SocialGraphOptions {
+  int num_people = 50;          ///< Number of person IRIs.
+  int num_cities = 5;           ///< Number of city IRIs.
+  double knows_probability = 0.08;   ///< P(person i knows person j).
+  double email_probability = 0.7;    ///< P(person has an email address).
+  double phone_probability = 0.4;    ///< P(person has a phone number).
+  uint64_t seed = 7;            ///< PRNG seed.
+};
+
+/// A small social network with optional attributes (email/phone), the
+/// classic workload motivating OPTIONAL in the SPARQL literature: some
+/// people lack the optional attributes, so OPT-queries return partial
+/// mappings.
+void GenerateSocialGraph(const SocialGraphOptions& options, RdfGraph* graph);
+
+/// An Erdos-Renyi undirected graph G(n, p), deterministic in the seed.
+UndirectedGraph GenerateErdosRenyi(int n, double p, uint64_t seed);
+
+/// An undirected graph on `n` vertices containing a planted clique of
+/// size `k` plus G(n, p) background edges. Used by the hardness-reduction
+/// experiments (E6).
+UndirectedGraph GeneratePlantedClique(int n, int k, double p, uint64_t seed);
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_RDF_GENERATOR_H_

@@ -1,0 +1,9 @@
+#include "rdf/graph.h"
+
+#include "rdf/ntriples.h"
+
+namespace wdsparql {
+
+std::string RdfGraph::ToString() const { return WriteNTriples(*this); }
+
+}  // namespace wdsparql

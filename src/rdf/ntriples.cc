@@ -1,0 +1,123 @@
+#include "rdf/ntriples.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace wdsparql {
+namespace {
+
+/// Parses one term token starting at `*pos` in `line`; advances `*pos`.
+/// Returns false (with `*error` set) on malformed input.
+bool ParseTermToken(std::string_view line, std::size_t* pos, std::string* out,
+                    std::string* error) {
+  while (*pos < line.size() && std::isspace(static_cast<unsigned char>(line[*pos]))) {
+    ++*pos;
+  }
+  if (*pos >= line.size()) {
+    *error = "expected a term, found end of line";
+    return false;
+  }
+  if (line[*pos] == '?') {
+    *error = "variables are not allowed in RDF graphs";
+    return false;
+  }
+  if (line[*pos] == '<') {
+    std::size_t close = line.find('>', *pos);
+    if (close == std::string_view::npos) {
+      *error = "unterminated '<' IRI";
+      return false;
+    }
+    *out = std::string(line.substr(*pos + 1, close - *pos - 1));
+    *pos = close + 1;
+    if (out->empty()) {
+      *error = "empty IRI";
+      return false;
+    }
+    return true;
+  }
+  std::size_t start = *pos;
+  while (*pos < line.size() && IsIdentChar(line[*pos])) ++*pos;
+  if (*pos == start) {
+    *error = "unexpected character '" + std::string(1, line[*pos]) + "'";
+    return false;
+  }
+  *out = std::string(line.substr(start, *pos - start));
+  return true;
+}
+
+}  // namespace
+
+Status ParseNTriples(std::string_view text, RdfGraph* graph) {
+  WDSPARQL_CHECK(graph != nullptr);
+  int line_number = 0;
+  for (const std::string& raw_line : StrSplit(text, '\n')) {
+    ++line_number;
+    std::string_view line = StripAsciiWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    std::size_t pos = 0;
+    std::string terms[3];
+    for (int i = 0; i < 3; ++i) {
+      std::string error;
+      if (!ParseTermToken(line, &pos, &terms[i], &error)) {
+        return Status::InvalidArgument("line " + std::to_string(line_number) + ": " +
+                                       error);
+      }
+    }
+    std::string_view rest = StripAsciiWhitespace(line.substr(pos));
+    if (!rest.empty() && rest != ".") {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": trailing content '" + std::string(rest) + "'");
+    }
+    graph->Insert(terms[0], terms[1], terms[2]);
+  }
+  return Status::OK();
+}
+
+Status ReadNTriplesFile(const std::string& path, RdfGraph* graph) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open file: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseNTriples(buffer.str(), graph);
+}
+
+namespace {
+
+/// Renders an IRI so it re-parses: bare when every character is an
+/// identifier character, '<'-quoted otherwise.
+std::string RenderIri(const TermPool& pool, TermId iri) {
+  std::string_view spelling = pool.Spelling(iri);
+  bool bare = !spelling.empty();
+  for (char c : spelling) {
+    if (!IsIdentChar(c)) {
+      bare = false;
+      break;
+    }
+  }
+  if (bare) return std::string(spelling);
+  std::string out = "<";
+  out += spelling;
+  out += '>';
+  return out;
+}
+
+}  // namespace
+
+std::string WriteNTriples(const RdfGraph& graph) {
+  std::string out;
+  const TermPool& pool = *graph.pool();
+  for (const Triple& t : graph.triples()) {
+    out += RenderIri(pool, t.subject);
+    out += ' ';
+    out += RenderIri(pool, t.predicate);
+    out += ' ';
+    out += RenderIri(pool, t.object);
+    out += " .\n";
+  }
+  return out;
+}
+
+}  // namespace wdsparql

@@ -1,0 +1,36 @@
+#ifndef WDSPARQL_RDF_NTRIPLES_H_
+#define WDSPARQL_RDF_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+/// \file
+/// A line-oriented reader/writer for ground RDF graphs.
+///
+/// The format is a pragmatic N-Triples subset: one triple per line,
+/// whitespace-separated terms, optional trailing '.', '#' line comments.
+/// Terms are bare identifiers or '<'-quoted IRIs:
+///
+///     # people
+///     <http://ex.org/alice> knows bob .
+///     alice likes coffee
+///
+/// Variables are not allowed (RDF graphs are ground in this paper).
+
+namespace wdsparql {
+
+/// Parses `text` into `graph`. On error, reports the offending line.
+Status ParseNTriples(std::string_view text, RdfGraph* graph);
+
+/// Reads the file at `path` into `graph`.
+Status ReadNTriplesFile(const std::string& path, RdfGraph* graph);
+
+/// Serialises `graph` one triple per line with a trailing " .".
+std::string WriteNTriples(const RdfGraph& graph);
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_RDF_NTRIPLES_H_

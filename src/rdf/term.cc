@@ -1,0 +1,70 @@
+#include "rdf/term.h"
+
+#include "util/strings.h"
+
+namespace wdsparql {
+
+TermId TermPool::InternIri(std::string_view spelling) {
+  auto it = iri_ids_.find(std::string(spelling));
+  if (it != iri_ids_.end()) return it->second;
+  WDSPARQL_CHECK(iri_spellings_.size() < kVariableBit);
+  TermId id = static_cast<TermId>(iri_spellings_.size());
+  iri_spellings_.emplace_back(spelling);
+  iri_ids_.emplace(iri_spellings_.back(), id);
+  return id;
+}
+
+TermId TermPool::InternVariable(std::string_view name) {
+  auto it = var_ids_.find(std::string(name));
+  if (it != var_ids_.end()) return it->second;
+  WDSPARQL_CHECK(var_spellings_.size() < kVariableBit);
+  TermId id = static_cast<TermId>(var_spellings_.size()) | kVariableBit;
+  var_spellings_.emplace_back(name);
+  var_ids_.emplace(var_spellings_.back(), id);
+  return id;
+}
+
+TermId TermPool::FreshVariable(std::string_view hint) {
+  for (;;) {
+    std::string name(hint);
+    name += '#';
+    name += std::to_string(fresh_counter_++);
+    if (var_ids_.find(name) == var_ids_.end()) return InternVariable(name);
+  }
+}
+
+std::string_view TermPool::Spelling(TermId t) const {
+  uint32_t index = TermIndex(t);
+  if (IsVariable(t)) {
+    WDSPARQL_CHECK(index < var_spellings_.size());
+    return var_spellings_[index];
+  }
+  WDSPARQL_CHECK(index < iri_spellings_.size());
+  return iri_spellings_[index];
+}
+
+std::string TermPool::ToDisplayString(TermId t) const {
+  std::string out;
+  if (IsVariable(t)) out += '?';
+  out += Spelling(t);
+  return out;
+}
+
+std::string TermPool::ToParsableString(TermId t) const {
+  if (IsVariable(t)) return ToDisplayString(t);
+  std::string_view spelling = Spelling(t);
+  bool bare = !spelling.empty();
+  for (char c : spelling) {
+    if (!IsIdentChar(c)) {
+      bare = false;
+      break;
+    }
+  }
+  if (bare) return std::string(spelling);
+  std::string out = "<";
+  out += spelling;
+  out += '>';
+  return out;
+}
+
+}  // namespace wdsparql

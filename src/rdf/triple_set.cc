@@ -1,0 +1,68 @@
+#include "rdf/triple_set.h"
+
+#include <algorithm>
+
+namespace wdsparql {
+
+const std::vector<uint32_t> TripleSet::kEmptyIndex;
+
+bool TripleSet::Insert(const Triple& t) {
+  if (!set_.insert(t).second) return false;
+  uint32_t idx = static_cast<uint32_t>(triples_.size());
+  triples_.push_back(t);
+  for (int pos = 0; pos < 3; ++pos) index_[pos][t[pos]].push_back(idx);
+  return true;
+}
+
+void TripleSet::InsertAll(const TripleSet& other) {
+  for (const Triple& t : other.triples_) Insert(t);
+}
+
+const std::vector<uint32_t>& TripleSet::TriplesWithTermAt(int pos, TermId t) const {
+  WDSPARQL_DCHECK(pos >= 0 && pos < 3);
+  auto it = index_[pos].find(t);
+  return it == index_[pos].end() ? kEmptyIndex : it->second;
+}
+
+std::vector<TermId> TripleSet::TermsAt(int pos) const {
+  std::vector<TermId> out;
+  std::unordered_set<TermId> seen;
+  for (const Triple& t : triples_) {
+    if (seen.insert(t[pos]).second) out.push_back(t[pos]);
+  }
+  return out;
+}
+
+std::vector<TermId> TripleSet::AllTerms() const {
+  std::vector<TermId> out;
+  std::unordered_set<TermId> seen;
+  for (const Triple& t : triples_) {
+    for (int pos = 0; pos < 3; ++pos) {
+      if (seen.insert(t[pos]).second) out.push_back(t[pos]);
+    }
+  }
+  return out;
+}
+
+std::vector<TermId> TripleSet::Variables() const {
+  std::vector<TermId> out;
+  for (TermId t : AllTerms()) {
+    if (IsVariable(t)) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<TermId> TripleSet::Iris() const {
+  std::vector<TermId> out;
+  for (TermId t : AllTerms()) {
+    if (IsIri(t)) out.push_back(t);
+  }
+  return out;
+}
+
+bool TripleSet::IsGround() const {
+  return std::all_of(triples_.begin(), triples_.end(),
+                     [](const Triple& t) { return t.IsGround(); });
+}
+
+}  // namespace wdsparql

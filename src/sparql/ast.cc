@@ -1,0 +1,137 @@
+#include "sparql/ast.h"
+
+#include <algorithm>
+
+namespace wdsparql {
+
+void GraphPattern::CollectVariables(std::vector<TermId>* out) const {
+  if (kind_ == PatternKind::kTriple) {
+    for (TermId var : triple_.Variables()) {
+      if (std::find(out->begin(), out->end(), var) == out->end()) out->push_back(var);
+    }
+    return;
+  }
+  left_->CollectVariables(out);
+  if (kind_ == PatternKind::kFilter) {
+    // vars(P FILTER R) = vars(P) per the formalisation; with safe
+    // filters (enforced by CheckWellDesigned) vars(R) adds nothing.
+    return;
+  }
+  right_->CollectVariables(out);
+}
+
+std::vector<TermId> GraphPattern::Variables() const {
+  std::vector<TermId> out;
+  CollectVariables(&out);
+  return out;
+}
+
+int GraphPattern::NumTriples() const {
+  if (kind_ == PatternKind::kTriple) return 1;
+  if (kind_ == PatternKind::kFilter) return left_->NumTriples();
+  return left_->NumTriples() + right_->NumTriples();
+}
+
+int GraphPattern::NumNodes() const {
+  if (kind_ == PatternKind::kTriple) return 1;
+  if (kind_ == PatternKind::kFilter) return 1 + left_->NumNodes();
+  return 1 + left_->NumNodes() + right_->NumNodes();
+}
+
+bool GraphPattern::IsUnionFree() const {
+  if (kind_ == PatternKind::kTriple) return true;
+  if (kind_ == PatternKind::kUnion) return false;
+  if (kind_ == PatternKind::kFilter) return left_->IsUnionFree();
+  return left_->IsUnionFree() && right_->IsUnionFree();
+}
+
+std::string GraphPattern::ToString(const TermPool& pool) const {
+  if (kind_ == PatternKind::kTriple) {
+    std::string out = "(";
+    out += pool.ToParsableString(triple_.subject);
+    out += ' ';
+    out += pool.ToParsableString(triple_.predicate);
+    out += ' ';
+    out += pool.ToParsableString(triple_.object);
+    out += ')';
+    return out;
+  }
+  if (kind_ == PatternKind::kFilter) {
+    std::string out = "(";
+    out += left_->ToString(pool);
+    out += " FILTER (";
+    out += condition_.ToString(pool);
+    out += "))";
+    return out;
+  }
+  std::string out = "(";
+  out += left_->ToString(pool);
+  out += ' ';
+  out += PatternKindToString(kind_);
+  out += ' ';
+  out += right_->ToString(pool);
+  out += ')';
+  return out;
+}
+
+PatternPtr GraphPattern::MakeTriple(const Triple& t) {
+  return PatternPtr(new GraphPattern(PatternKind::kTriple, t, nullptr, nullptr));
+}
+
+PatternPtr GraphPattern::MakeAnd(PatternPtr left, PatternPtr right) {
+  WDSPARQL_CHECK(left != nullptr && right != nullptr);
+  return PatternPtr(new GraphPattern(PatternKind::kAnd, Triple(), std::move(left),
+                                     std::move(right)));
+}
+
+PatternPtr GraphPattern::MakeOpt(PatternPtr left, PatternPtr right) {
+  WDSPARQL_CHECK(left != nullptr && right != nullptr);
+  return PatternPtr(new GraphPattern(PatternKind::kOpt, Triple(), std::move(left),
+                                     std::move(right)));
+}
+
+PatternPtr GraphPattern::MakeUnion(PatternPtr left, PatternPtr right) {
+  WDSPARQL_CHECK(left != nullptr && right != nullptr);
+  return PatternPtr(new GraphPattern(PatternKind::kUnion, Triple(), std::move(left),
+                                     std::move(right)));
+}
+
+PatternPtr GraphPattern::MakeFilter(PatternPtr child, FilterCondition condition) {
+  WDSPARQL_CHECK(child != nullptr);
+  auto* node =
+      new GraphPattern(PatternKind::kFilter, Triple(), std::move(child), nullptr);
+  node->condition_ = std::move(condition);
+  return PatternPtr(node);
+}
+
+PatternPtr GraphPattern::MakeAndAll(const std::vector<PatternPtr>& patterns) {
+  WDSPARQL_CHECK(!patterns.empty());
+  PatternPtr out = patterns[0];
+  for (std::size_t i = 1; i < patterns.size(); ++i) out = MakeAnd(out, patterns[i]);
+  return out;
+}
+
+PatternPtr GraphPattern::MakeUnionAll(const std::vector<PatternPtr>& patterns) {
+  WDSPARQL_CHECK(!patterns.empty());
+  PatternPtr out = patterns[0];
+  for (std::size_t i = 1; i < patterns.size(); ++i) out = MakeUnion(out, patterns[i]);
+  return out;
+}
+
+const char* PatternKindToString(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kTriple:
+      return "TRIPLE";
+    case PatternKind::kAnd:
+      return "AND";
+    case PatternKind::kOpt:
+      return "OPT";
+    case PatternKind::kUnion:
+      return "UNION";
+    case PatternKind::kFilter:
+      return "FILTER";
+  }
+  return "?";
+}
+
+}  // namespace wdsparql

@@ -1,0 +1,62 @@
+#include "sparql/filter.h"
+
+#include <algorithm>
+
+namespace wdsparql {
+
+std::vector<TermId> FilterCondition::Variables() const {
+  std::vector<TermId> out;
+  for (const FilterAtom& atom : atoms) {
+    for (TermId term : {atom.lhs, atom.rhs}) {
+      if (IsVariable(term) && std::find(out.begin(), out.end(), term) == out.end()) {
+        out.push_back(term);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Resolves `term` under `mu`: IRIs to themselves, bound variables to
+/// their image; nullopt for unbound variables.
+std::optional<TermId> Resolve(TermId term, const Mapping& mu) {
+  if (!IsVariable(term)) return term;
+  return mu.Get(term);
+}
+
+}  // namespace
+
+bool FilterCondition::Satisfied(const Mapping& mu) const {
+  for (const FilterAtom& atom : atoms) {
+    std::optional<TermId> lhs = Resolve(atom.lhs, mu);
+    std::optional<TermId> rhs = Resolve(atom.rhs, mu);
+    if (!lhs.has_value() || !rhs.has_value()) return false;  // Error -> eliminated.
+    bool equal = *lhs == *rhs;
+    if (atom.op == FilterOp::kEquals ? !equal : equal) return false;
+  }
+  return true;
+}
+
+std::string FilterCondition::ToString(const TermPool& pool) const {
+  std::string out;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += pool.ToParsableString(atoms[i].lhs);
+    out += atoms[i].op == FilterOp::kEquals ? " = " : " != ";
+    out += pool.ToParsableString(atoms[i].rhs);
+  }
+  return out;
+}
+
+FilterCondition AllDistinct(const std::vector<TermId>& vars) {
+  FilterCondition condition;
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    for (std::size_t j = i + 1; j < vars.size(); ++j) {
+      condition.atoms.push_back(FilterAtom{vars[i], vars[j], FilterOp::kNotEquals});
+    }
+  }
+  return condition;
+}
+
+}  // namespace wdsparql

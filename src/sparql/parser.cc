@@ -1,0 +1,273 @@
+#include "sparql/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace wdsparql {
+namespace {
+
+enum class TokenKind {
+  kLParen,
+  kRParen,
+  kAnd,
+  kOpt,
+  kUnion,
+  kFilter,
+  kEquals,
+  kNotEquals,
+  kVar,
+  kIri,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // Spelling for kVar (without '?') and kIri.
+  std::size_t offset; // Byte offset in the input, for diagnostics.
+};
+
+/// Splits the input into tokens; returns an error on unknown characters.
+Status Tokenize(std::string_view text, std::vector<Token>* out) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    if (c == '(') {
+      out->push_back({TokenKind::kLParen, "", pos});
+      ++pos;
+      continue;
+    }
+    if (c == ')') {
+      out->push_back({TokenKind::kRParen, "", pos});
+      ++pos;
+      continue;
+    }
+    if (c == '?') {
+      std::size_t start = ++pos;
+      while (pos < text.size() && IsIdentChar(text[pos])) ++pos;
+      if (pos == start) {
+        return Status::InvalidArgument("empty variable name at offset " +
+                                       std::to_string(start - 1));
+      }
+      out->push_back({TokenKind::kVar, std::string(text.substr(start, pos - start)),
+                      start - 1});
+      continue;
+    }
+    if (c == '=') {
+      out->push_back({TokenKind::kEquals, "", pos});
+      ++pos;
+      continue;
+    }
+    if (c == '!' && pos + 1 < text.size() && text[pos + 1] == '=') {
+      out->push_back({TokenKind::kNotEquals, "", pos});
+      pos += 2;
+      continue;
+    }
+    if (c == '<') {
+      std::size_t close = text.find('>', pos);
+      if (close == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated '<' IRI at offset " +
+                                       std::to_string(pos));
+      }
+      out->push_back({TokenKind::kIri, std::string(text.substr(pos + 1, close - pos - 1)),
+                      pos});
+      pos = close + 1;
+      continue;
+    }
+    if (IsIdentChar(c)) {
+      std::size_t start = pos;
+      while (pos < text.size() && IsIdentChar(text[pos])) ++pos;
+      std::string word(text.substr(start, pos - start));
+      if (word == "AND") {
+        out->push_back({TokenKind::kAnd, "", start});
+      } else if (word == "OPT" || word == "OPTIONAL") {
+        out->push_back({TokenKind::kOpt, "", start});
+      } else if (word == "UNION") {
+        out->push_back({TokenKind::kUnion, "", start});
+      } else if (word == "FILTER") {
+        out->push_back({TokenKind::kFilter, "", start});
+      } else {
+        out->push_back({TokenKind::kIri, std::move(word), start});
+      }
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" + std::string(1, c) +
+                                   "' at offset " + std::to_string(pos));
+  }
+  out->push_back({TokenKind::kEnd, "", text.size()});
+  return Status::OK();
+}
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, TermPool* pool)
+      : tokens_(std::move(tokens)), pool_(pool) {}
+
+  Result<PatternPtr> Parse() {
+    Result<PatternPtr> pattern = ParseUnion();
+    if (!pattern.ok()) return pattern;
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input after pattern");
+    }
+    return pattern;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  const Token& Advance() { return tokens_[index_++]; }
+
+  Status ErrorStatus(const std::string& message) const {
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(Peek().offset));
+  }
+  Result<PatternPtr> Error(const std::string& message) const {
+    return Result<PatternPtr>(ErrorStatus(message));
+  }
+
+  Result<PatternPtr> ParseUnion() {
+    Result<PatternPtr> left = ParseOpt();
+    if (!left.ok()) return left;
+    PatternPtr acc = left.value();
+    while (Peek().kind == TokenKind::kUnion) {
+      Advance();
+      Result<PatternPtr> right = ParseOpt();
+      if (!right.ok()) return right;
+      acc = GraphPattern::MakeUnion(acc, right.value());
+    }
+    return acc;
+  }
+
+  Result<PatternPtr> ParseOpt() {
+    Result<PatternPtr> left = ParseAnd();
+    if (!left.ok()) return left;
+    PatternPtr acc = left.value();
+    while (Peek().kind == TokenKind::kOpt) {
+      Advance();
+      Result<PatternPtr> right = ParseAnd();
+      if (!right.ok()) return right;
+      acc = GraphPattern::MakeOpt(acc, right.value());
+    }
+    return acc;
+  }
+
+  Result<PatternPtr> ParseAnd() {
+    Result<PatternPtr> left = ParseFiltered();
+    if (!left.ok()) return left;
+    PatternPtr acc = left.value();
+    while (Peek().kind == TokenKind::kAnd) {
+      Advance();
+      Result<PatternPtr> right = ParseFiltered();
+      if (!right.ok()) return right;
+      acc = GraphPattern::MakeAnd(acc, right.value());
+    }
+    return acc;
+  }
+
+  /// filtered := primary ('FILTER' '(' atom ('AND' atom)* ')')*.
+  Result<PatternPtr> ParseFiltered() {
+    Result<PatternPtr> inner = ParsePrimary();
+    if (!inner.ok()) return inner;
+    PatternPtr acc = inner.value();
+    while (Peek().kind == TokenKind::kFilter) {
+      Advance();
+      if (Peek().kind != TokenKind::kLParen) return Error("expected '(' after FILTER");
+      Advance();
+      FilterCondition condition;
+      for (;;) {
+        FilterAtom atom;
+        Status lhs = ParseFilterTerm(&atom.lhs);
+        if (!lhs.ok()) return Result<PatternPtr>(lhs);
+        if (Peek().kind == TokenKind::kEquals) {
+          atom.op = FilterOp::kEquals;
+        } else if (Peek().kind == TokenKind::kNotEquals) {
+          atom.op = FilterOp::kNotEquals;
+        } else {
+          return Error("expected '=' or '!=' in FILTER condition");
+        }
+        Advance();
+        Status rhs = ParseFilterTerm(&atom.rhs);
+        if (!rhs.ok()) return Result<PatternPtr>(rhs);
+        condition.atoms.push_back(atom);
+        if (Peek().kind != TokenKind::kAnd) break;
+        Advance();
+      }
+      if (Peek().kind != TokenKind::kRParen) {
+        return Error("expected ')' closing FILTER condition");
+      }
+      Advance();
+      acc = GraphPattern::MakeFilter(acc, std::move(condition));
+    }
+    return acc;
+  }
+
+  Status ParseFilterTerm(TermId* out) {
+    const Token& token = Peek();
+    if (token.kind == TokenKind::kVar) {
+      *out = pool_->InternVariable(token.text);
+    } else if (token.kind == TokenKind::kIri) {
+      *out = pool_->InternIri(token.text);
+    } else {
+      return ErrorStatus("expected a term in FILTER condition");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  /// primary := '(' union ')' | '(' term term term ')'.
+  Result<PatternPtr> ParsePrimary() {
+    if (Peek().kind != TokenKind::kLParen) {
+      return Error("expected '('");
+    }
+    Advance();
+    if (Peek().kind == TokenKind::kLParen) {
+      // Parenthesised subexpression.
+      Result<PatternPtr> inner = ParseUnion();
+      if (!inner.ok()) return inner;
+      if (Peek().kind != TokenKind::kRParen) return Error("expected ')'");
+      Advance();
+      return inner;
+    }
+    // Triple pattern.
+    TermId terms[3];
+    for (int i = 0; i < 3; ++i) {
+      const Token& token = Peek();
+      if (token.kind == TokenKind::kVar) {
+        terms[i] = pool_->InternVariable(token.text);
+      } else if (token.kind == TokenKind::kIri) {
+        terms[i] = pool_->InternIri(token.text);
+      } else {
+        return Error("expected a term inside triple pattern");
+      }
+      Advance();
+    }
+    if (Peek().kind != TokenKind::kRParen) {
+      return Error("expected ')' closing triple pattern");
+    }
+    Advance();
+    return GraphPattern::MakeTriple(Triple(terms[0], terms[1], terms[2]));
+  }
+
+  std::vector<Token> tokens_;
+  TermPool* pool_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<PatternPtr> ParsePattern(std::string_view text, TermPool* pool) {
+  WDSPARQL_CHECK(pool != nullptr);
+  std::vector<Token> tokens;
+  Status tokenize_status = Tokenize(text, &tokens);
+  if (!tokenize_status.ok()) return Result<PatternPtr>(tokenize_status);
+  Parser parser(std::move(tokens), pool);
+  return parser.Parse();
+}
+
+}  // namespace wdsparql

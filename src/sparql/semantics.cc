@@ -1,0 +1,119 @@
+#include "sparql/semantics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace wdsparql {
+namespace {
+
+/// Deduplicates and sorts a mapping list (deterministic result order).
+std::vector<Mapping> Canonicalise(std::vector<Mapping> mappings) {
+  std::sort(mappings.begin(), mappings.end());
+  mappings.erase(std::unique(mappings.begin(), mappings.end()), mappings.end());
+  return mappings;
+}
+
+std::vector<Mapping> EvaluateRec(const GraphPattern& p, const RdfGraph& g) {
+  switch (p.kind()) {
+    case PatternKind::kTriple:
+      return EvaluateTriple(p.triple(), g);
+    case PatternKind::kAnd: {
+      std::vector<Mapping> left = EvaluateRec(*p.left(), g);
+      std::vector<Mapping> right = EvaluateRec(*p.right(), g);
+      std::vector<Mapping> out;
+      for (const Mapping& mu1 : left) {
+        for (const Mapping& mu2 : right) {
+          std::optional<Mapping> joined = Mapping::Union(mu1, mu2);
+          if (joined.has_value()) out.push_back(std::move(*joined));
+        }
+      }
+      return out;
+    }
+    case PatternKind::kOpt: {
+      std::vector<Mapping> left = EvaluateRec(*p.left(), g);
+      std::vector<Mapping> right = EvaluateRec(*p.right(), g);
+      std::vector<Mapping> out;
+      for (const Mapping& mu1 : left) {
+        bool extended = false;
+        for (const Mapping& mu2 : right) {
+          std::optional<Mapping> joined = Mapping::Union(mu1, mu2);
+          if (joined.has_value()) {
+            out.push_back(std::move(*joined));
+            extended = true;
+          }
+        }
+        if (!extended) out.push_back(mu1);
+      }
+      return out;
+    }
+    case PatternKind::kUnion: {
+      std::vector<Mapping> out = EvaluateRec(*p.left(), g);
+      std::vector<Mapping> right = EvaluateRec(*p.right(), g);
+      out.insert(out.end(), right.begin(), right.end());
+      return out;
+    }
+    case PatternKind::kFilter: {
+      std::vector<Mapping> out;
+      for (Mapping& mu : EvaluateRec(*p.left(), g)) {
+        if (p.condition().Satisfied(mu)) out.push_back(std::move(mu));
+      }
+      return out;
+    }
+  }
+  WDSPARQL_CHECK(false);
+  return {};
+}
+
+}  // namespace
+
+std::vector<Mapping> EvaluateTriple(const Triple& t, const RdfGraph& graph) {
+  const TripleSet& triples = graph.triples();
+
+  // Pick the most selective bound position to drive the scan.
+  int bound_pos = -1;
+  std::size_t best_size = triples.size() + 1;
+  for (int pos = 0; pos < 3; ++pos) {
+    if (IsIri(t[pos])) {
+      std::size_t size = triples.TriplesWithTermAt(pos, t[pos]).size();
+      if (size < best_size) {
+        best_size = size;
+        bound_pos = pos;
+      }
+    }
+  }
+
+  std::vector<Mapping> out;
+  auto try_match = [&](const Triple& data) {
+    Mapping mu;
+    for (int pos = 0; pos < 3; ++pos) {
+      TermId term = t[pos];
+      if (IsVariable(term)) {
+        if (!mu.Bind(term, data[pos])) return;  // Repeated variable mismatch.
+      } else if (term != data[pos]) {
+        return;
+      }
+    }
+    out.push_back(std::move(mu));
+  };
+
+  if (bound_pos >= 0) {
+    for (uint32_t idx : triples.TriplesWithTermAt(bound_pos, t[bound_pos])) {
+      try_match(triples.triples()[idx]);
+    }
+  } else {
+    for (const Triple& data : triples) try_match(data);
+  }
+  return Canonicalise(std::move(out));
+}
+
+std::vector<Mapping> Evaluate(const GraphPattern& pattern, const RdfGraph& graph) {
+  return Canonicalise(EvaluateRec(pattern, graph));
+}
+
+bool EvaluateContains(const GraphPattern& pattern, const RdfGraph& graph,
+                      const Mapping& mu) {
+  std::vector<Mapping> answers = Evaluate(pattern, graph);
+  return std::find(answers.begin(), answers.end(), mu) != answers.end();
+}
+
+}  // namespace wdsparql

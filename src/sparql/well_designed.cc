@@ -1,0 +1,116 @@
+#include "sparql/well_designed.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace wdsparql {
+namespace {
+
+/// Counts, for each variable, the number of triple-pattern occurrences
+/// (a variable may occur in several leaves; per-leaf multiplicity is
+/// irrelevant for the well-designedness condition, so we count leaves).
+void CountLeafOccurrences(const GraphPattern& p,
+                          std::unordered_map<TermId, int>* counts) {
+  if (p.kind() == PatternKind::kTriple) {
+    for (TermId var : p.triple().Variables()) ++(*counts)[var];
+    return;
+  }
+  if (p.kind() == PatternKind::kFilter) {
+    // Safe filters (vars(R) ⊆ vars(P)) add no fresh occurrence sites
+    // beyond the subpattern's own leaves; count the condition as one
+    // extra occurrence site per variable so leaks through filters are
+    // still detected when safety fails.
+    for (TermId var : p.condition().Variables()) ++(*counts)[var];
+    CountLeafOccurrences(*p.left(), counts);
+    return;
+  }
+  CountLeafOccurrences(*p.left(), counts);
+  CountLeafOccurrences(*p.right(), counts);
+}
+
+/// Recursively verifies the OPT condition within a UNION-free pattern.
+///
+/// `total` holds the leaf-occurrence counts of each variable in the whole
+/// UNION-free pattern; a variable occurs outside a subpattern P' iff its
+/// count inside P' is strictly smaller than its total count.
+Status CheckUnionFree(const GraphPattern& p,
+                      const std::unordered_map<TermId, int>& total,
+                      const TermPool& pool) {
+  if (p.kind() == PatternKind::kTriple) return Status::OK();
+  WDSPARQL_CHECK(p.kind() != PatternKind::kUnion);
+  if (p.kind() == PatternKind::kFilter) {
+    // Safety ([23]): a filter may only mention variables of its operand.
+    std::vector<TermId> child_vars = p.left()->Variables();
+    std::unordered_set<TermId> child_set(child_vars.begin(), child_vars.end());
+    for (TermId var : p.condition().Variables()) {
+      if (child_set.count(var) == 0) {
+        return Status::NotWellDesigned(
+            "unsafe FILTER: variable ?" + std::string(pool.Spelling(var)) +
+            " does not occur in the filtered subpattern");
+      }
+    }
+    return CheckUnionFree(*p.left(), total, pool);
+  }
+  WDSPARQL_RETURN_IF_ERROR(CheckUnionFree(*p.left(), total, pool));
+  WDSPARQL_RETURN_IF_ERROR(CheckUnionFree(*p.right(), total, pool));
+  if (p.kind() != PatternKind::kOpt) return Status::OK();
+
+  std::vector<TermId> left_vars = p.left()->Variables();
+  std::unordered_set<TermId> left_set(left_vars.begin(), left_vars.end());
+
+  std::unordered_map<TermId, int> inside;
+  CountLeafOccurrences(p, &inside);
+
+  for (TermId var : p.right()->Variables()) {
+    if (left_set.count(var) > 0) continue;
+    // var occurs in P2 but not in P1: it must not occur outside P'.
+    auto total_it = total.find(var);
+    WDSPARQL_CHECK(total_it != total.end());
+    if (inside.at(var) < total_it->second) {
+      return Status::NotWellDesigned(
+          "variable ?" + std::string(pool.Spelling(var)) +
+          " occurs in the optional side of an OPT but also outside that OPT "
+          "subpattern");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<PatternPtr>> UnionNormalForm(const PatternPtr& pattern) {
+  WDSPARQL_CHECK(pattern != nullptr);
+  if (pattern->kind() == PatternKind::kUnion) {
+    Result<std::vector<PatternPtr>> left = UnionNormalForm(pattern->left());
+    if (!left.ok()) return left;
+    Result<std::vector<PatternPtr>> right = UnionNormalForm(pattern->right());
+    if (!right.ok()) return right;
+    std::vector<PatternPtr> out = left.value();
+    out.insert(out.end(), right.value().begin(), right.value().end());
+    return out;
+  }
+  if (!pattern->IsUnionFree()) {
+    return Result<std::vector<PatternPtr>>(Status::NotWellDesigned(
+        "UNION occurs below AND or OPT; well-designed patterns require UNION "
+        "at the top level only"));
+  }
+  return std::vector<PatternPtr>{pattern};
+}
+
+Status CheckWellDesigned(const PatternPtr& pattern, const TermPool& pool) {
+  Result<std::vector<PatternPtr>> operands = UnionNormalForm(pattern);
+  if (!operands.ok()) return operands.status();
+  for (const PatternPtr& operand : operands.value()) {
+    std::unordered_map<TermId, int> total;
+    CountLeafOccurrences(*operand, &total);
+    WDSPARQL_RETURN_IF_ERROR(CheckUnionFree(*operand, total, pool));
+  }
+  return Status::OK();
+}
+
+bool IsWellDesigned(const PatternPtr& pattern, const TermPool& pool) {
+  return CheckWellDesigned(pattern, pool).ok();
+}
+
+}  // namespace wdsparql

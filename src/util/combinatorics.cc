@@ -1,0 +1,23 @@
+#include "util/combinatorics.h"
+
+namespace wdsparql {
+
+std::vector<int> MaskToIndices(uint64_t mask) {
+  std::vector<int> out;
+  for (int i = 0; mask != 0; ++i, mask >>= 1) {
+    if (mask & 1) out.push_back(i);
+  }
+  return out;
+}
+
+double BinomialCoefficient(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  if (k > n - k) k = n - k;
+  double result = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    result = result * static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return result;
+}
+
+}  // namespace wdsparql

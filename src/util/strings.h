@@ -1,0 +1,30 @@
+#ifndef WDSPARQL_UTIL_STRINGS_H_
+#define WDSPARQL_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// Small string utilities shared by the parsers and pretty printers.
+
+namespace wdsparql {
+
+/// Returns `s` with leading/trailing ASCII whitespace removed.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// Splits `s` on `delim`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view s, char delim);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// True iff `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True iff `c` may appear in an identifier ([A-Za-z0-9_.:/#-]).
+bool IsIdentChar(char c);
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_UTIL_STRINGS_H_

@@ -1,0 +1,35 @@
+#ifndef WDSPARQL_UTIL_TIMER_H_
+#define WDSPARQL_UTIL_TIMER_H_
+
+#include <chrono>
+
+/// \file
+/// Wall-clock timing for the experiment harnesses.
+
+namespace wdsparql {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_UTIL_TIMER_H_

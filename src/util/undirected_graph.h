@@ -1,0 +1,84 @@
+#ifndef WDSPARQL_UTIL_UNDIRECTED_GRAPH_H_
+#define WDSPARQL_UTIL_UNDIRECTED_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+/// \file
+/// Simple undirected graphs over dense vertex ids 0..n-1.
+///
+/// Used for (i) Gaifman graphs of generalised t-graphs, (ii) the treewidth
+/// machinery, (iii) the CLIQUE instances of the Theorem 2 hardness
+/// reduction, and (iv) grids/cliques whose minors drive the Lemma 2 gadget.
+
+namespace wdsparql {
+
+/// An undirected graph with dense integer vertices and no self loops.
+///
+/// Parallel edges are collapsed; `AddEdge(u, u)` is ignored. The adjacency
+/// representation is a bit-matrix plus adjacency lists, so `HasEdge` is
+/// O(1) and neighbour iteration is O(degree).
+class UndirectedGraph {
+ public:
+  /// Creates a graph with `n` isolated vertices.
+  explicit UndirectedGraph(int n = 0);
+
+  /// Number of vertices.
+  int NumVertices() const { return n_; }
+  /// Number of (undirected) edges.
+  int NumEdges() const { return num_edges_; }
+
+  /// Adds a vertex and returns its id.
+  int AddVertex();
+
+  /// Adds edge {u, v}. Self loops and duplicates are ignored.
+  void AddEdge(int u, int v);
+
+  /// True iff {u, v} is an edge.
+  bool HasEdge(int u, int v) const;
+
+  /// Neighbours of `u`, in insertion order.
+  const std::vector<int>& Neighbors(int u) const { return adj_[u]; }
+
+  /// Degree of `u`.
+  int Degree(int u) const { return static_cast<int>(adj_[u].size()); }
+
+  /// All edges as (u, v) with u < v, in insertion order.
+  const std::vector<std::pair<int, int>>& Edges() const { return edges_; }
+
+  /// Returns the vertex sets of the connected components (deterministic
+  /// order: by smallest contained vertex).
+  std::vector<std::vector<int>> ConnectedComponents() const;
+
+  /// The subgraph induced by `vertices`; out_index maps new id -> old id.
+  UndirectedGraph InducedSubgraph(const std::vector<int>& vertices,
+                                  std::vector<int>* out_index = nullptr) const;
+
+  /// Degeneracy of the graph (max over subgraphs of min degree); a lower
+  /// bound on treewidth.
+  int Degeneracy() const;
+
+  /// True iff `clique` is a set of pairwise adjacent, distinct vertices.
+  bool IsClique(const std::vector<int>& clique) const;
+
+  /// The complete graph K_n.
+  static UndirectedGraph Complete(int n);
+  /// The cycle C_n (n >= 3).
+  static UndirectedGraph Cycle(int n);
+  /// The path with n vertices.
+  static UndirectedGraph Path(int n);
+  /// The (rows x cols) grid; vertex (i, j) has id i*cols + j.
+  static UndirectedGraph Grid(int rows, int cols);
+
+ private:
+  int n_ = 0;
+  int num_edges_ = 0;
+  std::vector<std::vector<int>> adj_;
+  std::vector<std::vector<bool>> matrix_;
+  std::vector<std::pair<int, int>> edges_;
+};
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_UTIL_UNDIRECTED_GRAPH_H_

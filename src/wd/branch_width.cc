@@ -1,0 +1,46 @@
+#include "wd/branch_width.h"
+
+#include <algorithm>
+
+#include "ptree/forest.h"
+
+namespace wdsparql {
+
+std::vector<BranchNodeWidth> BranchWidths(const PatternTree& tree) {
+  std::vector<BranchNodeWidth> out;
+  for (NodeId n = 1; n < tree.NumNodes(); ++n) {
+    // B_n: nodes on the path from the root to n's parent.
+    TripleSet branch_pattern;
+    for (NodeId walk = tree.parent(n); walk != -1; walk = tree.parent(walk)) {
+      branch_pattern.InsertAll(tree.pattern(walk));
+    }
+    std::vector<TermId> branch_vars = branch_pattern.Variables();
+    std::sort(branch_vars.begin(), branch_vars.end());
+
+    TripleSet s_br = branch_pattern;
+    s_br.InsertAll(tree.pattern(n));
+
+    BranchNodeWidth detail;
+    detail.node = n;
+    detail.branch_graph = GeneralizedTGraph(std::move(s_br), branch_vars);
+    detail.core_treewidth = CoreTreewidthOf(detail.branch_graph).upper;
+    out.push_back(std::move(detail));
+  }
+  return out;
+}
+
+int BranchTreewidth(const PatternTree& tree) {
+  int width = 1;
+  for (const BranchNodeWidth& detail : BranchWidths(tree)) {
+    width = std::max(width, detail.core_treewidth);
+  }
+  return width;
+}
+
+Result<int> BranchTreewidthOfPattern(const PatternPtr& pattern, const TermPool& pool) {
+  Result<PatternTree> tree = BuildPatternTree(pattern, pool);
+  if (!tree.ok()) return Result<int>(tree.status());
+  return BranchTreewidth(tree.value());
+}
+
+}  // namespace wdsparql

@@ -1,0 +1,205 @@
+#include "wd/domination.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "hom/homomorphism.h"
+#include "ptree/forest.h"
+
+namespace wdsparql {
+
+std::vector<SupportEntry> ComputeSupport(const PatternForest& forest,
+                                         const Subtree& subtree) {
+  std::vector<TermId> vars = SubtreeVariables(subtree);
+  std::vector<SupportEntry> support;
+  for (std::size_t i = 0; i < forest.trees.size(); ++i) {
+    std::optional<Subtree> witness = FindWitnessSubtree(forest.trees[i], vars);
+    if (witness.has_value()) {
+      support.push_back(SupportEntry{static_cast<int>(i), std::move(*witness)});
+    }
+  }
+  return support;
+}
+
+GeneralizedTGraph BuildSDelta(const PatternForest& forest, const Subtree& subtree,
+                              const std::vector<SupportEntry>& support,
+                              const ChildrenAssignment& delta, TermPool* pool) {
+  WDSPARQL_CHECK(pool != nullptr);
+  std::vector<TermId> tree_vars = SubtreeVariables(subtree);
+
+  TripleSet s_delta = SubtreePattern(subtree);
+  for (const auto& [tree_index, child] : delta) {
+    auto entry = std::find_if(support.begin(), support.end(),
+                              [tree_index = tree_index](const SupportEntry& e) {
+                                return e.tree_index == tree_index;
+                              });
+    WDSPARQL_CHECK(entry != support.end());
+    const PatternTree& tree = forest.trees[tree_index];
+    // rho_Delta(i): rename every variable of the chosen child outside
+    // vars(T) to a fresh variable (fresh per (i, variable) pair, so
+    // different i never share renamed variables).
+    VarAssignment rename;
+    for (TermId var : tree.variables(child)) {
+      if (!std::binary_search(tree_vars.begin(), tree_vars.end(), var)) {
+        rename[var] = pool->FreshVariable(pool->Spelling(var));
+      }
+    }
+    for (const Triple& t : tree.pattern(child).triples()) {
+      s_delta.Insert(ApplyAssignment(rename, t));
+    }
+  }
+  return GeneralizedTGraph(std::move(s_delta), tree_vars);
+}
+
+bool IsValidAssignment(const PatternForest& forest, const Subtree& subtree,
+                       const std::vector<SupportEntry>& support,
+                       const ChildrenAssignment& delta,
+                       const GeneralizedTGraph& s_delta) {
+  (void)forest;
+  (void)subtree;
+  for (const SupportEntry& entry : support) {
+    if (delta.count(entry.tree_index) > 0) continue;
+    GeneralizedTGraph witness_graph(SubtreePattern(entry.witness), s_delta.X);
+    // vars(T^sp(j)) == vars(T) == X, so the homomorphism fixes every
+    // variable; still, route through the generic check for clarity.
+    if (HomTo(witness_graph, s_delta)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Enumerates every children assignment (including the empty one, which
+/// the caller skips) over the supporting trees; returns false if the
+/// budget is exceeded.
+bool EnumerateAssignments(const PatternForest& forest,
+                          const std::vector<SupportEntry>& support,
+                          uint64_t max_assignments,
+                          const std::function<void(const ChildrenAssignment&)>& fn) {
+  // Choice list per supporting tree: "absent" plus each child of the
+  // witness subtree.
+  std::vector<std::pair<int, std::vector<NodeId>>> choices;
+  for (const SupportEntry& entry : support) {
+    std::vector<NodeId> children = SubtreeChildren(entry.witness);
+    if (!children.empty()) choices.emplace_back(entry.tree_index, std::move(children));
+  }
+  (void)forest;
+
+  uint64_t generated = 0;
+  ChildrenAssignment current;
+  std::function<bool(std::size_t)> rec = [&](std::size_t pos) {
+    if (pos == choices.size()) {
+      if (++generated > max_assignments) return false;
+      fn(current);
+      return true;
+    }
+    // Option 1: tree not in dom(Delta).
+    if (!rec(pos + 1)) return false;
+    // Option 2: pick each child.
+    for (NodeId child : choices[pos].second) {
+      current[choices[pos].first] = child;
+      bool keep_going = rec(pos + 1);
+      current.erase(choices[pos].first);
+      if (!keep_going) return false;
+    }
+    return true;
+  };
+  return rec(0);
+}
+
+}  // namespace
+
+Result<std::vector<GtGElement>> ComputeGtG(const PatternForest& forest,
+                                           const Subtree& subtree, TermPool* pool,
+                                           const DominationOptions& options) {
+  std::vector<SupportEntry> support = ComputeSupport(forest, subtree);
+  std::vector<GtGElement> gtg;
+  bool within_budget = EnumerateAssignments(
+      forest, support, options.max_assignments_per_subtree,
+      [&](const ChildrenAssignment& delta) {
+        if (delta.empty()) return;  // dom(Delta) must be non-empty.
+        GeneralizedTGraph s_delta = BuildSDelta(forest, subtree, support, delta, pool);
+        if (!IsValidAssignment(forest, subtree, support, delta, s_delta)) return;
+        GtGElement element;
+        element.delta = delta;
+        element.core_treewidth = CoreTreewidthOf(s_delta).upper;
+        element.graph = std::move(s_delta);
+        gtg.push_back(std::move(element));
+      });
+  if (!within_budget) {
+    return Result<std::vector<GtGElement>>(Status::ResourceExhausted(
+        "children-assignment enumeration exceeded the configured budget"));
+  }
+  return gtg;
+}
+
+int MinDominationWidth(const std::vector<GtGElement>& gtg) {
+  if (gtg.empty()) return 1;
+  std::vector<int> widths;
+  for (const GtGElement& element : gtg) widths.push_back(element.core_treewidth);
+  std::sort(widths.begin(), widths.end());
+  widths.erase(std::unique(widths.begin(), widths.end()), widths.end());
+
+  for (int k : widths) {
+    if (k < 1) continue;
+    bool dominated = true;
+    for (const GtGElement& high : gtg) {
+      if (high.core_treewidth <= k) continue;
+      bool covered = false;
+      for (const GtGElement& low : gtg) {
+        if (low.core_treewidth > k) continue;
+        if (HomTo(low.graph, high.graph)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        dominated = false;
+        break;
+      }
+    }
+    if (dominated) return std::max(k, 1);
+  }
+  // The full set always dominates itself, so the largest width works.
+  return std::max(widths.back(), 1);
+}
+
+Result<int> DominationWidth(const PatternForest& forest, TermPool* pool,
+                            const DominationOptions& options) {
+  int width = 1;
+  uint64_t subtree_budget = options.max_subtrees;
+  for (const PatternTree& tree : forest.trees) {
+    bool exhausted = false;
+    Status failure = Status::OK();
+    EnumerateSubtrees(tree, [&](const Subtree& subtree) {
+      if (exhausted || !failure.ok()) return;
+      if (subtree_budget == 0) {
+        exhausted = true;
+        return;
+      }
+      --subtree_budget;
+      Result<std::vector<GtGElement>> gtg = ComputeGtG(forest, subtree, pool, options);
+      if (!gtg.ok()) {
+        failure = gtg.status();
+        return;
+      }
+      width = std::max(width, MinDominationWidth(gtg.value()));
+    });
+    if (exhausted) {
+      return Result<int>(
+          Status::ResourceExhausted("subtree enumeration exceeded the configured budget"));
+    }
+    if (!failure.ok()) return Result<int>(failure);
+  }
+  return width;
+}
+
+Result<int> DominationWidthOfPattern(const PatternPtr& pattern, TermPool* pool,
+                                     const DominationOptions& options) {
+  Result<PatternForest> forest = BuildPatternForest(pattern, *pool);
+  if (!forest.ok()) return Result<int>(forest.status());
+  return DominationWidth(forest.value(), pool, options);
+}
+
+}  // namespace wdsparql

@@ -1,0 +1,109 @@
+#include "wd/enumerate.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "hom/homomorphism.h"
+#include "hom/pebble.h"
+#include "ptree/subtree.h"
+
+namespace wdsparql {
+namespace {
+
+/// Shared enumeration skeleton; `extends` decides the per-child
+/// maximality test (exact or pebble).
+template <typename ExtendsFn>
+void EnumerateImpl(const PatternForest& forest, const RdfGraph& graph,
+                   const std::function<bool(const Mapping&)>& callback,
+                   EnumerateStats* stats, ExtendsFn&& extends) {
+  std::unordered_set<Mapping, MappingHash> seen;
+  bool stopped = false;
+  for (const PatternTree& tree : forest.trees) {
+    if (stopped) break;
+    EnumerateSubtrees(tree, [&](const Subtree& subtree) {
+      if (stopped) return;
+      TripleSet pattern = SubtreePattern(subtree);
+      std::vector<NodeId> children = SubtreeChildren(subtree);
+      EnumerateHomomorphisms(
+          pattern, VarAssignment{}, graph.triples(),
+          [&](const VarAssignment& assignment) {
+            if (stats != nullptr) ++stats->candidates;
+            Mapping mu;
+            for (const auto& [var, value] : assignment) {
+              WDSPARQL_CHECK(mu.Bind(var, value));
+            }
+            if (seen.count(mu) > 0) return true;
+            // Maximality: no child may extend mu.
+            bool maximal = true;
+            for (NodeId child : children) {
+              if (stats != nullptr) ++stats->maximality_tests;
+              TripleSet combined = pattern;
+              combined.InsertAll(subtree.tree->pattern(child));
+              if (extends(combined, mu)) {
+                maximal = false;
+                break;
+              }
+            }
+            if (!maximal) return true;
+            seen.insert(mu);
+            if (stats != nullptr) ++stats->emitted;
+            if (!callback(mu)) {
+              stopped = true;
+              return false;
+            }
+            return true;
+          });
+    });
+  }
+}
+
+}  // namespace
+
+void EnumerateSolutionsNaive(const PatternForest& forest, const RdfGraph& graph,
+                             const std::function<bool(const Mapping&)>& callback,
+                             EnumerateStats* stats) {
+  EnumerateImpl(forest, graph, callback, stats,
+                [&](const TripleSet& combined, const Mapping& mu) {
+                  VarAssignment fixed;
+                  for (const auto& [var, value] : mu.bindings()) fixed[var] = value;
+                  return HasHomomorphism(combined, fixed, graph.triples());
+                });
+}
+
+void EnumerateSolutionsPebble(const PatternForest& forest, const RdfGraph& graph,
+                              int k, const std::function<bool(const Mapping&)>& callback,
+                              EnumerateStats* stats) {
+  WDSPARQL_CHECK(k >= 1);
+  EnumerateImpl(forest, graph, callback, stats,
+                [&](const TripleSet& combined, const Mapping& mu) {
+                  VarAssignment fixed;
+                  for (const auto& [var, value] : mu.bindings()) fixed[var] = value;
+                  return PebbleGameWins(combined, fixed, graph.triples(), k + 1);
+                });
+}
+
+std::vector<Mapping> AllSolutionsPebble(const PatternForest& forest,
+                                        const RdfGraph& graph, int k,
+                                        EnumerateStats* stats) {
+  std::vector<Mapping> out;
+  EnumerateSolutionsPebble(
+      forest, graph, k,
+      [&out](const Mapping& mu) {
+        out.push_back(mu);
+        return true;
+      },
+      stats);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t CountSolutions(const PatternForest& forest, const RdfGraph& graph) {
+  uint64_t count = 0;
+  EnumerateSolutionsNaive(forest, graph, [&count](const Mapping&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+}  // namespace wdsparql

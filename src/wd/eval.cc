@@ -1,0 +1,60 @@
+#include "wd/eval.h"
+
+#include "hom/homomorphism.h"
+#include "hom/pebble.h"
+#include "ptree/tgraph.h"
+
+namespace wdsparql {
+namespace {
+
+/// Shared control flow of both algorithms: iterate over the forest, find
+/// the matched subtree T^mu, and accept iff some tree has no child that
+/// passes `extends`.
+template <typename ExtendsFn>
+bool EvalLoop(const PatternForest& forest, const RdfGraph& graph, const Mapping& mu,
+              EvalStats* stats, ExtendsFn&& extends) {
+  for (const PatternTree& tree : forest.trees) {
+    if (stats != nullptr) ++stats->trees_probed;
+    std::optional<Subtree> matched = FindMatchingSubtree(tree, mu, graph.triples());
+    if (!matched.has_value()) continue;
+    if (stats != nullptr) ++stats->subtrees_matched;
+
+    TripleSet base = SubtreePattern(*matched);
+    bool some_child_extends = false;
+    for (NodeId child : SubtreeChildren(*matched)) {
+      if (stats != nullptr) ++stats->extension_tests;
+      TripleSet combined = base;
+      combined.InsertAll(tree.pattern(child));
+      if (extends(combined)) {
+        some_child_extends = true;
+        break;
+      }
+    }
+    if (!some_child_extends) return true;  // mu ∈ JT_iKG.
+  }
+  return false;
+}
+
+}  // namespace
+
+bool NaiveWdEval(const PatternForest& forest, const RdfGraph& graph, const Mapping& mu,
+                 EvalStats* stats) {
+  VarAssignment fixed = MappingToAssignment(mu);
+  return EvalLoop(forest, graph, mu, stats, [&](const TripleSet& combined) {
+    return HasHomomorphism(combined, fixed, graph.triples());
+  });
+}
+
+bool PebbleWdEval(const PatternForest& forest, const RdfGraph& graph, const Mapping& mu,
+                  int k, EvalStats* stats) {
+  WDSPARQL_CHECK(k >= 1);
+  VarAssignment fixed = MappingToAssignment(mu);
+  return EvalLoop(forest, graph, mu, stats, [&](const TripleSet& combined) {
+    PebbleGameStats game_stats;
+    bool wins = PebbleGameWins(combined, fixed, graph.triples(), k + 1, &game_stats);
+    if (stats != nullptr) stats->pebble_maps_created += game_stats.maps_created;
+    return wins;
+  });
+}
+
+}  // namespace wdsparql

@@ -1,0 +1,394 @@
+#include "wd/hardness.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "hom/core.h"
+#include "util/combinatorics.h"
+#include "wd/paper_examples.h"
+
+namespace wdsparql {
+namespace {
+
+/// rho: bijection between {0..K-1} and unordered pairs {i < j} of
+/// {0..k-1}, in lexicographic order.
+std::vector<std::pair<int, int>> PairBijection(int k) {
+  std::vector<std::pair<int, int>> rho;
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) rho.emplace_back(i, j);
+  }
+  return rho;
+}
+
+}  // namespace
+
+GridMinorMap MinorMapOntoClique(int rows, int cols,
+                                const std::vector<TermId>& clique_vars) {
+  // A grid with rows*cols vertices is a minor of K_m iff m >= rows*cols:
+  // branch sets must be non-empty and disjoint. Any partition of the
+  // clique vertices into rows*cols non-empty blocks works: every block is
+  // connected in a clique and every pair of blocks is adjacent, so all
+  // grid edges are realised and the map is onto.
+  const int total = rows * cols;
+  const int m = static_cast<int>(clique_vars.size());
+  WDSPARQL_CHECK(m >= total);
+  GridMinorMap gamma;
+  gamma.rows = rows;
+  gamma.cols = cols;
+  gamma.branch_sets.resize(static_cast<std::size_t>(total));
+  for (int cell = 0; cell < total; ++cell) {
+    long lo = (static_cast<long>(cell) * m) / total;
+    long hi = (static_cast<long>(cell + 1) * m) / total;
+    for (long v = lo; v < hi; ++v) {
+      gamma.branch_sets[cell].push_back(clique_vars[v]);
+    }
+    WDSPARQL_CHECK(!gamma.branch_sets[cell].empty());
+  }
+  return gamma;
+}
+
+Status ValidateMinorMap(const GeneralizedTGraph& core, const GridMinorMap& gamma) {
+  std::vector<TermId> vars;
+  UndirectedGraph gaifman = GaifmanGraph(core, &vars);
+  std::unordered_map<TermId, int> index;
+  for (std::size_t i = 0; i < vars.size(); ++i) index[vars[i]] = static_cast<int>(i);
+
+  // Branch sets: non-empty, disjoint, known variables.
+  std::unordered_set<TermId> used;
+  for (const auto& branch : gamma.branch_sets) {
+    if (branch.empty()) return Status::InvalidArgument("empty branch set");
+    for (TermId var : branch) {
+      if (index.find(var) == index.end()) {
+        return Status::InvalidArgument("branch set variable not in Gaifman graph");
+      }
+      if (!used.insert(var).second) {
+        return Status::InvalidArgument("branch sets are not disjoint");
+      }
+    }
+  }
+
+  // Connectivity of each branch set.
+  for (const auto& branch : gamma.branch_sets) {
+    std::unordered_set<TermId> in_branch(branch.begin(), branch.end());
+    std::vector<TermId> stack = {branch[0]};
+    std::unordered_set<TermId> seen = {branch[0]};
+    while (!stack.empty()) {
+      TermId u = stack.back();
+      stack.pop_back();
+      for (int nb : gaifman.Neighbors(index.at(u))) {
+        TermId w = vars[nb];
+        if (in_branch.count(w) > 0 && seen.insert(w).second) stack.push_back(w);
+      }
+    }
+    if (seen.size() != branch.size()) {
+      return Status::InvalidArgument("branch set is not connected");
+    }
+  }
+
+  // Grid edges must be realised.
+  auto connected = [&](const std::vector<TermId>& a, const std::vector<TermId>& b) {
+    for (TermId u : a) {
+      for (TermId w : b) {
+        if (gaifman.HasEdge(index.at(u), index.at(w))) return true;
+      }
+    }
+    return false;
+  };
+  for (int i = 0; i < gamma.rows; ++i) {
+    for (int p = 0; p < gamma.cols; ++p) {
+      if (p + 1 < gamma.cols && !connected(gamma.At(i, p), gamma.At(i, p + 1))) {
+        return Status::InvalidArgument("horizontal grid edge not realised");
+      }
+      if (i + 1 < gamma.rows && !connected(gamma.At(i, p), gamma.At(i + 1, p))) {
+        return Status::InvalidArgument("vertical grid edge not realised");
+      }
+    }
+  }
+
+  // Onto one connected component: the used variables must be exactly one
+  // component of the Gaifman graph.
+  std::vector<std::vector<int>> components = gaifman.ConnectedComponents();
+  for (const std::vector<int>& component : components) {
+    bool touches = false;
+    for (int v : component) {
+      if (used.count(vars[v]) > 0) {
+        touches = true;
+        break;
+      }
+    }
+    if (!touches) continue;
+    for (int v : component) {
+      if (used.count(vars[v]) == 0) {
+        return Status::InvalidArgument("minor map is not onto its component");
+      }
+    }
+    if (used.size() != component.size()) {
+      return Status::InvalidArgument("minor map spans several components");
+    }
+  }
+  return Status::OK();
+}
+
+Result<GeneralizedTGraph> BuildCliqueGadget(const GeneralizedTGraph& S,
+                                            const UndirectedGraph& H, int k,
+                                            const GridMinorMap& gamma, TermPool* pool,
+                                            const GadgetOptions& options) {
+  WDSPARQL_CHECK(pool != nullptr);
+  WDSPARQL_CHECK(k >= 2);
+  const int K = k * (k - 1) / 2;
+  if (gamma.rows != k || gamma.cols != K) {
+    return Result<GeneralizedTGraph>(Status::InvalidArgument(
+        "minor map must come from the (k x k-choose-2)-grid"));
+  }
+
+  GeneralizedTGraph core = CoreOf(S);
+  if (options.validate_minor_map) {
+    Status valid = ValidateMinorMap(core, gamma);
+    if (!valid.ok()) return Result<GeneralizedTGraph>(valid);
+  }
+
+  std::vector<std::pair<int, int>> rho = PairBijection(k);
+
+  // Position (i, p) of each branch-set variable.
+  std::unordered_map<TermId, std::pair<int, int>> grid_position;
+  for (int i = 0; i < k; ++i) {
+    for (int p = 0; p < K; ++p) {
+      for (TermId a : gamma.At(i, p)) grid_position[a] = {i, p};
+    }
+  }
+
+  // Preimage variables ?(v, e, i, p, ?a) with v in e  <=>  i in rho(p).
+  struct PreimageVar {
+    TermId id;
+    int v;
+    int e;
+  };
+  const auto& edges = H.Edges();
+  std::unordered_map<TermId, std::vector<PreimageVar>> preimages;
+  for (const auto& [a, pos] : grid_position) {
+    const auto [i, p] = pos;
+    bool i_in_p = (rho[p].first == i || rho[p].second == i);
+    std::vector<PreimageVar> list;
+    for (int v = 0; v < H.NumVertices(); ++v) {
+      for (int e = 0; e < static_cast<int>(edges.size()); ++e) {
+        bool v_in_e = (edges[e].first == v || edges[e].second == v);
+        if (v_in_e != i_in_p) continue;
+        std::string name = "w|v" + std::to_string(v) + "|e" + std::to_string(e) +
+                           "|i" + std::to_string(i) + "|p" + std::to_string(p) + "|" +
+                           std::string(pool->Spelling(a));
+        list.push_back(PreimageVar{pool->InternVariable(name), v, e});
+      }
+    }
+    preimages[a] = std::move(list);
+  }
+
+  // Expand each core triple over the preimage candidates, enforcing the
+  // consistency conditions (same i => same v, same p => same e).
+  TripleSet B;
+  for (const Triple& c : core.S.triples()) {
+    // Collect the (position, variable) pairs that need expansion.
+    std::vector<int> expand_positions;
+    for (int pos = 0; pos < 3; ++pos) {
+      TermId term = c[pos];
+      if (IsVariable(term) && grid_position.count(term) > 0) {
+        expand_positions.push_back(pos);
+      }
+    }
+    if (expand_positions.empty()) {
+      B.Insert(c);  // Tr0 and the X u I triples, verbatim.
+      continue;
+    }
+    // If any expansion position has no preimage variables (e.g. H has no
+    // edges), the triple contributes nothing to Tr'.
+    bool any_empty = false;
+    for (int pos : expand_positions) {
+      if (preimages.at(c[pos]).empty()) {
+        any_empty = true;
+        break;
+      }
+    }
+    if (any_empty) continue;
+    // Cartesian product over candidates (at most 3 positions).
+    std::vector<std::size_t> cursor(expand_positions.size(), 0);
+    for (;;) {
+      Triple t = c;
+      bool consistent = true;
+      // Selected candidates; check pairwise consistency.
+      std::vector<std::pair<std::pair<int, int>, PreimageVar>> chosen;
+      for (std::size_t slot = 0; slot < expand_positions.size(); ++slot) {
+        TermId a = c[expand_positions[slot]];
+        const PreimageVar& w = preimages.at(a)[cursor[slot]];
+        chosen.push_back({grid_position.at(a), w});
+        t.Set(expand_positions[slot], w.id);
+      }
+      for (std::size_t s1 = 0; s1 < chosen.size() && consistent; ++s1) {
+        for (std::size_t s2 = s1 + 1; s2 < chosen.size() && consistent; ++s2) {
+          const auto& [pos1, w1] = chosen[s1];
+          const auto& [pos2, w2] = chosen[s2];
+          if (pos1.first == pos2.first && w1.v != w2.v) consistent = false;
+          if (pos1.second == pos2.second && w1.e != w2.e) consistent = false;
+        }
+      }
+      if (consistent) {
+        B.Insert(t);
+        if (B.size() > options.max_triples) {
+          return Result<GeneralizedTGraph>(Status::ResourceExhausted(
+              "Lemma 2 gadget exceeded the configured triple budget"));
+        }
+      }
+      // Advance the product cursor.
+      std::size_t slot = 0;
+      while (slot < cursor.size()) {
+        TermId a = c[expand_positions[slot]];
+        if (++cursor[slot] < preimages.at(a).size()) break;
+        cursor[slot] = 0;
+        ++slot;
+      }
+      if (slot == cursor.size()) break;
+    }
+  }
+  return GeneralizedTGraph(std::move(B), core.X);
+}
+
+void FreezeTGraph(const GeneralizedTGraph& B, TermPool* pool, RdfGraph* out_graph,
+                  Mapping* out_mu, const char* freeze_prefix) {
+  WDSPARQL_CHECK(out_graph != nullptr && out_mu != nullptr);
+  VarAssignment freeze;
+  for (TermId var : B.S.Variables()) {
+    freeze[var] =
+        pool->InternIri(std::string(freeze_prefix) + std::string(pool->Spelling(var)));
+  }
+  for (const Triple& t : B.S.triples()) {
+    out_graph->Insert(ApplyAssignment(freeze, t));
+  }
+  *out_mu = Mapping();
+  for (TermId x : B.X) {
+    WDSPARQL_CHECK(out_mu->Bind(x, freeze.at(x)));
+  }
+}
+
+Result<CliqueReductionInstance> BuildCliqueReduction(const UndirectedGraph& H, int k,
+                                                     TermPool* pool,
+                                                     const GadgetOptions& options) {
+  WDSPARQL_CHECK(pool != nullptr);
+  const int K = k * (k - 1) / 2;
+  const int m = k * K;
+
+  // The family member: the clique-branch tree with an m-clique child, and
+  // its single GtG element (S, {?x}) = pat(root) u pat(child).
+  PatternTree tree = MakeCliqueBranchTree(pool, m);
+  TripleSet s = tree.pattern(0);
+  s.InsertAll(tree.pattern(1));
+  GeneralizedTGraph S(std::move(s), {pool->InternVariable("x")});
+
+  // Explicit minor map: (k x K)-grid onto the m-clique, singleton branch
+  // sets (m == k*K grid cells).
+  std::vector<TermId> clique_vars;
+  for (int i = 1; i <= m; ++i) {
+    clique_vars.push_back(pool->InternVariable("o" + std::to_string(i)));
+  }
+  GridMinorMap gamma = MinorMapOntoClique(k, K, clique_vars);
+
+  Result<GeneralizedTGraph> B = BuildCliqueGadget(S, H, k, gamma, pool, options);
+  if (!B.ok()) return Result<CliqueReductionInstance>(B.status());
+
+  CliqueReductionInstance instance{PatternForest{}, RdfGraph(pool), Mapping{}, m};
+  instance.forest.trees.push_back(std::move(tree));
+  FreezeTGraph(B.value(), pool, &instance.graph, &instance.mu);
+  return instance;
+}
+
+Result<std::optional<Lemma3Witness>> FindLemma3Witness(
+    const PatternForest& forest, int k, TermPool* pool,
+    const DominationOptions& options) {
+  WDSPARQL_CHECK(pool != nullptr && k >= 1);
+  std::optional<Lemma3Witness> witness;
+  Status failure = Status::OK();
+  uint64_t subtree_budget = options.max_subtrees;
+
+  for (std::size_t tree_index = 0;
+       tree_index < forest.trees.size() && !witness.has_value() && failure.ok();
+       ++tree_index) {
+    EnumerateSubtrees(forest.trees[tree_index], [&](const Subtree& subtree) {
+      if (witness.has_value() || !failure.ok()) return;
+      if (subtree_budget == 0) {
+        failure = Status::ResourceExhausted("Lemma 3 subtree budget exceeded");
+        return;
+      }
+      --subtree_budget;
+
+      Result<std::vector<GtGElement>> gtg_result =
+          ComputeGtG(forest, subtree, pool, options);
+      if (!gtg_result.ok()) {
+        failure = gtg_result.status();
+        return;
+      }
+      const std::vector<GtGElement>& gtg = gtg_result.value();
+
+      // The candidate set G: elements of width >= k that no width <= k-1
+      // element dominates.
+      std::vector<int> candidates;
+      for (std::size_t i = 0; i < gtg.size(); ++i) {
+        if (gtg[i].core_treewidth < k) continue;
+        bool dominated = false;
+        for (std::size_t j = 0; j < gtg.size() && !dominated; ++j) {
+          if (gtg[j].core_treewidth <= k - 1 && HomTo(gtg[j].graph, gtg[i].graph)) {
+            dominated = true;
+          }
+        }
+        if (!dominated) candidates.push_back(static_cast<int>(i));
+      }
+      if (candidates.empty()) return;  // GtG(T) is (k-1)-dominated.
+
+      // Homomorphism digraph over the candidates; reachability closure.
+      int n = static_cast<int>(candidates.size());
+      std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+      for (int a = 0; a < n; ++a) {
+        for (int b = 0; b < n; ++b) {
+          reach[a][b] =
+              a == b || HomTo(gtg[candidates[a]].graph, gtg[candidates[b]].graph);
+        }
+      }
+      for (int m = 0; m < n; ++m) {
+        for (int a = 0; a < n; ++a) {
+          for (int b = 0; b < n; ++b) {
+            if (reach[a][m] && reach[m][b]) reach[a][b] = true;
+          }
+        }
+      }
+      // A source SCC: a vertex s such that every vertex reaching s is
+      // reached back by s (no strictly-above component).
+      int source = -1;
+      for (int s = 0; s < n && source < 0; ++s) {
+        bool is_source = true;
+        for (int a = 0; a < n && is_source; ++a) {
+          if (reach[a][s] && !reach[s][a]) is_source = false;
+        }
+        if (is_source) source = s;
+      }
+      WDSPARQL_CHECK(source >= 0);  // Condensations always have a source.
+
+      Lemma3Witness found;
+      found.tree_index = static_cast<int>(tree_index);
+      found.subtree = subtree;
+      found.element = gtg[candidates[source]];
+      witness = std::move(found);
+    });
+  }
+  if (!failure.ok()) return Result<std::optional<Lemma3Witness>>(failure);
+  return witness;
+}
+
+bool HasCliqueBruteForce(const UndirectedGraph& H, int k) {
+  if (k <= 0) return true;
+  if (k > H.NumVertices()) return false;
+  bool found = false;
+  ForEachCombination(H.NumVertices(), k, [&](const std::vector<int>& combo) {
+    if (!found && H.IsClique(combo)) found = true;
+  });
+  return found;
+}
+
+}  // namespace wdsparql

@@ -1,0 +1,36 @@
+#include "wd/local_tractability.h"
+
+#include <algorithm>
+
+namespace wdsparql {
+
+std::vector<LocalNodeWidth> LocalWidths(const PatternForest& forest) {
+  std::vector<LocalNodeWidth> out;
+  for (std::size_t i = 0; i < forest.trees.size(); ++i) {
+    const PatternTree& tree = forest.trees[i];
+    for (NodeId n = 1; n < tree.NumNodes(); ++n) {
+      const std::vector<TermId>& node_vars = tree.variables(n);
+      const std::vector<TermId>& parent_vars = tree.variables(tree.parent(n));
+      std::vector<TermId> interface;
+      std::set_intersection(node_vars.begin(), node_vars.end(), parent_vars.begin(),
+                            parent_vars.end(), std::back_inserter(interface));
+      GeneralizedTGraph local(tree.pattern(n), interface);
+      LocalNodeWidth detail;
+      detail.tree_index = static_cast<int>(i);
+      detail.node = n;
+      detail.core_treewidth = CoreTreewidthOf(local).upper;
+      out.push_back(detail);
+    }
+  }
+  return out;
+}
+
+int LocalWidth(const PatternForest& forest) {
+  int width = 1;
+  for (const LocalNodeWidth& detail : LocalWidths(forest)) {
+    width = std::max(width, detail.core_treewidth);
+  }
+  return width;
+}
+
+}  // namespace wdsparql

@@ -1,0 +1,37 @@
+#ifndef WDSPARQL_WD_LOCAL_TRACTABILITY_H_
+#define WDSPARQL_WD_LOCAL_TRACTABILITY_H_
+
+#include <vector>
+
+#include "ptree/forest.h"
+#include "ptree/tgraph.h"
+
+/// \file
+/// Local tractability (Letelier et al. [17]; recalled after Theorem 1).
+///
+/// A class C is locally tractable if there is k such that for every
+/// pattern's forest, every tree T and every non-root node n with parent
+/// n': ctw(pat(n), vars(n) ∩ vars(n')) <= k. Bounded local width implies
+/// bounded domination width; the converse fails (Example 5 via node n12
+/// of F_k, and the T'_k family of Section 3.2), which experiments E1/E2/E8
+/// exhibit: queries of unbounded local width that the paper's algorithm
+/// still evaluates in polynomial time.
+
+namespace wdsparql {
+
+/// Per-node local width detail.
+struct LocalNodeWidth {
+  int tree_index = -1;
+  NodeId node = -1;
+  int core_treewidth = 0;  ///< ctw(pat(n), vars(n) ∩ vars(parent)).
+};
+
+/// Computes the local widths of every non-root node of the forest.
+std::vector<LocalNodeWidth> LocalWidths(const PatternForest& forest);
+
+/// The local width of the forest: max over non-root nodes (1 if none).
+int LocalWidth(const PatternForest& forest);
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_WD_LOCAL_TRACTABILITY_H_

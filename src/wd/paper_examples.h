@@ -1,0 +1,75 @@
+#ifndef WDSPARQL_WD_PAPER_EXAMPLES_H_
+#define WDSPARQL_WD_PAPER_EXAMPLES_H_
+
+#include "ptree/forest.h"
+#include "ptree/tgraph.h"
+#include "sparql/ast.h"
+
+/// \file
+/// The worked constructions of the paper (Figures 1-3, Examples 1-5,
+/// Section 3.2), as programmatic query-family generators.
+///
+/// These are the paper's "figures": every bench in EXPERIMENTS.md draws
+/// its query workloads from here, and the unit tests assert the exact
+/// width values the paper derives for them (dw(F_k) = 1, bw(T'_k) = 1,
+/// ctw(S, X) = k-1, ctw(S', X) = 1, ...).
+
+namespace wdsparql {
+
+/// K_k(?o1, ..., ?ok) = {(?oi, r, ?oj) : i < j} (Example 3). Variables are
+/// named "<var_prefix>1".."<var_prefix>k"; the predicate is `predicate`.
+TripleSet MakeClique(TermPool* pool, int k, const char* var_prefix = "o",
+                     const char* predicate = "r");
+
+/// P1 of Example 1 (well designed):
+/// ((?x,p,?y) OPT (?z,q,?x)) OPT ((?y,r,?o1) AND (?o1,r,?o2)).
+PatternPtr MakeExample1P1(TermPool* pool);
+
+/// P2 of Example 1 (NOT well designed): as P1 but with ?z reused inside
+/// the second OPT.
+PatternPtr MakeExample1P2(TermPool* pool);
+
+/// (S, {?x,?y,?z}) of Example 3 / Figure 1: a core with ctw = k-1.
+GeneralizedTGraph MakeExample3S(TermPool* pool, int k);
+
+/// (S', {?x,?y,?z}) of Example 3 / Figure 1: tw = k-1 but ctw = 1 (the
+/// clique folds into the self-loop ?o).
+GeneralizedTGraph MakeExample3SPrime(TermPool* pool, int k);
+
+/// The forest F_k = {T1, T2, T3} of Example 4 / Figure 2, built directly
+/// as pattern trees. dw(F_k) = 1 for every k >= 2 (Example 5), yet the
+/// family is not locally tractable (node n12 has local width k-1).
+PatternForest MakeFkForest(TermPool* pool, int k);
+
+/// A well-designed graph pattern whose wdpf equals MakeFkForest
+/// (a UNION of three UNION-free patterns).
+PatternPtr MakeFkPattern(TermPool* pool, int k);
+
+/// The UNION-free family T'_k of Section 3.2: root {(?y,r,?y)} with one
+/// child {(?y,r,?o1)} u K_k. bw(T'_k) = 1 (so dw = 1), but local width
+/// is k-1: bounded branch treewidth strictly generalises local
+/// tractability even without UNION.
+PatternTree MakeBranchFamilyTree(TermPool* pool, int k);
+
+/// The pattern form of MakeBranchFamilyTree:
+/// (?y r ?y) OPT ((?y r ?o1) AND K_k-conjunction).
+PatternPtr MakeBranchFamilyPattern(TermPool* pool, int k);
+
+/// The *intractable* clique-branch family used by the hardness
+/// experiments: root {(?x,p,?x)} with child {(?x,q,?o1)} u K_k. Here the
+/// clique cannot fold (no r-self-loop exists), so bw = dw = k-1:
+/// unbounded width, the Theorem 2 regime.
+PatternTree MakeCliqueBranchTree(TermPool* pool, int k);
+
+/// The pattern form of MakeCliqueBranchTree.
+PatternPtr MakeCliqueBranchPattern(TermPool* pool, int k);
+
+/// A "rigid" grid t-graph over variables g_{i,j} (row-major), with
+/// distinct predicates for right/down edges plus a per-variable anchor
+/// triple (g_{i,j}, at, cell_{i,j}) making the t-graph a core; its
+/// Gaifman graph is exactly the (rows x cols)-grid. X is empty.
+GeneralizedTGraph MakeRigidGrid(TermPool* pool, int rows, int cols);
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_WD_PAPER_EXAMPLES_H_

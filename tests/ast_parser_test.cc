@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "sparql/ast.h"
+#include "sparql/parser.h"
+
+namespace wdsparql {
+namespace {
+
+TEST(AstTest, TripleLeaf) {
+  TermPool pool;
+  Triple t(pool.InternVariable("x"), pool.InternIri("p"), pool.InternVariable("y"));
+  PatternPtr leaf = GraphPattern::MakeTriple(t);
+  EXPECT_EQ(leaf->kind(), PatternKind::kTriple);
+  EXPECT_EQ(leaf->triple(), t);
+  EXPECT_EQ(leaf->NumTriples(), 1);
+  EXPECT_EQ(leaf->NumNodes(), 1);
+  EXPECT_TRUE(leaf->IsUnionFree());
+  EXPECT_EQ(leaf->Variables().size(), 2u);
+}
+
+TEST(AstTest, BinaryComposition) {
+  TermPool pool;
+  TermId x = pool.InternVariable("x"), p = pool.InternIri("p");
+  PatternPtr a = GraphPattern::MakeTriple(Triple(x, p, x));
+  PatternPtr b = GraphPattern::MakeTriple(Triple(x, p, pool.InternVariable("y")));
+  PatternPtr land = GraphPattern::MakeAnd(a, b);
+  PatternPtr opt = GraphPattern::MakeOpt(land, b);
+  PatternPtr uni = GraphPattern::MakeUnion(opt, a);
+  EXPECT_EQ(uni->kind(), PatternKind::kUnion);
+  EXPECT_EQ(uni->NumTriples(), 4);
+  EXPECT_FALSE(uni->IsUnionFree());
+  EXPECT_TRUE(opt->IsUnionFree());
+  EXPECT_EQ(uni->Variables().size(), 2u);
+}
+
+TEST(AstTest, FoldHelpers) {
+  TermPool pool;
+  TermId x = pool.InternVariable("x"), p = pool.InternIri("p");
+  std::vector<PatternPtr> leaves;
+  for (int i = 0; i < 3; ++i) {
+    leaves.push_back(
+        GraphPattern::MakeTriple(Triple(x, p, pool.InternIri("o" + std::to_string(i)))));
+  }
+  PatternPtr all_and = GraphPattern::MakeAndAll(leaves);
+  EXPECT_EQ(all_and->NumTriples(), 3);
+  EXPECT_EQ(all_and->kind(), PatternKind::kAnd);
+  PatternPtr all_union = GraphPattern::MakeUnionAll(leaves);
+  EXPECT_EQ(all_union->kind(), PatternKind::kUnion);
+}
+
+TEST(ParserTest, ParsesTriplePattern) {
+  TermPool pool;
+  auto result = ParsePattern("(?x p ?y)", &pool);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const PatternPtr& p = result.value();
+  EXPECT_EQ(p->kind(), PatternKind::kTriple);
+  EXPECT_EQ(p->triple().subject, pool.InternVariable("x"));
+  EXPECT_EQ(p->triple().predicate, pool.InternIri("p"));
+  EXPECT_EQ(p->triple().object, pool.InternVariable("y"));
+}
+
+TEST(ParserTest, ParsesQuotedIris) {
+  TermPool pool;
+  auto result = ParsePattern("(<http://a b> p ?y)", &pool);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()->triple().subject, pool.InternIri("http://a b"));
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  TermPool pool;
+  // AND binds tighter than OPT, OPT tighter than UNION.
+  auto result = ParsePattern("(?x p ?y) AND (?y p ?z) OPT (?z p ?w) UNION (?x p ?x)",
+                             &pool);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const PatternPtr& p = result.value();
+  ASSERT_EQ(p->kind(), PatternKind::kUnion);
+  ASSERT_EQ(p->left()->kind(), PatternKind::kOpt);
+  EXPECT_EQ(p->left()->left()->kind(), PatternKind::kAnd);
+  EXPECT_EQ(p->right()->kind(), PatternKind::kTriple);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  TermPool pool;
+  auto result = ParsePattern("(?x p ?y) AND ((?y p ?z) UNION (?z p ?w))", &pool);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()->kind(), PatternKind::kAnd);
+  EXPECT_EQ(result.value()->right()->kind(), PatternKind::kUnion);
+}
+
+TEST(ParserTest, LeftAssociativity) {
+  TermPool pool;
+  auto result = ParsePattern("(?a p ?b) OPT (?b p ?c) OPT (?c p ?d)", &pool);
+  ASSERT_TRUE(result.ok());
+  const PatternPtr& p = result.value();
+  ASSERT_EQ(p->kind(), PatternKind::kOpt);
+  // ((a OPT b) OPT c): the left operand is itself an OPT.
+  EXPECT_EQ(p->left()->kind(), PatternKind::kOpt);
+  EXPECT_EQ(p->right()->kind(), PatternKind::kTriple);
+}
+
+TEST(ParserTest, OptionalKeywordAlias) {
+  TermPool pool;
+  auto result = ParsePattern("(?x p ?y) OPTIONAL (?y q ?z)", &pool);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()->kind(), PatternKind::kOpt);
+}
+
+TEST(ParserTest, PaperExample1) {
+  TermPool pool;
+  auto result = ParsePattern(
+      "((?x p ?y) OPT (?z q ?x)) OPT ((?y r ?o1) AND (?o1 r ?o2))", &pool);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const PatternPtr& p1 = result.value();
+  EXPECT_EQ(p1->kind(), PatternKind::kOpt);
+  EXPECT_EQ(p1->NumTriples(), 4);
+  EXPECT_EQ(p1->Variables().size(), 5u);
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  TermPool pool;
+  const char* text = "(((?x p ?y) OPT (?z q ?x)) UNION ((?x p ?y) AND (?y r ?w)))";
+  auto first = ParsePattern(text, &pool);
+  ASSERT_TRUE(first.ok());
+  std::string printed = first.value()->ToString(pool);
+  auto second = ParsePattern(printed, &pool);
+  ASSERT_TRUE(second.ok()) << "reparse failed on: " << printed;
+  EXPECT_EQ(second.value()->ToString(pool), printed);
+}
+
+TEST(ParserTest, ErrorOnGarbage) {
+  TermPool pool;
+  EXPECT_FALSE(ParsePattern("", &pool).ok());
+  EXPECT_FALSE(ParsePattern("(?x p)", &pool).ok());
+  EXPECT_FALSE(ParsePattern("(?x p ?y", &pool).ok());
+  EXPECT_FALSE(ParsePattern("(?x p ?y) AND", &pool).ok());
+  EXPECT_FALSE(ParsePattern("(?x p ?y) (?y p ?z)", &pool).ok());
+  EXPECT_FALSE(ParsePattern("(?x p ?y) FOO (?y p ?z)", &pool).ok());
+  EXPECT_FALSE(ParsePattern("(? p ?y)", &pool).ok());
+  EXPECT_FALSE(ParsePattern("[?x p ?y]", &pool).ok());
+}
+
+TEST(ParserTest, ErrorMentionsOffset) {
+  TermPool pool;
+  auto result = ParsePattern("(?x p ?y) AND", &pool);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("offset"), std::string::npos);
+}
+
+TEST(PatternKindTest, Names) {
+  EXPECT_STREQ(PatternKindToString(PatternKind::kAnd), "AND");
+  EXPECT_STREQ(PatternKindToString(PatternKind::kOpt), "OPT");
+  EXPECT_STREQ(PatternKindToString(PatternKind::kUnion), "UNION");
+}
+
+}  // namespace
+}  // namespace wdsparql

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "ptree/forest.h"
+#include "sparql/parser.h"
+#include "support/testlib.h"
+#include "wd/branch_width.h"
+#include "wd/paper_examples.h"
+
+namespace wdsparql {
+namespace {
+
+class BranchWidthTest : public ::testing::Test {
+ protected:
+  PatternTree Tree(const char* text) {
+    auto pattern = ParsePattern(text, &pool_);
+    EXPECT_TRUE(pattern.ok());
+    auto tree = BuildPatternTree(pattern.value(), pool_);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    return std::move(tree).value();
+  }
+
+  TermPool pool_;
+};
+
+TEST_F(BranchWidthTest, SingleNodeTreeHasWidthOne) {
+  EXPECT_EQ(BranchTreewidth(Tree("(?x p ?y) AND (?y p ?z)")), 1);
+}
+
+TEST_F(BranchWidthTest, SimpleOptChainHasWidthOne) {
+  EXPECT_EQ(BranchTreewidth(Tree("(?x p ?y) OPT ((?y q ?z) OPT (?z r ?w))")), 1);
+}
+
+TEST_F(BranchWidthTest, BranchFamilyHasWidthOne) {
+  // Section 3.2: bw(T'_k) = 1 — the branch core is just the self-loop.
+  for (int k = 2; k <= 5; ++k) {
+    EXPECT_EQ(BranchTreewidth(MakeBranchFamilyTree(&pool_, k)), 1) << "k=" << k;
+  }
+}
+
+TEST_F(BranchWidthTest, CliqueBranchHasWidthKMinus1) {
+  for (int k = 2; k <= 5; ++k) {
+    EXPECT_EQ(BranchTreewidth(MakeCliqueBranchTree(&pool_, k)), std::max(k - 1, 1))
+        << "k=" << k;
+  }
+}
+
+TEST_F(BranchWidthTest, BranchWidthsReportPerNodeDetail) {
+  PatternTree tree = MakeBranchFamilyTree(&pool_, 4);
+  auto details = BranchWidths(tree);
+  ASSERT_EQ(details.size(), 1u);
+  EXPECT_EQ(details[0].node, 1);
+  EXPECT_EQ(details[0].core_treewidth, 1);
+  // The branch graph is S^br = pat(root) u pat(child) with X^br = {?y}.
+  EXPECT_EQ(details[0].branch_graph.X.size(), 1u);
+}
+
+TEST_F(BranchWidthTest, DeepBranchAccumulatesAncestors) {
+  // The branch of the grandchild includes the root's pattern: variables
+  // of the root are distinguished for the grandchild's branch graph.
+  PatternTree tree = Tree("(?x p ?y) OPT ((?y q ?z) OPT (?z q ?x2))");
+  auto details = BranchWidths(tree);
+  ASSERT_EQ(details.size(), 2u);
+  // Grandchild branch: X^br = vars({(?x,p,?y), (?y,q,?z)}).
+  EXPECT_EQ(details[1].branch_graph.X.size(), 3u);
+}
+
+TEST_F(BranchWidthTest, PatternLevelApi) {
+  auto bw = BranchTreewidthOfPattern(MakeBranchFamilyPattern(&pool_, 4), pool_);
+  ASSERT_TRUE(bw.ok());
+  EXPECT_EQ(bw.value(), 1);
+
+  auto clique_bw = BranchTreewidthOfPattern(MakeCliqueBranchPattern(&pool_, 4), pool_);
+  ASSERT_TRUE(clique_bw.ok());
+  EXPECT_EQ(clique_bw.value(), 3);
+
+  // UNION patterns are rejected.
+  auto pattern = ParsePattern("(?x p ?y) UNION (?x q ?y)", &pool_);
+  ASSERT_TRUE(pattern.ok());
+  EXPECT_FALSE(BranchTreewidthOfPattern(pattern.value(), pool_).ok());
+}
+
+TEST_F(BranchWidthTest, GridBranchWidthTracksGridDimension) {
+  // A tree whose child is a rigid grid pattern attached to the root: the
+  // branch core treewidth equals the grid treewidth.
+  for (int dim = 2; dim <= 3; ++dim) {
+    GeneralizedTGraph grid = MakeRigidGrid(&pool_, dim, dim);
+    TermId y = pool_.InternVariable("y");
+    TermId link = pool_.InternIri("link");
+    TripleSet root;
+    root.Insert(Triple(y, link, y));
+    PatternTree tree(std::move(root));
+    TripleSet child = grid.S;
+    child.Insert(Triple(y, link, pool_.InternVariable("g0_0")));
+    tree.AddNode(tree.root(), std::move(child));
+    EXPECT_EQ(BranchTreewidth(tree), dim) << dim << "x" << dim;
+  }
+}
+
+}  // namespace
+}  // namespace wdsparql

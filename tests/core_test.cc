@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "hom/core.h"
+#include "ptree/tgraph.h"
+#include "wd/paper_examples.h"
+
+namespace wdsparql {
+namespace {
+
+class CoreTest : public ::testing::Test {
+ protected:
+  TermId V(const char* name) { return pool_.InternVariable(name); }
+  TermId I(const char* name) { return pool_.InternIri(name); }
+
+  TermPool pool_;
+};
+
+TEST_F(CoreTest, SingleTripleIsCore) {
+  TripleSet s;
+  s.Insert(Triple(V("x"), I("p"), V("y")));
+  EXPECT_TRUE(IsCore(s, {}));
+  EXPECT_EQ(ComputeCore(s, {}).size(), 1u);
+}
+
+TEST_F(CoreTest, DuplicatedEdgeFolds) {
+  // Two parallel p-edges from x fold into one.
+  TripleSet s;
+  s.Insert(Triple(V("x"), I("p"), V("y")));
+  s.Insert(Triple(V("x"), I("p"), V("z")));
+  TripleSet core = ComputeCore(s, {});
+  EXPECT_EQ(core.size(), 1u);
+  EXPECT_FALSE(IsCore(s, {}));
+}
+
+TEST_F(CoreTest, DistinguishedVariablesBlockFolding) {
+  // Same shape, but both endpoints distinguished: nothing can fold.
+  TripleSet s;
+  s.Insert(Triple(V("x"), I("p"), V("y")));
+  s.Insert(Triple(V("x"), I("p"), V("z")));
+  EXPECT_TRUE(IsCore(s, {V("y"), V("z")}));
+  EXPECT_EQ(ComputeCore(s, {V("y"), V("z")}).size(), 2u);
+}
+
+TEST_F(CoreTest, CliqueIsCore) {
+  for (int k = 2; k <= 4; ++k) {
+    TripleSet clique = MakeClique(&pool_, k, "c", "r");
+    EXPECT_TRUE(IsCore(clique, {})) << "K_" << k;
+  }
+}
+
+TEST_F(CoreTest, CliqueFoldsIntoSelfLoop) {
+  // K_k plus a self-loop (?o, r, ?o): everything folds onto ?o.
+  TripleSet s = MakeClique(&pool_, 4, "m", "r");
+  TermId o = V("loop");
+  s.Insert(Triple(o, I("r"), o));
+  // Connect the clique to the loop so folding is possible in one step:
+  // actually K_k maps onto the loop vertex directly.
+  TripleSet core = ComputeCore(s, {});
+  EXPECT_EQ(core.size(), 1u);
+  EXPECT_TRUE(core.Contains(Triple(o, I("r"), o)));
+}
+
+TEST_F(CoreTest, PaperExample3SIsCore) {
+  for (int k = 2; k <= 4; ++k) {
+    GeneralizedTGraph s = MakeExample3S(&pool_, k);
+    EXPECT_TRUE(IsCore(s.S, s.X)) << "k = " << k;
+  }
+}
+
+TEST_F(CoreTest, PaperExample3SPrimeCore) {
+  // Example 3: the core of (S', X) is
+  // C' = {(?z,q,?x), (?x,p,?y), (?y,r,?o), (?o,r,?o)}.
+  GeneralizedTGraph s_prime = MakeExample3SPrime(&pool_, 3);
+  TripleSet core = ComputeCore(s_prime.S, s_prime.X);
+  TripleSet expected;
+  expected.Insert(Triple(V("z"), I("q"), V("x")));
+  expected.Insert(Triple(V("x"), I("p"), V("y")));
+  expected.Insert(Triple(V("y"), I("r"), V("o")));
+  expected.Insert(Triple(V("o"), I("r"), V("o")));
+  EXPECT_TRUE(core == expected)
+      << "core size " << core.size() << " expected " << expected.size();
+}
+
+TEST_F(CoreTest, CoreIsIdempotent) {
+  GeneralizedTGraph s_prime = MakeExample3SPrime(&pool_, 3);
+  TripleSet once = ComputeCore(s_prime.S, s_prime.X);
+  TripleSet twice = ComputeCore(once, s_prime.X);
+  EXPECT_TRUE(once == twice);
+  EXPECT_TRUE(IsCore(once, s_prime.X));
+}
+
+TEST_F(CoreTest, CoreIsHomEquivalentToOriginal) {
+  GeneralizedTGraph s_prime = MakeExample3SPrime(&pool_, 4);
+  TripleSet core = ComputeCore(s_prime.S, s_prime.X);
+  EXPECT_TRUE(HomEquivalent(s_prime.S, core, s_prime.X));
+}
+
+TEST_F(CoreTest, TriplesOverConstantsSurvive) {
+  TripleSet s;
+  s.Insert(Triple(I("a"), I("p"), I("b")));
+  s.Insert(Triple(V("x"), I("p"), V("y")));
+  s.Insert(Triple(V("x"), I("p"), V("z")));
+  TripleSet core = ComputeCore(s, {});
+  EXPECT_TRUE(core.Contains(Triple(I("a"), I("p"), I("b"))));
+}
+
+TEST_F(CoreTest, EvenCycleFoldsToEdgePair) {
+  // An undirected (symmetric) 4-cycle folds onto a single symmetric edge.
+  TripleSet s;
+  const char* names[4] = {"c0", "c1", "c2", "c3"};
+  for (int i = 0; i < 4; ++i) {
+    s.Insert(Triple(V(names[i]), I("e"), V(names[(i + 1) % 4])));
+    s.Insert(Triple(V(names[(i + 1) % 4]), I("e"), V(names[i])));
+  }
+  TripleSet core = ComputeCore(s, {});
+  EXPECT_EQ(core.size(), 2u);  // (u e v) and (v e u).
+}
+
+TEST_F(CoreTest, DirectedOddCycleIsCore) {
+  TripleSet s;
+  const char* names[3] = {"d0", "d1", "d2"};
+  for (int i = 0; i < 3; ++i) {
+    s.Insert(Triple(V(names[i]), I("e"), V(names[(i + 1) % 3])));
+  }
+  EXPECT_TRUE(IsCore(s, {}));
+}
+
+}  // namespace
+}  // namespace wdsparql

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ptree/forest.h"
+#include "sparql/parser.h"
+#include "support/testlib.h"
+#include "wd/branch_width.h"
+#include "wd/domination.h"
+#include "wd/paper_examples.h"
+
+namespace wdsparql {
+namespace {
+
+class DominationTest : public ::testing::Test {
+ protected:
+  /// The root-only subtree of tree `i` of `forest`.
+  Subtree RootSubtree(const PatternForest& forest, int i) {
+    Subtree subtree;
+    subtree.tree = &forest.trees[i];
+    subtree.nodes = {forest.trees[i].root()};
+    return subtree;
+  }
+
+  TermPool pool_;
+};
+
+TEST_F(DominationTest, SupportOfFkRootIsT1T2) {
+  // Example 4: supp(T1[r1]) = {1, 2} (trees T1 and T2; T3's root has an
+  // extra variable ?z).
+  PatternForest forest = MakeFkForest(&pool_, 2);
+  std::vector<SupportEntry> support = ComputeSupport(forest, RootSubtree(forest, 0));
+  ASSERT_EQ(support.size(), 2u);
+  EXPECT_EQ(support[0].tree_index, 0);
+  EXPECT_EQ(support[1].tree_index, 1);
+}
+
+TEST_F(DominationTest, SupportOfT1WithN11IncludesT3) {
+  // supp(T1[r1, n11]) = {1, 3} in the paper's 1-based numbering.
+  PatternForest forest = MakeFkForest(&pool_, 2);
+  Subtree subtree;
+  subtree.tree = &forest.trees[0];
+  subtree.nodes = {0, 1};  // Root + n11.
+  std::vector<SupportEntry> support = ComputeSupport(forest, subtree);
+  ASSERT_EQ(support.size(), 2u);
+  EXPECT_EQ(support[0].tree_index, 0);
+  EXPECT_EQ(support[1].tree_index, 2);
+}
+
+TEST_F(DominationTest, GtGOfFkRootHasTwoValidAssignments) {
+  // Example 4: GtG(T1[r1]) = {S_Delta1, S_Delta2} with
+  // Delta1 = {1 -> n11, 2 -> n2} and Delta2 = {1 -> n12, 2 -> n2}; partial
+  // assignments are invalid.
+  for (int k = 2; k <= 3; ++k) {
+    PatternForest forest = MakeFkForest(&pool_, k);
+    auto gtg = ComputeGtG(forest, RootSubtree(forest, 0), &pool_);
+    ASSERT_TRUE(gtg.ok());
+    ASSERT_EQ(gtg.value().size(), 2u) << "k=" << k;
+    // Every valid assignment covers both supporting trees.
+    for (const GtGElement& element : gtg.value()) {
+      EXPECT_EQ(element.delta.size(), 2u);
+      EXPECT_TRUE(element.delta.count(0) > 0 && element.delta.count(1) > 0);
+    }
+    // Core treewidths are {1, k-1} (Example 5 / Figure 3).
+    std::vector<int> widths;
+    for (const GtGElement& element : gtg.value()) {
+      widths.push_back(element.core_treewidth);
+    }
+    std::sort(widths.begin(), widths.end());
+    EXPECT_EQ(widths.front(), 1);
+    EXPECT_EQ(widths.back(), std::max(k - 1, 1));
+  }
+}
+
+TEST_F(DominationTest, GtGDominationOnFkRoot) {
+  // (S_Delta1, X) -> (S_Delta2, X): the width-1 element dominates, so
+  // GtG(T1[r1]) is 1-dominated despite containing a width-(k-1) element.
+  PatternForest forest = MakeFkForest(&pool_, 3);
+  auto gtg = ComputeGtG(forest, RootSubtree(forest, 0), &pool_);
+  ASSERT_TRUE(gtg.ok());
+  ASSERT_EQ(gtg.value().size(), 2u);
+  const GtGElement* low = &gtg.value()[0];
+  const GtGElement* high = &gtg.value()[1];
+  if (low->core_treewidth > high->core_treewidth) std::swap(low, high);
+  EXPECT_EQ(low->core_treewidth, 1);
+  EXPECT_EQ(high->core_treewidth, 2);
+  EXPECT_TRUE(HomTo(low->graph, high->graph));
+  EXPECT_EQ(MinDominationWidth(gtg.value()), 1);
+}
+
+TEST_F(DominationTest, GtGOfT1N12SubtreeIsSingleton) {
+  // GtG(T1[r1, n12]) = {(S_Delta', ...)} with Delta' = {1 -> n11}: ctw 1.
+  PatternForest forest = MakeFkForest(&pool_, 2);
+  Subtree subtree;
+  subtree.tree = &forest.trees[0];
+  subtree.nodes = {0, 2};  // Root + n12.
+  auto gtg = ComputeGtG(forest, subtree, &pool_);
+  ASSERT_TRUE(gtg.ok());
+  ASSERT_EQ(gtg.value().size(), 1u);
+  EXPECT_EQ(gtg.value()[0].core_treewidth, 1);
+}
+
+TEST_F(DominationTest, DwOfFkIsOne) {
+  // Example 5: dw(F_k) = 1 for every k >= 2.
+  for (int k = 2; k <= 4; ++k) {
+    PatternForest forest = MakeFkForest(&pool_, k);
+    Result<int> dw = DominationWidth(forest, &pool_);
+    ASSERT_TRUE(dw.ok()) << dw.status().ToString();
+    EXPECT_EQ(dw.value(), 1) << "k=" << k;
+  }
+}
+
+TEST_F(DominationTest, DwOfCliqueBranchIsKMinus1) {
+  // The intractable family: a clique child that cannot fold.
+  for (int k = 2; k <= 4; ++k) {
+    PatternForest forest;
+    forest.trees.push_back(MakeCliqueBranchTree(&pool_, k));
+    Result<int> dw = DominationWidth(forest, &pool_);
+    ASSERT_TRUE(dw.ok());
+    EXPECT_EQ(dw.value(), std::max(k - 1, 1)) << "k=" << k;
+  }
+}
+
+TEST_F(DominationTest, DwOfSingleNodeTreeIsOne) {
+  auto pattern = ParsePattern("(?x p ?y) AND (?y p ?z)", &pool_);
+  ASSERT_TRUE(pattern.ok());
+  Result<int> dw = DominationWidthOfPattern(pattern.value(), &pool_);
+  ASSERT_TRUE(dw.ok());
+  EXPECT_EQ(dw.value(), 1);
+}
+
+TEST_F(DominationTest, BudgetIsEnforced) {
+  PatternForest forest = MakeFkForest(&pool_, 2);
+  DominationOptions options;
+  options.max_subtrees = 1;
+  Result<int> dw = DominationWidth(forest, &pool_, options);
+  ASSERT_FALSE(dw.ok());
+  EXPECT_EQ(dw.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(DominationTest, MinDominationWidthOfEmptyIsOne) {
+  EXPECT_EQ(MinDominationWidth({}), 1);
+}
+
+TEST_F(DominationTest, DwMatchesBwOnRandomUnionFreePatterns) {
+  // Proposition 5: dw(P) = bw(P) for UNION-free well-designed P.
+  Rng rng(5050);
+  int checked = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    testlib::RandomPatternOptions options;
+    options.max_depth = 2;
+    options.max_opts_per_node = 2;
+    PatternPtr p = testlib::RandomWellDesignedPattern(&rng, &pool_, options);
+    auto forest = BuildPatternForest(p, pool_);
+    ASSERT_TRUE(forest.ok());
+    Result<int> dw = DominationWidth(forest.value(), &pool_);
+    if (!dw.ok()) continue;
+    int bw = BranchTreewidth(forest.value().trees[0]);
+    EXPECT_EQ(dw.value(), bw) << p->ToString(pool_);
+    ++checked;
+  }
+  EXPECT_GT(checked, 5);
+}
+
+}  // namespace
+}  // namespace wdsparql

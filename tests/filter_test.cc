@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ptree/forest.h"
+#include "rdf/generator.h"
+#include "sparql/filter.h"
+#include "sparql/parser.h"
+#include "sparql/semantics.h"
+#include "sparql/well_designed.h"
+#include "support/testlib.h"
+#include "util/combinatorics.h"
+
+namespace wdsparql {
+namespace {
+
+class FilterTest : public ::testing::Test {
+ protected:
+  PatternPtr Parse(const char* text) {
+    auto result = ParsePattern(text, &pool_);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.value();
+  }
+
+  TermPool pool_;
+};
+
+TEST_F(FilterTest, ConditionSatisfaction) {
+  TermId x = pool_.InternVariable("x"), y = pool_.InternVariable("y");
+  TermId a = pool_.InternIri("a"), b = pool_.InternIri("b");
+  Mapping mu;
+  mu.Bind(x, a);
+  mu.Bind(y, b);
+
+  FilterCondition eq{{FilterAtom{x, y, FilterOp::kEquals}}};
+  FilterCondition neq{{FilterAtom{x, y, FilterOp::kNotEquals}}};
+  FilterCondition const_eq{{FilterAtom{x, a, FilterOp::kEquals}}};
+  EXPECT_FALSE(eq.Satisfied(mu));
+  EXPECT_TRUE(neq.Satisfied(mu));
+  EXPECT_TRUE(const_eq.Satisfied(mu));
+
+  // Unbound variable: the atom errors and the filter eliminates.
+  Mapping partial;
+  partial.Bind(x, a);
+  EXPECT_FALSE(eq.Satisfied(partial));
+  EXPECT_FALSE(neq.Satisfied(partial));
+}
+
+TEST_F(FilterTest, ConditionVariablesAndToString) {
+  TermId x = pool_.InternVariable("x"), y = pool_.InternVariable("y");
+  TermId a = pool_.InternIri("a");
+  FilterCondition c{{FilterAtom{x, y, FilterOp::kNotEquals},
+                     FilterAtom{y, a, FilterOp::kEquals}}};
+  EXPECT_EQ(c.Variables(), (std::vector<TermId>{x, y}));
+  EXPECT_EQ(c.ToString(pool_), "?x != ?y AND ?y = a");
+}
+
+TEST_F(FilterTest, ParserRoundTrip) {
+  PatternPtr p = Parse("(?x p ?y) FILTER (?x != ?y AND ?y = b)");
+  ASSERT_EQ(p->kind(), PatternKind::kFilter);
+  EXPECT_EQ(p->condition().atoms.size(), 2u);
+  EXPECT_EQ(p->condition().atoms[0].op, FilterOp::kNotEquals);
+  // Re-parse the printed form.
+  std::string printed = p->ToString(pool_);
+  auto second = ParsePattern(printed, &pool_);
+  ASSERT_TRUE(second.ok()) << printed;
+  EXPECT_EQ(second.value()->ToString(pool_), printed);
+}
+
+TEST_F(FilterTest, ParserErrors) {
+  EXPECT_FALSE(ParsePattern("(?x p ?y) FILTER ?x != ?y", &pool_).ok());
+  EXPECT_FALSE(ParsePattern("(?x p ?y) FILTER (?x ?y)", &pool_).ok());
+  EXPECT_FALSE(ParsePattern("(?x p ?y) FILTER (?x !=)", &pool_).ok());
+  EXPECT_FALSE(ParsePattern("(?x p ?y) FILTER (?x != ?y", &pool_).ok());
+}
+
+TEST_F(FilterTest, EvaluationFiltersAnswers) {
+  RdfGraph g(&pool_);
+  g.Insert("a", "p", "a");
+  g.Insert("a", "p", "b");
+  g.Insert("b", "p", "c");
+
+  auto all = Evaluate(*Parse("(?x p ?y)"), g);
+  EXPECT_EQ(all.size(), 3u);
+  auto distinct = Evaluate(*Parse("(?x p ?y) FILTER (?x != ?y)"), g);
+  EXPECT_EQ(distinct.size(), 2u);
+  auto pinned = Evaluate(*Parse("(?x p ?y) FILTER (?x = a)"), g);
+  EXPECT_EQ(pinned.size(), 2u);
+  auto both = Evaluate(*Parse("(?x p ?y) FILTER (?x = a AND ?x != ?y)"), g);
+  EXPECT_EQ(both.size(), 1u);
+}
+
+TEST_F(FilterTest, FilterOverOptKeepsUnboundSemantics) {
+  // FILTER on a variable bound only in the optional side eliminates the
+  // partial answers (unbound -> error -> false), the standard subtlety.
+  RdfGraph g(&pool_);
+  g.Insert("a", "p", "b");
+  g.Insert("c", "p", "d");
+  g.Insert("b", "q", "e");
+  auto answers = Evaluate(*Parse("((?x p ?y) OPT (?y q ?z)) FILTER (?z != e)"), g);
+  EXPECT_TRUE(answers.empty());  // Extended answer has z = e; partial has no z.
+  auto keep = Evaluate(*Parse("((?x p ?y) OPT (?y q ?z)) FILTER (?z = e)"), g);
+  ASSERT_EQ(keep.size(), 1u);
+  EXPECT_EQ(keep[0].size(), 3u);
+}
+
+TEST_F(FilterTest, SafetyIsPartOfWellDesignedness) {
+  // vars(R) must be contained in the filtered subpattern.
+  PatternPtr safe = Parse("(?x p ?y) FILTER (?x != ?y)");
+  EXPECT_TRUE(CheckWellDesigned(safe, pool_).ok());
+
+  PatternPtr unsafe = Parse("(?x p ?y) FILTER (?x != ?z)");
+  Status status = CheckWellDesigned(unsafe, pool_);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("unsafe"), std::string::npos);
+}
+
+TEST_F(FilterTest, FilterVariableLeakIsDetected) {
+  // ?z appears optionally and then in a filter outside the OPT: not well
+  // designed (the filter is an occurrence site).
+  PatternPtr bad =
+      Parse("(((?x p ?y) OPT (?y q ?z)) AND (?x p ?w)) FILTER (?w != ?z)");
+  EXPECT_FALSE(IsWellDesigned(bad, pool_));
+  // The same filter *inside* the OPT's scope is fine.
+  PatternPtr good = Parse("(?x p ?y) OPT ((?y q ?z) FILTER (?z != ?y))");
+  EXPECT_TRUE(IsWellDesigned(good, pool_));
+}
+
+TEST_F(FilterTest, ForestPipelineRejectsFilter) {
+  // FILTER is outside the classified fragment: wdpf refuses, with a
+  // pointer to the right evaluator.
+  PatternPtr p = Parse("(?x p ?y) FILTER (?x != ?y)");
+  auto forest = BuildPatternForest(p, pool_);
+  ASSERT_FALSE(forest.ok());
+  EXPECT_EQ(forest.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FilterTest, AllDistinctBuildsQuadraticAtoms) {
+  std::vector<TermId> vars = {pool_.InternVariable("a"), pool_.InternVariable("b"),
+                              pool_.InternVariable("c")};
+  FilterCondition condition = AllDistinct(vars);
+  EXPECT_EQ(condition.atoms.size(), 3u);
+  for (const FilterAtom& atom : condition.atoms) {
+    EXPECT_EQ(atom.op, FilterOp::kNotEquals);
+  }
+}
+
+TEST_F(FilterTest, Section5EmbeddingConnection) {
+  // Section 5: AND+FILTER expresses CQs with inequalities, i.e. graph
+  // *embedding*. A directed path query of length L with an all-distinct
+  // filter finds exactly the induced directed paths on L+1 distinct
+  // vertices — homomorphism alone would also accept folded walks.
+  const int kLength = 3;
+  std::vector<TermId> path_vars;
+  std::vector<PatternPtr> leaves;
+  TermId e = pool_.InternIri("edge");
+  for (int i = 0; i <= kLength; ++i) {
+    path_vars.push_back(pool_.InternVariable("v" + std::to_string(i)));
+  }
+  for (int i = 0; i < kLength; ++i) {
+    leaves.push_back(
+        GraphPattern::MakeTriple(Triple(path_vars[i], e, path_vars[i + 1])));
+  }
+  PatternPtr hom_query = GraphPattern::MakeAndAll(leaves);
+  PatternPtr emb_query = GraphPattern::MakeFilter(hom_query, AllDistinct(path_vars));
+
+  // A directed triangle: homomorphic walks of any length exist, but no
+  // simple (injective) path on 4 distinct vertices does.
+  RdfGraph triangle(&pool_);
+  GenerateCycleGraph(3, "edge", &triangle);
+  EXPECT_FALSE(Evaluate(*hom_query, triangle).empty());
+  EXPECT_TRUE(Evaluate(*emb_query, triangle).empty());
+
+  // A genuine path of length 3 satisfies both.
+  RdfGraph path(&pool_);
+  GeneratePathGraph(3, "edge", &path);
+  EXPECT_FALSE(Evaluate(*emb_query, path).empty());
+}
+
+TEST_F(FilterTest, EmbeddingMatchesBruteForceOnRandomGraphs) {
+  // EMB(P3) via FILTER vs. a brute-force injective search.
+  TermId e = pool_.InternIri("edge");
+  std::vector<TermId> vars;
+  std::vector<PatternPtr> leaves;
+  for (int i = 0; i <= 2; ++i) vars.push_back(pool_.InternVariable("w" + std::to_string(i)));
+  for (int i = 0; i < 2; ++i) {
+    leaves.push_back(GraphPattern::MakeTriple(Triple(vars[i], e, vars[i + 1])));
+  }
+  PatternPtr emb = GraphPattern::MakeFilter(GraphPattern::MakeAndAll(leaves),
+                                            AllDistinct(vars));
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    UndirectedGraph h = GenerateErdosRenyi(7, 0.25, seed);
+    RdfGraph g(&pool_);
+    EncodeUndirectedGraph(h, "edge", "u", &g);
+    // Brute force: an injective undirected path on 3 vertices.
+    bool expected = false;
+    for (int a = 0; a < 7 && !expected; ++a) {
+      for (int b = 0; b < 7 && !expected; ++b) {
+        for (int c = 0; c < 7 && !expected; ++c) {
+          if (a != b && b != c && a != c && h.HasEdge(a, b) && h.HasEdge(b, c)) {
+            expected = true;
+          }
+        }
+      }
+    }
+    EXPECT_EQ(!Evaluate(*emb, g).empty(), expected) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace wdsparql

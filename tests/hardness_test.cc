@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "hom/homomorphism.h"
+#include "rdf/generator.h"
+#include "wd/eval.h"
+#include "wd/hardness.h"
+#include "wd/paper_examples.h"
+
+namespace wdsparql {
+namespace {
+
+class HardnessTest : public ::testing::Test {
+ protected:
+  /// The (S, {?x}) generalised t-graph of the clique-branch family with
+  /// an m-clique.
+  GeneralizedTGraph CliqueBranchS(int m) {
+    PatternTree tree = MakeCliqueBranchTree(&pool_, m);
+    TripleSet s = tree.pattern(0);
+    s.InsertAll(tree.pattern(1));
+    return GeneralizedTGraph(std::move(s), {pool_.InternVariable("x")});
+  }
+
+  std::vector<TermId> CliqueVars(int m) {
+    std::vector<TermId> vars;
+    for (int i = 1; i <= m; ++i) {
+      vars.push_back(pool_.InternVariable("o" + std::to_string(i)));
+    }
+    return vars;
+  }
+
+  TermPool pool_;
+};
+
+TEST_F(HardnessTest, BruteForceCliqueOracle) {
+  UndirectedGraph triangle(4);
+  triangle.AddEdge(0, 1);
+  triangle.AddEdge(1, 2);
+  triangle.AddEdge(0, 2);
+  triangle.AddEdge(2, 3);
+  EXPECT_TRUE(HasCliqueBruteForce(triangle, 3));
+  EXPECT_FALSE(HasCliqueBruteForce(triangle, 4));
+  EXPECT_TRUE(HasCliqueBruteForce(UndirectedGraph::Complete(5), 5));
+  EXPECT_FALSE(HasCliqueBruteForce(UndirectedGraph::Cycle(5), 3));
+  EXPECT_TRUE(HasCliqueBruteForce(UndirectedGraph(3), 1));
+  EXPECT_FALSE(HasCliqueBruteForce(UndirectedGraph(2), 3));
+}
+
+TEST_F(HardnessTest, MinorMapOntoCliqueIsValid) {
+  const int k = 2, K = 1, m = 2;  // (2x1)-grid onto K_2.
+  GeneralizedTGraph s = CliqueBranchS(m);
+  GridMinorMap gamma = MinorMapOntoClique(k, K, CliqueVars(m));
+  EXPECT_TRUE(ValidateMinorMap(s, gamma).ok());
+}
+
+TEST_F(HardnessTest, MinorMapWithBlocksIsValid) {
+  // Non-singleton branch sets: (2x1)-grid onto K_5.
+  GeneralizedTGraph s = CliqueBranchS(5);
+  GridMinorMap gamma = MinorMapOntoClique(2, 1, CliqueVars(5));
+  EXPECT_TRUE(ValidateMinorMap(s, gamma).ok());
+}
+
+TEST_F(HardnessTest, MinorMapValidationCatchesOverlap) {
+  GeneralizedTGraph s = CliqueBranchS(4);
+  GridMinorMap gamma = MinorMapOntoClique(2, 1, CliqueVars(4));
+  // Corrupt: duplicate a variable across branch sets.
+  gamma.branch_sets[1][0] = gamma.branch_sets[0][0];
+  EXPECT_FALSE(ValidateMinorMap(s, gamma).ok());
+}
+
+TEST_F(HardnessTest, MinorMapValidationCatchesNonOnto) {
+  GeneralizedTGraph s = CliqueBranchS(5);
+  GridMinorMap gamma = MinorMapOntoClique(2, 1, CliqueVars(4));  // Misses o5.
+  EXPECT_FALSE(ValidateMinorMap(s, gamma).ok());
+}
+
+TEST_F(HardnessTest, GadgetSatisfiesLemma2Conditions) {
+  // k = 2: K = 1, m = 2. Lemma 2 on small random hosts.
+  const int k = 2, m = 2;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    UndirectedGraph h = GenerateErdosRenyi(6, 0.35, seed);
+    if (h.NumEdges() == 0) continue;
+    GeneralizedTGraph s = CliqueBranchS(m);
+    GridMinorMap gamma = MinorMapOntoClique(k, 1, CliqueVars(m));
+    auto b = BuildCliqueGadget(s, h, k, gamma, &pool_);
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+    // Condition 1: triples of S over X u I are in B.
+    TermId x = pool_.InternVariable("x");
+    EXPECT_TRUE(b.value().S.Contains(Triple(x, pool_.InternIri("p"), x)));
+
+    // Condition 2: (B, X) -> (S, X).
+    EXPECT_TRUE(HomTo(b.value(), s)) << "seed " << seed;
+
+    // Condition 3: H has a k-clique iff (S, X) -> (B, X). A 2-clique is
+    // just an edge, so this must hold whenever H has an edge.
+    EXPECT_EQ(HomTo(s, b.value()), HasCliqueBruteForce(h, k)) << "seed " << seed;
+  }
+}
+
+TEST_F(HardnessTest, GadgetDetectsTriangles) {
+  // k = 3: K = 3, m = 9. (S,X) -> (B,X) iff H has a triangle.
+  const int k = 3, m = 9;
+  GridMinorMap gamma = MinorMapOntoClique(k, 3, CliqueVars(m));
+
+  // A graph with a triangle.
+  UndirectedGraph with(5);
+  with.AddEdge(0, 1);
+  with.AddEdge(1, 2);
+  with.AddEdge(0, 2);
+  with.AddEdge(2, 3);
+  with.AddEdge(3, 4);
+  {
+    GeneralizedTGraph s = CliqueBranchS(m);
+    auto b = BuildCliqueGadget(s, with, k, gamma, &pool_);
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_TRUE(HomTo(b.value(), s));
+    EXPECT_TRUE(HomTo(s, b.value()));
+  }
+
+  // Triangle-free: the 5-cycle.
+  {
+    GeneralizedTGraph s = CliqueBranchS(m);
+    auto b = BuildCliqueGadget(s, UndirectedGraph::Cycle(5), k, gamma, &pool_);
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(HomTo(b.value(), s));
+    EXPECT_FALSE(HomTo(s, b.value()));
+  }
+}
+
+TEST_F(HardnessTest, FreezeProducesGroundInstance) {
+  GeneralizedTGraph s = CliqueBranchS(2);
+  RdfGraph g(&pool_);
+  Mapping mu;
+  FreezeTGraph(s, &pool_, &g, &mu);
+  EXPECT_EQ(g.size(), s.S.size());
+  EXPECT_TRUE(g.triples().IsGround());
+  EXPECT_EQ(mu.size(), 1u);  // X = {?x}.
+  // mu maps ?x to its frozen IRI and the frozen root loop is in G.
+  TermId frozen_x = *mu.Get(pool_.InternVariable("x"));
+  EXPECT_TRUE(g.Contains(Triple(frozen_x, pool_.InternIri("p"), frozen_x)));
+}
+
+TEST_F(HardnessTest, ReductionMatchesBruteForceForK2) {
+  // End to end (Theorem 2): H has a 2-clique iff mu ∉ JPKG.
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    UndirectedGraph h = GenerateErdosRenyi(5, seed == 1 ? 0.0 : 0.4, seed);
+    auto instance = BuildCliqueReduction(h, 2, &pool_);
+    ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+    bool clique = HasCliqueBruteForce(h, 2);
+    bool member = NaiveWdEval(instance.value().forest, instance.value().graph,
+                              instance.value().mu);
+    EXPECT_EQ(member, !clique) << "seed " << seed;
+  }
+}
+
+TEST_F(HardnessTest, Lemma3WitnessOnCliqueBranchFamily) {
+  // dw = m-1 for the clique-branch family: witnesses exist for every
+  // k <= m-1 and satisfy both Lemma 3 conditions.
+  const int m = 4;  // dw = 3.
+  PatternForest forest;
+  forest.trees.push_back(MakeCliqueBranchTree(&pool_, m));
+  for (int k = 1; k <= 3; ++k) {
+    auto witness = FindLemma3Witness(forest, k, &pool_);
+    ASSERT_TRUE(witness.ok()) << witness.status().ToString();
+    ASSERT_TRUE(witness.value().has_value()) << "k=" << k;
+    const Lemma3Witness& w = **witness;
+    // Condition 1.
+    EXPECT_GE(w.element.core_treewidth, k);
+    // Condition 2: minimality against the full GtG of the subtree.
+    auto gtg = ComputeGtG(forest, w.subtree, &pool_);
+    ASSERT_TRUE(gtg.ok());
+    for (const GtGElement& other : gtg.value()) {
+      if (HomTo(other.graph, w.element.graph)) {
+        EXPECT_TRUE(HomTo(w.element.graph, other.graph));
+      }
+    }
+  }
+  // Above the width: no witness.
+  auto none = FindLemma3Witness(forest, 4, &pool_);
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none.value().has_value());
+}
+
+TEST_F(HardnessTest, Lemma3NoWitnessOnBoundedWidthFamilies) {
+  // dw(F_k) = 1: asking for width >= 2 must come back empty.
+  PatternForest fk = MakeFkForest(&pool_, 3);
+  auto witness = FindLemma3Witness(fk, 2, &pool_);
+  ASSERT_TRUE(witness.ok());
+  EXPECT_FALSE(witness.value().has_value());
+
+  // But width >= 1 witnesses trivially exist (every non-empty GtG).
+  auto trivial = FindLemma3Witness(fk, 1, &pool_);
+  ASSERT_TRUE(trivial.ok());
+  EXPECT_TRUE(trivial.value().has_value());
+}
+
+TEST_F(HardnessTest, Lemma3WitnessMatchesReductionInput) {
+  // The (S, {?x}) the reduction uses is hom-equivalent to the found
+  // witness element on the clique-branch family.
+  const int m = 4;
+  PatternForest forest;
+  forest.trees.push_back(MakeCliqueBranchTree(&pool_, m));
+  auto witness = FindLemma3Witness(forest, m - 1, &pool_);
+  ASSERT_TRUE(witness.ok());
+  ASSERT_TRUE(witness.value().has_value());
+  GeneralizedTGraph s = CliqueBranchS(m);
+  // Equal X and mutual homomorphisms (the renamed S_Delta vs pat(T) u pat(n)).
+  EXPECT_EQ(witness.value()->element.graph.X, s.X);
+  EXPECT_TRUE(HomTo(witness.value()->element.graph, s));
+  EXPECT_TRUE(HomTo(s, witness.value()->element.graph));
+}
+
+TEST_F(HardnessTest, ReductionMatchesBruteForceForK3) {
+  // Triangle detection through query evaluation.
+  struct Case {
+    UndirectedGraph h;
+    const char* name;
+  };
+  UndirectedGraph triangle(4);
+  triangle.AddEdge(0, 1);
+  triangle.AddEdge(1, 2);
+  triangle.AddEdge(0, 2);
+  triangle.AddEdge(1, 3);
+  std::vector<Case> cases;
+  cases.push_back({triangle, "triangle"});
+  cases.push_back({UndirectedGraph::Cycle(5), "C5"});
+  cases.push_back({UndirectedGraph::Complete(4), "K4"});
+
+  for (const Case& c : cases) {
+    auto instance = BuildCliqueReduction(c.h, 3, &pool_);
+    ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+    EXPECT_EQ(instance.value().query_clique_size, 9);
+    bool clique = HasCliqueBruteForce(c.h, 3);
+    bool member = NaiveWdEval(instance.value().forest, instance.value().graph,
+                              instance.value().mu);
+    EXPECT_EQ(member, !clique) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace wdsparql

@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include "hom/homomorphism.h"
+#include "rdf/generator.h"
+#include "rdf/graph.h"
+#include "support/testlib.h"
+
+namespace wdsparql {
+namespace {
+
+class HomomorphismTest : public ::testing::Test {
+ protected:
+  TermId V(const char* name) { return pool_.InternVariable(name); }
+  TermId I(const char* name) { return pool_.InternIri(name); }
+
+  TermPool pool_;
+};
+
+TEST_F(HomomorphismTest, EmptySourceAlwaysMaps) {
+  TripleSet source, target;
+  target.Insert(Triple(I("a"), I("p"), I("b")));
+  EXPECT_TRUE(HasHomomorphism(source, {}, target));
+}
+
+TEST_F(HomomorphismTest, SingleTripleMatch) {
+  TripleSet source, target;
+  source.Insert(Triple(V("x"), I("p"), V("y")));
+  target.Insert(Triple(I("a"), I("p"), I("b")));
+  auto h = FindHomomorphism(source, {}, target);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->at(V("x")), I("a"));
+  EXPECT_EQ(h->at(V("y")), I("b"));
+}
+
+TEST_F(HomomorphismTest, NoMatchOnWrongPredicate) {
+  TripleSet source, target;
+  source.Insert(Triple(V("x"), I("p"), V("y")));
+  target.Insert(Triple(I("a"), I("q"), I("b")));
+  EXPECT_FALSE(HasHomomorphism(source, {}, target));
+}
+
+TEST_F(HomomorphismTest, ConstantsMustMatchThemselves) {
+  TripleSet source, target;
+  source.Insert(Triple(I("a"), I("p"), V("y")));
+  target.Insert(Triple(I("b"), I("p"), I("c")));
+  EXPECT_FALSE(HasHomomorphism(source, {}, target));
+  target.Insert(Triple(I("a"), I("p"), I("d")));
+  EXPECT_TRUE(HasHomomorphism(source, {}, target));
+}
+
+TEST_F(HomomorphismTest, FixedAssignmentIsRespected) {
+  TripleSet source, target;
+  source.Insert(Triple(V("x"), I("p"), V("y")));
+  target.Insert(Triple(I("a"), I("p"), I("b")));
+  target.Insert(Triple(I("c"), I("p"), I("d")));
+  VarAssignment fixed;
+  fixed[V("x")] = I("c");
+  auto h = FindHomomorphism(source, fixed, target);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->at(V("y")), I("d"));
+  fixed[V("x")] = I("b");
+  EXPECT_FALSE(HasHomomorphism(source, fixed, target));
+}
+
+TEST_F(HomomorphismTest, PathIntoCycleWrapsAround) {
+  // A directed path of length 4 maps into a directed 3-cycle.
+  TripleSet source;
+  for (int i = 0; i < 4; ++i) {
+    source.Insert(Triple(V(("v" + std::to_string(i)).c_str()), I("e"),
+                         V(("v" + std::to_string(i + 1)).c_str())));
+  }
+  RdfGraph cycle(&pool_);
+  GenerateCycleGraph(3, "e", &cycle);
+  EXPECT_TRUE(HasHomomorphism(source, {}, cycle.triples()));
+}
+
+TEST_F(HomomorphismTest, OddCycleIntoEvenCycleFails) {
+  // A directed 3-cycle cannot map into a directed 4-cycle.
+  TripleSet source;
+  for (int i = 0; i < 3; ++i) {
+    source.Insert(Triple(V(("c" + std::to_string(i)).c_str()), I("e"),
+                         V(("c" + std::to_string((i + 1) % 3)).c_str())));
+  }
+  RdfGraph cycle4(&pool_);
+  GenerateCycleGraph(4, "e", &cycle4);
+  EXPECT_FALSE(HasHomomorphism(source, {}, cycle4.triples()));
+  RdfGraph cycle3(&pool_);
+  GenerateCycleGraph(3, "e", &cycle3);
+  EXPECT_TRUE(HasHomomorphism(source, {}, cycle3.triples()));
+}
+
+TEST_F(HomomorphismTest, TriangleIntoEncodedGraphIsCliqueDetection) {
+  // K3 as a t-graph (symmetric edges) maps into an encoded undirected
+  // graph iff the graph has a triangle.
+  auto triangle_tgraph = [&]() {
+    TripleSet s;
+    const char* names[3] = {"t0", "t1", "t2"};
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        if (i != j) s.Insert(Triple(V(names[i]), I("e"), V(names[j])));
+      }
+    }
+    return s;
+  };
+  UndirectedGraph with_triangle(4);
+  with_triangle.AddEdge(0, 1);
+  with_triangle.AddEdge(1, 2);
+  with_triangle.AddEdge(0, 2);
+  with_triangle.AddEdge(2, 3);
+  RdfGraph g1(&pool_);
+  EncodeUndirectedGraph(with_triangle, "e", "u", &g1);
+  EXPECT_TRUE(HasHomomorphism(triangle_tgraph(), {}, g1.triples()));
+
+  UndirectedGraph no_triangle = UndirectedGraph::Cycle(5);
+  RdfGraph g2(&pool_);
+  EncodeUndirectedGraph(no_triangle, "e", "w", &g2);
+  EXPECT_FALSE(HasHomomorphism(triangle_tgraph(), {}, g2.triples()));
+}
+
+TEST_F(HomomorphismTest, BannedImageForcesDifferentTarget) {
+  TripleSet source, target;
+  source.Insert(Triple(V("x"), I("p"), V("x")));
+  target.Insert(Triple(I("a"), I("p"), I("a")));
+  target.Insert(Triple(I("b"), I("p"), I("b")));
+  HomOptions options;
+  options.banned_image.insert(I("a"));
+  auto h = FindHomomorphism(source, {}, target, options);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->at(V("x")), I("b"));
+  options.banned_image.insert(I("b"));
+  EXPECT_FALSE(HasHomomorphism(source, {}, target, options));
+}
+
+TEST_F(HomomorphismTest, EnumerationFindsAllSolutions) {
+  TripleSet source;
+  source.Insert(Triple(V("x"), I("p"), V("y")));
+  RdfGraph g(&pool_);
+  g.Insert("a", "p", "b");
+  g.Insert("a", "p", "c");
+  g.Insert("d", "p", "e");
+  int count = 0;
+  EnumerateHomomorphisms(source, {}, g.triples(), [&](const VarAssignment&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 3);
+}
+
+TEST_F(HomomorphismTest, EnumerationEarlyStop) {
+  TripleSet source;
+  source.Insert(Triple(V("x"), I("p"), V("y")));
+  RdfGraph g(&pool_);
+  g.Insert("a", "p", "b");
+  g.Insert("a", "p", "c");
+  int count = 0;
+  EnumerateHomomorphisms(source, {}, g.triples(), [&](const VarAssignment&) {
+    ++count;
+    return false;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(HomomorphismTest, NodeBudgetReportsExhaustion) {
+  // A large unsatisfiable instance with a tiny budget.
+  TripleSet source;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      if (i != j) {
+        source.Insert(Triple(V(("k" + std::to_string(i)).c_str()), I("e"),
+                             V(("k" + std::to_string(j)).c_str())));
+      }
+    }
+  }
+  UndirectedGraph host = GenerateErdosRenyi(12, 0.5, 3);
+  RdfGraph g(&pool_);
+  EncodeUndirectedGraph(host, "e", "u", &g);
+  HomOptions options;
+  bool exhausted = false;
+  options.max_nodes = 3;
+  options.budget_exhausted = &exhausted;
+  FindHomomorphism(source, {}, g.triples(), options);
+  EXPECT_TRUE(exhausted);
+}
+
+TEST_F(HomomorphismTest, ApplyAssignmentOnTripleSet) {
+  TripleSet source;
+  source.Insert(Triple(V("x"), I("p"), V("y")));
+  source.Insert(Triple(V("y"), I("p"), V("x")));
+  VarAssignment h;
+  h[V("x")] = I("a");
+  h[V("y")] = I("a");
+  TripleSet image = ApplyAssignment(h, source);
+  EXPECT_EQ(image.size(), 1u);  // Both triples collapse to (a p a).
+  EXPECT_TRUE(image.Contains(Triple(I("a"), I("p"), I("a"))));
+}
+
+TEST_F(HomomorphismTest, IdentityOnBuildsIdentity) {
+  VarAssignment id = IdentityOn({V("x"), V("y")});
+  EXPECT_EQ(id.size(), 2u);
+  EXPECT_EQ(id.at(V("x")), V("x"));
+}
+
+TEST_F(HomomorphismTest, PropagationLevelsAgree) {
+  // The three propagation strategies are pure optimisations: identical
+  // answers on every instance.
+  Rng rng(20240613);
+  for (int trial = 0; trial < 30; ++trial) {
+    RdfGraph g(&pool_);
+    testlib::SmallWorkloadGraph(&rng, 5, 18, 2, &g);
+    TripleSet source;
+    int triples = 2 + static_cast<int>(rng.NextBounded(4));
+    for (int i = 0; i < triples; ++i) {
+      source.Insert(
+          Triple(V(("pl" + std::to_string(rng.NextBounded(4))).c_str()),
+                 I(("p" + std::to_string(rng.NextBounded(2))).c_str()),
+                 V(("pl" + std::to_string(rng.NextBounded(4))).c_str())));
+    }
+    HomOptions none, forward, full;
+    none.propagation = PropagationLevel::kNone;
+    forward.propagation = PropagationLevel::kForward;
+    full.propagation = PropagationLevel::kFull;
+    bool a = HasHomomorphism(source, {}, g.triples(), none);
+    bool b = HasHomomorphism(source, {}, g.triples(), forward);
+    bool c = HasHomomorphism(source, {}, g.triples(), full);
+    EXPECT_EQ(a, b) << "trial " << trial;
+    EXPECT_EQ(b, c) << "trial " << trial;
+  }
+}
+
+TEST_F(HomomorphismTest, PropagationLevelsAgreeOnEnumerationCount) {
+  // Enumeration through the default engine matches a kNone-based count
+  // via repeated find-and-ban... simpler: count with full vs none by
+  // collecting solutions through FindHomomorphism's enumeration API.
+  TripleSet source;
+  source.Insert(Triple(V("e1"), I("p"), V("e2")));
+  RdfGraph g(&pool_);
+  g.Insert("a", "p", "b");
+  g.Insert("b", "p", "c");
+  g.Insert("c", "p", "a");
+  int count = 0;
+  EnumerateHomomorphisms(source, {}, g.triples(), [&](const VarAssignment&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 3);
+}
+
+TEST_F(HomomorphismTest, NodesExploredIsReported) {
+  TripleSet source;
+  source.Insert(Triple(V("n1"), I("p"), V("n2")));
+  RdfGraph g(&pool_);
+  g.Insert("a", "p", "b");
+  HomOptions options;
+  uint64_t nodes = 0;
+  options.nodes_explored = &nodes;
+  EXPECT_TRUE(HasHomomorphism(source, {}, g.triples(), options));
+  EXPECT_GT(nodes, 0u);
+}
+
+TEST_F(HomomorphismTest, CompositionProperty) {
+  // Random S -> G found homomorphisms really are homomorphisms.
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    RdfGraph g(&pool_);
+    testlib::SmallWorkloadGraph(&rng, 5, 20, 2, &g);
+    TripleSet source;
+    for (int i = 0; i < 4; ++i) {
+      TermId s = pool_.InternVariable("h" + std::to_string(rng.NextBounded(3)));
+      TermId o = pool_.InternVariable("h" + std::to_string(rng.NextBounded(3)));
+      TermId p = pool_.InternIri("p" + std::to_string(rng.NextBounded(2)));
+      source.Insert(Triple(s, p, o));
+    }
+    auto h = FindHomomorphism(source, {}, g.triples());
+    if (!h.has_value()) continue;
+    for (const Triple& t : source.triples()) {
+      EXPECT_TRUE(g.triples().Contains(ApplyAssignment(*h, t)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wdsparql

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ptree/forest.h"
+#include "ptree/semantics.h"
+#include "rdf/generator.h"
+#include "rdf/ntriples.h"
+#include "sparql/parser.h"
+#include "sparql/semantics.h"
+#include "sparql/well_designed.h"
+#include "support/testlib.h"
+#include "wd/branch_width.h"
+#include "wd/domination.h"
+#include "wd/eval.h"
+#include "wd/local_tractability.h"
+#include "wd/paper_examples.h"
+
+namespace wdsparql {
+namespace {
+
+/// End-to-end pipeline: text -> pattern -> well-designedness -> forest ->
+/// evaluation, with all three evaluators cross-checked.
+TEST(IntegrationTest, FullPipelineOnSocialWorkload) {
+  TermPool pool;
+  RdfGraph g(&pool);
+  SocialGraphOptions options;
+  options.num_people = 25;
+  options.seed = 11;
+  GenerateSocialGraph(options, &g);
+
+  auto pattern = ParsePattern(
+      "((?p type Person) AND (?p livesIn ?c)) OPT ((?p email ?e) OPT (?p phone ?f))",
+      &pool);
+  ASSERT_TRUE(pattern.ok());
+  ASSERT_TRUE(CheckWellDesigned(pattern.value(), pool).ok());
+
+  auto forest = BuildPatternForest(pattern.value(), pool);
+  ASSERT_TRUE(forest.ok());
+
+  std::vector<Mapping> answers = Evaluate(*pattern.value(), g);
+  EXPECT_EQ(answers.size(), 25u);  // Everyone has a city.
+
+  for (const Mapping& mu : answers) {
+    EXPECT_TRUE(NaiveWdEval(forest.value(), g, mu));
+    EXPECT_TRUE(PebbleWdEval(forest.value(), g, mu, 1));
+  }
+
+  // Restrictions of answers (non-maximal mappings) are not answers.
+  int rejected = 0;
+  for (const Mapping& mu : answers) {
+    if (mu.size() < 2) continue;
+    Mapping truncated = mu.RestrictedTo(
+        {pool.InternVariable("p"), pool.InternVariable("c")});
+    if (std::find(answers.begin(), answers.end(), truncated) == answers.end()) {
+      EXPECT_FALSE(NaiveWdEval(forest.value(), g, truncated));
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(IntegrationTest, ThreeEvaluatorsAgreeOnRandomWorkloads) {
+  TermPool pool;
+  Rng rng(90210);
+  for (int trial = 0; trial < 12; ++trial) {
+    PatternPtr p = testlib::RandomWellDesignedUnion(&rng, &pool, 2);
+    auto forest = BuildPatternForest(p, pool);
+    ASSERT_TRUE(forest.ok());
+    RdfGraph g(&pool);
+    testlib::SmallWorkloadGraph(&rng, 5, 16, 3, &g);
+
+    std::vector<Mapping> ast_answers = Evaluate(*p, g);
+    std::vector<Mapping> tree_answers = EnumerateForestSolutions(forest.value(), g);
+    EXPECT_EQ(ast_answers, tree_answers);
+    for (const Mapping& probe : testlib::MembershipProbes(p, g, &rng, 5)) {
+      bool expected =
+          std::find(ast_answers.begin(), ast_answers.end(), probe) != ast_answers.end();
+      EXPECT_EQ(NaiveWdEval(forest.value(), g, probe), expected);
+      if (PebbleWdEval(forest.value(), g, probe, 2)) {
+        EXPECT_TRUE(expected) << "pebble acceptance must be sound";
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, WidthReportForPaperFamilies) {
+  // The paper's summary table, recomputed: F_k has dw 1 but local width
+  // k-1; T'_k has bw 1 but local width k-1; the clique family has
+  // everything equal to k-1.
+  TermPool pool;
+  const int k = 4;
+
+  PatternForest fk = MakeFkForest(&pool, k);
+  EXPECT_EQ(DominationWidth(fk, &pool).value(), 1);
+  EXPECT_EQ(LocalWidth(fk), k - 1);
+
+  PatternForest branch;
+  branch.trees.push_back(MakeBranchFamilyTree(&pool, k));
+  EXPECT_EQ(BranchTreewidth(branch.trees[0]), 1);
+  EXPECT_EQ(DominationWidth(branch, &pool).value(), 1);
+  EXPECT_EQ(LocalWidth(branch), k - 1);
+
+  PatternForest clique;
+  clique.trees.push_back(MakeCliqueBranchTree(&pool, k));
+  EXPECT_EQ(BranchTreewidth(clique.trees[0]), k - 1);
+  EXPECT_EQ(DominationWidth(clique, &pool).value(), k - 1);
+  EXPECT_EQ(LocalWidth(clique), k - 1);
+}
+
+TEST(IntegrationTest, NTriplesRoundTripThroughEvaluation) {
+  TermPool pool;
+  RdfGraph g(&pool);
+  ASSERT_TRUE(ParseNTriples("a p b .\n"
+                            "b q c .\n"
+                            "b q d .\n",
+                            &g)
+                  .ok());
+  auto pattern = ParsePattern("(?x p ?y) OPT (?y q ?z)", &pool);
+  ASSERT_TRUE(pattern.ok());
+  std::vector<Mapping> answers = Evaluate(*pattern.value(), g);
+  ASSERT_EQ(answers.size(), 2u);  // z = c and z = d.
+
+  // Serialise and reload into a fresh pool: same answer count.
+  std::string text = WriteNTriples(g);
+  TermPool pool2;
+  RdfGraph g2(&pool2);
+  ASSERT_TRUE(ParseNTriples(text, &g2).ok());
+  auto pattern2 = ParsePattern("(?x p ?y) OPT (?y q ?z)", &pool2);
+  ASSERT_TRUE(pattern2.ok());
+  EXPECT_EQ(Evaluate(*pattern2.value(), g2).size(), 2u);
+}
+
+TEST(IntegrationTest, PaperExample2EndToEnd) {
+  // P = P1 UNION ((?x,p,?y) OPT ((?z,q,?x) AND (?w,q,?z))) — Example 2 —
+  // evaluated on data exercising both arms.
+  TermPool pool;
+  PatternPtr p = GraphPattern::MakeUnion(
+      MakeExample1P1(&pool),
+      ParsePattern("(?x p ?y) OPT ((?z q ?x) AND (?w q ?z))", &pool).value());
+  ASSERT_TRUE(CheckWellDesigned(p, pool).ok());
+  auto forest = BuildPatternForest(p, pool);
+  ASSERT_TRUE(forest.ok());
+  EXPECT_EQ(forest.value().trees.size(), 2u);
+
+  RdfGraph g(&pool);
+  g.Insert("a", "p", "b");
+  g.Insert("c", "q", "a");
+  g.Insert("b", "r", "m");
+  g.Insert("m", "r", "n");
+
+  std::vector<Mapping> answers = Evaluate(*p, g);
+  std::vector<Mapping> via_forest = EnumerateForestSolutions(forest.value(), g);
+  EXPECT_EQ(answers, via_forest);
+  for (const Mapping& mu : answers) {
+    EXPECT_TRUE(NaiveWdEval(forest.value(), g, mu));
+    EXPECT_TRUE(PebbleWdEval(forest.value(), g, mu, 1));
+  }
+}
+
+TEST(IntegrationTest, PromiseViolationOnlyEverRejects) {
+  // Running the pebble algorithm with k far below dw must never accept a
+  // non-answer (it may reject true answers). Clique family with k = 1.
+  TermPool pool;
+  PatternForest forest;
+  forest.trees.push_back(MakeCliqueBranchTree(&pool, 4));  // dw = 3.
+  RdfGraph g(&pool);
+  // Encode a triangle-free graph: the clique child has no homomorphism,
+  // but the 2-pebble relaxation may hallucinate one.
+  UndirectedGraph c5 = UndirectedGraph::Cycle(5);
+  EncodeUndirectedGraph(c5, "r", "u", &g);
+  g.Insert("s", "p", "s");
+  g.Insert("s", "q", "u0");
+
+  Mapping mu = testlib::MakeMapping(&pool, {{"x", "s"}});
+  bool naive = NaiveWdEval(forest, g, mu);
+  EXPECT_TRUE(naive) << "no K4 in C5, so mu is maximal";
+  // Whatever the pebble algorithm answers at k=1, acceptance implies
+  // membership; and at k=3 (the true dw) it must agree.
+  if (PebbleWdEval(forest, g, mu, 1)) {
+    EXPECT_TRUE(naive);
+  }
+  EXPECT_EQ(PebbleWdEval(forest, g, mu, 3), naive);
+}
+
+}  // namespace
+}  // namespace wdsparql

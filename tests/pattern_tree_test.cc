@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ptree/pattern_tree.h"
+#include "ptree/subtree.h"
+#include "rdf/generator.h"
+#include "support/testlib.h"
+#include "wd/paper_examples.h"
+
+namespace wdsparql {
+namespace {
+
+class PatternTreeTest : public ::testing::Test {
+ protected:
+  TermId V(const char* name) { return pool_.InternVariable(name); }
+  TermId I(const char* name) { return pool_.InternIri(name); }
+
+  TripleSet OneTriple(TermId s, TermId p, TermId o) {
+    TripleSet set;
+    set.Insert(Triple(s, p, o));
+    return set;
+  }
+
+  TermPool pool_;
+};
+
+TEST_F(PatternTreeTest, ConstructionAndAccessors) {
+  PatternTree tree(OneTriple(V("x"), I("p"), V("y")));
+  NodeId child = tree.AddNode(tree.root(), OneTriple(V("y"), I("q"), V("z")));
+  NodeId grandchild = tree.AddNode(child, OneTriple(V("z"), I("r"), V("w")));
+
+  EXPECT_EQ(tree.NumNodes(), 3);
+  EXPECT_EQ(tree.parent(child), tree.root());
+  EXPECT_EQ(tree.parent(grandchild), child);
+  EXPECT_EQ(tree.children(tree.root()).size(), 1u);
+  EXPECT_EQ(tree.variables(child), (std::vector<TermId>{V("y"), V("z")}));
+  EXPECT_EQ(tree.TreePattern().size(), 3u);
+  EXPECT_EQ(tree.TreeVariables().size(), 4u);
+  EXPECT_TRUE(tree.Validate().ok());
+  EXPECT_TRUE(tree.IsNrNormalForm());
+}
+
+TEST_F(PatternTreeTest, ValidateRejectsDisconnectedVariable) {
+  // ?x in root and grandchild but not in the middle node: condition 3
+  // fails.
+  PatternTree tree(OneTriple(V("x"), I("p"), V("y")));
+  NodeId child = tree.AddNode(tree.root(), OneTriple(V("y"), I("q"), V("z")));
+  tree.AddNode(child, OneTriple(V("x"), I("r"), V("w")));
+  EXPECT_FALSE(tree.Validate().ok());
+}
+
+TEST_F(PatternTreeTest, NrNormalFormDetection) {
+  PatternTree tree(OneTriple(V("x"), I("p"), V("y")));
+  tree.AddNode(tree.root(), OneTriple(V("x"), I("q"), V("y")));  // No new var.
+  EXPECT_FALSE(tree.IsNrNormalForm());
+}
+
+TEST_F(PatternTreeTest, NrNormalFormDeletesChildlessRedundantNode) {
+  PatternTree tree(OneTriple(V("x"), I("p"), V("y")));
+  tree.AddNode(tree.root(), OneTriple(V("x"), I("q"), V("y")));
+  tree.ToNrNormalForm();
+  EXPECT_EQ(tree.NumNodes(), 1);
+  EXPECT_TRUE(tree.IsNrNormalForm());
+}
+
+TEST_F(PatternTreeTest, NrNormalFormPushesGateIntoChildren) {
+  PatternTree tree(OneTriple(V("x"), I("p"), V("y")));
+  NodeId gate = tree.AddNode(tree.root(), OneTriple(V("x"), I("q"), V("y")));
+  tree.AddNode(gate, OneTriple(V("y"), I("r"), V("z")));
+  tree.ToNrNormalForm();
+  ASSERT_EQ(tree.NumNodes(), 2);
+  EXPECT_TRUE(tree.IsNrNormalForm());
+  // The former grandchild now hangs off the root and carries the gate's
+  // triple.
+  NodeId child = tree.children(tree.root())[0];
+  EXPECT_EQ(tree.pattern(child).size(), 2u);
+  EXPECT_TRUE(tree.pattern(child).Contains(Triple(V("x"), I("q"), V("y"))));
+  EXPECT_TRUE(tree.pattern(child).Contains(Triple(V("y"), I("r"), V("z"))));
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST_F(PatternTreeTest, ToStringShowsStructure) {
+  PatternTree tree(OneTriple(V("x"), I("p"), V("y")));
+  tree.AddNode(tree.root(), OneTriple(V("y"), I("q"), V("z")));
+  std::string dump = tree.ToString(pool_);
+  EXPECT_NE(dump.find("node 0"), std::string::npos);
+  EXPECT_NE(dump.find("?x"), std::string::npos);
+}
+
+// --- Subtree calculus ----------------------------------------------------
+
+class SubtreeTest : public PatternTreeTest {
+ protected:
+  /// Builds the T1 member of the paper's F_k family for k = 2:
+  /// root {(?x,p,?y)}; children n11 = {(?z,q,?x)}, n12 = clique + pendant.
+  PatternTree MakeT1() {
+    PatternForest forest = MakeFkForest(&pool_, 2);
+    return forest.trees[0];
+  }
+};
+
+TEST_F(SubtreeTest, EnumerationCountsMatchFormula) {
+  PatternTree t1 = MakeT1();
+  int count = 0;
+  EnumerateSubtrees(t1, [&](const Subtree&) { ++count; });
+  // Root with two leaf children: subsets of children = 4 subtrees.
+  EXPECT_EQ(count, 4);
+  EXPECT_DOUBLE_EQ(CountSubtrees(t1), 4.0);
+}
+
+TEST_F(SubtreeTest, DeepTreeSubtreeCount) {
+  PatternTree tree(OneTriple(V("a"), I("p"), V("b")));
+  NodeId c1 = tree.AddNode(tree.root(), OneTriple(V("b"), I("p"), V("c")));
+  tree.AddNode(c1, OneTriple(V("c"), I("p"), V("d")));
+  tree.AddNode(tree.root(), OneTriple(V("b"), I("q"), V("e")));
+  // Chain of two: 1 + (1 + 1) choices... verify against enumeration.
+  int count = 0;
+  EnumerateSubtrees(tree, [&](const Subtree&) { ++count; });
+  EXPECT_DOUBLE_EQ(CountSubtrees(tree), static_cast<double>(count));
+  EXPECT_EQ(count, 6);  // (1 + chain of 2 -> 2 options... ) x (leaf: 2) = 3*2.
+}
+
+TEST_F(SubtreeTest, SubtreesContainRootAndAreParentClosed) {
+  PatternTree t1 = MakeT1();
+  EnumerateSubtrees(t1, [&](const Subtree& subtree) {
+    EXPECT_TRUE(subtree.Contains(t1.root()));
+    for (NodeId n : subtree.nodes) {
+      if (n != t1.root()) {
+        EXPECT_TRUE(subtree.Contains(t1.parent(n)));
+      }
+    }
+  });
+}
+
+TEST_F(SubtreeTest, SubtreeChildrenAreComplement) {
+  PatternTree t1 = MakeT1();
+  EnumerateSubtrees(t1, [&](const Subtree& subtree) {
+    for (NodeId c : SubtreeChildren(subtree)) {
+      EXPECT_FALSE(subtree.Contains(c));
+      EXPECT_TRUE(subtree.Contains(t1.parent(c)));
+    }
+  });
+}
+
+TEST_F(SubtreeTest, MaximalSubtreeWithVars) {
+  PatternTree t1 = MakeT1();
+  // vars {?x, ?y}: only the root qualifies.
+  std::vector<TermId> vars = {V("x"), V("y")};
+  std::sort(vars.begin(), vars.end());
+  auto subtree = MaximalSubtreeWithVars(t1, vars);
+  ASSERT_TRUE(subtree.has_value());
+  EXPECT_EQ(subtree->nodes, (std::vector<NodeId>{0}));
+
+  // vars {?x} misses the root variable ?y.
+  std::vector<TermId> too_small = {V("x")};
+  EXPECT_FALSE(MaximalSubtreeWithVars(t1, too_small).has_value());
+}
+
+TEST_F(SubtreeTest, FindWitnessSubtreeRequiresExactVars) {
+  PatternTree t1 = MakeT1();
+  std::vector<TermId> vars = {V("x"), V("y"), V("z")};
+  std::sort(vars.begin(), vars.end());
+  auto witness = FindWitnessSubtree(t1, vars);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->nodes.size(), 2u);  // Root + n11.
+
+  // Superset vars that no subtree hits exactly.
+  std::vector<TermId> off = {V("x"), V("y"), V("nosuch")};
+  std::sort(off.begin(), off.end());
+  EXPECT_FALSE(FindWitnessSubtree(t1, off).has_value());
+}
+
+TEST_F(SubtreeTest, FindMatchingSubtreeFollowsMu) {
+  PatternTree t1 = MakeT1();
+  RdfGraph g(&pool_);
+  g.Insert("a", "p", "b");
+  g.Insert("c", "q", "a");
+
+  Mapping mu_root = testlib::MakeMapping(&pool_, {{"x", "a"}, {"y", "b"}});
+  auto match = FindMatchingSubtree(t1, mu_root, g.triples());
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->nodes, (std::vector<NodeId>{0}));
+
+  Mapping mu_with_z =
+      testlib::MakeMapping(&pool_, {{"x", "a"}, {"y", "b"}, {"z", "c"}});
+  match = FindMatchingSubtree(t1, mu_with_z, g.triples());
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->nodes.size(), 2u);
+
+  // mu whose domain is not covered: no subtree.
+  Mapping mu_widow = testlib::MakeMapping(&pool_, {{"x", "a"}, {"y", "b"}, {"w", "c"}});
+  EXPECT_FALSE(FindMatchingSubtree(t1, mu_widow, g.triples()).has_value());
+
+  // mu violating the root pattern: no subtree.
+  Mapping mu_bad = testlib::MakeMapping(&pool_, {{"x", "b"}, {"y", "a"}});
+  EXPECT_FALSE(FindMatchingSubtree(t1, mu_bad, g.triples()).has_value());
+}
+
+TEST_F(SubtreeTest, SubtreePatternAndVariables) {
+  PatternTree t1 = MakeT1();
+  Subtree full;
+  full.tree = &t1;
+  full.nodes = {0, 1, 2};
+  TripleSet pattern = SubtreePattern(full);
+  EXPECT_EQ(pattern.size(), t1.TreePattern().size());
+  EXPECT_EQ(SubtreeVariables(full), t1.TreeVariables());
+}
+
+}  // namespace
+}  // namespace wdsparql

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "hom/core.h"
+#include "hom/homomorphism.h"
+#include "hom/pebble.h"
+#include "ptree/tgraph.h"
+#include "rdf/generator.h"
+#include "support/testlib.h"
+#include "wd/paper_examples.h"
+
+namespace wdsparql {
+namespace {
+
+class PebbleTest : public ::testing::Test {
+ protected:
+  TermId V(const char* name) { return pool_.InternVariable(name); }
+  TermId I(const char* name) { return pool_.InternIri(name); }
+
+  TermPool pool_;
+};
+
+TEST_F(PebbleTest, NoFreeVariablesReducesToDirectCheck) {
+  // Property (1): with vars(S) \ X empty, ->mu_k equals ->mu.
+  TripleSet s;
+  s.Insert(Triple(V("x"), I("p"), V("y")));
+  RdfGraph g(&pool_);
+  g.Insert("a", "p", "b");
+  VarAssignment mu;
+  mu[V("x")] = I("a");
+  mu[V("y")] = I("b");
+  EXPECT_TRUE(PebbleGameWins(s, mu, g.triples(), 2));
+  mu[V("y")] = I("a");
+  EXPECT_FALSE(PebbleGameWins(s, mu, g.triples(), 2));
+}
+
+TEST_F(PebbleTest, HomomorphismImpliesDuplicatorWin) {
+  // Property (2): ->mu implies ->mu_k for every k.
+  TripleSet s;
+  s.Insert(Triple(V("u"), I("e"), V("v")));
+  s.Insert(Triple(V("v"), I("e"), V("w")));
+  RdfGraph g(&pool_);
+  GeneratePathGraph(4, "e", &g);
+  ASSERT_TRUE(HasHomomorphism(s, {}, g.triples()));
+  for (int k = 1; k <= 3; ++k) {
+    EXPECT_TRUE(PebbleGameWins(s, {}, g.triples(), k)) << "k=" << k;
+  }
+}
+
+TEST_F(PebbleTest, SpoilerWinsOnEmptyDomainWithFreeVars) {
+  TripleSet s;
+  s.Insert(Triple(V("u"), I("e"), V("v")));
+  TripleSet empty_target;
+  EXPECT_FALSE(PebbleGameWins(s, {}, empty_target, 2));
+}
+
+TEST_F(PebbleTest, TreeSourceGameIsExactAtK2) {
+  // Proposition 3 with ctw = 1: the 2-pebble game equals homomorphism for
+  // tree-shaped (acyclic) sources. A directed path of length 3 does not
+  // map into a shorter path, and the Spoiler can prove it with 2 pebbles.
+  TripleSet path3;
+  path3.Insert(Triple(V("a0"), I("e"), V("a1")));
+  path3.Insert(Triple(V("a1"), I("e"), V("a2")));
+  path3.Insert(Triple(V("a2"), I("e"), V("a3")));
+  RdfGraph short_path(&pool_);
+  GeneratePathGraph(2, "e", &short_path);
+  EXPECT_FALSE(HasHomomorphism(path3, {}, short_path.triples()));
+  EXPECT_FALSE(PebbleGameWins(path3, {}, short_path.triples(), 2));
+}
+
+TEST_F(PebbleTest, TwoPebblesCannotSeeOddGirth) {
+  // The classic gap witness: a directed 3-cycle has no homomorphism into
+  // a directed 6-cycle (wrapping changes residues), but with 2 pebbles
+  // the Duplicator survives: ->_2 is strictly weaker than ->.
+  TripleSet cycle3;
+  cycle3.Insert(Triple(V("c0"), I("e"), V("c1")));
+  cycle3.Insert(Triple(V("c1"), I("e"), V("c2")));
+  cycle3.Insert(Triple(V("c2"), I("e"), V("c0")));
+  RdfGraph cycle6(&pool_);
+  GenerateCycleGraph(6, "e", &cycle6);
+  EXPECT_FALSE(HasHomomorphism(cycle3, {}, cycle6.triples()));
+  EXPECT_TRUE(PebbleGameWins(cycle3, {}, cycle6.triples(), 2))
+      << "2 pebbles must not refute the 3-cycle";
+  // ctw(cycle3) = 2, so Proposition 3 promises exactness at k = 3.
+  EXPECT_FALSE(PebbleGameWins(cycle3, {}, cycle6.triples(), 3));
+}
+
+TEST_F(PebbleTest, KEqualToFreeVarsIsExact) {
+  // With as many pebbles as free variables the game is exact.
+  Rng rng(31);
+  for (int trial = 0; trial < 15; ++trial) {
+    RdfGraph g(&pool_);
+    testlib::SmallWorkloadGraph(&rng, 4, 14, 2, &g);
+    TripleSet s;
+    for (int i = 0; i < 3; ++i) {
+      s.Insert(Triple(V(("r" + std::to_string(rng.NextBounded(3))).c_str()),
+                      I(("p" + std::to_string(rng.NextBounded(2))).c_str()),
+                      V(("r" + std::to_string(rng.NextBounded(3))).c_str())));
+    }
+    int free_vars = static_cast<int>(s.Variables().size());
+    bool exact = HasHomomorphism(s, {}, g.triples());
+    bool game = PebbleGameWins(s, {}, g.triples(), std::max(free_vars, 1));
+    EXPECT_EQ(exact, game) << "trial " << trial;
+  }
+}
+
+TEST_F(PebbleTest, RelaxationNeverRefutesHomomorphism) {
+  // Property (2) as a randomized sweep: whenever a homomorphism exists,
+  // every pebble count must accept.
+  Rng rng(77);
+  for (int trial = 0; trial < 25; ++trial) {
+    RdfGraph g(&pool_);
+    testlib::SmallWorkloadGraph(&rng, 5, 30, 2, &g);
+    TripleSet s;
+    for (int i = 0; i < 4; ++i) {
+      s.Insert(Triple(V(("s" + std::to_string(rng.NextBounded(4))).c_str()),
+                      I(("p" + std::to_string(rng.NextBounded(2))).c_str()),
+                      V(("s" + std::to_string(rng.NextBounded(4))).c_str())));
+    }
+    if (!HasHomomorphism(s, {}, g.triples())) continue;
+    for (int k = 1; k <= 3; ++k) {
+      EXPECT_TRUE(PebbleGameWins(s, {}, g.triples(), k));
+    }
+  }
+}
+
+TEST_F(PebbleTest, MonotoneInK) {
+  // More pebbles only help the Spoiler: wins(k+1) implies wins(k).
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    RdfGraph g(&pool_);
+    testlib::SmallWorkloadGraph(&rng, 4, 10, 2, &g);
+    TripleSet s;
+    for (int i = 0; i < 4; ++i) {
+      s.Insert(Triple(V(("m" + std::to_string(rng.NextBounded(4))).c_str()),
+                      I(("p" + std::to_string(rng.NextBounded(2))).c_str()),
+                      V(("m" + std::to_string(rng.NextBounded(4))).c_str())));
+    }
+    bool prev = true;
+    for (int k = 1; k <= 4; ++k) {
+      bool wins = PebbleGameWins(s, {}, g.triples(), k);
+      EXPECT_TRUE(prev || !wins) << "duplicator win must be antitone in k";
+      prev = wins;
+    }
+  }
+}
+
+TEST_F(PebbleTest, Proposition3BoundedCtwAgreement) {
+  // ctw(S, X) <= k-1 implies ->mu_k == ->mu. Use tree-shaped sources
+  // (ctw = 1) against random graphs with k = 2.
+  Rng rng(55);
+  for (int trial = 0; trial < 25; ++trial) {
+    RdfGraph g(&pool_);
+    testlib::SmallWorkloadGraph(&rng, 4, 8, 2, &g);
+    // Random oriented path source: ctw <= 1.
+    TripleSet s;
+    int length = 2 + static_cast<int>(rng.NextBounded(3));
+    for (int i = 0; i < length; ++i) {
+      s.Insert(Triple(V(("q" + std::to_string(i)).c_str()),
+                      I(("p" + std::to_string(rng.NextBounded(2))).c_str()),
+                      V(("q" + std::to_string(i + 1)).c_str())));
+    }
+    bool exact = HasHomomorphism(s, {}, g.triples());
+    bool game = PebbleGameWins(s, {}, g.triples(), 2);
+    EXPECT_EQ(exact, game) << "trial " << trial;
+  }
+}
+
+TEST_F(PebbleTest, Proposition3WithDistinguishedVariables) {
+  // Same agreement with a fixed mu on distinguished variables.
+  Rng rng(66);
+  for (int trial = 0; trial < 20; ++trial) {
+    RdfGraph g(&pool_);
+    testlib::SmallWorkloadGraph(&rng, 4, 12, 2, &g);
+    TripleSet s;
+    s.Insert(Triple(V("x"), I("p0"), V("t1")));
+    s.Insert(Triple(V("t1"), I("p1"), V("t2")));
+    std::vector<TermId> domain = g.Domain();
+    if (domain.empty()) continue;
+    VarAssignment mu;
+    mu[V("x")] = domain[rng.NextBounded(domain.size())];
+    bool exact = HasHomomorphism(s, mu, g.triples());
+    bool game = PebbleGameWins(s, mu, g.triples(), 2);
+    EXPECT_EQ(exact, game) << "trial " << trial;
+  }
+}
+
+TEST_F(PebbleTest, StatsAreReported) {
+  TripleSet s;
+  s.Insert(Triple(V("u"), I("e"), V("v")));
+  RdfGraph g(&pool_);
+  GeneratePathGraph(3, "e", &g);
+  PebbleGameStats stats;
+  PebbleGameWins(s, {}, g.triples(), 2, &stats);
+  EXPECT_GT(stats.maps_created, 0u);
+}
+
+TEST_F(PebbleTest, FixedOnlyTripleFailureIsDetected) {
+  // A triple fully fixed by mu that fails must defeat the Duplicator even
+  // if the free part is satisfiable.
+  TripleSet s;
+  s.Insert(Triple(V("x"), I("p"), V("x")));  // Fixed by mu below.
+  s.Insert(Triple(V("u"), I("e"), V("v")));  // Free part.
+  RdfGraph g(&pool_);
+  g.Insert("a", "e", "b");
+  g.Insert("c", "p", "c");
+  VarAssignment mu;
+  mu[V("x")] = I("a");  // (a p a) is absent.
+  EXPECT_FALSE(PebbleGameWins(s, mu, g.triples(), 2));
+  mu[V("x")] = I("c");  // (c p c) is present.
+  EXPECT_TRUE(PebbleGameWins(s, mu, g.triples(), 2));
+}
+
+}  // namespace
+}  // namespace wdsparql

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ptree/forest.h"
+#include "ptree/semantics.h"
+#include "rdf/generator.h"
+#include "sparql/parser.h"
+#include "sparql/semantics.h"
+#include "support/testlib.h"
+#include "wd/paper_examples.h"
+
+namespace wdsparql {
+namespace {
+
+class PtreeSemanticsTest : public ::testing::Test {
+ protected:
+  PatternPtr Parse(const char* text) {
+    auto result = ParsePattern(text, &pool_);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.value();
+  }
+  PatternTree Tree(const char* text) {
+    auto result = BuildPatternTree(Parse(text), pool_);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  TermPool pool_;
+};
+
+TEST_F(PtreeSemanticsTest, RootOnlyAnswersAreMaximal) {
+  PatternTree tree = Tree("(?x p ?y) OPT (?y q ?z)");
+  RdfGraph g(&pool_);
+  g.Insert("a", "p", "b");
+  g.Insert("c", "p", "d");
+  g.Insert("b", "q", "e");
+
+  // (a, b) must extend; the bare root mapping is not an answer.
+  Mapping extended = testlib::MakeMapping(&pool_, {{"x", "a"}, {"y", "b"}, {"z", "e"}});
+  Mapping bare = testlib::MakeMapping(&pool_, {{"x", "a"}, {"y", "b"}});
+  Mapping unextendable = testlib::MakeMapping(&pool_, {{"x", "c"}, {"y", "d"}});
+
+  EXPECT_TRUE(TreeContains(tree, g, extended));
+  EXPECT_FALSE(TreeContains(tree, g, bare));
+  EXPECT_TRUE(TreeContains(tree, g, unextendable));
+}
+
+TEST_F(PtreeSemanticsTest, WrongDomainIsRejected) {
+  PatternTree tree = Tree("(?x p ?y) OPT (?y q ?z)");
+  RdfGraph g(&pool_);
+  g.Insert("a", "p", "b");
+  // Domain {x} does not match any subtree variable set.
+  Mapping too_small = testlib::MakeMapping(&pool_, {{"x", "a"}});
+  EXPECT_FALSE(TreeContains(tree, g, too_small));
+  // Unknown variable in the domain.
+  Mapping off_domain = testlib::MakeMapping(&pool_, {{"x", "a"}, {"nothere", "b"}});
+  EXPECT_FALSE(TreeContains(tree, g, off_domain));
+}
+
+TEST_F(PtreeSemanticsTest, EnumerationMatchesAstSemantics) {
+  Rng rng(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    PatternPtr p = testlib::RandomWellDesignedPattern(&rng, &pool_);
+    auto tree = BuildPatternTree(p, pool_);
+    ASSERT_TRUE(tree.ok());
+    RdfGraph g(&pool_);
+    testlib::SmallWorkloadGraph(&rng, 5, 18, 3, &g);
+    EXPECT_EQ(EnumerateTreeSolutions(tree.value(), g), Evaluate(*p, g))
+        << "trial " << trial << ": " << p->ToString(pool_);
+  }
+}
+
+TEST_F(PtreeSemanticsTest, TreeContainsAgreesWithEnumeration) {
+  Rng rng(13);
+  for (int trial = 0; trial < 15; ++trial) {
+    PatternPtr p = testlib::RandomWellDesignedPattern(&rng, &pool_);
+    auto tree = BuildPatternTree(p, pool_);
+    ASSERT_TRUE(tree.ok());
+    RdfGraph g(&pool_);
+    testlib::SmallWorkloadGraph(&rng, 4, 12, 3, &g);
+    std::vector<Mapping> answers = EnumerateTreeSolutions(tree.value(), g);
+    for (const Mapping& probe : testlib::MembershipProbes(p, g, &rng, 6)) {
+      bool expected =
+          std::find(answers.begin(), answers.end(), probe) != answers.end();
+      EXPECT_EQ(TreeContains(tree.value(), g, probe), expected);
+    }
+  }
+}
+
+TEST_F(PtreeSemanticsTest, ForestContainsIsUnionOfTrees) {
+  PatternPtr p = Parse("((?x p ?y) OPT (?y q ?z)) UNION (?x r ?y)");
+  auto forest = BuildPatternForest(p, pool_);
+  ASSERT_TRUE(forest.ok());
+  RdfGraph g(&pool_);
+  g.Insert("a", "p", "b");
+  g.Insert("u", "r", "v");
+
+  Mapping from_first = testlib::MakeMapping(&pool_, {{"x", "a"}, {"y", "b"}});
+  Mapping from_second = testlib::MakeMapping(&pool_, {{"x", "u"}, {"y", "v"}});
+  EXPECT_TRUE(ForestContains(forest.value(), g, from_first));
+  EXPECT_TRUE(ForestContains(forest.value(), g, from_second));
+
+  Mapping nowhere = testlib::MakeMapping(&pool_, {{"x", "a"}, {"y", "v"}});
+  EXPECT_FALSE(ForestContains(forest.value(), g, nowhere));
+}
+
+TEST_F(PtreeSemanticsTest, ForestEnumerationMatchesAstSemantics) {
+  Rng rng(29);
+  for (int trial = 0; trial < 15; ++trial) {
+    PatternPtr p = testlib::RandomWellDesignedUnion(&rng, &pool_, 3);
+    auto forest = BuildPatternForest(p, pool_);
+    ASSERT_TRUE(forest.ok());
+    RdfGraph g(&pool_);
+    testlib::SmallWorkloadGraph(&rng, 4, 15, 3, &g);
+    EXPECT_EQ(EnumerateForestSolutions(forest.value(), g), Evaluate(*p, g));
+  }
+}
+
+TEST_F(PtreeSemanticsTest, FkForestOnHandCraftedData) {
+  // Exercise the F_2 forest on a graph where each tree contributes.
+  PatternForest forest = MakeFkForest(&pool_, 2);
+  RdfGraph g(&pool_);
+  g.Insert("a", "p", "b");   // Root of every tree matches (x=a, y=b).
+  g.Insert("c", "q", "a");   // n11 of T1 / part of T3 root.
+  g.Insert("d", "q", "c");   // n2 of T2 second triple.
+
+  // T2: root (a,b); child n2 = {(?z,q,?x),(?w,q,?z)} extends with z=c, w=d.
+  Mapping t2_answer = testlib::MakeMapping(
+      &pool_, {{"x", "a"}, {"y", "b"}, {"z", "c"}, {"w", "d"}});
+  EXPECT_TRUE(ForestContains(forest, g, t2_answer));
+
+  // T3: root needs (?x,p,?y) and (?z,q,?x): x=a,y=b,z=c; child n3 needs a
+  // self-loop (?o,r,?o) which is absent, so the root mapping is maximal.
+  Mapping t3_answer =
+      testlib::MakeMapping(&pool_, {{"x", "a"}, {"y", "b"}, {"z", "c"}});
+  EXPECT_TRUE(ForestContains(forest, g, t3_answer));
+
+  // The bare root (a,b) is NOT an answer of T1 (n11 extends via z=c) and
+  // not of T2 (n2 extends); T3's root needs ?z. So it is not in JFKG.
+  Mapping bare = testlib::MakeMapping(&pool_, {{"x", "a"}, {"y", "b"}});
+  EXPECT_FALSE(ForestContains(forest, g, bare));
+}
+
+}  // namespace
+}  // namespace wdsparql

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rdf/generator.h"
+#include "sparql/parser.h"
+#include "sparql/semantics.h"
+#include "support/testlib.h"
+
+namespace wdsparql {
+namespace {
+
+class SemanticsTest : public ::testing::Test {
+ protected:
+  PatternPtr Parse(const char* text) {
+    auto result = ParsePattern(text, &pool_);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.value();
+  }
+
+  TermPool pool_;
+};
+
+TEST_F(SemanticsTest, TriplePatternMatchesByPosition) {
+  RdfGraph g(&pool_);
+  g.Insert("a", "p", "b");
+  g.Insert("a", "p", "c");
+  g.Insert("b", "q", "c");
+
+  auto answers = Evaluate(*Parse("(a p ?y)"), g);
+  EXPECT_EQ(answers.size(), 2u);
+
+  answers = Evaluate(*Parse("(?x q ?y)"), g);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].Get(pool_.InternVariable("x")), pool_.InternIri("b"));
+}
+
+TEST_F(SemanticsTest, TripleWithRepeatedVariable) {
+  RdfGraph g(&pool_);
+  g.Insert("a", "p", "a");
+  g.Insert("a", "p", "b");
+  auto answers = Evaluate(*Parse("(?x p ?x)"), g);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].Get(pool_.InternVariable("x")), pool_.InternIri("a"));
+}
+
+TEST_F(SemanticsTest, FullyGroundTriple) {
+  RdfGraph g(&pool_);
+  g.Insert("a", "p", "b");
+  auto hit = Evaluate(*Parse("(a p b)"), g);
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_TRUE(hit[0].empty());  // The empty mapping.
+  auto miss = Evaluate(*Parse("(a p c)"), g);
+  EXPECT_TRUE(miss.empty());
+}
+
+TEST_F(SemanticsTest, AndIsJoin) {
+  RdfGraph g(&pool_);
+  g.Insert("a", "p", "b");
+  g.Insert("b", "q", "c");
+  g.Insert("b", "q", "d");
+  auto answers = Evaluate(*Parse("(?x p ?y) AND (?y q ?z)"), g);
+  EXPECT_EQ(answers.size(), 2u);
+}
+
+TEST_F(SemanticsTest, OptKeepsUnmatchedLeftSide) {
+  RdfGraph g(&pool_);
+  g.Insert("a", "p", "b");
+  g.Insert("c", "p", "d");
+  g.Insert("b", "q", "e");
+  auto answers = Evaluate(*Parse("(?x p ?y) OPT (?y q ?z)"), g);
+  // (a,b) extends with z=e; (c,d) survives unextended.
+  ASSERT_EQ(answers.size(), 2u);
+  bool saw_partial = false, saw_extended = false;
+  for (const Mapping& mu : answers) {
+    if (mu.size() == 2) saw_partial = true;
+    if (mu.size() == 3) saw_extended = true;
+  }
+  EXPECT_TRUE(saw_partial);
+  EXPECT_TRUE(saw_extended);
+}
+
+TEST_F(SemanticsTest, OptDoesNotKeepExtendableMapping) {
+  RdfGraph g(&pool_);
+  g.Insert("a", "p", "b");
+  g.Insert("b", "q", "e");
+  auto answers = Evaluate(*Parse("(?x p ?y) OPT (?y q ?z)"), g);
+  // Only the extended mapping is an answer; the bare (a,b) is not.
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].size(), 3u);
+}
+
+TEST_F(SemanticsTest, UnionMergesAnswerSets) {
+  RdfGraph g(&pool_);
+  g.Insert("a", "p", "b");
+  g.Insert("c", "q", "d");
+  auto answers = Evaluate(*Parse("(?x p ?y) UNION (?x q ?y)"), g);
+  EXPECT_EQ(answers.size(), 2u);
+}
+
+TEST_F(SemanticsTest, UnionDeduplicates) {
+  RdfGraph g(&pool_);
+  g.Insert("a", "p", "b");
+  auto answers = Evaluate(*Parse("(?x p ?y) UNION (?x p ?y)"), g);
+  EXPECT_EQ(answers.size(), 1u);
+}
+
+TEST_F(SemanticsTest, NestedOptBehaviour) {
+  // The classic non-compositional SPARQL example shape:
+  // ((x p y) OPT (y q z)) OPT (y r w).
+  RdfGraph g(&pool_);
+  g.Insert("a", "p", "b");
+  g.Insert("b", "r", "c");
+  auto answers = Evaluate(*Parse("((?x p ?y) OPT (?y q ?z)) OPT (?y r ?w)"), g);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].size(), 3u);  // x, y, w (no q-edge exists).
+}
+
+TEST_F(SemanticsTest, EvaluateContainsAgreesWithEvaluate) {
+  Rng rng(99);
+  RdfGraph g(&pool_);
+  testlib::SmallWorkloadGraph(&rng, 6, 25, 3, &g);
+  PatternPtr p = testlib::RandomWellDesignedPattern(&rng, &pool_);
+  auto answers = Evaluate(*p, g);
+  for (const Mapping& mu : answers) {
+    EXPECT_TRUE(EvaluateContains(*p, g, mu));
+  }
+  // Probe some non-answers.
+  for (const Mapping& probe : testlib::MembershipProbes(p, g, &rng, 10)) {
+    bool expected =
+        std::find(answers.begin(), answers.end(), probe) != answers.end();
+    EXPECT_EQ(EvaluateContains(*p, g, probe), expected);
+  }
+}
+
+TEST_F(SemanticsTest, OptOnSocialGraphProducesPartialAnswers) {
+  RdfGraph g(&pool_);
+  SocialGraphOptions options;
+  options.num_people = 30;
+  GenerateSocialGraph(options, &g);
+  auto answers = Evaluate(*Parse("(?p type Person) OPT (?p email ?e)"), g);
+  EXPECT_EQ(answers.size(), 30u);  // One answer per person.
+  int partial = 0;
+  for (const Mapping& mu : answers) {
+    if (mu.size() == 1) ++partial;
+  }
+  EXPECT_GT(partial, 0) << "some people must lack email";
+  EXPECT_LT(partial, 30) << "some people must have email";
+}
+
+TEST_F(SemanticsTest, EmptyGraphYieldsNoAnswers) {
+  RdfGraph g(&pool_);
+  EXPECT_TRUE(Evaluate(*Parse("(?x p ?y)"), g).empty());
+  EXPECT_TRUE(Evaluate(*Parse("(?x p ?y) OPT (?y q ?z)"), g).empty());
+}
+
+}  // namespace
+}  // namespace wdsparql

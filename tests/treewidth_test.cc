@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "hom/treewidth.h"
+#include "ptree/tgraph.h"
+#include "rdf/generator.h"
+#include "wd/paper_examples.h"
+
+namespace wdsparql {
+namespace {
+
+TEST(TreewidthTest, EmptyAndEdgelessGraphs) {
+  EXPECT_EQ(ComputeTreewidth(UndirectedGraph(0)).value(), 0);
+  EXPECT_EQ(ComputeTreewidth(UndirectedGraph(5)).value(), 0);
+}
+
+TEST(TreewidthTest, SingleEdge) {
+  UndirectedGraph g(2);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(ComputeTreewidth(g).value(), 1);
+}
+
+TEST(TreewidthTest, TreesHaveWidthOne) {
+  // A star and a path.
+  UndirectedGraph star(6);
+  for (int i = 1; i < 6; ++i) star.AddEdge(0, i);
+  EXPECT_EQ(ComputeTreewidth(star).value(), 1);
+  EXPECT_EQ(ComputeTreewidth(UndirectedGraph::Path(10)).value(), 1);
+}
+
+TEST(TreewidthTest, CyclesHaveWidthTwo) {
+  for (int n = 3; n <= 8; ++n) {
+    EXPECT_EQ(ComputeTreewidth(UndirectedGraph::Cycle(n)).value(), 2) << "C_" << n;
+  }
+}
+
+TEST(TreewidthTest, CliquesHaveWidthKMinusOne) {
+  for (int k = 2; k <= 8; ++k) {
+    EXPECT_EQ(ComputeTreewidth(UndirectedGraph::Complete(k)).value(), k - 1)
+        << "K_" << k;
+  }
+}
+
+TEST(TreewidthTest, GridsHaveWidthMinDimension) {
+  EXPECT_EQ(ComputeTreewidth(UndirectedGraph::Grid(2, 2)).value(), 2);
+  EXPECT_EQ(ComputeTreewidth(UndirectedGraph::Grid(2, 5)).value(), 2);
+  EXPECT_EQ(ComputeTreewidth(UndirectedGraph::Grid(3, 3)).value(), 3);
+  EXPECT_EQ(ComputeTreewidth(UndirectedGraph::Grid(3, 5)).value(), 3);
+  EXPECT_EQ(ComputeTreewidth(UndirectedGraph::Grid(4, 4)).value(), 4);
+}
+
+TEST(TreewidthTest, DisconnectedGraphTakesMax) {
+  // K4 plus an isolated path: width 3.
+  UndirectedGraph g(8);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) g.AddEdge(i, j);
+  }
+  g.AddEdge(4, 5);
+  g.AddEdge(5, 6);
+  g.AddEdge(6, 7);
+  EXPECT_EQ(ComputeTreewidth(g).value(), 3);
+}
+
+TEST(TreewidthTest, EliminationWidthMatchesValue) {
+  UndirectedGraph g = UndirectedGraph::Grid(3, 3);
+  TreewidthResult result = ComputeTreewidth(g);
+  ASSERT_TRUE(result.exact());
+  EXPECT_EQ(EliminationWidth(g, result.elimination_order), result.value());
+}
+
+TEST(TreewidthTest, DecompositionFromOrderIsValid) {
+  for (const UndirectedGraph& g :
+       {UndirectedGraph::Grid(3, 4), UndirectedGraph::Cycle(7),
+        UndirectedGraph::Complete(5), UndirectedGraph::Path(6)}) {
+    TreewidthResult result = ComputeTreewidth(g);
+    TreeDecomposition decomposition = DecompositionFromOrder(g, result.elimination_order);
+    EXPECT_TRUE(IsValidTreeDecomposition(g, decomposition));
+    EXPECT_EQ(decomposition.Width(), result.upper);
+  }
+}
+
+TEST(TreewidthTest, DecompositionOfDisconnectedGraph) {
+  UndirectedGraph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  TreewidthResult result = ComputeTreewidth(g);
+  TreeDecomposition decomposition = DecompositionFromOrder(g, result.elimination_order);
+  EXPECT_TRUE(IsValidTreeDecomposition(g, decomposition));
+}
+
+TEST(TreewidthTest, RandomGraphBoundsAreConsistent) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    UndirectedGraph g = GenerateErdosRenyi(12, 0.25, seed);
+    TreewidthResult result = ComputeTreewidth(g);
+    EXPECT_LE(result.lower, result.upper);
+    EXPECT_TRUE(result.exact()) << "n=12 should hit the exact DP";
+    EXPECT_EQ(EliminationWidth(g, result.elimination_order), result.upper);
+    EXPECT_GE(result.lower, g.Degeneracy() == 0 ? 0 : 1);
+  }
+}
+
+TEST(TreewidthTest, HeuristicOnlyAboveDpThreshold) {
+  TreewidthOptions options;
+  options.exact_dp_max_vertices = 4;  // Force heuristic path.
+  UndirectedGraph g = UndirectedGraph::Grid(3, 3);
+  TreewidthResult result = ComputeTreewidth(g, options);
+  EXPECT_GE(result.upper, 3);
+  EXPECT_LE(result.lower, result.upper);
+}
+
+// --- Generalised t-graph treewidth (tw and ctw, Example 3) -------------
+
+class TGraphWidthTest : public ::testing::Test {
+ protected:
+  TermPool pool_;
+};
+
+TEST_F(TGraphWidthTest, Example3SHasCtwKMinus1) {
+  for (int k = 2; k <= 5; ++k) {
+    GeneralizedTGraph s = MakeExample3S(&pool_, k);
+    EXPECT_EQ(TreewidthOf(s).value(), k - 1) << "tw, k=" << k;
+    EXPECT_EQ(CoreTreewidthOf(s).value(), k - 1) << "ctw, k=" << k;
+  }
+}
+
+TEST_F(TGraphWidthTest, Example3SPrimeSeparatesTwFromCtw) {
+  for (int k = 3; k <= 5; ++k) {
+    GeneralizedTGraph s_prime = MakeExample3SPrime(&pool_, k);
+    EXPECT_EQ(TreewidthOf(s_prime).value(), k - 1) << "tw, k=" << k;
+    EXPECT_EQ(CoreTreewidthOf(s_prime).value(), 1) << "ctw, k=" << k;
+  }
+}
+
+TEST_F(TGraphWidthTest, DistinguishedVariablesLeaveGaifman) {
+  // A triangle with one distinguished corner has Gaifman graph = one edge.
+  TermId a = pool_.InternVariable("a"), b = pool_.InternVariable("b"),
+         c = pool_.InternVariable("c");
+  TermId e = pool_.InternIri("e");
+  TripleSet s;
+  s.Insert(Triple(a, e, b));
+  s.Insert(Triple(b, e, c));
+  s.Insert(Triple(c, e, a));
+  GeneralizedTGraph g(s, {a});
+  std::vector<TermId> vars;
+  UndirectedGraph gaifman = GaifmanGraph(g, &vars);
+  EXPECT_EQ(gaifman.NumVertices(), 2);
+  EXPECT_EQ(gaifman.NumEdges(), 1);
+  EXPECT_EQ(TreewidthOf(g).value(), 1);
+}
+
+TEST_F(TGraphWidthTest, PaperFloorsTreewidthAtOne) {
+  // All variables distinguished: Gaifman graph empty, tw := 1.
+  TermId x = pool_.InternVariable("x");
+  TripleSet s;
+  s.Insert(Triple(x, pool_.InternIri("p"), x));
+  GeneralizedTGraph g(s, {x});
+  EXPECT_EQ(TreewidthOf(g).value(), 1);
+  EXPECT_EQ(CoreTreewidthOf(g).value(), 1);
+}
+
+TEST_F(TGraphWidthTest, RigidGridGaifmanIsGrid) {
+  GeneralizedTGraph grid = MakeRigidGrid(&pool_, 3, 3);
+  std::vector<TermId> vars;
+  UndirectedGraph gaifman = GaifmanGraph(grid, &vars);
+  EXPECT_EQ(gaifman.NumVertices(), 9);
+  EXPECT_EQ(gaifman.NumEdges(), 12);
+  EXPECT_EQ(TreewidthOf(grid).value(), 3);
+  // Rigid grids are cores: ctw == tw.
+  EXPECT_EQ(CoreTreewidthOf(grid).value(), 3);
+}
+
+}  // namespace
+}  // namespace wdsparql

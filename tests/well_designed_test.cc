@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "sparql/parser.h"
+#include "sparql/well_designed.h"
+#include "support/testlib.h"
+#include "wd/paper_examples.h"
+
+namespace wdsparql {
+namespace {
+
+PatternPtr Parse(const char* text, TermPool* pool) {
+  auto result = ParsePattern(text, pool);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+TEST(WellDesignedTest, PaperExample1P1IsWellDesigned) {
+  TermPool pool;
+  PatternPtr p1 = MakeExample1P1(&pool);
+  EXPECT_TRUE(CheckWellDesigned(p1, pool).ok());
+}
+
+TEST(WellDesignedTest, PaperExample1P2IsNotWellDesigned) {
+  TermPool pool;
+  PatternPtr p2 = MakeExample1P2(&pool);
+  Status status = CheckWellDesigned(p2, pool);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotWellDesigned);
+  // The offending variable is ?z.
+  EXPECT_NE(status.message().find("?z"), std::string::npos) << status.message();
+}
+
+TEST(WellDesignedTest, SimpleOptIsWellDesigned) {
+  TermPool pool;
+  PatternPtr p = Parse("(?x p ?y) OPT (?y q ?z)", &pool);
+  EXPECT_TRUE(IsWellDesigned(p, pool));
+}
+
+TEST(WellDesignedTest, OptVariableLeakIsRejected) {
+  TermPool pool;
+  // ?z appears in the optional side and then outside the OPT subpattern.
+  PatternPtr p = Parse("((?x p ?y) OPT (?y q ?z)) AND (?z r ?x)", &pool);
+  EXPECT_FALSE(IsWellDesigned(p, pool));
+}
+
+TEST(WellDesignedTest, SharedVariableWithLeftSideIsFine) {
+  TermPool pool;
+  // ?y occurs in both sides of the OPT, so using it outside is fine.
+  PatternPtr p = Parse("((?x p ?y) OPT (?y q ?w)) AND (?y r ?x)", &pool);
+  EXPECT_TRUE(IsWellDesigned(p, pool));
+}
+
+TEST(WellDesignedTest, NestedOptViolation) {
+  TermPool pool;
+  // Inner OPT introduces ?w; ?w reappears in a sibling branch of the outer
+  // pattern.
+  PatternPtr p = Parse("((?x p ?y) OPT ((?y q ?z) OPT (?z q ?w))) AND (?w p ?x)",
+                       &pool);
+  EXPECT_FALSE(IsWellDesigned(p, pool));
+}
+
+TEST(WellDesignedTest, UnionAtTopLevelOnly) {
+  TermPool pool;
+  PatternPtr good = Parse("((?x p ?y) OPT (?y q ?z)) UNION (?x p ?x)", &pool);
+  EXPECT_TRUE(IsWellDesigned(good, pool));
+
+  PatternPtr bad = Parse("(?x p ?y) AND ((?y q ?z) UNION (?y r ?z))", &pool);
+  Status status = CheckWellDesigned(bad, pool);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotWellDesigned);
+}
+
+TEST(WellDesignedTest, UnionUnderOptRejected) {
+  TermPool pool;
+  PatternPtr bad = Parse("(?x p ?y) OPT ((?y q ?z) UNION (?y r ?w))", &pool);
+  EXPECT_FALSE(IsWellDesigned(bad, pool));
+}
+
+TEST(WellDesignedTest, UnionNormalFormSplitsOperands) {
+  TermPool pool;
+  PatternPtr p = Parse("(?x p ?x) UNION (?y q ?y) UNION (?z r ?z)", &pool);
+  auto operands = UnionNormalForm(p);
+  ASSERT_TRUE(operands.ok());
+  EXPECT_EQ(operands.value().size(), 3u);
+  for (const PatternPtr& operand : operands.value()) {
+    EXPECT_TRUE(operand->IsUnionFree());
+  }
+}
+
+TEST(WellDesignedTest, UnionNormalFormSingleOperand) {
+  TermPool pool;
+  PatternPtr p = Parse("(?x p ?y) OPT (?y q ?z)", &pool);
+  auto operands = UnionNormalForm(p);
+  ASSERT_TRUE(operands.ok());
+  EXPECT_EQ(operands.value().size(), 1u);
+}
+
+TEST(WellDesignedTest, FkPatternIsWellDesigned) {
+  TermPool pool;
+  for (int k = 2; k <= 4; ++k) {
+    PatternPtr p = MakeFkPattern(&pool, k);
+    EXPECT_TRUE(CheckWellDesigned(p, pool).ok()) << "k = " << k;
+  }
+}
+
+TEST(WellDesignedTest, BranchAndCliqueFamiliesAreWellDesigned) {
+  TermPool pool;
+  for (int k = 2; k <= 5; ++k) {
+    EXPECT_TRUE(IsWellDesigned(MakeBranchFamilyPattern(&pool, k), pool));
+    EXPECT_TRUE(IsWellDesigned(MakeCliqueBranchPattern(&pool, k), pool));
+  }
+}
+
+TEST(WellDesignedTest, RandomGeneratorProducesWellDesignedPatterns) {
+  TermPool pool;
+  Rng rng(2024);
+  for (int i = 0; i < 50; ++i) {
+    PatternPtr p = testlib::RandomWellDesignedPattern(&rng, &pool);
+    EXPECT_TRUE(CheckWellDesigned(p, pool).ok()) << p->ToString(pool);
+  }
+  for (int i = 0; i < 20; ++i) {
+    PatternPtr p = testlib::RandomWellDesignedUnion(&rng, &pool, 3);
+    EXPECT_TRUE(CheckWellDesigned(p, pool).ok()) << p->ToString(pool);
+  }
+}
+
+}  // namespace
+}  // namespace wdsparql
