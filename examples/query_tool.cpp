@@ -1,14 +1,18 @@
 /// \file
 /// wdsparql query tool: evaluate a well-designed pattern over an RDF
-/// graph file from the command line.
+/// graph file from the command line, through the engine facade.
 ///
 ///   query_tool <graph.nt> '<pattern>' [--plan] [--count] [--promise K]
+///              [--backend naive|indexed]
 ///
 ///   <graph.nt>   N-Triples-like file (see rdf/ntriples.h)
 ///   <pattern>    e.g. '(?x knows ?y) OPT (?y email ?e)'
 ///   --plan       print wdpf(P) (the pattern forest) and the width report
 ///   --count      print |JPKG| only
 ///   --promise K  verify every answer with PebbleWdEval at promise K
+///   --backend    storage/execution backend (default: indexed — the
+///                dictionary-encoded permutation store; naive keeps the
+///                paper-faithful hash path)
 ///
 /// Exit status: 0 on success, 1 on user error, 2 on internal disagreement
 /// (which would indicate a library bug).
@@ -17,15 +21,12 @@
 #include <cstring>
 #include <string>
 
-#include "ptree/forest.h"
+#include "engine/query_engine.h"
 #include "rdf/ntriples.h"
 #include "sparql/parser.h"
 #include "sparql/semantics.h"
-#include "sparql/well_designed.h"
 #include "wd/branch_width.h"
 #include "wd/domination.h"
-#include "wd/enumerate.h"
-#include "wd/eval.h"
 #include "wd/local_tractability.h"
 
 using namespace wdsparql;
@@ -35,8 +36,29 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: query_tool <graph.nt> '<pattern>' [--plan] [--count] "
-               "[--promise K]\n");
+               "[--promise K] [--backend naive|indexed]\n");
   return 1;
+}
+
+void PrintPlan(const PreparedQuery& query, TermPool* pool) {
+  const PatternForest& forest = query.forest;
+  std::printf("wdpf(P): %zu tree(s)\n", forest.trees.size());
+  for (std::size_t i = 0; i < forest.trees.size(); ++i) {
+    std::printf("--- tree %zu\n%s", i, forest.trees[i].ToString(*pool).c_str());
+  }
+  std::printf("local width: %d\n", LocalWidth(forest));
+  if (forest.trees.size() == 1) {
+    std::printf("branch treewidth: %d\n", BranchTreewidth(forest.trees[0]));
+  }
+  DominationOptions budget;
+  budget.max_subtrees = 1u << 12;
+  budget.max_assignments_per_subtree = 1u << 12;
+  Result<int> dw = DominationWidth(forest, pool, budget);
+  if (dw.ok()) {
+    std::printf("domination width: %d (promise k for PebbleWdEval)\n", dw.value());
+  } else {
+    std::printf("domination width: %s\n", dw.status().ToString().c_str());
+  }
 }
 
 }  // namespace
@@ -48,6 +70,7 @@ int main(int argc, char** argv) {
   bool show_plan = false;
   bool count_only = false;
   int promise = 0;
+  QueryEngineOptions options;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--plan") == 0) {
       show_plan = true;
@@ -56,6 +79,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--promise") == 0 && i + 1 < argc) {
       promise = std::atoi(argv[++i]);
       if (promise < 1) return Usage();
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      const char* name = argv[++i];
+      if (std::strcmp(name, "naive") == 0) {
+        options.backend = Backend::kNaiveHash;
+      } else if (std::strcmp(name, "indexed") == 0) {
+        options.backend = Backend::kIndexed;
+      } else {
+        return Usage();
+      }
     } else {
       return Usage();
     }
@@ -76,46 +108,45 @@ int main(int argc, char** argv) {
   }
   PatternPtr pattern = parsed.value();
 
-  Status wd = CheckWellDesigned(pattern, pool);
-  if (!wd.ok()) {
-    std::fprintf(stderr, "note: %s\n", wd.ToString().c_str());
+  QueryEngine engine(graph, options);
+  Result<PreparedQuery> prepared = engine.PrepareParsed(pattern);
+
+  if (!prepared.ok()) {
+    // Patterns outside the engine's pipeline (not well designed, or
+    // using FILTER, which the wdpf translation does not cover) are
+    // still valid queries: evaluate them with the compositional set
+    // semantics only, as before the facade existed.
+    std::fprintf(stderr, "note: %s\n", prepared.status().ToString().c_str());
     std::fprintf(stderr, "evaluating with the set semantics only.\n");
+    if (show_plan) {
+      std::printf("plan unavailable: %s\n\n", prepared.status().ToString().c_str());
+    }
+    std::vector<Mapping> answers = Evaluate(*pattern, graph);
+    if (count_only) {
+      std::printf("%zu\n", answers.size());
+      return 0;
+    }
+    for (const Mapping& mu : answers) {
+      std::printf("%s\n", mu.ToString(pool).c_str());
+    }
+    std::fprintf(stderr, "%zu answer(s), graph: %zu triple(s)\n", answers.size(),
+                 graph.size());
+    if (promise > 0) {
+      // Pebble verification needs the wdpf forest, which this pattern
+      // has none of — surface that instead of silently skipping it.
+      std::fprintf(stderr, "cannot verify: %s\n",
+                   prepared.status().ToString().c_str());
+      return 1;
+    }
+    return 0;
   }
 
   if (show_plan) {
-    if (wd.ok()) {
-      auto forest = BuildPatternForest(pattern, pool);
-      if (forest.ok()) {
-        std::printf("wdpf(P): %zu tree(s)\n", forest.value().trees.size());
-        for (std::size_t i = 0; i < forest.value().trees.size(); ++i) {
-          std::printf("--- tree %zu\n%s", i,
-                      forest.value().trees[i].ToString(pool).c_str());
-        }
-        std::printf("local width: %d\n", LocalWidth(forest.value()));
-        if (forest.value().trees.size() == 1) {
-          std::printf("branch treewidth: %d\n",
-                      BranchTreewidth(forest.value().trees[0]));
-        }
-        DominationOptions budget;
-        budget.max_subtrees = 1u << 12;
-        budget.max_assignments_per_subtree = 1u << 12;
-        Result<int> dw = DominationWidth(forest.value(), &pool, budget);
-        if (dw.ok()) {
-          std::printf("domination width: %d (promise k for PebbleWdEval)\n",
-                      dw.value());
-        } else {
-          std::printf("domination width: %s\n", dw.status().ToString().c_str());
-        }
-      } else {
-        std::printf("plan unavailable: %s\n", forest.status().ToString().c_str());
-      }
-    } else {
-      std::printf("plan unavailable: pattern is not well designed\n");
-    }
+    PrintPlan(prepared.value(), &pool);
     std::printf("\n");
   }
 
-  std::vector<Mapping> answers = Evaluate(*pattern, graph);
+  std::vector<Mapping> answers = engine.Solutions(prepared.value());
   if (count_only) {
     std::printf("%zu\n", answers.size());
     return 0;
@@ -123,17 +154,12 @@ int main(int argc, char** argv) {
   for (const Mapping& mu : answers) {
     std::printf("%s\n", mu.ToString(pool).c_str());
   }
-  std::fprintf(stderr, "%zu answer(s), graph: %zu triple(s)\n", answers.size(),
-               graph.size());
+  std::fprintf(stderr, "%zu answer(s), graph: %zu triple(s), backend: %s\n",
+               answers.size(), graph.size(), BackendToString(engine.backend()));
 
-  if (promise > 0 && wd.ok()) {
-    auto forest = BuildPatternForest(pattern, pool);
-    if (!forest.ok()) {
-      std::fprintf(stderr, "cannot verify: %s\n", forest.status().ToString().c_str());
-      return 1;
-    }
+  if (promise > 0) {
     for (const Mapping& mu : answers) {
-      if (!PebbleWdEval(forest.value(), graph, mu, promise)) {
+      if (!PebbleWdEval(prepared.value().forest, graph, mu, promise)) {
         std::fprintf(stderr,
                      "DISAGREEMENT: pebble algorithm (k=%d) rejects %s — promise "
                      "too small or library bug\n",

@@ -1,0 +1,21 @@
+#include "engine/dictionary.h"
+
+#include <algorithm>
+
+namespace wdsparql {
+
+Dictionary Dictionary::Build(const TripleSet& set) {
+  Dictionary dict;
+  dict.terms_ = set.AllTerms();
+  std::sort(dict.terms_.begin(), dict.terms_.end());
+  WDSPARQL_CHECK(dict.terms_.size() < kNoDataId);
+  return dict;
+}
+
+DataId Dictionary::Encode(TermId t) const {
+  auto it = std::lower_bound(terms_.begin(), terms_.end(), t);
+  if (it == terms_.end() || *it != t) return kNoDataId;
+  return static_cast<DataId>(it - terms_.begin());
+}
+
+}  // namespace wdsparql

@@ -1,0 +1,63 @@
+#ifndef WDSPARQL_ENGINE_DICTIONARY_H_
+#define WDSPARQL_ENGINE_DICTIONARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rdf/triple_set.h"
+
+/// \file
+/// Dictionary encoding of interned terms.
+///
+/// Real triple stores (RDF-3X, Trident) separate the string dictionary
+/// from the triple indexes: triples are stored as tuples of dense
+/// machine ids so permutation indexes stay compact and comparisons are
+/// integer compares. This library already interns spellings to `TermId`s
+/// in the `TermPool`; the engine adds a second, per-store dictionary that
+/// maps the terms *actually occurring in one triple set* to a dense
+/// `DataId` range `[0, size)`, assigned in ascending `TermId` order. The
+/// density is what makes the permutation vectors of `IndexedStore`
+/// sortable and binary-searchable, and the order preservation means
+/// `DataId` order coincides with `TermId` order — handy for emitting
+/// sorted candidate values during joins.
+
+namespace wdsparql {
+
+/// Dense per-store term id.
+using DataId = uint32_t;
+
+/// Sentinel: "no id" / wildcard in encoded patterns.
+inline constexpr DataId kNoDataId = 0xFFFFFFFFu;
+
+/// Order-preserving map between the distinct `TermId`s of one triple set
+/// and the dense range `[0, size)`.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Builds the dictionary of the distinct terms of `set`.
+  static Dictionary Build(const TripleSet& set);
+
+  /// The dense id of `t`, or `kNoDataId` if `t` does not occur in the
+  /// indexed set. O(log size) via binary search on the sorted term list.
+  DataId Encode(TermId t) const;
+
+  /// The term with dense id `id`; fatal if out of range.
+  TermId Decode(DataId id) const {
+    WDSPARQL_CHECK(id < terms_.size());
+    return terms_[id];
+  }
+
+  /// Number of distinct terms.
+  std::size_t size() const { return terms_.size(); }
+
+  /// The distinct terms, ascending by `TermId` (== ascending by DataId).
+  const std::vector<TermId>& terms() const { return terms_; }
+
+ private:
+  std::vector<TermId> terms_;  // Sorted; index == DataId.
+};
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_ENGINE_DICTIONARY_H_

@@ -1,0 +1,127 @@
+#include "engine/indexed_store.h"
+
+#include <algorithm>
+
+namespace wdsparql {
+namespace {
+
+/// Position order of each permutation: kSpo reads positions (0,1,2),
+/// kPos (1,2,0), kOsp (2,0,1).
+constexpr int kPermOrder[3][3] = {{0, 1, 2}, {1, 2, 0}, {2, 0, 1}};
+
+/// The permutation whose sort prefix covers the bound-position mask
+/// (bit 0 = subject, bit 1 = predicate, bit 2 = object). Every mask is a
+/// prefix of one cyclic permutation; full and empty masks default to SPO.
+constexpr Permutation kPermForMask[8] = {
+    Permutation::kSpo,  // ---
+    Permutation::kSpo,  // S--
+    Permutation::kPos,  // -P-
+    Permutation::kSpo,  // SP-
+    Permutation::kOsp,  // --O
+    Permutation::kOsp,  // S-O  (OSP prefix: O, S)
+    Permutation::kPos,  // -PO  (POS prefix: P, O)
+    Permutation::kSpo,  // SPO
+};
+
+/// Lexicographic comparator in the given permutation order.
+struct PermLess {
+  const int* order;
+  bool operator()(const EncTriple& a, const EncTriple& b) const {
+    for (int i = 0; i < 3; ++i) {
+      int pos = order[i];
+      if (a[pos] != b[pos]) return a[pos] < b[pos];
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+IndexedStore IndexedStore::Build(const TripleSet& set) {
+  IndexedStore store;
+  store.dict_ = Dictionary::Build(set);
+  store.spo_.reserve(set.size());
+  for (const Triple& t : set.triples()) {
+    EncTriple enc;
+    enc.s = store.dict_.Encode(t.subject);
+    enc.p = store.dict_.Encode(t.predicate);
+    enc.o = store.dict_.Encode(t.object);
+    WDSPARQL_DCHECK(enc.s != kNoDataId && enc.p != kNoDataId && enc.o != kNoDataId);
+    store.spo_.push_back(enc);
+  }
+  store.pos_ = store.spo_;
+  store.osp_ = store.spo_;
+  std::sort(store.spo_.begin(), store.spo_.end(),
+            PermLess{kPermOrder[static_cast<int>(Permutation::kSpo)]});
+  std::sort(store.pos_.begin(), store.pos_.end(),
+            PermLess{kPermOrder[static_cast<int>(Permutation::kPos)]});
+  std::sort(store.osp_.begin(), store.osp_.end(),
+            PermLess{kPermOrder[static_cast<int>(Permutation::kOsp)]});
+  return store;
+}
+
+bool IndexedStore::EncodeScanPattern(const Triple& pattern, EncPattern* out) const {
+  *out = EncPattern{};
+  for (int pos = 0; pos < 3; ++pos) {
+    TermId term = pattern[pos];
+    if (term == kAnyTerm) continue;
+    DataId id = dict_.Encode(term);
+    if (id == kNoDataId) return false;  // Term absent: nothing can match.
+    (pos == 0 ? out->s : (pos == 1 ? out->p : out->o)) = id;
+  }
+  return true;
+}
+
+ScanRange IndexedStore::Scan(const EncPattern& pattern) const {
+  int mask = (pattern.s != kNoDataId ? 1 : 0) | (pattern.p != kNoDataId ? 2 : 0) |
+             (pattern.o != kNoDataId ? 4 : 0);
+  Permutation perm = kPermForMask[mask];
+  const std::vector<EncTriple>& vec = Vector(perm);
+  const int* order = kPermOrder[static_cast<int>(perm)];
+  int prefix = (mask & 1) + ((mask >> 1) & 1) + ((mask >> 2) & 1);
+
+  auto triple_below = [&](const EncTriple& t, const EncPattern& p) {
+    for (int i = 0; i < prefix; ++i) {
+      int pos = order[i];
+      if (t[pos] != p[pos]) return t[pos] < p[pos];
+    }
+    return false;
+  };
+  auto pattern_below = [&](const EncPattern& p, const EncTriple& t) {
+    for (int i = 0; i < prefix; ++i) {
+      int pos = order[i];
+      if (t[pos] != p[pos]) return p[pos] < t[pos];
+    }
+    return false;
+  };
+
+  auto lo = std::lower_bound(vec.begin(), vec.end(), pattern, triple_below);
+  auto hi = std::upper_bound(lo, vec.end(), pattern, pattern_below);
+  const EncTriple* base = vec.data();
+  return ScanRange(base + (lo - vec.begin()), base + (hi - vec.begin()), perm);
+}
+
+bool IndexedStore::Contains(const EncTriple& t) const {
+  return std::binary_search(spo_.begin(), spo_.end(), t,
+                            PermLess{kPermOrder[static_cast<int>(Permutation::kSpo)]});
+}
+
+bool IndexedStore::Contains(const Triple& t) const {
+  EncTriple enc;
+  enc.s = dict_.Encode(t.subject);
+  enc.p = dict_.Encode(t.predicate);
+  enc.o = dict_.Encode(t.object);
+  if (enc.s == kNoDataId || enc.p == kNoDataId || enc.o == kNoDataId) return false;
+  return Contains(enc);
+}
+
+bool IndexedStore::ScanPattern(const Triple& pattern, const TripleScanCallback& fn) const {
+  EncPattern enc;
+  if (!EncodeScanPattern(pattern, &enc)) return true;  // Empty scan completes.
+  for (const EncTriple& t : Scan(enc)) {
+    if (!fn(Decode(t))) return false;
+  }
+  return true;
+}
+
+}  // namespace wdsparql

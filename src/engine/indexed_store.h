@@ -1,0 +1,131 @@
+#ifndef WDSPARQL_ENGINE_INDEXED_STORE_H_
+#define WDSPARQL_ENGINE_INDEXED_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/dictionary.h"
+#include "rdf/scan.h"
+#include "rdf/triple_set.h"
+
+/// \file
+/// Dictionary-encoded triple store with sorted permutation indexes.
+///
+/// `IndexedStore` is the engine's storage layer, modelled on RDF-3X's
+/// permutation indexes: the dictionary-encoded triples are materialised
+/// three times, sorted in SPO, POS and OSP order. Because the three
+/// cyclic permutations cover every subset of {S, P, O} as a sort prefix,
+/// *any* partially bound triple pattern resolves to one contiguous,
+/// binary-searchable range of exactly the matching triples — no
+/// post-filtering, no hash probes, and iteration is a linear walk over
+/// packed 12-byte tuples. Within a range, the values of the first
+/// unbound position (in permutation order) appear in ascending `DataId`
+/// order, which the merge join of `engine/join.h` exploits.
+///
+/// The store also implements the `TripleSource` scan interface, so the
+/// paper's homomorphism/wdEVAL algorithms run on top of it unchanged.
+
+namespace wdsparql {
+
+/// A dictionary-encoded triple. Field order is always (s, p, o); the
+/// permutation lives in the sort order of the containing vector.
+struct EncTriple {
+  DataId s;
+  DataId p;
+  DataId o;
+
+  /// Position access: 0=subject, 1=predicate, 2=object.
+  DataId operator[](int pos) const { return pos == 0 ? s : (pos == 1 ? p : o); }
+
+  friend bool operator==(const EncTriple& a, const EncTriple& b) {
+    return a.s == b.s && a.p == b.p && a.o == b.o;
+  }
+};
+
+/// An encoded triple pattern: `kNoDataId` positions are wildcards.
+struct EncPattern {
+  DataId s = kNoDataId;
+  DataId p = kNoDataId;
+  DataId o = kNoDataId;
+
+  DataId operator[](int pos) const { return pos == 0 ? s : (pos == 1 ? p : o); }
+};
+
+/// The three cyclic permutation orders.
+enum class Permutation { kSpo = 0, kPos = 1, kOsp = 2 };
+
+/// A contiguous range of encoded triples in one permutation order;
+/// usable directly in range-for. The backing store must outlive it.
+class ScanRange {
+ public:
+  ScanRange(const EncTriple* begin, const EncTriple* end, Permutation perm)
+      : begin_(begin), end_(end), perm_(perm) {}
+
+  const EncTriple* begin() const { return begin_; }
+  const EncTriple* end() const { return end_; }
+  std::size_t size() const { return static_cast<std::size_t>(end_ - begin_); }
+  bool empty() const { return begin_ == end_; }
+  /// The permutation the range is sorted in.
+  Permutation permutation() const { return perm_; }
+
+ private:
+  const EncTriple* begin_;
+  const EncTriple* end_;
+  Permutation perm_;
+};
+
+/// Immutable dictionary-encoded store with SPO/POS/OSP permutations.
+class IndexedStore final : public TripleSource {
+ public:
+  IndexedStore() = default;
+
+  /// Builds the store (dictionary + three sorted permutations) from the
+  /// triples of `set`.
+  static IndexedStore Build(const TripleSet& set);
+
+  /// The term dictionary.
+  const Dictionary& dictionary() const { return dict_; }
+
+  /// Encodes a `TermId`-space pattern (`kAnyTerm` positions become
+  /// wildcards). Returns false iff some bound term does not occur in the
+  /// store — in which case no triple can match.
+  bool EncodeScanPattern(const Triple& pattern, EncPattern* out) const;
+
+  /// The contiguous range of triples matching `pattern`, in the
+  /// permutation whose sort prefix covers the bound positions. Every
+  /// triple in the range matches; no residual filtering is needed.
+  ScanRange Scan(const EncPattern& pattern) const;
+
+  /// True iff the encoded triple is present.
+  bool Contains(const EncTriple& t) const;
+
+  /// Decodes `t` back to `TermId` space.
+  Triple Decode(const EncTriple& t) const {
+    return Triple(dict_.Decode(t.s), dict_.Decode(t.p), dict_.Decode(t.o));
+  }
+
+  // TripleSource interface -------------------------------------------
+  std::size_t size() const override { return spo_.size(); }
+  bool Contains(const Triple& t) const override;
+  bool ScanPattern(const Triple& pattern, const TripleScanCallback& fn) const override;
+  std::vector<TermId> AllTerms() const override { return dict_.terms(); }
+
+ private:
+  Dictionary dict_;
+  // The same triples, sorted in the three cyclic permutation orders.
+  std::vector<EncTriple> spo_;
+  std::vector<EncTriple> pos_;
+  std::vector<EncTriple> osp_;
+
+  const std::vector<EncTriple>& Vector(Permutation perm) const {
+    switch (perm) {
+      case Permutation::kSpo: return spo_;
+      case Permutation::kPos: return pos_;
+      default: return osp_;
+    }
+  }
+};
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_ENGINE_INDEXED_STORE_H_

@@ -1,0 +1,209 @@
+#include "engine/join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace wdsparql {
+namespace {
+
+/// One conjunct, dictionary-encoded: constant positions carry their
+/// `DataId`, variable positions the local variable index.
+struct EncConjunct {
+  DataId constant[3];  // kNoDataId where a variable sits.
+  int var[3];          // -1 where a constant sits.
+};
+
+/// Variable-at-a-time join state.
+class JoinRun {
+ public:
+  JoinRun(const IndexedStore& store, const VarAssignment& fixed,
+          const std::function<bool(const VarAssignment&)>& callback, JoinStats* stats)
+      : store_(store), fixed_(fixed), callback_(callback), stats_(stats) {}
+
+  /// Returns false iff setup proved the join empty.
+  bool Setup(const std::vector<Triple>& patterns) {
+    for (const Triple& raw : patterns) {
+      Triple t = ApplyAssignment(fixed_, raw);
+      EncConjunct c;
+      bool ground = true;
+      EncTriple enc_ground;
+      for (int pos = 0; pos < 3; ++pos) {
+        TermId term = t[pos];
+        if (IsVariable(term)) {
+          c.constant[pos] = kNoDataId;
+          c.var[pos] = LocalVar(term);
+          ground = false;
+          continue;
+        }
+        DataId id = store_.dictionary().Encode(term);
+        if (id == kNoDataId) return false;  // Constant absent from the store.
+        c.constant[pos] = id;
+        c.var[pos] = -1;
+        (pos == 0 ? enc_ground.s : (pos == 1 ? enc_ground.p : enc_ground.o)) = id;
+      }
+      if (ground) {
+        if (!store_.Contains(enc_ground)) return false;
+        continue;  // Satisfied unconditionally; drop the conjunct.
+      }
+      conjuncts_.push_back(c);
+    }
+
+    // Bind most-constrained variables first: descending pattern count,
+    // ties by TermId for determinism.
+    conjuncts_of_var_.assign(vars_.size(), {});
+    for (std::size_t ci = 0; ci < conjuncts_.size(); ++ci) {
+      for (int pos = 0; pos < 3; ++pos) {
+        int v = conjuncts_[ci].var[pos];
+        if (v < 0) continue;
+        std::vector<std::size_t>& list = conjuncts_of_var_[v];
+        if (list.empty() || list.back() != ci) list.push_back(ci);
+      }
+    }
+    order_.resize(vars_.size());
+    for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = static_cast<int>(i);
+    std::sort(order_.begin(), order_.end(), [this](int a, int b) {
+      std::size_t ca = conjuncts_of_var_[a].size();
+      std::size_t cb = conjuncts_of_var_[b].size();
+      if (ca != cb) return ca > cb;
+      return vars_[a] < vars_[b];
+    });
+    binding_.assign(vars_.size(), kNoDataId);
+    return true;
+  }
+
+  void Run() { Descend(0); }
+
+ private:
+  int LocalVar(TermId term) {
+    auto it = var_index_.find(term);
+    if (it != var_index_.end()) return it->second;
+    int idx = static_cast<int>(vars_.size());
+    var_index_[term] = idx;
+    vars_.push_back(term);
+    return idx;
+  }
+
+  /// Sorted distinct candidate values for variable `v` from conjunct
+  /// `ci`, given the current bindings. Values come out of one
+  /// permutation range; when `v` sits right after the bound prefix they
+  /// are already sorted, otherwise a sort pass normalises them.
+  std::vector<DataId> CollectValues(std::size_t ci, int v) {
+    const EncConjunct& c = conjuncts_[ci];
+    EncPattern probe;
+    int v_positions[3];
+    int num_v_positions = 0;
+    for (int pos = 0; pos < 3; ++pos) {
+      DataId bound = kNoDataId;
+      if (c.var[pos] < 0) {
+        bound = c.constant[pos];
+      } else if (c.var[pos] == v) {
+        v_positions[num_v_positions++] = pos;
+      } else {
+        bound = binding_[c.var[pos]];  // kNoDataId while unbound: wildcard.
+      }
+      (pos == 0 ? probe.s : (pos == 1 ? probe.p : probe.o)) = bound;
+    }
+    WDSPARQL_DCHECK(num_v_positions > 0);
+
+    std::vector<DataId> values;
+    if (stats_ != nullptr) ++stats_->ranges_scanned;
+    for (const EncTriple& t : store_.Scan(probe)) {
+      // Repeated variable inside the conjunct: all its positions must
+      // carry the same value.
+      if (num_v_positions > 1 && t[v_positions[1]] != t[v_positions[0]]) continue;
+      if (num_v_positions > 2 && t[v_positions[2]] != t[v_positions[0]]) continue;
+      values.push_back(t[v_positions[0]]);
+    }
+    if (!std::is_sorted(values.begin(), values.end())) {
+      std::sort(values.begin(), values.end());
+    }
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    return values;
+  }
+
+  /// Galloping intersection of sorted candidate lists, smallest first.
+  std::vector<DataId> Intersect(std::vector<std::vector<DataId>> lists) {
+    std::sort(lists.begin(), lists.end(),
+              [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    std::vector<DataId> current = std::move(lists.front());
+    for (std::size_t i = 1; i < lists.size() && !current.empty(); ++i) {
+      const std::vector<DataId>& other = lists[i];
+      std::vector<DataId> next;
+      next.reserve(current.size());
+      auto it = other.begin();
+      for (DataId value : current) {
+        if (stats_ != nullptr) ++stats_->values_probed;
+        it = std::lower_bound(it, other.end(), value);
+        if (it == other.end()) break;
+        if (*it == value) next.push_back(value);
+      }
+      current = std::move(next);
+    }
+    return current;
+  }
+
+  /// Returns false iff the callback stopped the enumeration.
+  bool Descend(std::size_t depth) {
+    if (depth == order_.size()) {
+      VarAssignment out = fixed_;
+      for (std::size_t i = 0; i < vars_.size(); ++i) {
+        out[vars_[i]] = store_.dictionary().Decode(binding_[i]);
+      }
+      if (stats_ != nullptr) ++stats_->emitted;
+      return callback_(out);
+    }
+    int v = order_[depth];
+    std::vector<std::vector<DataId>> lists;
+    lists.reserve(conjuncts_of_var_[v].size());
+    for (std::size_t ci : conjuncts_of_var_[v]) {
+      lists.push_back(CollectValues(ci, v));
+      if (lists.back().empty()) return true;  // Dead branch.
+    }
+    for (DataId value : Intersect(std::move(lists))) {
+      binding_[v] = value;
+      if (!Descend(depth + 1)) return false;
+    }
+    binding_[v] = kNoDataId;
+    return true;
+  }
+
+  const IndexedStore& store_;
+  const VarAssignment& fixed_;
+  const std::function<bool(const VarAssignment&)>& callback_;
+  JoinStats* stats_;
+
+  std::vector<EncConjunct> conjuncts_;
+  std::vector<TermId> vars_;
+  std::unordered_map<TermId, int> var_index_;
+  std::vector<std::vector<std::size_t>> conjuncts_of_var_;
+  std::vector<int> order_;
+  std::vector<DataId> binding_;
+};
+
+}  // namespace
+
+void JoinEnumerate(const IndexedStore& store, const std::vector<Triple>& patterns,
+                   const VarAssignment& fixed,
+                   const std::function<bool(const VarAssignment&)>& callback,
+                   JoinStats* stats) {
+  JoinRun run(store, fixed, callback, stats);
+  if (!run.Setup(patterns)) return;
+  run.Run();
+}
+
+bool JoinExists(const IndexedStore& store, const std::vector<Triple>& patterns,
+                const VarAssignment& fixed, JoinStats* stats) {
+  bool found = false;
+  JoinEnumerate(
+      store, patterns, fixed,
+      [&found](const VarAssignment&) {
+        found = true;
+        return false;  // First witness suffices.
+      },
+      stats);
+  return found;
+}
+
+}  // namespace wdsparql

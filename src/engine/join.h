@@ -1,0 +1,51 @@
+#ifndef WDSPARQL_ENGINE_JOIN_H_
+#define WDSPARQL_ENGINE_JOIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "engine/indexed_store.h"
+#include "hom/homomorphism.h"
+
+/// \file
+/// Merge/leapfrog-style multiway join for conjunctive patterns.
+///
+/// A conjunctive (AND-only) subpattern is a set of triple patterns; its
+/// solutions over a ground store are exactly the homomorphisms of the
+/// pattern set. Where the generic CSP solver of hom/homomorphism.h
+/// backtracks over per-variable domains with AC-3 propagation, this join
+/// binds variables one at a time in a fixed global order and, at each
+/// level, intersects the *sorted* candidate ranges contributed by every
+/// pattern containing the variable — the variable-at-a-time scheme of
+/// leapfrog triejoin, with galloping (exponential-probe) merges over the
+/// permutation ranges of `IndexedStore`. Candidate values arrive sorted
+/// because `DataId` order is preserved inside every permutation range.
+
+namespace wdsparql {
+
+/// Counters for one join run.
+struct JoinStats {
+  uint64_t ranges_scanned = 0;  ///< Permutation ranges materialised.
+  uint64_t values_probed = 0;   ///< Candidate values tested in merges.
+  uint64_t emitted = 0;         ///< Solutions produced.
+};
+
+/// Enumerates every assignment of vars(`patterns`) \ dom(`fixed`) such
+/// that all patterns, instantiated by the assignment plus `fixed`, are
+/// triples of `store`. The emitted assignments include `fixed` (same
+/// convention as EnumerateHomomorphisms). `callback` may return false to
+/// stop. Deterministic order. Patterns may repeat variables within a
+/// triple; `fixed` values must occur in the store for a match to exist.
+void JoinEnumerate(const IndexedStore& store, const std::vector<Triple>& patterns,
+                   const VarAssignment& fixed,
+                   const std::function<bool(const VarAssignment&)>& callback,
+                   JoinStats* stats = nullptr);
+
+/// True iff at least one such assignment exists (early-exit join).
+bool JoinExists(const IndexedStore& store, const std::vector<Triple>& patterns,
+                const VarAssignment& fixed, JoinStats* stats = nullptr);
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_ENGINE_JOIN_H_

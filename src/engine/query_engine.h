@@ -1,0 +1,121 @@
+#ifndef WDSPARQL_ENGINE_QUERY_ENGINE_H_
+#define WDSPARQL_ENGINE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "engine/indexed_store.h"
+#include "ptree/forest.h"
+#include "rdf/graph.h"
+#include "rdf/scan.h"
+#include "sparql/ast.h"
+#include "sparql/mapping.h"
+#include "util/status.h"
+#include "wd/enumerate.h"
+#include "wd/eval.h"
+
+/// \file
+/// The query-engine facade.
+///
+/// `QueryEngine` runs the full pipeline of the paper over a pluggable
+/// storage backend: parse the pattern text, check well-designedness
+/// (sparql/well_designed.h), build the wdpf forest, then answer wdEVAL
+/// membership queries and enumerate the solution set.
+///
+/// Two backends:
+///
+///  * `Backend::kNaiveHash` — the paper-faithful path: hash-indexed
+///    `TripleSet` scans feeding the CSP homomorphism solver. Kept as the
+///    correctness oracle for differential testing.
+///  * `Backend::kIndexed` — the dictionary-encoded permutation store:
+///    candidate generation and maximality certificates run as
+///    merge/leapfrog joins over sorted SPO/POS/OSP ranges
+///    (engine/join.h); subtree matching probes the same store.
+///
+/// Both backends produce identical solution sets and identical
+/// membership verdicts (enforced by tests/engine_test.cc and the
+/// property suite).
+
+namespace wdsparql {
+
+/// Storage/execution backend selector.
+enum class Backend {
+  kNaiveHash,  ///< Hash-indexed TripleSet + CSP solver (oracle).
+  kIndexed,    ///< Dictionary-encoded permutation store + merge joins.
+};
+
+/// Human-readable backend name ("naive-hash" / "indexed").
+const char* BackendToString(Backend backend);
+
+/// Engine configuration.
+struct QueryEngineOptions {
+  Backend backend = Backend::kIndexed;
+
+  /// Domination-width promise k for membership tests on the naive
+  /// backend: 0 uses exact homomorphism extension tests (always
+  /// correct), k >= 1 uses the polynomial (k+1)-pebble relaxation of
+  /// Theorem 1 (correct under dw <= k).
+  int pebble_promise = 0;
+};
+
+/// A parsed, validated and planned query, bound to the engine's pool.
+struct PreparedQuery {
+  PatternPtr pattern;
+  PatternForest forest;
+};
+
+/// Facade running parse → well-designedness → wdpf → wdEVAL/enumeration
+/// over the configured backend.
+class QueryEngine {
+ public:
+  /// Binds the engine to `graph` (must outlive the engine). The indexed
+  /// backend builds its dictionary and permutation vectors here; the
+  /// naive backend only wraps the graph's hash indexes.
+  explicit QueryEngine(const RdfGraph& graph, const QueryEngineOptions& options = {});
+
+  /// Full front half of the pipeline: parse `pattern_text`, reject
+  /// non-well-designed patterns, translate to the wdpf forest.
+  Result<PreparedQuery> Prepare(std::string_view pattern_text) const;
+
+  /// Plans an already-parsed pattern (well-designedness still checked).
+  Result<PreparedQuery> PrepareParsed(const PatternPtr& pattern) const;
+
+  /// wdEVAL membership: decides mu ∈ JPKG on the configured backend.
+  bool Evaluate(const PreparedQuery& query, const Mapping& mu,
+                EvalStats* stats = nullptr) const;
+
+  /// Enumerates JPKG, sorted and duplicate-free.
+  std::vector<Mapping> Solutions(const PreparedQuery& query,
+                                 EnumerateStats* stats = nullptr) const;
+
+  /// Streaming enumeration; the callback may return false to stop.
+  void EnumerateSolutions(const PreparedQuery& query,
+                          const std::function<bool(const Mapping&)>& callback,
+                          EnumerateStats* stats = nullptr) const;
+
+  /// |JPKG|.
+  uint64_t Count(const PreparedQuery& query) const;
+
+  /// The active backend.
+  Backend backend() const { return options_.backend; }
+
+  /// The scan source of the active backend.
+  const TripleSource& source() const;
+
+  /// The permutation store (only when backend == kIndexed, else null).
+  const IndexedStore* indexed_store() const { return indexed_.get(); }
+
+  /// The underlying graph.
+  const RdfGraph& graph() const { return graph_; }
+
+ private:
+  const RdfGraph& graph_;
+  QueryEngineOptions options_;
+  HashTripleSource hash_source_;
+  std::unique_ptr<IndexedStore> indexed_;
+};
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_ENGINE_QUERY_ENGINE_H_

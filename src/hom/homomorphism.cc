@@ -16,10 +16,15 @@ namespace {
 /// every assignment (MAC). This keeps the paper's hard instances — clique
 /// queries against dense hosts, the Lemma 2 gadgets — within reach while
 /// remaining exact.
+///
+/// Candidate support is probed through the `TripleSource` scan
+/// interface: each revision builds a partially bound probe pattern and
+/// lets the backend pick its best access path (hash index or permutation
+/// range).
 class HomSearch {
  public:
   HomSearch(const TripleSet& source, const VarAssignment& fixed,
-            const TripleSet& target, const HomOptions& options)
+            const TripleSource& target, const HomOptions& options)
       : source_(source), target_(target), options_(options), fixed_(fixed) {
     for (TermId var : source_.Variables()) {
       if (fixed_.find(var) == fixed_.end()) {
@@ -86,10 +91,12 @@ class HomSearch {
   }
 
   /// Seeds per-variable domains from the target's term population and the
-  /// banned-image set.
+  /// banned-image set. Domains stay sorted throughout the search (the
+  /// support check binary-searches them); the `TripleSource` contract
+  /// guarantees `AllTerms` is already ascending.
   bool InitializeDomains() {
     std::vector<TermId> all_terms = target_.AllTerms();
-    std::sort(all_terms.begin(), all_terms.end());
+    WDSPARQL_DCHECK(std::is_sorted(all_terms.begin(), all_terms.end()));
     if (!options_.banned_image.empty()) {
       all_terms.erase(std::remove_if(all_terms.begin(), all_terms.end(),
                                      [this](TermId t) {
@@ -109,45 +116,37 @@ class HomSearch {
     const Triple& t = source_.triples()[t_idx];
     TermId v_var = free_vars_[v];
 
-    // Choose the index to scan: a position holding v (value a) is ideal;
-    // otherwise any determined position.
-    int probe_pos = -1;
-    TermId probe_val = 0;
+    // Probe pattern: v's positions and every determined position are
+    // bound; other free variables become wildcards, filtered below.
+    Triple probe;
     for (int pos = 0; pos < 3; ++pos) {
-      if (t[pos] == v_var) {
-        probe_pos = pos;
-        probe_val = a;
-        break;
+      TermId term = t[pos];
+      if (term == v_var) {
+        probe.Set(pos, a);
+        continue;
       }
+      std::optional<TermId> image = DeterminedImage(term);
+      probe.Set(pos, image.has_value() ? *image : kAnyTerm);
     }
-    WDSPARQL_DCHECK(probe_pos >= 0);
 
-    for (uint32_t d_idx : target_.TriplesWithTermAt(probe_pos, probe_val)) {
-      const Triple& d = target_.triples()[d_idx];
-      bool match = true;
-      for (int pos = 0; pos < 3 && match; ++pos) {
+    bool found = false;
+    target_.ScanPattern(probe, [&](const Triple& d) {
+      for (int pos = 0; pos < 3; ++pos) {
         TermId term = t[pos];
-        if (term == v_var) {
-          if (d[pos] != a) match = false;
-          continue;
-        }
-        std::optional<TermId> image = DeterminedImage(term);
-        if (image.has_value()) {
-          if (d[pos] != *image) match = false;
-          continue;
-        }
+        if (term == v_var || DeterminedImage(term).has_value()) continue;
         // Other free variable: its domain must contain the value.
         int u = var_index_.at(term);
         const std::vector<TermId>& domain = domains_[u];
-        if (!std::binary_search(domain.begin(), domain.end(), d[pos])) match = false;
+        if (!std::binary_search(domain.begin(), domain.end(), d[pos])) return true;
         // Repeated free variables across positions: require equal images.
-        for (int pos2 = pos + 1; pos2 < 3 && match; ++pos2) {
-          if (t[pos2] == term && d[pos2] != d[pos]) match = false;
+        for (int pos2 = pos + 1; pos2 < 3; ++pos2) {
+          if (t[pos2] == term && d[pos2] != d[pos]) return true;
         }
       }
-      if (match) return true;
-    }
-    return false;
+      found = true;
+      return false;  // Support witnessed; stop the scan.
+    });
+    return found;
   }
 
   /// AC-3: revises domains against the triples in `queue` until stable
@@ -281,7 +280,7 @@ class HomSearch {
   }
 
   const TripleSet& source_;
-  const TripleSet& target_;
+  const TripleSource& target_;
   HomOptions options_;
   VarAssignment fixed_;
 
@@ -301,7 +300,7 @@ class HomSearch {
 
 std::optional<VarAssignment> FindHomomorphism(const TripleSet& source,
                                               const VarAssignment& fixed,
-                                              const TripleSet& target,
+                                              const TripleSource& target,
                                               const HomOptions& options) {
   std::optional<VarAssignment> found;
   HomSearch search(source, fixed, target, options);
@@ -312,16 +311,37 @@ std::optional<VarAssignment> FindHomomorphism(const TripleSet& source,
   return found;
 }
 
+std::optional<VarAssignment> FindHomomorphism(const TripleSet& source,
+                                              const VarAssignment& fixed,
+                                              const TripleSet& target,
+                                              const HomOptions& options) {
+  HashTripleSource scan(target);
+  return FindHomomorphism(source, fixed, scan, options);
+}
+
+bool HasHomomorphism(const TripleSet& source, const VarAssignment& fixed,
+                     const TripleSource& target, const HomOptions& options) {
+  return FindHomomorphism(source, fixed, target, options).has_value();
+}
+
 bool HasHomomorphism(const TripleSet& source, const VarAssignment& fixed,
                      const TripleSet& target, const HomOptions& options) {
-  return FindHomomorphism(source, fixed, target, options).has_value();
+  HashTripleSource scan(target);
+  return HasHomomorphism(source, fixed, scan, options);
+}
+
+void EnumerateHomomorphisms(const TripleSet& source, const VarAssignment& fixed,
+                            const TripleSource& target,
+                            const std::function<bool(const VarAssignment&)>& callback) {
+  HomSearch search(source, fixed, target, HomOptions{});
+  search.Run(callback);
 }
 
 void EnumerateHomomorphisms(const TripleSet& source, const VarAssignment& fixed,
                             const TripleSet& target,
                             const std::function<bool(const VarAssignment&)>& callback) {
-  HomSearch search(source, fixed, target, HomOptions{});
-  search.Run(callback);
+  HashTripleSource scan(target);
+  EnumerateHomomorphisms(source, fixed, scan, callback);
 }
 
 Triple ApplyAssignment(const VarAssignment& assignment, const Triple& t) {

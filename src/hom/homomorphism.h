@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "rdf/scan.h"
 #include "rdf/triple_set.h"
 
 /// \file
@@ -70,6 +71,16 @@ struct HomOptions {
 /// `fixed` (a pre-assignment of some variables of `source` to terms of
 /// the target). Returns the full assignment (including `fixed`) or
 /// nullopt.
+///
+/// The solver generates candidates through the `TripleSource` scan
+/// interface, so any backend (hash-indexed or dictionary-encoded
+/// permutation store) can serve as the target.
+std::optional<VarAssignment> FindHomomorphism(const TripleSet& source,
+                                              const VarAssignment& fixed,
+                                              const TripleSource& target,
+                                              const HomOptions& options = {});
+
+/// Convenience overload over a bare `TripleSet` (hash backend).
 std::optional<VarAssignment> FindHomomorphism(const TripleSet& source,
                                               const VarAssignment& fixed,
                                               const TripleSet& target,
@@ -77,11 +88,16 @@ std::optional<VarAssignment> FindHomomorphism(const TripleSet& source,
 
 /// True iff a homomorphism extending `fixed` exists.
 bool HasHomomorphism(const TripleSet& source, const VarAssignment& fixed,
+                     const TripleSource& target, const HomOptions& options = {});
+bool HasHomomorphism(const TripleSet& source, const VarAssignment& fixed,
                      const TripleSet& target, const HomOptions& options = {});
 
 /// Enumerates every homomorphism from `source` to `target` extending
 /// `fixed`, invoking `callback` for each; enumeration stops early if the
 /// callback returns false. Deterministic order.
+void EnumerateHomomorphisms(const TripleSet& source, const VarAssignment& fixed,
+                            const TripleSource& target,
+                            const std::function<bool(const VarAssignment&)>& callback);
 void EnumerateHomomorphisms(const TripleSet& source, const VarAssignment& fixed,
                             const TripleSet& target,
                             const std::function<bool(const VarAssignment&)>& callback);

@@ -125,6 +125,12 @@ std::optional<Subtree> FindWitnessSubtree(const PatternTree& tree,
 
 std::optional<Subtree> FindMatchingSubtree(const PatternTree& tree, const Mapping& mu,
                                            const TripleSet& graph) {
+  HashTripleSource scan(graph);
+  return FindMatchingSubtree(tree, mu, scan);
+}
+
+std::optional<Subtree> FindMatchingSubtree(const PatternTree& tree, const Mapping& mu,
+                                           const TripleSource& graph) {
   auto qualifies = [&](NodeId n) {
     for (TermId var : tree.variables(n)) {
       if (!mu.IsDefinedOn(var)) return false;

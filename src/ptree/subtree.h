@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ptree/pattern_tree.h"
+#include "rdf/scan.h"
 #include "rdf/triple_set.h"
 #include "sparql/mapping.h"
 
@@ -68,6 +69,11 @@ std::optional<Subtree> FindWitnessSubtree(const PatternTree& tree,
 /// Returns nullopt if the root fails or coverage does not hold.
 std::optional<Subtree> FindMatchingSubtree(const PatternTree& tree, const Mapping& mu,
                                            const TripleSet& graph);
+
+/// Backend-generic variant: membership probes go through the
+/// `TripleSource` interface, so any storage engine can serve as `graph`.
+std::optional<Subtree> FindMatchingSubtree(const PatternTree& tree, const Mapping& mu,
+                                           const TripleSource& graph);
 
 }  // namespace wdsparql
 

@@ -38,6 +38,9 @@ class RdfGraph {
   /// True iff the ground triple `t` is present.
   bool Contains(const Triple& t) const { return triples_.Contains(t); }
 
+  /// Pre-sizes the underlying storage for `n` triples (bulk load).
+  void Reserve(std::size_t n) { triples_.Reserve(n); }
+
   /// Number of triples.
   std::size_t size() const { return triples_.size(); }
   /// True iff the graph has no triples.

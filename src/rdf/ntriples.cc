@@ -1,5 +1,6 @@
 #include "rdf/ntriples.h"
 
+#include <algorithm>
 #include <cctype>
 #include <fstream>
 #include <sstream>
@@ -52,6 +53,12 @@ bool ParseTermToken(std::string_view line, std::size_t* pos, std::string* out,
 
 Status ParseNTriples(std::string_view text, RdfGraph* graph) {
   WDSPARQL_CHECK(graph != nullptr);
+  // One triple per line at most, so the line count bounds the triple
+  // count; reserving up front avoids rehashing the per-position indexes
+  // during bulk load.
+  graph->Reserve(static_cast<std::size_t>(
+                     std::count(text.begin(), text.end(), '\n')) +
+                 1);
   int line_number = 0;
   for (const std::string& raw_line : StrSplit(text, '\n')) {
     ++line_number;

@@ -1,0 +1,47 @@
+#include "rdf/scan.h"
+
+#include <algorithm>
+
+namespace wdsparql {
+
+bool HashTripleSource::ScanPattern(const Triple& pattern,
+                                   const TripleScanCallback& fn) const {
+  // Probe the most selective bound position's hash index.
+  int probe_pos = -1;
+  std::size_t probe_size = 0;
+  for (int pos = 0; pos < 3; ++pos) {
+    if (pattern[pos] == kAnyTerm) continue;
+    std::size_t n = set_.TriplesWithTermAt(pos, pattern[pos]).size();
+    if (probe_pos == -1 || n < probe_size) {
+      probe_pos = pos;
+      probe_size = n;
+    }
+  }
+
+  auto matches = [&](const Triple& t) {
+    for (int pos = 0; pos < 3; ++pos) {
+      if (pattern[pos] != kAnyTerm && t[pos] != pattern[pos]) return false;
+    }
+    return true;
+  };
+
+  if (probe_pos == -1) {
+    for (const Triple& t : set_.triples()) {
+      if (!fn(t)) return false;
+    }
+    return true;
+  }
+  for (uint32_t idx : set_.TriplesWithTermAt(probe_pos, pattern[probe_pos])) {
+    const Triple& t = set_.triples()[idx];
+    if (matches(t) && !fn(t)) return false;
+  }
+  return true;
+}
+
+std::vector<TermId> HashTripleSource::AllTerms() const {
+  std::vector<TermId> terms = set_.AllTerms();
+  std::sort(terms.begin(), terms.end());
+  return terms;
+}
+
+}  // namespace wdsparql

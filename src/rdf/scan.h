@@ -1,0 +1,81 @@
+#ifndef WDSPARQL_RDF_SCAN_H_
+#define WDSPARQL_RDF_SCAN_H_
+
+#include <functional>
+#include <vector>
+
+#include "rdf/triple_set.h"
+
+/// \file
+/// The triple-pattern scan interface.
+///
+/// `TripleSource` abstracts "a set of ground triples that can be scanned
+/// by a partially bound pattern". It is the seam between the paper's
+/// algorithms (homomorphism search, wdEVAL, enumeration) and the storage
+/// backend underneath: the hash-indexed `TripleSet` (paper-faithful
+/// oracle) and the dictionary-encoded permutation store of
+/// `engine/indexed_store.h` both implement it, so the same search code
+/// runs over either and the two can be compared differentially.
+
+namespace wdsparql {
+
+/// Callback invoked once per matching triple. Return false to stop the
+/// scan early.
+using TripleScanCallback = std::function<bool(const Triple&)>;
+
+/// Wildcard sentinel for `ScanPattern` probes. A probe position holding
+/// `kAnyTerm` matches every term; every other id — including variable
+/// ids, which are legitimate stored terms in t-graphs — must match
+/// exactly. (The sentinel is a variable id whose index no real pool ever
+/// reaches, so it cannot collide with an interned term.)
+inline constexpr TermId kAnyTerm = 0xFFFFFFFFu;
+
+/// Read-only scan access to a set of ground triples.
+class TripleSource {
+ public:
+  virtual ~TripleSource() = default;
+
+  /// Number of triples.
+  virtual std::size_t size() const = 0;
+
+  /// True iff the ground triple `t` is present.
+  virtual bool Contains(const Triple& t) const = 0;
+
+  /// Scans the triples matching `pattern`: positions holding `kAnyTerm`
+  /// are wildcards, every other position must match exactly (variable
+  /// ids included — t-graphs store variables as ordinary terms). Each
+  /// wildcard matches independently; callers needing equal images across
+  /// positions filter in `fn`. Returns false iff `fn` stopped the scan
+  /// early.
+  virtual bool ScanPattern(const Triple& pattern, const TripleScanCallback& fn) const = 0;
+
+  /// All distinct terms of the source, ascending by id.
+  virtual std::vector<TermId> AllTerms() const = 0;
+};
+
+/// `TripleSource` over the hash-indexed `TripleSet` — the paper-faithful
+/// naive backend, and the correctness oracle for indexed backends.
+///
+/// `ScanPattern` probes the per-position hash index of the most selective
+/// bound position and filters the remaining bound positions; with no
+/// bound position it degrades to a full scan.
+class HashTripleSource final : public TripleSource {
+ public:
+  /// Wraps `set` (must outlive the source).
+  explicit HashTripleSource(const TripleSet& set) : set_(set) {}
+
+  std::size_t size() const override { return set_.size(); }
+  bool Contains(const Triple& t) const override { return set_.Contains(t); }
+  bool ScanPattern(const Triple& pattern, const TripleScanCallback& fn) const override;
+  std::vector<TermId> AllTerms() const override;
+
+  /// The wrapped set.
+  const TripleSet& triple_set() const { return set_; }
+
+ private:
+  const TripleSet& set_;
+};
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_RDF_SCAN_H_

@@ -15,7 +15,23 @@ bool TripleSet::Insert(const Triple& t) {
 }
 
 void TripleSet::InsertAll(const TripleSet& other) {
-  for (const Triple& t : other.triples_) Insert(t);
+  // Self-insertion would otherwise iterate `triples_` while `Insert`
+  // appends to it (iterator invalidation); every triple is already
+  // present, so the aliased call must be a no-op.
+  if (&other == this) return;
+  Reserve(triples_.size() + other.triples_.size());
+  // Index-based loop: stays valid even if `other` shares storage with a
+  // container being grown elsewhere.
+  for (std::size_t i = 0; i < other.triples_.size(); ++i) Insert(other.triples_[i]);
+}
+
+void TripleSet::Reserve(std::size_t n) {
+  // The per-position index maps are keyed by *distinct* terms, a count
+  // unrelated to (and usually far below) the triple count — sizing them
+  // for n would allocate mostly-empty bucket arrays; they are left to
+  // grow on demand.
+  triples_.reserve(n);
+  set_.reserve(n);
 }
 
 const std::vector<uint32_t>& TripleSet::TriplesWithTermAt(int pos, TermId t) const {

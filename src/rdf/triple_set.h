@@ -28,8 +28,13 @@ class TripleSet {
   /// Inserts `t`; returns true iff it was not already present.
   bool Insert(const Triple& t);
 
-  /// Inserts every triple of `other`.
+  /// Inserts every triple of `other`. Safe when `other` aliases `*this`
+  /// (a no-op in that case: a set already contains its own triples).
   void InsertAll(const TripleSet& other);
+
+  /// Pre-sizes the dense vector and the dedup set for `n` triples,
+  /// cutting rehashing on bulk load.
+  void Reserve(std::size_t n);
 
   /// True iff `t` is present.
   bool Contains(const Triple& t) const { return set_.count(t) > 0; }

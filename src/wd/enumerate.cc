@@ -6,16 +6,13 @@
 #include "hom/homomorphism.h"
 #include "hom/pebble.h"
 #include "ptree/subtree.h"
+#include "ptree/tgraph.h"
 
 namespace wdsparql {
-namespace {
 
-/// Shared enumeration skeleton; `extends` decides the per-child
-/// maximality test (exact or pebble).
-template <typename ExtendsFn>
-void EnumerateImpl(const PatternForest& forest, const RdfGraph& graph,
-                   const std::function<bool(const Mapping&)>& callback,
-                   EnumerateStats* stats, ExtendsFn&& extends) {
+void EnumerateSolutionsWith(const PatternForest& forest, const EnumerationHooks& hooks,
+                            const std::function<bool(const Mapping&)>& callback,
+                            EnumerateStats* stats) {
   std::unordered_set<Mapping, MappingHash> seen;
   bool stopped = false;
   for (const PatternTree& tree : forest.trees) {
@@ -24,62 +21,72 @@ void EnumerateImpl(const PatternForest& forest, const RdfGraph& graph,
       if (stopped) return;
       TripleSet pattern = SubtreePattern(subtree);
       std::vector<NodeId> children = SubtreeChildren(subtree);
-      EnumerateHomomorphisms(
-          pattern, VarAssignment{}, graph.triples(),
-          [&](const VarAssignment& assignment) {
-            if (stats != nullptr) ++stats->candidates;
-            Mapping mu;
-            for (const auto& [var, value] : assignment) {
-              WDSPARQL_CHECK(mu.Bind(var, value));
-            }
-            if (seen.count(mu) > 0) return true;
-            // Maximality: no child may extend mu.
-            bool maximal = true;
-            for (NodeId child : children) {
-              if (stats != nullptr) ++stats->maximality_tests;
-              TripleSet combined = pattern;
-              combined.InsertAll(subtree.tree->pattern(child));
-              if (extends(combined, mu)) {
-                maximal = false;
-                break;
-              }
-            }
-            if (!maximal) return true;
-            seen.insert(mu);
-            if (stats != nullptr) ++stats->emitted;
-            if (!callback(mu)) {
-              stopped = true;
-              return false;
-            }
-            return true;
-          });
+      hooks.candidates(pattern, [&](const VarAssignment& assignment) {
+        if (stats != nullptr) ++stats->candidates;
+        Mapping mu;
+        for (const auto& [var, value] : assignment) {
+          WDSPARQL_CHECK(mu.Bind(var, value));
+        }
+        if (seen.count(mu) > 0) return true;
+        // Maximality: no child may extend mu.
+        bool maximal = true;
+        for (NodeId child : children) {
+          if (stats != nullptr) ++stats->maximality_tests;
+          TripleSet combined = pattern;
+          combined.InsertAll(subtree.tree->pattern(child));
+          if (hooks.extends(combined, mu)) {
+            maximal = false;
+            break;
+          }
+        }
+        if (!maximal) return true;
+        seen.insert(mu);
+        if (stats != nullptr) ++stats->emitted;
+        if (!callback(mu)) {
+          stopped = true;
+          return false;
+        }
+        return true;
+      });
     });
   }
 }
 
-}  // namespace
-
 void EnumerateSolutionsNaive(const PatternForest& forest, const RdfGraph& graph,
                              const std::function<bool(const Mapping&)>& callback,
                              EnumerateStats* stats) {
-  EnumerateImpl(forest, graph, callback, stats,
-                [&](const TripleSet& combined, const Mapping& mu) {
-                  VarAssignment fixed;
-                  for (const auto& [var, value] : mu.bindings()) fixed[var] = value;
-                  return HasHomomorphism(combined, fixed, graph.triples());
-                });
+  HashTripleSource scan(graph.triples());
+  EnumerateSolutionsNaive(forest, scan, callback, stats);
+}
+
+void EnumerateSolutionsNaive(const PatternForest& forest, const TripleSource& graph,
+                             const std::function<bool(const Mapping&)>& callback,
+                             EnumerateStats* stats) {
+  EnumerationHooks hooks;
+  hooks.candidates = [&graph](const TripleSet& pattern,
+                              const std::function<bool(const VarAssignment&)>& emit) {
+    EnumerateHomomorphisms(pattern, VarAssignment{}, graph, emit);
+  };
+  hooks.extends = [&graph](const TripleSet& combined, const Mapping& mu) {
+    return HasHomomorphism(combined, MappingToAssignment(mu), graph);
+  };
+  EnumerateSolutionsWith(forest, hooks, callback, stats);
 }
 
 void EnumerateSolutionsPebble(const PatternForest& forest, const RdfGraph& graph,
                               int k, const std::function<bool(const Mapping&)>& callback,
                               EnumerateStats* stats) {
   WDSPARQL_CHECK(k >= 1);
-  EnumerateImpl(forest, graph, callback, stats,
-                [&](const TripleSet& combined, const Mapping& mu) {
-                  VarAssignment fixed;
-                  for (const auto& [var, value] : mu.bindings()) fixed[var] = value;
-                  return PebbleGameWins(combined, fixed, graph.triples(), k + 1);
-                });
+  HashTripleSource scan(graph.triples());
+  EnumerationHooks hooks;
+  hooks.candidates = [&scan](const TripleSet& pattern,
+                             const std::function<bool(const VarAssignment&)>& emit) {
+    EnumerateHomomorphisms(pattern, VarAssignment{}, scan, emit);
+  };
+  hooks.extends = [&graph, k](const TripleSet& combined, const Mapping& mu) {
+    return PebbleGameWins(combined, MappingToAssignment(mu), graph.triples(), k + 1);
+  };
+  EnumerateSolutionsWith(forest, hooks, callback, stats);
 }
 
 std::vector<Mapping> AllSolutionsPebble(const PatternForest& forest,

@@ -4,8 +4,10 @@
 #include <functional>
 #include <vector>
 
+#include "hom/homomorphism.h"
 #include "ptree/forest.h"
 #include "rdf/graph.h"
+#include "rdf/scan.h"
 #include "sparql/mapping.h"
 #include "wd/eval.h"
 
@@ -40,10 +42,38 @@ struct EnumerateStats {
   uint64_t maximality_tests = 0;
 };
 
+/// Hooks customising the enumeration skeleton.
+struct EnumerationHooks {
+  /// Streams the homomorphism candidates of one subtree pattern into
+  /// `emit`; must stop when `emit` returns false.
+  std::function<void(const TripleSet& pattern,
+                     const std::function<bool(const VarAssignment&)>& emit)>
+      candidates;
+  /// Maximality certificate: true iff some homomorphism of `combined`
+  /// (the subtree pattern plus one child pattern) extends `mu`.
+  std::function<bool(const TripleSet& combined, const Mapping& mu)> extends;
+};
+
+/// The enumeration skeleton every variant instantiates: per tree, per
+/// subtree, stream candidates, deduplicate across trees/subtrees,
+/// certify maximality against each child, emit. Plugging in the CSP
+/// solver, the pebble game or the engine's merge join yields the
+/// naive, Theorem 1 and indexed enumerators respectively.
+void EnumerateSolutionsWith(const PatternForest& forest, const EnumerationHooks& hooks,
+                            const std::function<bool(const Mapping&)>& callback,
+                            EnumerateStats* stats = nullptr);
+
 /// Streams every mu in JFKG, using exact homomorphism maximality tests.
 /// The callback may return false to stop. Duplicates across trees and
 /// subtrees are suppressed.
 void EnumerateSolutionsNaive(const PatternForest& forest, const RdfGraph& graph,
+                             const std::function<bool(const Mapping&)>& callback,
+                             EnumerateStats* stats = nullptr);
+
+/// Backend-generic variant: candidate generation and maximality tests
+/// run against the `TripleSource` scan interface (hash backend or the
+/// engine's dictionary-encoded permutation store).
+void EnumerateSolutionsNaive(const PatternForest& forest, const TripleSource& graph,
                              const std::function<bool(const Mapping&)>& callback,
                              EnumerateStats* stats = nullptr);
 

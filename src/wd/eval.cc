@@ -5,17 +5,13 @@
 #include "ptree/tgraph.h"
 
 namespace wdsparql {
-namespace {
 
-/// Shared control flow of both algorithms: iterate over the forest, find
-/// the matched subtree T^mu, and accept iff some tree has no child that
-/// passes `extends`.
-template <typename ExtendsFn>
-bool EvalLoop(const PatternForest& forest, const RdfGraph& graph, const Mapping& mu,
-              EvalStats* stats, ExtendsFn&& extends) {
+bool WdEvalWith(const PatternForest& forest, const TripleSource& graph,
+                const Mapping& mu, EvalStats* stats,
+                const std::function<bool(const TripleSet&)>& extends) {
   for (const PatternTree& tree : forest.trees) {
     if (stats != nullptr) ++stats->trees_probed;
-    std::optional<Subtree> matched = FindMatchingSubtree(tree, mu, graph.triples());
+    std::optional<Subtree> matched = FindMatchingSubtree(tree, mu, graph);
     if (!matched.has_value()) continue;
     if (stats != nullptr) ++stats->subtrees_matched;
 
@@ -35,13 +31,17 @@ bool EvalLoop(const PatternForest& forest, const RdfGraph& graph, const Mapping&
   return false;
 }
 
-}  // namespace
-
 bool NaiveWdEval(const PatternForest& forest, const RdfGraph& graph, const Mapping& mu,
                  EvalStats* stats) {
+  HashTripleSource scan(graph.triples());
+  return NaiveWdEval(forest, scan, mu, stats);
+}
+
+bool NaiveWdEval(const PatternForest& forest, const TripleSource& graph,
+                 const Mapping& mu, EvalStats* stats) {
   VarAssignment fixed = MappingToAssignment(mu);
-  return EvalLoop(forest, graph, mu, stats, [&](const TripleSet& combined) {
-    return HasHomomorphism(combined, fixed, graph.triples());
+  return WdEvalWith(forest, graph, mu, stats, [&](const TripleSet& combined) {
+    return HasHomomorphism(combined, fixed, graph);
   });
 }
 
@@ -49,7 +49,8 @@ bool PebbleWdEval(const PatternForest& forest, const RdfGraph& graph, const Mapp
                   int k, EvalStats* stats) {
   WDSPARQL_CHECK(k >= 1);
   VarAssignment fixed = MappingToAssignment(mu);
-  return EvalLoop(forest, graph, mu, stats, [&](const TripleSet& combined) {
+  HashTripleSource scan(graph.triples());
+  return WdEvalWith(forest, scan, mu, stats, [&](const TripleSet& combined) {
     PebbleGameStats game_stats;
     bool wins = PebbleGameWins(combined, fixed, graph.triples(), k + 1, &game_stats);
     if (stats != nullptr) stats->pebble_maps_created += game_stats.maps_created;

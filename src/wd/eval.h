@@ -2,10 +2,12 @@
 #define WDSPARQL_WD_EVAL_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "ptree/forest.h"
 #include "ptree/subtree.h"
 #include "rdf/graph.h"
+#include "rdf/scan.h"
 #include "sparql/mapping.h"
 #include "util/status.h"
 
@@ -49,6 +51,23 @@ struct EvalStats {
 /// mu ∈ JFKG for any well-designed forest.
 bool NaiveWdEval(const PatternForest& forest, const RdfGraph& graph, const Mapping& mu,
                  EvalStats* stats = nullptr);
+
+/// Backend-generic variant: subtree matching and the homomorphism
+/// extension tests run against the `TripleSource` scan interface, so the
+/// same algorithm executes over the hash backend or the engine's
+/// dictionary-encoded permutation store.
+bool NaiveWdEval(const PatternForest& forest, const TripleSource& graph,
+                 const Mapping& mu, EvalStats* stats = nullptr);
+
+/// The shared wdEVAL skeleton every variant instantiates: per tree,
+/// find the matched subtree T^mu against `graph`, and accept iff some
+/// tree has no child for which `extends` certifies an extension of mu.
+/// `extends` receives pat(T^mu) ∪ pat(child); plugging in exact
+/// homomorphism, pebble-game or merge-join existence tests yields the
+/// naive, Theorem 1 and engine evaluators respectively.
+bool WdEvalWith(const PatternForest& forest, const TripleSource& graph,
+                const Mapping& mu, EvalStats* stats,
+                const std::function<bool(const TripleSet&)>& extends);
 
 /// The Theorem 1 algorithm with domination-width promise `k` (uses the
 /// existential (k+1)-pebble game).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/query_engine.h"
 #include "hom/homomorphism.h"
 #include "hom/pebble.h"
 #include "hom/treewidth.h"
@@ -107,6 +108,32 @@ TEST_P(RandomWorkloadProperty, PebbleEnumerationUnderPromise) {
 
 TEST_P(RandomWorkloadProperty, CountMatchesAnswerSetSize) {
   EXPECT_EQ(CountSolutions(forest_, graph_.value()), answers_.size());
+}
+
+TEST_P(RandomWorkloadProperty, EngineBackendsAgreeOnVerdictsAndSolutions) {
+  QueryEngineOptions naive_options;
+  naive_options.backend = Backend::kNaiveHash;
+  QueryEngine naive_engine(graph_.value(), naive_options);
+  QueryEngineOptions indexed_options;
+  indexed_options.backend = Backend::kIndexed;
+  QueryEngine indexed_engine(graph_.value(), indexed_options);
+
+  Result<PreparedQuery> naive_q = naive_engine.PrepareParsed(pattern_);
+  Result<PreparedQuery> indexed_q = indexed_engine.PrepareParsed(pattern_);
+  ASSERT_TRUE(naive_q.ok());
+  ASSERT_TRUE(indexed_q.ok());
+
+  // Identical enumerated solution sets, both equal to the ground truth.
+  EXPECT_EQ(naive_engine.Solutions(naive_q.value()), answers_);
+  EXPECT_EQ(indexed_engine.Solutions(indexed_q.value()), answers_);
+
+  // Identical wdEVAL verdicts on answers and mutated non-answers.
+  for (const Mapping& probe : probes_) {
+    EXPECT_EQ(naive_engine.Evaluate(naive_q.value(), probe), IsAnswer(probe))
+        << probe.ToString(pool_);
+    EXPECT_EQ(indexed_engine.Evaluate(indexed_q.value(), probe), IsAnswer(probe))
+        << probe.ToString(pool_);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomWorkloadProperty,

@@ -123,6 +123,51 @@ TEST(TripleSetTest, SetEquality) {
   EXPECT_FALSE(a == b);
 }
 
+TEST(TripleSetTest, InsertAllKeepsIndexesConsistent) {
+  TripleSet a, b;
+  a.Insert(Triple(1, 2, 3));
+  a.Insert(Triple(1, 5, 6));
+  b.Insert(Triple(1, 2, 3));  // Overlaps with a.
+  b.Insert(Triple(7, 2, 3));
+  a.InsertAll(b);
+  EXPECT_EQ(a.size(), 3u);
+  // Per-position indexes must agree with the dense vector.
+  EXPECT_EQ(a.TriplesWithTermAt(0, 1).size(), 2u);
+  EXPECT_EQ(a.TriplesWithTermAt(1, 2).size(), 2u);
+  for (int pos = 0; pos < 3; ++pos) {
+    for (const Triple& t : a.triples()) {
+      const std::vector<uint32_t>& bucket = a.TriplesWithTermAt(pos, t[pos]);
+      bool found = false;
+      for (uint32_t idx : bucket) {
+        ASSERT_LT(idx, a.size());
+        if (a.triples()[idx] == t) found = true;
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(TripleSetTest, SelfInsertAllIsANoOp) {
+  TripleSet a;
+  a.Insert(Triple(1, 2, 3));
+  a.Insert(Triple(4, 5, 6));
+  a.InsertAll(a);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.TriplesWithTermAt(0, 1).size(), 1u);
+  EXPECT_EQ(a.TriplesWithTermAt(0, 4).size(), 1u);
+}
+
+TEST(TripleSetTest, ReserveDoesNotDisturbContents) {
+  TripleSet a;
+  a.Insert(Triple(1, 2, 3));
+  a.Reserve(1000);
+  a.Insert(Triple(4, 5, 6));
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_TRUE(a.Contains(Triple(1, 2, 3)));
+  EXPECT_TRUE(a.Contains(Triple(4, 5, 6)));
+  EXPECT_EQ(a.TriplesWithTermAt(0, 4).size(), 1u);
+}
+
 TEST(RdfGraphTest, StringInsertionInterns) {
   TermPool pool;
   RdfGraph g(&pool);
