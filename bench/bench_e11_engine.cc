@@ -7,8 +7,8 @@
 ///  * raw triple-pattern scans (the candidate-generation primitive),
 ///  * conjunctive candidate generation (CSP solver over each scan
 ///    backend, plus the leapfrog join native to the indexed store),
-///  * end-to-end well-designed enumeration through the QueryEngine
-///    facade.
+///  * end-to-end well-designed enumeration through the public
+///    Database/Session/Cursor API.
 ///
 /// Expected shape: at small scale the backends are comparable; as the
 /// graph grows, the indexed backend's contiguous two-position prefix
@@ -20,13 +20,12 @@
 #include <memory>
 #include <string>
 
-#include "engine/indexed_store.h"
+#include "engine/api_internal.h"
 #include "engine/join.h"
-#include "engine/query_engine.h"
 #include "hom/homomorphism.h"
 #include "rdf/generator.h"
-#include "sparql/parser.h"
 #include "util/check.h"
+#include "wdsparql/wdsparql.h"
 
 namespace wdsparql {
 namespace {
@@ -34,13 +33,12 @@ namespace {
 constexpr int kBackendHash = 0;
 constexpr int kBackendIndexed = 1;
 
-/// One benchmark workload: a random graph plus both backends built over
-/// it, and a conjunctive path pattern with a pendant OPT.
+/// One benchmark workload: a random graph bulk-loaded into a Database
+/// (which maintains both backends), and a conjunctive path pattern with
+/// a pendant OPT.
 struct E11Instance {
   TermPool pool;
-  RdfGraph graph{&pool};
-  std::unique_ptr<IndexedStore> store;
-  std::unique_ptr<HashTripleSource> hash;
+  Database db{&pool};
   TripleSet path_pattern;  // (?x p0 ?y) (?y p1 ?z)
 
   explicit E11Instance(int num_triples) {
@@ -49,9 +47,9 @@ struct E11Instance {
     options.num_predicates = 8;
     options.num_triples = num_triples;
     options.seed = 11;
-    GenerateRandomGraph(options, &graph);
-    store = std::make_unique<IndexedStore>(IndexedStore::Build(graph.triples()));
-    hash = std::make_unique<HashTripleSource>(graph.triples());
+    RdfGraph staged(&pool);
+    GenerateRandomGraph(options, &staged);
+    engine_internal::BulkLoad(&db, staged.triples());
 
     TermId x = pool.InternVariable("x");
     TermId y = pool.InternVariable("y");
@@ -60,9 +58,12 @@ struct E11Instance {
     path_pattern.Insert(Triple(y, pool.InternIri("p1"), z));
   }
 
+  const IndexedStore& store() const { return db.store(); }
+  const HashTripleSource& hash() const { return engine_internal::HashSourceOf(db); }
+
   const TripleSource& source(int backend) const {
-    if (backend == kBackendIndexed) return *store;
-    return *hash;
+    if (backend == kBackendIndexed) return store();
+    return hash();
   }
 };
 
@@ -71,8 +72,8 @@ struct E11Instance {
 void BM_E11_PatternScan(benchmark::State& state) {
   E11Instance instance(static_cast<int>(state.range(0)));
   const TripleSource& source = instance.source(static_cast<int>(state.range(1)));
-  std::vector<TermId> predicates = instance.graph.triples().TermsAt(1);
-  std::vector<Triple> seeds = instance.graph.triples().triples();
+  std::vector<TermId> predicates = instance.db.graph().triples().TermsAt(1);
+  std::vector<Triple> seeds = instance.db.graph().triples().triples();
   if (seeds.size() > 256) seeds.resize(256);
 
   uint64_t matched = 0;
@@ -91,12 +92,12 @@ void BM_E11_PatternScan(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(matched);
   }
-  state.counters["triples"] = static_cast<double>(instance.graph.size());
+  state.counters["triples"] = static_cast<double>(instance.db.size());
   state.SetItemsProcessed(static_cast<int64_t>(matched));
 }
 
 /// Conjunctive candidate generation, each backend running its native
-/// strategy (what QueryEngine actually executes): the hash backend
+/// strategy (what the engine actually executes): the hash backend
 /// enumerates homomorphisms with the CSP solver over hash scans, the
 /// indexed backend runs the leapfrog join over its permutation ranges.
 void BM_E11_CandidateGeneration(benchmark::State& state) {
@@ -106,13 +107,13 @@ void BM_E11_CandidateGeneration(benchmark::State& state) {
   uint64_t candidates = 0;
   for (auto _ : state) {
     if (indexed) {
-      JoinEnumerate(*instance.store, instance.path_pattern.triples(), VarAssignment{},
+      JoinEnumerate(instance.store(), instance.path_pattern.triples(), VarAssignment{},
                     [&](const VarAssignment&) {
                       ++candidates;
                       return true;
                     });
     } else {
-      EnumerateHomomorphisms(instance.path_pattern, VarAssignment{}, *instance.hash,
+      EnumerateHomomorphisms(instance.path_pattern, VarAssignment{}, instance.hash(),
                              [&](const VarAssignment&) {
                                ++candidates;
                                return true;
@@ -120,7 +121,7 @@ void BM_E11_CandidateGeneration(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(candidates);
   }
-  state.counters["triples"] = static_cast<double>(instance.graph.size());
+  state.counters["triples"] = static_cast<double>(instance.db.size());
   state.SetItemsProcessed(static_cast<int64_t>(candidates));
 }
 
@@ -141,27 +142,28 @@ void BM_E11_SolverScanAblation(benchmark::State& state) {
                            });
     benchmark::DoNotOptimize(candidates);
   }
-  state.counters["triples"] = static_cast<double>(instance.graph.size());
+  state.counters["triples"] = static_cast<double>(instance.db.size());
   state.SetItemsProcessed(static_cast<int64_t>(candidates));
 }
 
-/// End-to-end: parse → wdpf → enumerate through the facade.
+/// End-to-end: prepare once through a Session, then pull every answer
+/// through a fresh Cursor per iteration — the public API's hot path.
 void BM_E11_EndToEndEnumeration(benchmark::State& state) {
   E11Instance instance(static_cast<int>(state.range(0)));
-  QueryEngineOptions options;
+  SessionOptions options;
   options.backend =
       state.range(1) == kBackendIndexed ? Backend::kIndexed : Backend::kNaiveHash;
-  QueryEngine engine(instance.graph, options);
-  Result<PreparedQuery> query =
-      engine.Prepare("((?x p0 ?y) AND (?y p1 ?z)) OPT (?z p2 ?w)");
+  Session session = instance.db.OpenSession(options);
+  Statement query = session.Prepare("((?x p0 ?y) AND (?y p1 ?z)) OPT (?z p2 ?w)");
   WDSPARQL_CHECK(query.ok());
 
   uint64_t answers = 0;
   for (auto _ : state) {
-    answers += engine.Count(query.value());
+    Cursor cursor = query.Execute();
+    while (cursor.Next()) ++answers;
     benchmark::DoNotOptimize(answers);
   }
-  state.counters["triples"] = static_cast<double>(instance.graph.size());
+  state.counters["triples"] = static_cast<double>(instance.db.size());
   state.SetItemsProcessed(static_cast<int64_t>(answers));
 }
 

@@ -8,13 +8,19 @@
 /// direction of the reduction: evaluating well-designed queries of
 /// unbounded domination width is at least as hard as p-CLIQUE.
 ///
-/// Build & run:  ./build/examples/clique_solver
+/// The gadget instance is loaded into a `Database`, so the membership
+/// question runs over the engine's permutation-indexed storage (the
+/// paper's algorithm, the production store underneath).
+///
+/// Build & run:  ./build/clique_solver
 
 #include <cstdio>
 
+#include "engine/indexed_store.h"
 #include "rdf/generator.h"
 #include "wd/eval.h"
 #include "wd/hardness.h"
+#include "wdsparql/wdsparql.h"
 
 using namespace wdsparql;
 
@@ -28,8 +34,11 @@ void Solve(const char* name, const UndirectedGraph& h, int k) {
                 instance.status().ToString().c_str());
     return;
   }
-  bool member = NaiveWdEval(instance.value().forest, instance.value().graph,
-                            instance.value().mu);
+  // Freeze the gadget into the database; the wdEVAL membership question
+  // then probes the indexed store through the TripleSource seam.
+  Database db(&pool);
+  for (const Triple& t : instance.value().graph.triples()) db.AddTriple(t);
+  bool member = NaiveWdEval(instance.value().forest, db.store(), instance.value().mu);
   bool via_reduction = !member;  // Clique iff mu is NOT an answer.
   bool via_brute_force = HasCliqueBruteForce(h, k);
   std::printf(

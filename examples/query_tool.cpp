@@ -1,9 +1,10 @@
 /// \file
 /// wdsparql query tool: evaluate a well-designed pattern over an RDF
-/// graph file from the command line, through the engine facade.
+/// graph file from the command line, through the public
+/// Database/Session/Cursor API.
 ///
 ///   query_tool <graph.nt> '<pattern>' [--plan] [--count] [--promise K]
-///              [--backend naive|indexed]
+///              [--backend naive|indexed] [--select ?x,?y] [--table]
 ///
 ///   <graph.nt>   N-Triples-like file (see rdf/ntriples.h)
 ///   <pattern>    e.g. '(?x knows ?y) OPT (?y email ?e)'
@@ -13,21 +14,34 @@
 ///   --backend    storage/execution backend (default: indexed — the
 ///                dictionary-encoded permutation store; naive keeps the
 ///                paper-faithful hash path)
+///   --select     SELECT-style projection: print only the named
+///                variables, duplicate rows eliminated
+///   --table      render results as an aligned columnar table
+///
+/// Top-level FILTER conditions are peeled by Session::Prepare and
+/// post-applied over the enumerated bindings, so FILTER queries honour
+/// the configured backend. Patterns the engine cannot run (not well
+/// designed, FILTER below AND/OPT) fall back to the compositional set
+/// semantics with a note.
 ///
 /// Exit status: 0 on success, 1 on user error, 2 on internal disagreement
 /// (which would indicate a library bug).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
-#include "engine/query_engine.h"
-#include "rdf/ntriples.h"
+#include "engine/api_internal.h"
+#include "rdf/graph.h"
 #include "sparql/parser.h"
 #include "sparql/semantics.h"
 #include "wd/branch_width.h"
 #include "wd/domination.h"
+#include "wd/eval.h"
 #include "wd/local_tractability.h"
+#include "wdsparql/wdsparql.h"
 
 using namespace wdsparql;
 
@@ -36,15 +50,35 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: query_tool <graph.nt> '<pattern>' [--plan] [--count] "
-               "[--promise K] [--backend naive|indexed]\n");
+               "[--promise K] [--backend naive|indexed] [--select ?x,?y] "
+               "[--table]\n");
   return 1;
 }
 
-void PrintPlan(const PreparedQuery& query, TermPool* pool) {
-  const PatternForest& forest = query.forest;
+std::vector<std::string> SplitSelect(const char* arg) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const char* p = arg; *p != '\0'; ++p) {
+    if (*p == ',') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else if (*p != ' ') {
+      current += *p;
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+void PrintPlan(const StatementImpl& stmt, TermPool* pool) {
+  const PatternForest& forest = stmt.forest;
   std::printf("wdpf(P): %zu tree(s)\n", forest.trees.size());
   for (std::size_t i = 0; i < forest.trees.size(); ++i) {
     std::printf("--- tree %zu\n%s", i, forest.trees[i].ToString(*pool).c_str());
+  }
+  if (stmt.diagnostics.post_filters > 0) {
+    std::printf("post-filters: %zu top-level FILTER condition(s)\n",
+                stmt.diagnostics.post_filters);
   }
   std::printf("local width: %d\n", LocalWidth(forest));
   if (forest.trees.size() == 1) {
@@ -69,16 +103,23 @@ int main(int argc, char** argv) {
   const char* pattern_text = argv[2];
   bool show_plan = false;
   bool count_only = false;
+  bool as_table = false;
   int promise = 0;
-  QueryEngineOptions options;
+  std::vector<std::string> projection;
+  SessionOptions options;
   for (int i = 3; i < argc; ++i) {
     if (std::strcmp(argv[i], "--plan") == 0) {
       show_plan = true;
     } else if (std::strcmp(argv[i], "--count") == 0) {
       count_only = true;
+    } else if (std::strcmp(argv[i], "--table") == 0) {
+      as_table = true;
     } else if (std::strcmp(argv[i], "--promise") == 0 && i + 1 < argc) {
       promise = std::atoi(argv[++i]);
       if (promise < 1) return Usage();
+    } else if (std::strcmp(argv[i], "--select") == 0 && i + 1 < argc) {
+      projection = SplitSelect(argv[++i]);
+      if (projection.empty()) return Usage();
     } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
       const char* name = argv[++i];
       if (std::strcmp(name, "naive") == 0) {
@@ -93,35 +134,38 @@ int main(int argc, char** argv) {
     }
   }
 
-  TermPool pool;
-  RdfGraph graph(&pool);
-  Status load = ReadNTriplesFile(graph_path, &graph);
+  Database db;
+  Status load = db.LoadNTriplesFile(graph_path);
   if (!load.ok()) {
     std::fprintf(stderr, "error loading %s: %s\n", graph_path, load.ToString().c_str());
     return 1;
   }
+  TermPool& pool = db.pool();
 
-  auto parsed = ParsePattern(pattern_text, &pool);
-  if (!parsed.ok()) {
-    std::fprintf(stderr, "parse error: %s\n", parsed.status().ToString().c_str());
-    return 1;
-  }
-  PatternPtr pattern = parsed.value();
+  Session session = db.OpenSession(options);
+  Statement stmt = session.Prepare(pattern_text);
 
-  QueryEngine engine(graph, options);
-  Result<PreparedQuery> prepared = engine.PrepareParsed(pattern);
-
-  if (!prepared.ok()) {
+  if (!stmt.ok()) {
+    const QueryDiagnostics& diag = stmt.diagnostics();
+    if (diag.code == QueryDiagnostics::Code::kParseError) {
+      std::fprintf(stderr, "parse error: %s\n", diag.message.c_str());
+      return 1;
+    }
     // Patterns outside the engine's pipeline (not well designed, or
-    // using FILTER, which the wdpf translation does not cover) are
-    // still valid queries: evaluate them with the compositional set
-    // semantics only, as before the facade existed.
-    std::fprintf(stderr, "note: %s\n", prepared.status().ToString().c_str());
+    // FILTER below AND/OPT, which the wdpf translation does not cover)
+    // are still valid queries: evaluate them with the compositional set
+    // semantics only, as before the engine existed.
+    std::fprintf(stderr, "note: %s\n", diag.ToString().c_str());
     std::fprintf(stderr, "evaluating with the set semantics only.\n");
     if (show_plan) {
-      std::printf("plan unavailable: %s\n\n", prepared.status().ToString().c_str());
+      std::printf("plan unavailable: %s\n\n", diag.ToString().c_str());
     }
-    std::vector<Mapping> answers = Evaluate(*pattern, graph);
+    auto parsed = ParsePattern(pattern_text, &pool);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "parse error: %s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<Mapping> answers = Evaluate(*parsed.value(), db.graph());
     if (count_only) {
       std::printf("%zu\n", answers.size());
       return 0;
@@ -130,36 +174,67 @@ int main(int argc, char** argv) {
       std::printf("%s\n", mu.ToString(pool).c_str());
     }
     std::fprintf(stderr, "%zu answer(s), graph: %zu triple(s)\n", answers.size(),
-                 graph.size());
+                 db.size());
     if (promise > 0) {
       // Pebble verification needs the wdpf forest, which this pattern
       // has none of — surface that instead of silently skipping it.
-      std::fprintf(stderr, "cannot verify: %s\n",
-                   prepared.status().ToString().c_str());
+      std::fprintf(stderr, "cannot verify: %s\n", diag.ToString().c_str());
       return 1;
     }
     return 0;
   }
 
   if (show_plan) {
-    PrintPlan(prepared.value(), &pool);
+    PrintPlan(*stmt.impl(), &pool);
     std::printf("\n");
   }
 
-  std::vector<Mapping> answers = engine.Solutions(prepared.value());
   if (count_only) {
-    std::printf("%zu\n", answers.size());
+    Cursor counting = stmt.Execute(projection);
+    uint64_t count = 0;
+    while (counting.Next()) ++count;
+    if (counting.state() == Cursor::State::kFailed) {
+      std::fprintf(stderr, "error: %s\n", counting.diagnostics().ToString().c_str());
+      return 1;
+    }
+    std::printf("%llu\n", static_cast<unsigned long long>(count));
     return 0;
   }
+
+  if (as_table) {
+    BindingTable table = stmt.ExecuteTable(projection);
+    std::printf("%s", table.ToString().c_str());
+    std::fprintf(stderr, "%zu row(s), graph: %zu triple(s), backend: %s\n",
+                 table.NumRows(), db.size(), BackendToString(options.backend));
+    return 0;
+  }
+
+  Cursor cursor = stmt.Execute(projection);
+  std::vector<Mapping> answers;
+  while (cursor.Next()) {
+    answers.push_back(cursor.Row());
+  }
+  if (cursor.state() == Cursor::State::kFailed) {
+    std::fprintf(stderr, "error: %s\n", cursor.diagnostics().ToString().c_str());
+    return 1;
+  }
+  // Deterministic output: cursor arrival order is backend-dependent, so
+  // the printed answer list is sorted (both backends byte-identical).
+  std::sort(answers.begin(), answers.end());
   for (const Mapping& mu : answers) {
     std::printf("%s\n", mu.ToString(pool).c_str());
   }
   std::fprintf(stderr, "%zu answer(s), graph: %zu triple(s), backend: %s\n",
-               answers.size(), graph.size(), BackendToString(engine.backend()));
+               answers.size(), db.size(), BackendToString(options.backend));
 
   if (promise > 0) {
+    const PatternForest& forest = stmt.impl()->forest;
+    if (!projection.empty()) {
+      std::fprintf(stderr, "cannot verify projected rows; drop --select\n");
+      return 1;
+    }
     for (const Mapping& mu : answers) {
-      if (!PebbleWdEval(prepared.value().forest, graph, mu, promise)) {
+      if (!PebbleWdEval(forest, db.graph(), mu, promise)) {
         std::fprintf(stderr,
                      "DISAGREEMENT: pebble algorithm (k=%d) rejects %s — promise "
                      "too small or library bug\n",

@@ -1,82 +1,79 @@
 /// \file
-/// Quickstart: parse a well-designed SPARQL pattern, load a tiny RDF
-/// graph, evaluate the query three ways (textbook semantics, the natural
-/// wdPT algorithm, the paper's pebble-game algorithm), and print the
-/// answers.
+/// Quickstart for the public API: build a `Database`, open a `Session`,
+/// prepare a well-designed pattern into a `Statement`, pull answers
+/// through a `Cursor`, project a variable subset into a columnar
+/// `BindingTable` — and cross-check the engine against the textbook set
+/// semantics and both wdEVAL membership algorithms.
 ///
-/// Build & run:  ./build/examples/quickstart
+/// Build & run:  ./build/quickstart
 
 #include <cstdio>
 
 #include "ptree/forest.h"
-#include "ptree/semantics.h"
-#include "rdf/ntriples.h"
+#include "rdf/graph.h"
 #include "sparql/parser.h"
 #include "sparql/semantics.h"
-#include "sparql/well_designed.h"
 #include "wd/eval.h"
+#include "wdsparql/wdsparql.h"
 
 using namespace wdsparql;
 
 int main() {
-  TermPool pool;
+  // 1. An owning database; AddTriple maintains the permutation indexes
+  //    incrementally (no rebuilds).
+  Database db;
+  db.AddTriple("alice", "knows", "bob");
+  db.AddTriple("alice", "knows", "carol");
+  db.AddTriple("bob", "email", "mailto:bob@example.org");
+  db.AddTriple("carol", "worksAt", "acme");
+  std::printf("Database: %zu triples\n\n", db.size());
 
-  // 1. An RDF graph, in the library's N-Triples-like format.
-  RdfGraph graph(&pool);
-  Status load = ParseNTriples(
-      "alice knows bob .\n"
-      "alice knows carol .\n"
-      "bob   email mailto:bob@example.org .\n"
-      "carol worksAt acme .\n",
-      &graph);
-  if (!load.ok()) {
-    std::fprintf(stderr, "load failed: %s\n", load.ToString().c_str());
-    return 1;
-  }
-  std::printf("Graph (%zu triples):\n%s\n", graph.size(), graph.ToString().c_str());
+  // 2. A cheap read session; Prepare carries structured diagnostics.
+  Session session = db.OpenSession();
+  Statement stmt = session.Prepare("(alice knows ?who) OPT (?who email ?mail)");
+  std::printf("Query: %s\n", stmt.diagnostics().pattern_text.c_str());
+  std::printf("Prepared: %s (well designed: %s, %zu tree(s))\n\n",
+              stmt.diagnostics().ToString().c_str(),
+              stmt.diagnostics().well_designed ? "yes" : "no",
+              stmt.diagnostics().num_trees);
+  if (!stmt.ok()) return 1;
 
-  // 2. A well-designed pattern: mandatory part + optional email.
-  auto parsed = ParsePattern("(alice knows ?who) OPT (?who email ?mail)", &pool);
-  if (!parsed.ok()) {
-    std::fprintf(stderr, "parse failed: %s\n", parsed.status().ToString().c_str());
-    return 1;
-  }
-  PatternPtr query = parsed.value();
-  std::printf("Query: %s\n", query->ToString(pool).c_str());
-
-  Status wd = CheckWellDesigned(query, pool);
-  std::printf("Well designed: %s\n\n", wd.ok() ? "yes" : wd.ToString().c_str());
-
-  // 3. Evaluate with the textbook set semantics.
+  // 3. Pull-based enumeration: answers arrive one Next() at a time.
   std::printf("Answers (JPKG):\n");
-  std::vector<Mapping> answers = Evaluate(*query, graph);
-  for (const Mapping& mu : answers) {
-    std::printf("  %s\n", mu.ToString(pool).c_str());
+  Cursor cursor = stmt.Execute();
+  while (cursor.Next()) {
+    std::printf("  %s\n", cursor.Row().ToString(db.pool()).c_str());
   }
 
-  // 4. The same answers through the pattern-forest pipeline, and
-  //    membership checks with both wdEVAL algorithms.
-  auto forest = BuildPatternForest(query, pool);
-  if (!forest.ok()) {
-    std::fprintf(stderr, "wdpf failed: %s\n", forest.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("\nwdpf(P): %zu pattern tree(s); tree 0 has %d node(s)\n",
-              forest.value().trees.size(), forest.value().trees[0].NumNodes());
+  // 4. SELECT-style projection into a columnar table: just the people,
+  //    duplicates eliminated.
+  BindingTable table = stmt.ExecuteTable({"?who"});
+  std::printf("\nProjected on ?who (%zu row(s)):\n%s", table.NumRows(),
+              table.ToString().c_str());
 
+  // 5. Cross-checks: the engine agrees with the textbook set semantics,
+  //    and both wdEVAL membership algorithms accept every answer.
+  auto parsed = ParsePattern("(alice knows ?who) OPT (?who email ?mail)", &db.pool());
+  std::vector<Mapping> reference = Evaluate(*parsed.value(), db.graph());
+  std::vector<Mapping> engine_answers = stmt.Solutions();
+  bool same = engine_answers == reference;
+  std::printf("\nengine matches set semantics: %s\n", same ? "yes" : "NO");
+
+  auto forest = BuildPatternForest(parsed.value(), db.pool());
   bool all_agree = true;
-  for (const Mapping& mu : answers) {
-    bool naive = NaiveWdEval(forest.value(), graph, mu);
-    bool pebble = PebbleWdEval(forest.value(), graph, mu, /*k=*/1);
-    if (!naive || !pebble) all_agree = false;
+  for (const Mapping& mu : engine_answers) {
+    bool member = stmt.Contains(mu);  // Engine membership (indexed backend).
+    bool naive = NaiveWdEval(forest.value(), db.graph(), mu);
+    bool pebble = PebbleWdEval(forest.value(), db.graph(), mu, /*k=*/1);
+    if (!member || !naive || !pebble) all_agree = false;
   }
-  std::printf("naive/pebble membership agrees on all %zu answers: %s\n",
-              answers.size(), all_agree ? "yes" : "NO");
+  std::printf("engine/naive/pebble membership agree on all %zu answers: %s\n",
+              engine_answers.size(), all_agree ? "yes" : "NO");
 
   // A non-maximal mapping is correctly rejected: bob without his email.
   Mapping truncated;
-  truncated.Bind(pool.InternVariable("who"), pool.InternIri("bob"));
+  truncated.Bind(db.pool().InternVariable("who"), db.pool().InternIri("bob"));
   std::printf("non-maximal {?who -> bob} rejected: %s\n",
-              NaiveWdEval(forest.value(), graph, truncated) ? "NO" : "yes");
-  return all_agree ? 0 : 1;
+              stmt.Contains(truncated) ? "NO" : "yes");
+  return (same && all_agree) ? 0 : 1;
 }

@@ -5,55 +5,58 @@
 /// report where each query falls on the tractability frontier, i.e.
 /// which promise parameter k makes the Theorem 1 algorithm complete.
 ///
-/// Runs on the paper's own families (Examples 4/5 and Section 3.2) plus
-/// queries passed on the command line.
+/// Queries go through `Session::Prepare`, so rejection reasons arrive as
+/// structured `QueryDiagnostics` (code + offending variable) rather than
+/// status prose. Runs on the paper's own families (Examples 4/5 and
+/// Section 3.2) plus queries passed on the command line.
 ///
-/// Build & run:  ./build/examples/tractability_advisor            # paper families
-///               ./build/examples/tractability_advisor '(?x p ?y) OPT (?y q ?z)'
+/// Build & run:  ./build/tractability_advisor            # paper families
+///               ./build/tractability_advisor '(?x p ?y) OPT (?y q ?z)'
 
 #include <cstdio>
 #include <string>
 
-#include "ptree/forest.h"
-#include "sparql/parser.h"
-#include "sparql/well_designed.h"
+#include "engine/api_internal.h"
 #include "wd/branch_width.h"
 #include "wd/domination.h"
 #include "wd/local_tractability.h"
 #include "wd/paper_examples.h"
+#include "wdsparql/wdsparql.h"
 
 using namespace wdsparql;
 
 namespace {
 
-void Report(const char* name, const PatternPtr& pattern, TermPool* pool) {
+void Report(const char* name, const PatternPtr& pattern, Database* db) {
+  TermPool* pool = &db->pool();
   std::printf("== %s\n", name);
   std::printf("   %s\n", pattern->ToString(*pool).c_str());
 
-  Status wd = CheckWellDesigned(pattern, *pool);
-  if (!wd.ok()) {
-    std::printf("   NOT well designed: %s\n", wd.message().c_str());
+  Statement stmt = db->OpenSession().PrepareParsed(pattern);
+  const QueryDiagnostics& diag = stmt.diagnostics();
+  if (!stmt.ok()) {
+    std::printf("   NOT prepared [%s]: %s\n", DiagnosticsCodeToString(diag.code),
+                diag.message.c_str());
+    if (!diag.offending_variable.empty()) {
+      std::printf("   offending variable    : %s\n", diag.offending_variable.c_str());
+    }
     std::printf("   -> outside the paper's fragment (coNP methods do not apply)\n\n");
     return;
   }
-  auto forest = BuildPatternForest(pattern, *pool);
-  if (!forest.ok()) {
-    std::printf("   wdpf failed: %s\n\n", forest.status().ToString().c_str());
-    return;
-  }
+  const PatternForest& forest = stmt.impl()->forest;
 
-  int local = LocalWidth(forest.value());
+  int local = LocalWidth(forest);
   std::printf("   local width [17]      : %d\n", local);
 
-  if (forest.value().trees.size() == 1) {
-    int bw = BranchTreewidth(forest.value().trees[0]);
+  if (forest.trees.size() == 1) {
+    int bw = BranchTreewidth(forest.trees[0]);
     std::printf("   branch treewidth (D3) : %d   (UNION-free: dw = bw, Prop. 5)\n", bw);
   }
 
   DominationOptions options;
   options.max_subtrees = 1u << 14;
   options.max_assignments_per_subtree = 1u << 14;
-  Result<int> dw = DominationWidth(forest.value(), pool, options);
+  Result<int> dw = DominationWidth(forest, pool, options);
   if (dw.ok()) {
     std::printf("   domination width (D2) : %d\n", dw.value());
     std::printf("   -> PTIME evaluation: PebbleWdEval with promise k = %d "
@@ -75,29 +78,32 @@ void Report(const char* name, const PatternPtr& pattern, TermPool* pool) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  TermPool pool;
+  // An empty database: the advisor only plans, it never evaluates.
+  Database db;
+  TermPool* pool = &db.pool();
 
   if (argc > 1) {
+    Session session = db.OpenSession();
     for (int i = 1; i < argc; ++i) {
-      auto parsed = ParsePattern(argv[i], &pool);
-      if (!parsed.ok()) {
+      Statement stmt = session.Prepare(argv[i]);
+      if (stmt.diagnostics().code == QueryDiagnostics::Code::kParseError) {
         std::printf("== argv[%d]: parse error: %s\n\n", i,
-                    parsed.status().ToString().c_str());
+                    stmt.diagnostics().message.c_str());
         continue;
       }
-      Report(("argv[" + std::to_string(i) + "]").c_str(), parsed.value(), &pool);
+      Report(("argv[" + std::to_string(i) + "]").c_str(), stmt.impl()->pattern, &db);
     }
     return 0;
   }
 
   std::printf("The tractability frontier, on the paper's families (k = 4):\n\n");
-  Report("Example 1, P1", MakeExample1P1(&pool), &pool);
-  Report("Example 1, P2 (not well designed)", MakeExample1P2(&pool), &pool);
+  Report("Example 1, P1", MakeExample1P1(pool), &db);
+  Report("Example 1, P2 (not well designed)", MakeExample1P2(pool), &db);
   Report("F_4 pattern (Examples 4/5: dw = 1, not locally tractable)",
-         MakeFkPattern(&pool, 4), &pool);
+         MakeFkPattern(pool, 4), &db);
   Report("T'_4 pattern (Section 3.2: bw = 1, not locally tractable)",
-         MakeBranchFamilyPattern(&pool, 4), &pool);
+         MakeBranchFamilyPattern(pool, 4), &db);
   Report("Clique-branch pattern (unbounded width: the Theorem 2 regime)",
-         MakeCliqueBranchPattern(&pool, 4), &pool);
+         MakeCliqueBranchPattern(pool, 4), &db);
   return 0;
 }

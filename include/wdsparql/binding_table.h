@@ -1,0 +1,83 @@
+#ifndef WDSPARQL_PUBLIC_BINDING_TABLE_H_
+#define WDSPARQL_PUBLIC_BINDING_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+/// \file
+/// Columnar query results.
+///
+/// `BindingTable` is the batch-consumer counterpart of the row-at-a-time
+/// `Cursor`: one dictionary-encoded column per projected variable, cells
+/// holding dense ids into a table-local value dictionary (the layout of
+/// Arrow dictionary arrays and of result blocks in columnar engines).
+/// Unbound cells — SPARQL's partial answers — carry the `kUnbound`
+/// sentinel. The table owns its spellings outright, so it outlives the
+/// database, session and cursor that produced it.
+
+namespace wdsparql {
+
+/// A columnar table of variable bindings.
+class BindingTable {
+ public:
+  /// Cell sentinel: the variable is unbound in this row.
+  static constexpr uint32_t kUnbound = 0xFFFFFFFFu;
+
+  BindingTable() = default;
+
+  /// Creates an empty table with the given column headers (display form,
+  /// e.g. "?x").
+  explicit BindingTable(std::vector<std::string> column_names);
+
+  /// Appends a row; `cells` must have one entry per column, nullopt for
+  /// unbound. Values are interned into the table-local dictionary.
+  void AppendRow(const std::vector<std::optional<std::string_view>>& cells);
+
+  std::size_t NumRows() const { return num_rows_; }
+  std::size_t NumColumns() const { return column_names_.size(); }
+
+  /// The header of column `col` (e.g. "?x").
+  const std::string& ColumnName(std::size_t col) const { return column_names_.at(col); }
+
+  /// The index of the column headed `name` (with or without the leading
+  /// '?'), or nullopt.
+  std::optional<std::size_t> ColumnIndex(std::string_view name) const;
+
+  /// True iff the cell holds a value.
+  bool IsBound(std::size_t row, std::size_t col) const {
+    return CellId(row, col) != kUnbound;
+  }
+
+  /// The table-local value id of a cell, or `kUnbound`.
+  uint32_t CellId(std::size_t row, std::size_t col) const {
+    return columns_.at(col).at(row);
+  }
+
+  /// The spelling of a cell; empty for unbound cells.
+  const std::string& Value(std::size_t row, std::size_t col) const;
+
+  /// One whole column of cell ids — the batch access path.
+  const std::vector<uint32_t>& Column(std::size_t col) const { return columns_.at(col); }
+
+  /// The table-local value dictionary (index == cell id).
+  const std::vector<std::string>& values() const { return values_; }
+
+  /// Renders the table in a compact aligned ASCII form (for tools and
+  /// examples; not a stable format).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> column_names_;
+  std::vector<std::vector<uint32_t>> columns_;  // [col][row] -> value id.
+  std::vector<std::string> values_;             // Local dictionary.
+  std::unordered_map<std::string, uint32_t> value_ids_;
+  std::size_t num_rows_ = 0;
+};
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_PUBLIC_BINDING_TABLE_H_

@@ -1,0 +1,45 @@
+#ifndef WDSPARQL_PUBLIC_CHECK_H_
+#define WDSPARQL_PUBLIC_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Invariant-checking macros.
+///
+/// The library uses CHECK-style macros (always on, including release
+/// builds) for internal invariants whose violation indicates a programming
+/// error, and DCHECK for expensive checks enabled only in debug builds.
+/// API-level, user-triggerable failures are reported through
+/// `wdsparql::Status` instead (see status.h); exceptions are not used.
+
+namespace wdsparql {
+namespace internal {
+
+/// Prints a fatal-check diagnostic and aborts the process.
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace wdsparql
+
+/// Aborts with a diagnostic if `cond` is false. Enabled in all builds.
+#define WDSPARQL_CHECK(cond)                                          \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::wdsparql::internal::CheckFailed(__FILE__, __LINE__, #cond);   \
+    }                                                                 \
+  } while (0)
+
+/// Debug-only variant of WDSPARQL_CHECK.
+#ifdef NDEBUG
+#define WDSPARQL_DCHECK(cond) \
+  do {                        \
+  } while (0)
+#else
+#define WDSPARQL_DCHECK(cond) WDSPARQL_CHECK(cond)
+#endif
+
+#endif  // WDSPARQL_PUBLIC_CHECK_H_

@@ -1,0 +1,102 @@
+#ifndef WDSPARQL_PUBLIC_CURSOR_H_
+#define WDSPARQL_PUBLIC_CURSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "wdsparql/diagnostics.h"
+#include "wdsparql/mapping.h"
+
+/// \file
+/// Pull-based result enumeration.
+///
+/// A `Cursor` is the volcano-style consumer side of a prepared
+/// statement: `Open` pins the database snapshot, each `Next` resumes the
+/// engine's suspendable enumeration state machine just long enough to
+/// produce one more distinct (projected, filtered) answer, and `Close`
+/// releases the machinery early. Nothing is materialised ahead of the
+/// consumer beyond the current subtree's candidate batch, so closing a
+/// cursor after the first row skips the maximality certificates of every
+/// answer never asked for.
+
+namespace wdsparql {
+
+struct CursorImpl;
+
+/// Pull-based enumeration of one statement execution. Move-only.
+///
+/// Lifetime: the cursor holds the prepared statement alive, but reads
+/// the database in place — any mutation (including `Compact`) bumps the
+/// database epoch and flips open cursors to `kInvalidated` on their next
+/// pull. Re-execute the statement for a fresh cursor.
+class Cursor {
+ public:
+  enum class State {
+    kUnopened,     ///< Created, not yet opened.
+    kOpen,         ///< Mid-enumeration; `Row` is valid after a true `Next`.
+    kExhausted,    ///< Every answer was delivered.
+    kClosed,       ///< Closed by the consumer.
+    kInvalidated,  ///< The database mutated under the cursor.
+    kFailed,       ///< The statement never prepared / bad projection.
+  };
+
+  /// An empty cursor in `kFailed` state (useful as a placeholder).
+  Cursor();
+  /// \internal Wraps an engine-constructed cursor state.
+  explicit Cursor(std::unique_ptr<CursorImpl> impl);
+  ~Cursor();
+  Cursor(Cursor&&) noexcept;
+  Cursor& operator=(Cursor&&) noexcept;
+  Cursor(const Cursor&) = delete;
+  Cursor& operator=(const Cursor&) = delete;
+
+  /// Pins the database epoch and readies enumeration. Idempotent while
+  /// open; returns true iff the cursor is (now) open.
+  bool Open();
+
+  /// Advances to the next answer. Opens on first call. Returns true iff
+  /// a row is available; false on exhaustion, invalidation or failure
+  /// (inspect `state()` to distinguish).
+  bool Next();
+
+  /// Releases enumeration state early. Further `Next` calls return false.
+  void Close();
+
+  State state() const;
+
+  /// Why the cursor failed / what was prepared (copied from the
+  /// statement, possibly extended with execution-time codes).
+  const QueryDiagnostics& diagnostics() const;
+
+  // Row access — valid after `Next` returned true --------------------
+
+  /// Number of projected columns.
+  std::size_t width() const;
+
+  /// Header of column `col`, display form ("?x").
+  const std::string& VariableName(std::size_t col) const;
+
+  /// True iff column `col` is bound in the current row (OPT answers are
+  /// partial: unbound columns are genuine results, not errors).
+  bool IsBound(std::size_t col) const;
+
+  /// Spelling of the value in column `col`; empty string when unbound.
+  std::string Value(std::size_t col) const;
+
+  /// The current row as a mapping over the projected variables.
+  const Mapping& Row() const;
+
+  /// Rows delivered so far.
+  uint64_t rows() const;
+
+ private:
+  std::unique_ptr<CursorImpl> impl_;
+};
+
+/// Human-readable cursor state name.
+const char* CursorStateToString(Cursor::State state);
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_PUBLIC_CURSOR_H_

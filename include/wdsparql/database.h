@@ -1,0 +1,131 @@
+#ifndef WDSPARQL_PUBLIC_DATABASE_H_
+#define WDSPARQL_PUBLIC_DATABASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "wdsparql/session.h"
+#include "wdsparql/status.h"
+#include "wdsparql/term.h"
+#include "wdsparql/triple.h"
+
+/// \file
+/// The owning database object.
+///
+/// `Database` is the front door of the engine: it owns the term pool
+/// (optionally shared), the ground graph, and the dictionary-encoded
+/// SPO/POS/OSP permutation indexes, and it keeps the indexes maintained
+/// *incrementally* under mutation — inserts land in small sorted delta
+/// runs and deletions in a tombstone set, folded into the base runs by a
+/// periodic linear merge instead of a rebuild-from-scratch (the LSM
+/// discipline of production stores). Reads go through `Session`s
+/// (cheap, concurrent) and pull-based `Cursor`s.
+///
+/// ```
+/// Database db;
+/// db.AddTriple("alice", "knows", "bob");
+/// Session session = db.OpenSession();
+/// Statement stmt = session.Prepare("(?x knows ?y) OPT (?y email ?e)");
+/// Cursor cursor = stmt.Execute();
+/// while (cursor.Next()) { /* cursor.Row(), cursor.Value(col) */ }
+/// ```
+
+namespace wdsparql {
+
+class RdfGraph;      // Internal storage; see rdf/graph.h.
+class IndexedStore;  // Internal storage; see engine/indexed_store.h.
+struct DatabaseImpl;
+
+/// Construction-time tuning.
+struct DatabaseOptions {
+  /// Delta size (pending inserts + tombstones) that triggers an
+  /// automatic merge into the base permutation runs. 0 disables
+  /// automatic merging (callers then `Compact()` explicitly).
+  std::size_t merge_threshold = 4096;
+};
+
+/// An owning, mutable triple database with incremental index
+/// maintenance. Move-only.
+class Database {
+ public:
+  /// A database owning a private `TermPool`.
+  explicit Database(const DatabaseOptions& options = {});
+
+  /// A database interning into an external pool (must outlive the
+  /// database) — lets queries, graphs and databases share spellings.
+  explicit Database(TermPool* pool, const DatabaseOptions& options = {});
+
+  ~Database();
+  Database(Database&&) noexcept;
+  Database& operator=(Database&&) noexcept;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Mutation ----------------------------------------------------------
+  // Every successful mutation (and `Compact`) bumps the epoch; open
+  // cursors notice on their next pull and report `kInvalidated`.
+
+  /// Inserts a ground triple; returns true iff newly inserted (false for
+  /// duplicates and for triples containing variables).
+  bool AddTriple(const Triple& t);
+
+  /// Interns the spellings and inserts the triple.
+  bool AddTriple(std::string_view s, std::string_view p, std::string_view o);
+
+  /// Removes a triple; returns true iff it was present.
+  bool RemoveTriple(const Triple& t);
+  bool RemoveTriple(std::string_view s, std::string_view p, std::string_view o);
+
+  /// Parses N-Triples text (see rdf/ntriples.h for the accepted subset)
+  /// and inserts every triple. Atomic on parse errors: either the whole
+  /// text loads or nothing does. Uses the sort-based bulk path when the
+  /// database is empty.
+  Status LoadNTriples(std::string_view text);
+
+  /// Reads the file at `path` and loads it as `LoadNTriples`.
+  Status LoadNTriplesFile(const std::string& path);
+
+  /// Folds pending delta runs and tombstones into the base permutation
+  /// runs now. Idempotent; changes no query results.
+  void Compact();
+
+  // Inspection --------------------------------------------------------
+
+  /// Number of triples.
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// True iff the ground triple is present.
+  bool Contains(const Triple& t) const;
+
+  /// Pending un-merged index work (delta inserts + tombstones).
+  std::size_t pending_delta() const;
+
+  /// Mutation counter; cursors pin it at `Open`.
+  uint64_t epoch() const;
+
+  /// The term pool. Const access still permits interning (the pool is an
+  /// append-only cache), which `Session::Prepare` relies on.
+  TermPool& pool() const;
+
+  // Reading -----------------------------------------------------------
+
+  /// Opens a read view with the given execution options.
+  Session OpenSession(const SessionOptions& options = {}) const;
+
+  /// \internal Storage accessors for in-tree tooling (the deprecated
+  /// QueryEngine facade, benchmarks, width machinery). Not part of the
+  /// stable surface.
+  const RdfGraph& graph() const;
+  const IndexedStore& store() const;
+
+ private:
+  friend struct DatabaseImpl;
+  std::unique_ptr<DatabaseImpl> impl_;
+};
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_PUBLIC_DATABASE_H_

@@ -1,0 +1,97 @@
+#ifndef WDSPARQL_PUBLIC_TERM_H_
+#define WDSPARQL_PUBLIC_TERM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "wdsparql/check.h"
+
+/// \file
+/// Interned RDF terms.
+///
+/// Following the paper's formalisation, a term is either an IRI from the
+/// countable set I or a variable from the disjoint countable set V. All
+/// algorithms in the library operate on dense 32-bit `TermId`s; the string
+/// spelling lives only in the `TermPool`. Variables are distinguished from
+/// IRIs by the top bit of the id so that hot loops never consult the pool.
+
+namespace wdsparql {
+
+/// Interned identifier of an IRI or variable.
+using TermId = uint32_t;
+
+/// Bit flag marking variable ids (set) versus IRI ids (clear).
+inline constexpr TermId kVariableBit = 0x80000000u;
+
+/// True iff `t` is a variable id.
+inline bool IsVariable(TermId t) { return (t & kVariableBit) != 0; }
+
+/// True iff `t` is an IRI id.
+inline bool IsIri(TermId t) { return (t & kVariableBit) == 0; }
+
+/// Dense index of a term within its kind (strips the variable bit).
+inline uint32_t TermIndex(TermId t) { return t & ~kVariableBit; }
+
+/// Intern table mapping IRI/variable spellings to `TermId`s and back.
+///
+/// A single pool is shared by an RDF graph, the queries evaluated over
+/// it, and all derived t-graphs, so that equal spellings compare equal by
+/// id. The pool can mint fresh variables (guaranteed distinct from every
+/// interned spelling), which the domination-width machinery uses for the
+/// variable renamings `rho_Delta`.
+class TermPool {
+ public:
+  TermPool() = default;
+
+  // The pool is referenced by id from many structures; accidental copies
+  // would silently fork the intern table.
+  TermPool(const TermPool&) = delete;
+  TermPool& operator=(const TermPool&) = delete;
+
+  /// Interns an IRI spelling (without angle brackets) and returns its id.
+  TermId InternIri(std::string_view spelling);
+
+  /// Interns a variable by name (without the leading '?').
+  TermId InternVariable(std::string_view name);
+
+  /// Looks an IRI spelling up WITHOUT interning it: nullopt if never
+  /// interned. Use on probe/delete paths so misses do not grow the pool.
+  std::optional<TermId> FindIri(std::string_view spelling) const;
+
+  /// Looks a variable name up WITHOUT interning it.
+  std::optional<TermId> FindVariable(std::string_view name) const;
+
+  /// Mints a variable guaranteed distinct from all interned spellings,
+  /// named "<hint>#<counter>". Used for renaming to fresh variables.
+  TermId FreshVariable(std::string_view hint);
+
+  /// Returns the spelling of `t` (no '?' prefix, no angle brackets).
+  std::string_view Spelling(TermId t) const;
+
+  /// Renders `t` for display: variables as "?name", IRIs verbatim.
+  std::string ToDisplayString(TermId t) const;
+
+  /// Renders `t` so the pattern parser can read it back: variables as
+  /// "?name", IRIs bare when identifier-shaped and '<'-quoted otherwise.
+  std::string ToParsableString(TermId t) const;
+
+  /// Number of interned IRIs.
+  std::size_t NumIris() const { return iri_spellings_.size(); }
+  /// Number of interned variables (including fresh ones).
+  std::size_t NumVariables() const { return var_spellings_.size(); }
+
+ private:
+  std::unordered_map<std::string, TermId> iri_ids_;
+  std::unordered_map<std::string, TermId> var_ids_;
+  std::vector<std::string> iri_spellings_;
+  std::vector<std::string> var_spellings_;
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_PUBLIC_TERM_H_

@@ -1,0 +1,27 @@
+#ifndef WDSPARQL_PUBLIC_WDSPARQL_H_
+#define WDSPARQL_PUBLIC_WDSPARQL_H_
+
+/// \file
+/// Umbrella header for the stable public surface.
+///
+/// Everything under include/wdsparql/ is the supported API: the value
+/// vocabulary (terms, triples, mappings, status), the owning `Database`
+/// with incremental index maintenance, cheap read `Session`s preparing
+/// `Statement`s with structured `QueryDiagnostics`, and pull-based
+/// `Cursor`s / columnar `BindingTable`s for consuming answers. Headers
+/// here include only other wdsparql/ headers and the standard library —
+/// never src/-internal ones (enforced by tools/check_include_hygiene.sh).
+
+#include "wdsparql/binding_table.h"
+#include "wdsparql/check.h"
+#include "wdsparql/cursor.h"
+#include "wdsparql/database.h"
+#include "wdsparql/diagnostics.h"
+#include "wdsparql/hash.h"
+#include "wdsparql/mapping.h"
+#include "wdsparql/session.h"
+#include "wdsparql/status.h"
+#include "wdsparql/term.h"
+#include "wdsparql/triple.h"
+
+#endif  // WDSPARQL_PUBLIC_WDSPARQL_H_

@@ -1,0 +1,109 @@
+#ifndef WDSPARQL_ENGINE_API_INTERNAL_H_
+#define WDSPARQL_ENGINE_API_INTERNAL_H_
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/indexed_store.h"
+#include "ptree/forest.h"
+#include "rdf/graph.h"
+#include "rdf/scan.h"
+#include "sparql/ast.h"
+#include "sparql/filter.h"
+#include "wd/enumerate.h"
+#include "wdsparql/cursor.h"
+#include "wdsparql/database.h"
+#include "wdsparql/diagnostics.h"
+#include "wdsparql/session.h"
+
+/// \file
+/// Shared implementation state behind the public Database/Session/Cursor
+/// pimpl surface. In-tree only: the public headers forward-declare these
+/// types; database.cc, session.cc, cursor.cc and the deprecated
+/// QueryEngine facade include this header to cross the pimpl boundary.
+
+namespace wdsparql {
+
+/// Everything a `Database` owns.
+struct DatabaseImpl {
+  DatabaseImpl(TermPool* external_pool, const DatabaseOptions& opts)
+      : owned_pool(external_pool == nullptr ? std::make_unique<TermPool>() : nullptr),
+        pool(external_pool != nullptr ? external_pool : owned_pool.get()),
+        graph(pool),
+        hash_source(graph.triples()),
+        options(opts) {
+    store.set_merge_threshold(options.merge_threshold);
+  }
+
+  /// Crosses the pimpl boundary for the engine_internal free functions
+  /// (DatabaseImpl is the one friend of Database).
+  static DatabaseImpl& Get(const Database& db) { return *db.impl_; }
+
+  std::unique_ptr<TermPool> owned_pool;  // Null when the pool is external.
+  TermPool* pool;
+  RdfGraph graph;                // Hash-indexed row store (naive backend).
+  HashTripleSource hash_source;  // TripleSource view over `graph`.
+  IndexedStore store;            // Permutation-indexed store (indexed backend).
+  DatabaseOptions options;
+  uint64_t epoch = 0;
+};
+
+/// Everything a prepared `Statement` shares with its cursors.
+struct StatementImpl {
+  const DatabaseImpl* db = nullptr;
+  SessionOptions options;
+  QueryDiagnostics diagnostics;
+  PatternPtr pattern;                   // Original pattern (with filters).
+  PatternPtr core;                      // Filter-free executable core.
+  std::vector<FilterCondition> filters; // Peeled top-level FILTERs.
+  PatternForest forest;                 // wdpf(core).
+  std::vector<TermId> var_ids;          // vars(core), first occurrence.
+  std::vector<std::string> var_names;   // Display forms ("?x").
+};
+
+/// One cursor's execution state.
+struct CursorImpl {
+  std::shared_ptr<const StatementImpl> stmt;
+  QueryDiagnostics diagnostics;
+  Cursor::State state = Cursor::State::kUnopened;
+
+  // Projection (column order; equal to the statement's variables when no
+  // projection was requested).
+  std::vector<TermId> columns;
+  std::vector<std::string> column_names;
+  bool dedup = false;  // Proper-subset projection: eliminate duplicates.
+
+  // Live enumeration machinery (created at Open).
+  std::unique_ptr<SolutionEnumerator> enumerator;
+  std::unordered_set<Mapping, MappingHash> emitted;
+  Mapping row;
+  uint64_t open_epoch = 0;
+  uint64_t rows = 0;
+};
+
+namespace engine_internal {
+
+/// Bulk-loads `triples` into an *empty* database via the sort-based
+/// build path (dictionary + one sort per permutation), bypassing the
+/// per-triple delta. Used by the QueryEngine compatibility facade.
+void BulkLoad(Database* db, const TripleSet& triples);
+
+/// The database's hash-backed TripleSource (naive backend scans).
+const HashTripleSource& HashSourceOf(const Database& db);
+
+/// Enumeration hooks for the session's backend over `db`'s storage.
+/// Bound to the move-stable impl, not the movable `Database` shell.
+EnumerationHooks MakeEnumerationHooks(const DatabaseImpl& db,
+                                      const SessionOptions& options);
+
+/// wdEVAL membership on the session's backend (no filter application).
+bool EvaluateMembership(const DatabaseImpl& db, const SessionOptions& options,
+                        const PatternForest& forest, const Mapping& mu,
+                        EvalStats* stats = nullptr);
+
+}  // namespace engine_internal
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_ENGINE_API_INTERNAL_H_

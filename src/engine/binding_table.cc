@@ -1,0 +1,76 @@
+#include "wdsparql/binding_table.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "wdsparql/check.h"
+
+namespace wdsparql {
+
+BindingTable::BindingTable(std::vector<std::string> column_names)
+    : column_names_(std::move(column_names)), columns_(column_names_.size()) {}
+
+void BindingTable::AppendRow(const std::vector<std::optional<std::string_view>>& cells) {
+  WDSPARQL_CHECK(cells.size() == column_names_.size());
+  for (std::size_t col = 0; col < cells.size(); ++col) {
+    uint32_t id = kUnbound;
+    if (cells[col].has_value()) {
+      std::string spelling(*cells[col]);
+      auto [it, inserted] =
+          value_ids_.emplace(spelling, static_cast<uint32_t>(values_.size()));
+      if (inserted) values_.push_back(std::move(spelling));
+      id = it->second;
+    }
+    columns_[col].push_back(id);
+  }
+  ++num_rows_;
+}
+
+std::optional<std::size_t> BindingTable::ColumnIndex(std::string_view name) const {
+  std::string_view bare = name;
+  if (!bare.empty() && bare.front() == '?') bare.remove_prefix(1);
+  for (std::size_t col = 0; col < column_names_.size(); ++col) {
+    std::string_view header = column_names_[col];
+    if (!header.empty() && header.front() == '?') header.remove_prefix(1);
+    if (header == bare) return col;
+  }
+  return std::nullopt;
+}
+
+const std::string& BindingTable::Value(std::size_t row, std::size_t col) const {
+  static const std::string kEmpty;
+  uint32_t id = CellId(row, col);
+  if (id == kUnbound) return kEmpty;
+  return values_[id];
+}
+
+std::string BindingTable::ToString() const {
+  std::vector<std::size_t> widths(NumColumns());
+  for (std::size_t col = 0; col < NumColumns(); ++col) {
+    widths[col] = column_names_[col].size();
+    for (uint32_t id : columns_[col]) {
+      std::size_t len = id == kUnbound ? 1 : values_[id].size();
+      widths[col] = std::max(widths[col], len);
+    }
+  }
+  std::string out;
+  auto append_row = [&](const std::function<std::string_view(std::size_t)>& cell) {
+    for (std::size_t col = 0; col < NumColumns(); ++col) {
+      out += col == 0 ? "| " : " | ";
+      std::string_view text = cell(col);
+      out += std::string(text);
+      out.append(widths[col] - text.size(), ' ');
+    }
+    out += " |\n";
+  };
+  append_row([&](std::size_t col) { return std::string_view(column_names_[col]); });
+  for (std::size_t row = 0; row < NumRows(); ++row) {
+    append_row([&](std::size_t col) {
+      uint32_t id = columns_[col][row];
+      return id == kUnbound ? std::string_view("-") : std::string_view(values_[id]);
+    });
+  }
+  return out;
+}
+
+}  // namespace wdsparql

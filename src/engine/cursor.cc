@@ -1,0 +1,111 @@
+#include "wdsparql/cursor.h"
+
+#include "engine/api_internal.h"
+
+namespace wdsparql {
+
+Cursor::Cursor() : impl_(std::make_unique<CursorImpl>()) {
+  impl_->state = State::kFailed;
+  impl_->diagnostics.code = QueryDiagnostics::Code::kInternal;
+  impl_->diagnostics.message = "empty cursor (no statement)";
+}
+
+Cursor::Cursor(std::unique_ptr<CursorImpl> impl) : impl_(std::move(impl)) {}
+Cursor::~Cursor() = default;
+Cursor::Cursor(Cursor&&) noexcept = default;
+Cursor& Cursor::operator=(Cursor&&) noexcept = default;
+
+bool Cursor::Open() {
+  switch (impl_->state) {
+    case State::kOpen: return true;
+    case State::kUnopened: break;
+    default: return false;  // Closed/exhausted/invalidated/failed stay put.
+  }
+  const StatementImpl& stmt = *impl_->stmt;
+  impl_->open_epoch = stmt.db->epoch;
+  impl_->enumerator = std::make_unique<SolutionEnumerator>(
+      stmt.forest, engine_internal::MakeEnumerationHooks(*stmt.db, stmt.options));
+  impl_->state = State::kOpen;
+  return true;
+}
+
+bool Cursor::Next() {
+  if (impl_->state == State::kUnopened && !Open()) return false;
+  if (impl_->state != State::kOpen) return false;
+  const StatementImpl& stmt = *impl_->stmt;
+  if (stmt.db->epoch != impl_->open_epoch) {
+    // The database mutated (or compacted) under us; the enumerator's
+    // scan state points into reallocated runs. Fail fast and loudly.
+    impl_->state = State::kInvalidated;
+    impl_->diagnostics.code = QueryDiagnostics::Code::kInvalidated;
+    impl_->diagnostics.message =
+        "cursor invalidated: the database mutated during enumeration";
+    impl_->enumerator.reset();
+    return false;
+  }
+  Mapping mu;
+  while (impl_->enumerator->Next(&mu)) {
+    bool filtered_out = false;
+    for (const FilterCondition& filter : stmt.filters) {
+      if (!filter.Satisfied(mu)) {
+        filtered_out = true;
+        break;
+      }
+    }
+    if (filtered_out) continue;
+    Mapping projected = impl_->dedup ? mu.RestrictedTo(impl_->columns) : mu;
+    if (impl_->dedup && !impl_->emitted.insert(projected).second) continue;
+    impl_->row = std::move(projected);
+    ++impl_->rows;
+    return true;
+  }
+  impl_->state = State::kExhausted;
+  impl_->enumerator.reset();
+  return false;
+}
+
+void Cursor::Close() {
+  if (impl_->state == State::kOpen || impl_->state == State::kUnopened) {
+    impl_->state = State::kClosed;
+  }
+  impl_->enumerator.reset();
+  impl_->emitted.clear();
+}
+
+Cursor::State Cursor::state() const { return impl_->state; }
+
+const QueryDiagnostics& Cursor::diagnostics() const { return impl_->diagnostics; }
+
+std::size_t Cursor::width() const { return impl_->columns.size(); }
+
+const std::string& Cursor::VariableName(std::size_t col) const {
+  return impl_->column_names.at(col);
+}
+
+bool Cursor::IsBound(std::size_t col) const {
+  return impl_->row.Get(impl_->columns.at(col)).has_value();
+}
+
+std::string Cursor::Value(std::size_t col) const {
+  std::optional<TermId> value = impl_->row.Get(impl_->columns.at(col));
+  if (!value.has_value()) return std::string();
+  return std::string(impl_->stmt->db->pool->Spelling(*value));
+}
+
+const Mapping& Cursor::Row() const { return impl_->row; }
+
+uint64_t Cursor::rows() const { return impl_->rows; }
+
+const char* CursorStateToString(Cursor::State state) {
+  switch (state) {
+    case Cursor::State::kUnopened: return "unopened";
+    case Cursor::State::kOpen: return "open";
+    case Cursor::State::kExhausted: return "exhausted";
+    case Cursor::State::kClosed: return "closed";
+    case Cursor::State::kInvalidated: return "invalidated";
+    case Cursor::State::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+}  // namespace wdsparql

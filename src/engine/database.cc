@@ -1,0 +1,186 @@
+#include "wdsparql/database.h"
+
+#include "engine/api_internal.h"
+#include "engine/join.h"
+#include "hom/homomorphism.h"
+#include "hom/pebble.h"
+#include "ptree/tgraph.h"
+#include "rdf/ntriples.h"
+#include "wd/eval.h"
+
+namespace wdsparql {
+
+Database::Database(const DatabaseOptions& options)
+    : impl_(std::make_unique<DatabaseImpl>(nullptr, options)) {}
+
+Database::Database(TermPool* pool, const DatabaseOptions& options)
+    : impl_(std::make_unique<DatabaseImpl>(pool, options)) {
+  WDSPARQL_CHECK(pool != nullptr);
+}
+
+Database::~Database() = default;
+Database::Database(Database&&) noexcept = default;
+Database& Database::operator=(Database&&) noexcept = default;
+
+bool Database::AddTriple(const Triple& t) {
+  if (!t.IsGround()) return false;  // Variables are not storable facts.
+  if (!impl_->graph.Insert(t)) return false;
+  bool inserted = impl_->store.Insert(t);
+  WDSPARQL_DCHECK(inserted);
+  (void)inserted;
+  ++impl_->epoch;
+  return true;
+}
+
+bool Database::AddTriple(std::string_view s, std::string_view p, std::string_view o) {
+  return AddTriple(
+      Triple(pool().InternIri(s), pool().InternIri(p), pool().InternIri(o)));
+}
+
+bool Database::RemoveTriple(const Triple& t) {
+  if (!impl_->graph.Remove(t)) return false;
+  bool erased = impl_->store.Erase(t);
+  WDSPARQL_DCHECK(erased);
+  (void)erased;
+  ++impl_->epoch;
+  return true;
+}
+
+bool Database::RemoveTriple(std::string_view s, std::string_view p,
+                            std::string_view o) {
+  // Pure lookup: a delete probe for unknown spellings must not grow the
+  // append-only pool (long-running services issue many no-op deletes).
+  std::optional<TermId> sid = pool().FindIri(s);
+  std::optional<TermId> pid = pool().FindIri(p);
+  std::optional<TermId> oid = pool().FindIri(o);
+  if (!sid.has_value() || !pid.has_value() || !oid.has_value()) return false;
+  return RemoveTriple(Triple(*sid, *pid, *oid));
+}
+
+Status Database::LoadNTriples(std::string_view text) {
+  // Parse into a staging graph first so a parse error loads nothing.
+  RdfGraph staged(impl_->pool);
+  WDSPARQL_RETURN_IF_ERROR(ParseNTriples(text, &staged));
+  if (empty()) {
+    engine_internal::BulkLoad(this, staged.triples());
+    return Status::OK();
+  }
+  for (const Triple& t : staged.triples()) AddTriple(t);
+  return Status::OK();
+}
+
+Status Database::LoadNTriplesFile(const std::string& path) {
+  // Reuse the file reader's I/O handling through a staging graph.
+  RdfGraph staged(impl_->pool);
+  WDSPARQL_RETURN_IF_ERROR(ReadNTriplesFile(path, &staged));
+  if (empty()) {
+    engine_internal::BulkLoad(this, staged.triples());
+    return Status::OK();
+  }
+  for (const Triple& t : staged.triples()) AddTriple(t);
+  return Status::OK();
+}
+
+void Database::Compact() {
+  impl_->store.MergeDelta();
+  ++impl_->epoch;  // Base runs reallocated: open cursors must not touch them.
+}
+
+std::size_t Database::size() const { return impl_->graph.size(); }
+
+bool Database::Contains(const Triple& t) const { return impl_->graph.Contains(t); }
+
+std::size_t Database::pending_delta() const { return impl_->store.delta_size(); }
+
+uint64_t Database::epoch() const { return impl_->epoch; }
+
+TermPool& Database::pool() const { return *impl_->pool; }
+
+Session Database::OpenSession(const SessionOptions& options) const {
+  return Session(impl_.get(), options);
+}
+
+const RdfGraph& Database::graph() const { return impl_->graph; }
+
+const IndexedStore& Database::store() const { return impl_->store; }
+
+const char* BackendToString(Backend backend) {
+  switch (backend) {
+    case Backend::kNaiveHash: return "naive-hash";
+    case Backend::kIndexed: return "indexed";
+  }
+  return "unknown";
+}
+
+namespace engine_internal {
+
+void BulkLoad(Database* db, const TripleSet& triples) {
+  DatabaseImpl* impl = &DatabaseImpl::Get(*db);
+  WDSPARQL_CHECK(impl->graph.empty() && impl->store.size() == 0);
+  impl->graph.Reserve(triples.size());
+  for (const Triple& t : triples.triples()) impl->graph.Insert(t);
+  impl->store = IndexedStore::Build(impl->graph.triples());
+  impl->store.set_merge_threshold(impl->options.merge_threshold);
+  ++impl->epoch;
+}
+
+const HashTripleSource& HashSourceOf(const Database& db) {
+  return DatabaseImpl::Get(db).hash_source;
+}
+
+EnumerationHooks MakeEnumerationHooks(const DatabaseImpl& db,
+                                      const SessionOptions& options) {
+  EnumerationHooks hooks;
+  if (options.backend == Backend::kIndexed) {
+    const IndexedStore* store = &db.store;
+    hooks.candidates = [store](const TripleSet& pattern,
+                               const std::function<bool(const VarAssignment&)>& emit) {
+      JoinEnumerate(*store, pattern.triples(), VarAssignment{}, emit);
+    };
+    hooks.extends = [store](const TripleSet& combined, const Mapping& mu) {
+      return JoinExists(*store, combined.triples(), MappingToAssignment(mu));
+    };
+    return hooks;
+  }
+  const HashTripleSource* source = &db.hash_source;
+  hooks.candidates = [source](const TripleSet& pattern,
+                              const std::function<bool(const VarAssignment&)>& emit) {
+    EnumerateHomomorphisms(pattern, VarAssignment{}, *source, emit);
+  };
+  if (options.pebble_promise > 0) {
+    const RdfGraph* graph = &db.graph;
+    int k = options.pebble_promise;
+    hooks.extends = [graph, k](const TripleSet& combined, const Mapping& mu) {
+      return PebbleGameWins(combined, MappingToAssignment(mu), graph->triples(), k + 1);
+    };
+  } else {
+    hooks.extends = [source](const TripleSet& combined, const Mapping& mu) {
+      return HasHomomorphism(combined, MappingToAssignment(mu), *source);
+    };
+  }
+  return hooks;
+}
+
+bool EvaluateMembership(const DatabaseImpl& db, const SessionOptions& options,
+                        const PatternForest& forest, const Mapping& mu,
+                        EvalStats* stats) {
+  switch (options.backend) {
+    case Backend::kIndexed: {
+      const IndexedStore& store = db.store;
+      VarAssignment fixed = MappingToAssignment(mu);
+      return WdEvalWith(forest, store, mu, stats, [&](const TripleSet& combined) {
+        return JoinExists(store, combined.triples(), fixed);
+      });
+    }
+    case Backend::kNaiveHash:
+      if (options.pebble_promise > 0) {
+        return PebbleWdEval(forest, db.graph, mu, options.pebble_promise, stats);
+      }
+      return NaiveWdEval(forest, db.hash_source, mu, stats);
+  }
+  return false;
+}
+
+}  // namespace engine_internal
+
+}  // namespace wdsparql

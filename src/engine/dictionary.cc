@@ -9,13 +9,27 @@ Dictionary Dictionary::Build(const TripleSet& set) {
   dict.terms_ = set.AllTerms();
   std::sort(dict.terms_.begin(), dict.terms_.end());
   WDSPARQL_CHECK(dict.terms_.size() < kNoDataId);
+  dict.sorted_limit_ = dict.terms_.size();
   return dict;
 }
 
 DataId Dictionary::Encode(TermId t) const {
-  auto it = std::lower_bound(terms_.begin(), terms_.end(), t);
-  if (it == terms_.end() || *it != t) return kNoDataId;
-  return static_cast<DataId>(it - terms_.begin());
+  auto prefix_end = terms_.begin() + static_cast<std::ptrdiff_t>(sorted_limit_);
+  auto it = std::lower_bound(terms_.begin(), prefix_end, t);
+  if (it != prefix_end && *it == t) return static_cast<DataId>(it - terms_.begin());
+  auto appended_it = appended_.find(t);
+  if (appended_it != appended_.end()) return appended_it->second;
+  return kNoDataId;
+}
+
+DataId Dictionary::GetOrAdd(TermId t) {
+  DataId existing = Encode(t);
+  if (existing != kNoDataId) return existing;
+  WDSPARQL_CHECK(terms_.size() + 1 < kNoDataId);
+  DataId id = static_cast<DataId>(terms_.size());
+  terms_.push_back(t);
+  appended_.emplace(t, id);
+  return id;
 }
 
 }  // namespace wdsparql

@@ -2,6 +2,8 @@
 #define WDSPARQL_ENGINE_DICTIONARY_H_
 
 #include <cstdint>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "rdf/triple_set.h"
@@ -29,8 +31,17 @@ using DataId = uint32_t;
 /// Sentinel: "no id" / wildcard in encoded patterns.
 inline constexpr DataId kNoDataId = 0xFFFFFFFFu;
 
-/// Order-preserving map between the distinct `TermId`s of one triple set
-/// and the dense range `[0, size)`.
+/// Map between the distinct `TermId`s of one triple set and the dense
+/// range `[0, size)`.
+///
+/// `Build` assigns ids in ascending `TermId` order (the bulk-load fast
+/// path: lookups in that prefix are binary searches). Incremental stores
+/// extend the dictionary through `GetOrAdd`, which *appends* — new terms
+/// take the next free `DataId`, so existing encoded triples never need
+/// re-encoding when the store mutates. The price is that the global
+/// DataId-order/TermId-order coincidence only holds for the built prefix;
+/// all engine algorithms require only a fixed total order on `DataId`s,
+/// which appending preserves.
 class Dictionary {
  public:
   Dictionary() = default;
@@ -38,9 +49,22 @@ class Dictionary {
   /// Builds the dictionary of the distinct terms of `set`.
   static Dictionary Build(const TripleSet& set);
 
-  /// The dense id of `t`, or `kNoDataId` if `t` does not occur in the
-  /// indexed set. O(log size) via binary search on the sorted term list.
+  /// The dense id of `t`, or `kNoDataId` if `t` is not in the dictionary.
+  /// O(log prefix) + O(1) amortised for appended terms.
   DataId Encode(TermId t) const;
+
+  /// Miss-safe lookup: the dense id of `t`, or nullopt if `t` is not in
+  /// the dictionary. Prefer this over `Encode` in code that must handle
+  /// unknown terms (e.g. constants in user queries that never occur in
+  /// the stored graph).
+  std::optional<DataId> TryResolve(TermId t) const {
+    DataId id = Encode(t);
+    if (id == kNoDataId) return std::nullopt;
+    return id;
+  }
+
+  /// The dense id of `t`, appending a fresh id if `t` is new.
+  DataId GetOrAdd(TermId t);
 
   /// The term with dense id `id`; fatal if out of range.
   TermId Decode(DataId id) const {
@@ -51,11 +75,15 @@ class Dictionary {
   /// Number of distinct terms.
   std::size_t size() const { return terms_.size(); }
 
-  /// The distinct terms, ascending by `TermId` (== ascending by DataId).
+  /// The distinct terms, indexed by `DataId`. Ascending by `TermId` over
+  /// the `Build` prefix; terms appended by `GetOrAdd` follow in insertion
+  /// order.
   const std::vector<TermId>& terms() const { return terms_; }
 
  private:
-  std::vector<TermId> terms_;  // Sorted; index == DataId.
+  std::vector<TermId> terms_;        // Index == DataId.
+  std::size_t sorted_limit_ = 0;     // [0, sorted_limit_) is TermId-sorted.
+  std::unordered_map<TermId, DataId> appended_;  // Terms past the prefix.
 };
 
 }  // namespace wdsparql

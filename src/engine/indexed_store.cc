@@ -35,7 +35,113 @@ struct PermLess {
   }
 };
 
+const int* OrderOf(Permutation perm) { return kPermOrder[static_cast<int>(perm)]; }
+
+/// The contiguous [lo, hi) range of `vec` whose first `prefix` positions
+/// (in permutation order) equal the pattern's bound values.
+std::pair<const EncTriple*, const EncTriple*> PrefixRange(
+    const std::vector<EncTriple>& vec, const EncPattern& pattern, const int* order,
+    int prefix) {
+  auto triple_below = [&](const EncTriple& t, const EncPattern& p) {
+    for (int i = 0; i < prefix; ++i) {
+      int pos = order[i];
+      if (t[pos] != p[pos]) return t[pos] < p[pos];
+    }
+    return false;
+  };
+  auto pattern_below = [&](const EncPattern& p, const EncTriple& t) {
+    for (int i = 0; i < prefix; ++i) {
+      int pos = order[i];
+      if (t[pos] != p[pos]) return p[pos] < t[pos];
+    }
+    return false;
+  };
+  auto lo = std::lower_bound(vec.begin(), vec.end(), pattern, triple_below);
+  auto hi = std::upper_bound(lo, vec.end(), pattern, pattern_below);
+  const EncTriple* base = vec.data();
+  return {base + (lo - vec.begin()), base + (hi - vec.begin())};
+}
+
+/// Inserts `t` into the permutation-sorted run `vec`.
+void SortedInsert(std::vector<EncTriple>* vec, const EncTriple& t, Permutation perm) {
+  PermLess less{OrderOf(perm)};
+  vec->insert(std::upper_bound(vec->begin(), vec->end(), t, less), t);
+}
+
+/// Removes `t` from the permutation-sorted run `vec` (must be present).
+void SortedErase(std::vector<EncTriple>* vec, const EncTriple& t, Permutation perm) {
+  PermLess less{OrderOf(perm)};
+  auto it = std::lower_bound(vec->begin(), vec->end(), t, less);
+  WDSPARQL_DCHECK(it != vec->end() && *it == t);
+  vec->erase(it);
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------
+// MergedScan
+// ---------------------------------------------------------------------
+
+MergedScan::MergedScan(const EncTriple* base_begin, const EncTriple* base_end,
+                       const EncTriple* delta_begin, const EncTriple* delta_end,
+                       const Tombstones* dead, Permutation perm)
+    : base_begin_(base_begin),
+      base_end_(base_end),
+      delta_begin_(delta_begin),
+      delta_end_(delta_end),
+      dead_(dead),
+      perm_(perm) {}
+
+MergedScan::Iterator::Iterator(const EncTriple* base, const EncTriple* base_end,
+                               const EncTriple* delta, const EncTriple* delta_end,
+                               const Tombstones* dead, const int* order)
+    : base_(base),
+      base_end_(base_end),
+      delta_(delta),
+      delta_end_(delta_end),
+      dead_(dead),
+      order_(order) {
+  Settle();
+}
+
+void MergedScan::Iterator::Settle() {
+  while (base_ != base_end_ && !dead_->empty() && dead_->count(*base_) > 0) ++base_;
+  if (base_ == base_end_) {
+    on_delta_ = true;
+    return;
+  }
+  on_delta_ =
+      delta_ != delta_end_ && PermLess{order_}(*delta_, *base_);
+}
+
+MergedScan::Iterator& MergedScan::Iterator::operator++() {
+  if (on_delta_) {
+    ++delta_;
+  } else {
+    ++base_;
+  }
+  Settle();
+  return *this;
+}
+
+MergedScan::Iterator MergedScan::begin() const {
+  return Iterator(base_begin_, base_end_, delta_begin_, delta_end_, dead_,
+                  OrderOf(perm_));
+}
+
+MergedScan::Iterator MergedScan::end() const {
+  return Iterator(base_end_, base_end_, delta_end_, delta_end_, dead_, OrderOf(perm_));
+}
+
+std::size_t MergedScan::size() const {
+  std::size_t n = 0;
+  for (auto it = begin(); it != end(); ++it) ++n;
+  return n;
+}
+
+// ---------------------------------------------------------------------
+// IndexedStore
+// ---------------------------------------------------------------------
 
 IndexedStore IndexedStore::Build(const TripleSet& set) {
   IndexedStore store;
@@ -51,13 +157,89 @@ IndexedStore IndexedStore::Build(const TripleSet& set) {
   }
   store.pos_ = store.spo_;
   store.osp_ = store.spo_;
-  std::sort(store.spo_.begin(), store.spo_.end(),
-            PermLess{kPermOrder[static_cast<int>(Permutation::kSpo)]});
-  std::sort(store.pos_.begin(), store.pos_.end(),
-            PermLess{kPermOrder[static_cast<int>(Permutation::kPos)]});
-  std::sort(store.osp_.begin(), store.osp_.end(),
-            PermLess{kPermOrder[static_cast<int>(Permutation::kOsp)]});
+  std::sort(store.spo_.begin(), store.spo_.end(), PermLess{OrderOf(Permutation::kSpo)});
+  std::sort(store.pos_.begin(), store.pos_.end(), PermLess{OrderOf(Permutation::kPos)});
+  std::sort(store.osp_.begin(), store.osp_.end(), PermLess{OrderOf(Permutation::kOsp)});
   return store;
+}
+
+bool IndexedStore::InDelta(const EncTriple& t) const {
+  return std::binary_search(dspo_.begin(), dspo_.end(), t,
+                            PermLess{OrderOf(Permutation::kSpo)});
+}
+
+bool IndexedStore::Insert(const Triple& t) {
+  EncTriple enc;
+  enc.s = dict_.GetOrAdd(t.subject);
+  enc.p = dict_.GetOrAdd(t.predicate);
+  enc.o = dict_.GetOrAdd(t.object);
+  bool in_base = std::binary_search(spo_.begin(), spo_.end(), enc,
+                                    PermLess{OrderOf(Permutation::kSpo)});
+  if (in_base) {
+    // Re-inserting a tombstoned base triple just revives it.
+    return dead_.erase(enc) > 0;
+  }
+  if (InDelta(enc)) return false;
+  SortedInsert(&dspo_, enc, Permutation::kSpo);
+  SortedInsert(&dpos_, enc, Permutation::kPos);
+  SortedInsert(&dosp_, enc, Permutation::kOsp);
+  MaybeMerge();
+  return true;
+}
+
+bool IndexedStore::Erase(const Triple& t) {
+  EncTriple enc;
+  for (int pos = 0; pos < 3; ++pos) {
+    std::optional<DataId> id = dict_.TryResolve(t[pos]);
+    if (!id.has_value()) return false;  // Unknown term: nothing to remove.
+    (pos == 0 ? enc.s : (pos == 1 ? enc.p : enc.o)) = *id;
+  }
+  if (InDelta(enc)) {
+    SortedErase(&dspo_, enc, Permutation::kSpo);
+    SortedErase(&dpos_, enc, Permutation::kPos);
+    SortedErase(&dosp_, enc, Permutation::kOsp);
+    return true;
+  }
+  bool in_base = std::binary_search(spo_.begin(), spo_.end(), enc,
+                                    PermLess{OrderOf(Permutation::kSpo)});
+  if (!in_base || dead_.count(enc) > 0) return false;
+  dead_.insert(enc);
+  MaybeMerge();
+  return true;
+}
+
+void IndexedStore::MaybeMerge() {
+  if (merge_threshold_ == 0) return;
+  if (delta_size() >= merge_threshold_) MergeDelta();
+}
+
+void IndexedStore::MergeDelta() {
+  if (dspo_.empty() && dead_.empty()) return;
+  auto merge_one = [this](std::vector<EncTriple>* base, std::vector<EncTriple>* delta,
+                          Permutation perm) {
+    std::vector<EncTriple> merged;
+    merged.reserve(base->size() - dead_.size() + delta->size());
+    PermLess less{OrderOf(perm)};
+    auto bi = base->begin();
+    auto di = delta->begin();
+    while (bi != base->end() || di != delta->end()) {
+      bool take_base =
+          di == delta->end() || (bi != base->end() && !less(*di, *bi));
+      if (take_base) {
+        if (dead_.empty() || dead_.count(*bi) == 0) merged.push_back(*bi);
+        ++bi;
+      } else {
+        merged.push_back(*di);
+        ++di;
+      }
+    }
+    *base = std::move(merged);
+    delta->clear();
+  };
+  merge_one(&spo_, &dspo_, Permutation::kSpo);
+  merge_one(&pos_, &dpos_, Permutation::kPos);
+  merge_one(&osp_, &dosp_, Permutation::kOsp);
+  dead_.clear();
 }
 
 bool IndexedStore::EncodeScanPattern(const Triple& pattern, EncPattern* out) const {
@@ -65,53 +247,46 @@ bool IndexedStore::EncodeScanPattern(const Triple& pattern, EncPattern* out) con
   for (int pos = 0; pos < 3; ++pos) {
     TermId term = pattern[pos];
     if (term == kAnyTerm) continue;
-    DataId id = dict_.Encode(term);
-    if (id == kNoDataId) return false;  // Term absent: nothing can match.
-    (pos == 0 ? out->s : (pos == 1 ? out->p : out->o)) = id;
+    std::optional<DataId> id = dict_.TryResolve(term);
+    if (!id.has_value()) return false;  // Term absent: nothing can match.
+    (pos == 0 ? out->s : (pos == 1 ? out->p : out->o)) = *id;
   }
   return true;
 }
 
-ScanRange IndexedStore::Scan(const EncPattern& pattern) const {
+MergedScan IndexedStore::Scan(const EncPattern& pattern) const {
   int mask = (pattern.s != kNoDataId ? 1 : 0) | (pattern.p != kNoDataId ? 2 : 0) |
              (pattern.o != kNoDataId ? 4 : 0);
   Permutation perm = kPermForMask[mask];
-  const std::vector<EncTriple>& vec = Vector(perm);
-  const int* order = kPermOrder[static_cast<int>(perm)];
+  const int* order = OrderOf(perm);
   int prefix = (mask & 1) + ((mask >> 1) & 1) + ((mask >> 2) & 1);
 
-  auto triple_below = [&](const EncTriple& t, const EncPattern& p) {
-    for (int i = 0; i < prefix; ++i) {
-      int pos = order[i];
-      if (t[pos] != p[pos]) return t[pos] < p[pos];
-    }
-    return false;
-  };
-  auto pattern_below = [&](const EncPattern& p, const EncTriple& t) {
-    for (int i = 0; i < prefix; ++i) {
-      int pos = order[i];
-      if (t[pos] != p[pos]) return p[pos] < t[pos];
-    }
-    return false;
-  };
-
-  auto lo = std::lower_bound(vec.begin(), vec.end(), pattern, triple_below);
-  auto hi = std::upper_bound(lo, vec.end(), pattern, pattern_below);
-  const EncTriple* base = vec.data();
-  return ScanRange(base + (lo - vec.begin()), base + (hi - vec.begin()), perm);
+  const std::vector<EncTriple>* base;
+  const std::vector<EncTriple>* delta;
+  switch (perm) {
+    case Permutation::kSpo: base = &spo_; delta = &dspo_; break;
+    case Permutation::kPos: base = &pos_; delta = &dpos_; break;
+    default: base = &osp_; delta = &dosp_; break;
+  }
+  auto [base_lo, base_hi] = PrefixRange(*base, pattern, order, prefix);
+  auto [delta_lo, delta_hi] = PrefixRange(*delta, pattern, order, prefix);
+  return MergedScan(base_lo, base_hi, delta_lo, delta_hi, &dead_, perm);
 }
 
 bool IndexedStore::Contains(const EncTriple& t) const {
+  if (InDelta(t)) return true;
   return std::binary_search(spo_.begin(), spo_.end(), t,
-                            PermLess{kPermOrder[static_cast<int>(Permutation::kSpo)]});
+                            PermLess{OrderOf(Permutation::kSpo)}) &&
+         dead_.count(t) == 0;
 }
 
 bool IndexedStore::Contains(const Triple& t) const {
   EncTriple enc;
-  enc.s = dict_.Encode(t.subject);
-  enc.p = dict_.Encode(t.predicate);
-  enc.o = dict_.Encode(t.object);
-  if (enc.s == kNoDataId || enc.p == kNoDataId || enc.o == kNoDataId) return false;
+  for (int pos = 0; pos < 3; ++pos) {
+    std::optional<DataId> id = dict_.TryResolve(t[pos]);
+    if (!id.has_value()) return false;
+    (pos == 0 ? enc.s : (pos == 1 ? enc.p : enc.o)) = *id;
+  }
   return Contains(enc);
 }
 
@@ -122,6 +297,12 @@ bool IndexedStore::ScanPattern(const Triple& pattern, const TripleScanCallback& 
     if (!fn(Decode(t))) return false;
   }
   return true;
+}
+
+std::vector<TermId> IndexedStore::AllTerms() const {
+  std::vector<TermId> terms = dict_.terms();
+  std::sort(terms.begin(), terms.end());
+  return terms;
 }
 
 }  // namespace wdsparql

@@ -2,11 +2,13 @@
 #define WDSPARQL_ENGINE_INDEXED_STORE_H_
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "engine/dictionary.h"
 #include "rdf/scan.h"
 #include "rdf/triple_set.h"
+#include "wdsparql/hash.h"
 
 /// \file
 /// Dictionary-encoded triple store with sorted permutation indexes.
@@ -15,12 +17,21 @@
 /// permutation indexes: the dictionary-encoded triples are materialised
 /// three times, sorted in SPO, POS and OSP order. Because the three
 /// cyclic permutations cover every subset of {S, P, O} as a sort prefix,
-/// *any* partially bound triple pattern resolves to one contiguous,
-/// binary-searchable range of exactly the matching triples — no
-/// post-filtering, no hash probes, and iteration is a linear walk over
-/// packed 12-byte tuples. Within a range, the values of the first
-/// unbound position (in permutation order) appear in ascending `DataId`
-/// order, which the merge join of `engine/join.h` exploits.
+/// *any* partially bound triple pattern resolves to a binary-searchable
+/// range of exactly the matching triples — no post-filtering from hash
+/// probes, and iteration is a linear walk over packed 12-byte tuples.
+/// Within a range, the values of the first unbound position (in
+/// permutation order) appear in ascending `DataId` order, which the merge
+/// join of `engine/join.h` exploits.
+///
+/// Mutation follows the classic two-run LSM shape instead of rebuilding:
+/// each permutation keeps a large sorted *base* run plus a small sorted
+/// *delta* run absorbing inserts; deletions of base-resident triples go
+/// to a tombstone set. Scans merge the two runs on the fly (skipping
+/// tombstones), preserving permutation order, and the delta is folded
+/// into the base with one linear `std::merge` pass per permutation when
+/// it exceeds a threshold (`MergeDelta`). `DataId`s are stable across
+/// merges: the dictionary only ever appends, so no run is re-encoded.
 ///
 /// The store also implements the `TripleSource` scan interface, so the
 /// paper's homomorphism/wdEVAL algorithms run on top of it unchanged.
@@ -42,6 +53,16 @@ struct EncTriple {
   }
 };
 
+/// Hash functor for EncTriple (tombstone set, dedup probes).
+struct EncTripleHash {
+  std::size_t operator()(const EncTriple& t) const {
+    std::size_t seed = t.s;
+    HashCombine(seed, t.p);
+    HashCombine(seed, t.o);
+    return seed;
+  }
+};
+
 /// An encoded triple pattern: `kNoDataId` positions are wildcards.
 struct EncPattern {
   DataId s = kNoDataId;
@@ -54,34 +75,103 @@ struct EncPattern {
 /// The three cyclic permutation orders.
 enum class Permutation { kSpo = 0, kPos = 1, kOsp = 2 };
 
-/// A contiguous range of encoded triples in one permutation order;
-/// usable directly in range-for. The backing store must outlive it.
-class ScanRange {
+/// The matching triples of one scan: a sorted base-run range merged on
+/// the fly with a sorted delta-run range, with tombstoned base triples
+/// skipped. Iteration yields triples in permutation order (so the first
+/// unbound position is ascending, as the merge join requires). The
+/// backing store must outlive the scan and must not be mutated while a
+/// scan is live.
+class MergedScan {
  public:
-  ScanRange(const EncTriple* begin, const EncTriple* end, Permutation perm)
-      : begin_(begin), end_(end), perm_(perm) {}
+  using Tombstones = std::unordered_set<EncTriple, EncTripleHash>;
 
-  const EncTriple* begin() const { return begin_; }
-  const EncTriple* end() const { return end_; }
-  std::size_t size() const { return static_cast<std::size_t>(end_ - begin_); }
-  bool empty() const { return begin_ == end_; }
-  /// The permutation the range is sorted in.
+  MergedScan(const EncTriple* base_begin, const EncTriple* base_end,
+             const EncTriple* delta_begin, const EncTriple* delta_end,
+             const Tombstones* dead, Permutation perm);
+
+  /// Two-run merging input iterator.
+  class Iterator {
+   public:
+    Iterator(const EncTriple* base, const EncTriple* base_end, const EncTriple* delta,
+             const EncTriple* delta_end, const Tombstones* dead, const int* order);
+
+    const EncTriple& operator*() const { return on_delta_ ? *delta_ : *base_; }
+    Iterator& operator++();
+    friend bool operator!=(const Iterator& a, const Iterator& b) {
+      return a.base_ != b.base_ || a.delta_ != b.delta_;
+    }
+    friend bool operator==(const Iterator& a, const Iterator& b) { return !(a != b); }
+
+   private:
+    void Settle();  // Skip dead base triples; pick the smaller run head.
+
+    const EncTriple* base_;
+    const EncTriple* base_end_;
+    const EncTriple* delta_;
+    const EncTriple* delta_end_;
+    const Tombstones* dead_;
+    const int* order_;
+    bool on_delta_ = false;
+  };
+
+  Iterator begin() const;
+  Iterator end() const;
+  /// Number of live triples in the scan. O(range) — counts by iterating;
+  /// intended for tests and diagnostics, not hot paths.
+  std::size_t size() const;
+  bool empty() const { return !(begin() != end()); }
+  /// The permutation the scan is ordered in.
   Permutation permutation() const { return perm_; }
 
  private:
-  const EncTriple* begin_;
-  const EncTriple* end_;
+  const EncTriple* base_begin_;
+  const EncTriple* base_end_;
+  const EncTriple* delta_begin_;
+  const EncTriple* delta_end_;
+  const Tombstones* dead_;
   Permutation perm_;
 };
 
-/// Immutable dictionary-encoded store with SPO/POS/OSP permutations.
+/// Dictionary-encoded store with SPO/POS/OSP permutations and
+/// incremental base+delta maintenance.
 class IndexedStore final : public TripleSource {
  public:
+  /// Delta size (inserts + tombstones) that triggers an automatic
+  /// `MergeDelta` from a mutation. Small enough that sorted-delta
+  /// insertion stays cheap, large enough to amortise the linear merge.
+  static constexpr std::size_t kDefaultMergeThreshold = 4096;
+
   IndexedStore() = default;
 
-  /// Builds the store (dictionary + three sorted permutations) from the
-  /// triples of `set`.
+  /// Builds the store (dictionary + three sorted base runs) from the
+  /// triples of `set` in one sort pass — the bulk-load fast path.
   static IndexedStore Build(const TripleSet& set);
+
+  // Mutation ----------------------------------------------------------
+
+  /// Inserts `t`, growing the dictionary as needed; returns true iff it
+  /// was not already present. O(delta) for the sorted-run insertion,
+  /// amortised O(size/threshold) for merges.
+  bool Insert(const Triple& t);
+
+  /// Removes `t`; returns true iff it was present. Base-resident triples
+  /// are tombstoned (physically removed by the next merge); delta
+  /// triples are removed in place.
+  bool Erase(const Triple& t);
+
+  /// Folds the delta runs and tombstones into the base runs with one
+  /// linear merge pass per permutation. Idempotent; `DataId`s and the
+  /// dictionary are unchanged.
+  void MergeDelta();
+
+  /// Pending un-merged work: delta triples plus tombstones.
+  std::size_t delta_size() const { return dspo_.size() + dead_.size(); }
+
+  /// Sets the auto-merge trigger (0 disables automatic merging; callers
+  /// then compact via `MergeDelta` explicitly).
+  void set_merge_threshold(std::size_t n) { merge_threshold_ = n; }
+
+  // Lookup ------------------------------------------------------------
 
   /// The term dictionary.
   const Dictionary& dictionary() const { return dict_; }
@@ -91,12 +181,12 @@ class IndexedStore final : public TripleSource {
   /// store — in which case no triple can match.
   bool EncodeScanPattern(const Triple& pattern, EncPattern* out) const;
 
-  /// The contiguous range of triples matching `pattern`, in the
-  /// permutation whose sort prefix covers the bound positions. Every
-  /// triple in the range matches; no residual filtering is needed.
-  ScanRange Scan(const EncPattern& pattern) const;
+  /// The triples matching `pattern`, in the permutation whose sort
+  /// prefix covers the bound positions. Every yielded triple matches; no
+  /// residual filtering is needed.
+  MergedScan Scan(const EncPattern& pattern) const;
 
-  /// True iff the encoded triple is present.
+  /// True iff the encoded triple is present (and not tombstoned).
   bool Contains(const EncTriple& t) const;
 
   /// Decodes `t` back to `TermId` space.
@@ -105,25 +195,31 @@ class IndexedStore final : public TripleSource {
   }
 
   // TripleSource interface -------------------------------------------
-  std::size_t size() const override { return spo_.size(); }
+  std::size_t size() const override { return spo_.size() - dead_.size() + dspo_.size(); }
   bool Contains(const Triple& t) const override;
   bool ScanPattern(const Triple& pattern, const TripleScanCallback& fn) const override;
-  std::vector<TermId> AllTerms() const override { return dict_.terms(); }
+  /// All dictionary terms, ascending by `TermId`. After removals this may
+  /// include terms that no longer occur in any triple (the dictionary is
+  /// append-only); such terms simply match nothing.
+  std::vector<TermId> AllTerms() const override;
 
  private:
+  void MaybeMerge();
+  bool InDelta(const EncTriple& t) const;
+
   Dictionary dict_;
-  // The same triples, sorted in the three cyclic permutation orders.
+  // The same triples, sorted in the three cyclic permutation orders:
+  // large immutable-between-merges base runs...
   std::vector<EncTriple> spo_;
   std::vector<EncTriple> pos_;
   std::vector<EncTriple> osp_;
-
-  const std::vector<EncTriple>& Vector(Permutation perm) const {
-    switch (perm) {
-      case Permutation::kSpo: return spo_;
-      case Permutation::kPos: return pos_;
-      default: return osp_;
-    }
-  }
+  // ...plus small sorted delta runs absorbing inserts.
+  std::vector<EncTriple> dspo_;
+  std::vector<EncTriple> dpos_;
+  std::vector<EncTriple> dosp_;
+  // Deleted base-resident triples awaiting the next merge.
+  MergedScan::Tombstones dead_;
+  std::size_t merge_threshold_ = kDefaultMergeThreshold;
 };
 
 }  // namespace wdsparql

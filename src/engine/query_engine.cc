@@ -2,62 +2,24 @@
 
 #include <algorithm>
 
-#include "engine/join.h"
-#include "ptree/tgraph.h"
+#include "engine/api_internal.h"
 #include "sparql/parser.h"
 #include "sparql/well_designed.h"
 
 namespace wdsparql {
-namespace {
-
-/// Join-based instantiation of the shared enumeration skeleton:
-/// candidates come from the leapfrog join over each subtree's
-/// conjunctive pattern, maximality from an early-exit join over each
-/// child extension.
-void JoinEnumerateSolutions(const PatternForest& forest, const IndexedStore& store,
-                            const std::function<bool(const Mapping&)>& callback,
-                            EnumerateStats* stats) {
-  EnumerationHooks hooks;
-  hooks.candidates = [&store](const TripleSet& pattern,
-                              const std::function<bool(const VarAssignment&)>& emit) {
-    JoinEnumerate(store, pattern.triples(), VarAssignment{}, emit);
-  };
-  hooks.extends = [&store](const TripleSet& combined, const Mapping& mu) {
-    return JoinExists(store, combined.triples(), MappingToAssignment(mu));
-  };
-  EnumerateSolutionsWith(forest, hooks, callback, stats);
-}
-
-/// Join-based wdEVAL membership: subtree matching probes the store, and
-/// each child-extension certificate is an early-exit join.
-bool JoinWdEval(const PatternForest& forest, const IndexedStore& store,
-                const Mapping& mu, EvalStats* stats) {
-  VarAssignment fixed = MappingToAssignment(mu);
-  return WdEvalWith(forest, store, mu, stats, [&](const TripleSet& combined) {
-    return JoinExists(store, combined.triples(), fixed);
-  });
-}
-
-}  // namespace
-
-const char* BackendToString(Backend backend) {
-  switch (backend) {
-    case Backend::kNaiveHash: return "naive-hash";
-    case Backend::kIndexed: return "indexed";
-  }
-  return "unknown";
-}
 
 QueryEngine::QueryEngine(const RdfGraph& graph, const QueryEngineOptions& options)
-    : graph_(graph), options_(options), hash_source_(graph.triples()) {
-  if (options_.backend == Backend::kIndexed) {
-    indexed_ = std::make_unique<IndexedStore>(IndexedStore::Build(graph.triples()));
-  }
+    : graph_(graph), options_(options), db_(graph.pool()) {
+  engine_internal::BulkLoad(&db_, graph.triples());
 }
 
 const TripleSource& QueryEngine::source() const {
-  if (indexed_ != nullptr) return *indexed_;
-  return hash_source_;
+  if (options_.backend == Backend::kIndexed) return db_.store();
+  return engine_internal::HashSourceOf(db_);
+}
+
+const IndexedStore* QueryEngine::indexed_store() const {
+  return options_.backend == Backend::kIndexed ? &db_.store() : nullptr;
 }
 
 Result<PreparedQuery> QueryEngine::Prepare(std::string_view pattern_text) const {
@@ -78,29 +40,24 @@ Result<PreparedQuery> QueryEngine::PrepareParsed(const PatternPtr& pattern) cons
 
 bool QueryEngine::Evaluate(const PreparedQuery& query, const Mapping& mu,
                            EvalStats* stats) const {
-  switch (options_.backend) {
-    case Backend::kIndexed:
-      return JoinWdEval(query.forest, *indexed_, mu, stats);
-    case Backend::kNaiveHash:
-      if (options_.pebble_promise > 0) {
-        return PebbleWdEval(query.forest, graph_, mu, options_.pebble_promise, stats);
-      }
-      return NaiveWdEval(query.forest, graph_, mu, stats);
-  }
-  return false;
+  return engine_internal::EvaluateMembership(DatabaseImpl::Get(db_),
+                                             session_options(), query.forest, mu,
+                                             stats);
 }
 
 void QueryEngine::EnumerateSolutions(const PreparedQuery& query,
                                      const std::function<bool(const Mapping&)>& callback,
                                      EnumerateStats* stats) const {
-  switch (options_.backend) {
-    case Backend::kIndexed:
-      JoinEnumerateSolutions(query.forest, *indexed_, callback, stats);
-      return;
-    case Backend::kNaiveHash:
-      EnumerateSolutionsNaive(query.forest, hash_source_, callback, stats);
-      return;
+  // Same machinery as a Cursor: the suspendable enumerator, driven to
+  // completion (or until the callback stops it).
+  SolutionEnumerator enumerator(
+      query.forest,
+      engine_internal::MakeEnumerationHooks(DatabaseImpl::Get(db_), session_options()));
+  Mapping mu;
+  while (enumerator.Next(&mu)) {
+    if (!callback(mu)) break;
   }
+  if (stats != nullptr) *stats = enumerator.stats();
 }
 
 std::vector<Mapping> QueryEngine::Solutions(const PreparedQuery& query,

@@ -5,7 +5,6 @@
 #include <string_view>
 #include <vector>
 
-#include "engine/indexed_store.h"
 #include "ptree/forest.h"
 #include "rdf/graph.h"
 #include "rdf/scan.h"
@@ -14,41 +13,27 @@
 #include "util/status.h"
 #include "wd/enumerate.h"
 #include "wd/eval.h"
+#include "wdsparql/database.h"
 
 /// \file
-/// The query-engine facade.
+/// DEPRECATED query-engine facade.
 ///
-/// `QueryEngine` runs the full pipeline of the paper over a pluggable
-/// storage backend: parse the pattern text, check well-designedness
-/// (sparql/well_designed.h), build the wdpf forest, then answer wdEVAL
-/// membership queries and enumerate the solution set.
+/// `QueryEngine` predates the public `Database`/`Session`/`Cursor` API
+/// (include/wdsparql/) and survives as a thin compatibility shim over
+/// it: construction copies the bound graph into an owned `Database`
+/// (sharing the graph's `TermPool`, so ids and spellings line up), and
+/// every operation delegates to the new execution layers — membership
+/// through the shared backend dispatch, enumeration through the
+/// suspendable `SolutionEnumerator` the cursors run on.
 ///
-/// Two backends:
-///
-///  * `Backend::kNaiveHash` — the paper-faithful path: hash-indexed
-///    `TripleSet` scans feeding the CSP homomorphism solver. Kept as the
-///    correctness oracle for differential testing.
-///  * `Backend::kIndexed` — the dictionary-encoded permutation store:
-///    candidate generation and maximality certificates run as
-///    merge/leapfrog joins over sorted SPO/POS/OSP ranges
-///    (engine/join.h); subtree matching probes the same store.
-///
-/// Both backends produce identical solution sets and identical
-/// membership verdicts (enforced by tests/engine_test.cc and the
-/// property suite).
+/// New code should hold a `Database` and prepare statements through
+/// `Session` (see README "Migrating from QueryEngine"); this facade is
+/// kept so existing tests, benchmarks and downstream snippets keep
+/// compiling, and will not grow new features.
 
 namespace wdsparql {
 
-/// Storage/execution backend selector.
-enum class Backend {
-  kNaiveHash,  ///< Hash-indexed TripleSet + CSP solver (oracle).
-  kIndexed,    ///< Dictionary-encoded permutation store + merge joins.
-};
-
-/// Human-readable backend name ("naive-hash" / "indexed").
-const char* BackendToString(Backend backend);
-
-/// Engine configuration.
+/// Engine configuration. `Backend` now lives in wdsparql/session.h.
 struct QueryEngineOptions {
   Backend backend = Backend::kIndexed;
 
@@ -66,12 +51,13 @@ struct PreparedQuery {
 };
 
 /// Facade running parse → well-designedness → wdpf → wdEVAL/enumeration
-/// over the configured backend.
+/// over the configured backend. DEPRECATED: use Database/Session/Cursor.
 class QueryEngine {
  public:
-  /// Binds the engine to `graph` (must outlive the engine). The indexed
-  /// backend builds its dictionary and permutation vectors here; the
-  /// naive backend only wraps the graph's hash indexes.
+  /// Binds the engine to `graph` (must outlive the engine); the triples
+  /// are bulk-loaded into an internal `Database` sharing `graph`'s pool.
+  /// Later mutations of `graph` are NOT reflected — mutate a `Database`
+  /// directly instead.
   explicit QueryEngine(const RdfGraph& graph, const QueryEngineOptions& options = {});
 
   /// Full front half of the pipeline: parse `pattern_text`, reject
@@ -104,16 +90,25 @@ class QueryEngine {
   const TripleSource& source() const;
 
   /// The permutation store (only when backend == kIndexed, else null).
-  const IndexedStore* indexed_store() const { return indexed_.get(); }
+  const IndexedStore* indexed_store() const;
 
-  /// The underlying graph.
+  /// The originally bound graph.
   const RdfGraph& graph() const { return graph_; }
 
+  /// The backing database — the migration path off this facade.
+  const Database& database() const { return db_; }
+
  private:
+  SessionOptions session_options() const {
+    SessionOptions options;
+    options.backend = options_.backend;
+    options.pebble_promise = options_.pebble_promise;
+    return options;
+  }
+
   const RdfGraph& graph_;
   QueryEngineOptions options_;
-  HashTripleSource hash_source_;
-  std::unique_ptr<IndexedStore> indexed_;
+  Database db_;
 };
 
 }  // namespace wdsparql

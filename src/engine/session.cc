@@ -1,0 +1,255 @@
+#include "wdsparql/session.h"
+
+#include <algorithm>
+
+#include "engine/api_internal.h"
+#include "sparql/parser.h"
+#include "sparql/well_designed.h"
+
+namespace wdsparql {
+namespace {
+
+/// True iff the pattern contains a FILTER node anywhere.
+bool ContainsFilterNode(const GraphPattern& p) {
+  switch (p.kind()) {
+    case PatternKind::kTriple: return false;
+    case PatternKind::kFilter: return true;
+    default: return ContainsFilterNode(*p.left()) || ContainsFilterNode(*p.right());
+  }
+}
+
+std::string DisplayName(const TermPool& pool, TermId var) {
+  return "?" + std::string(pool.Spelling(var));
+}
+
+/// Strips an optional leading '?' from a user-supplied variable name.
+std::string_view StripQuestionMark(std::string_view name) {
+  if (!name.empty() && name.front() == '?') name.remove_prefix(1);
+  return name;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// The shared preparation pipeline; returns mutable impl state so the
+/// text-entry point can record the source text.
+std::shared_ptr<StatementImpl> PrepareImpl(const DatabaseImpl* db,
+                                           const SessionOptions& options,
+                                           const PatternPtr& pattern);
+
+}  // namespace
+
+Statement Session::Prepare(std::string_view pattern_text) const {
+  Result<PatternPtr> parsed = ParsePattern(pattern_text, db_->pool);
+  if (!parsed.ok()) {
+    auto impl = std::make_shared<StatementImpl>();
+    impl->db = db_;
+    impl->options = options_;
+    impl->diagnostics.code = QueryDiagnostics::Code::kParseError;
+    impl->diagnostics.message = parsed.status().message();
+    impl->diagnostics.pattern_text = std::string(pattern_text);
+    return Statement(std::move(impl));
+  }
+  std::shared_ptr<StatementImpl> impl = PrepareImpl(db_, options_, parsed.value());
+  impl->diagnostics.pattern_text = std::string(pattern_text);
+  return Statement(std::move(impl));
+}
+
+Statement Session::PrepareParsed(
+    const std::shared_ptr<const GraphPattern>& pattern) const {
+  return Statement(PrepareImpl(db_, options_, pattern));
+}
+
+namespace {
+
+std::shared_ptr<StatementImpl> PrepareImpl(const DatabaseImpl* db,
+                                           const SessionOptions& options,
+                                           const PatternPtr& pattern) {
+  auto impl = std::make_shared<StatementImpl>();
+  impl->db = db;
+  impl->options = options;
+  impl->pattern = pattern;
+  QueryDiagnostics& diag = impl->diagnostics;
+  diag.parsed = true;
+
+  const TermPool& pool = *db->pool;
+
+  // Well-designedness of the full pattern (FILTER safety included).
+  WellDesignedness wd = CheckWellDesignedDetailed(pattern, pool);
+  if (!wd.status.ok()) {
+    diag.code = QueryDiagnostics::Code::kNotWellDesigned;
+    diag.message = wd.status.message();
+    if (wd.has_offending_variable) {
+      diag.offending_variable = DisplayName(pool, wd.offending_variable);
+    }
+    return impl;
+  }
+  diag.well_designed = true;
+
+  // Peel top-level FILTER conditions: JP FILTER RKG = {mu ∈ JPKG : R(mu)},
+  // so they run as execution-time post-filters over the enumerated
+  // bindings — on whichever backend the session configured. FILTER below
+  // AND/OPT has no such decomposition and stays outside the fragment.
+  PatternPtr core = pattern;
+  while (core->kind() == PatternKind::kFilter) {
+    impl->filters.push_back(core->condition());
+    core = core->left();
+  }
+  if (ContainsFilterNode(*core)) {
+    diag.code = QueryDiagnostics::Code::kUnsupported;
+    diag.message =
+        "FILTER below AND/OPT is outside the executable fragment (Section 5); "
+        "only top-level FILTER conditions can be applied as post-filters";
+    return impl;
+  }
+  impl->core = core;
+  diag.post_filters = impl->filters.size();
+  diag.union_free = core->IsUnionFree();
+  diag.num_triple_patterns = static_cast<std::size_t>(core->NumTriples());
+
+  Result<PatternForest> forest = BuildPatternForest(core, pool);
+  if (!forest.ok()) {
+    diag.code = QueryDiagnostics::Code::kInternal;
+    diag.message = "wdpf translation failed on a checked pattern: " +
+                   forest.status().message();
+    return impl;
+  }
+  impl->forest = std::move(forest).value();
+  diag.num_trees = impl->forest.trees.size();
+
+  impl->var_ids = core->Variables();
+  for (TermId var : impl->var_ids) {
+    impl->var_names.push_back(DisplayName(pool, var));
+    diag.variables.push_back(impl->var_names.back());
+  }
+  return impl;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Statement
+// ---------------------------------------------------------------------
+
+Statement::Statement() {
+  auto impl = std::make_shared<StatementImpl>();
+  impl->diagnostics.code = QueryDiagnostics::Code::kInternal;
+  impl->diagnostics.message = "empty statement (never prepared)";
+  impl_ = std::move(impl);
+}
+
+Statement::Statement(std::shared_ptr<const StatementImpl> impl)
+    : impl_(std::move(impl)) {}
+
+bool Statement::ok() const { return impl_->diagnostics.ok(); }
+
+const QueryDiagnostics& Statement::diagnostics() const { return impl_->diagnostics; }
+
+const std::vector<std::string>& Statement::variables() const {
+  return impl_->var_names;
+}
+
+Cursor Statement::Execute() const { return Execute({}); }
+
+Cursor Statement::Execute(const std::vector<std::string>& projection) const {
+  auto cursor = std::make_unique<CursorImpl>();
+  cursor->stmt = impl_;
+  cursor->diagnostics = impl_->diagnostics;
+  if (!ok()) {
+    cursor->state = Cursor::State::kFailed;
+    return Cursor(std::move(cursor));
+  }
+  if (projection.empty()) {
+    cursor->columns = impl_->var_ids;
+    cursor->column_names = impl_->var_names;
+    cursor->dedup = false;
+  } else {
+    for (const std::string& name : projection) {
+      std::string_view bare = StripQuestionMark(name);
+      auto it = std::find_if(
+          impl_->var_names.begin(), impl_->var_names.end(),
+          [&bare](const std::string& candidate) {
+            return std::string_view(candidate).substr(1) == bare;
+          });
+      if (it == impl_->var_names.end()) {
+        cursor->state = Cursor::State::kFailed;
+        cursor->diagnostics.code = QueryDiagnostics::Code::kInvalidProjection;
+        cursor->diagnostics.message =
+            "projection names unknown variable ?" + std::string(bare);
+        return Cursor(std::move(cursor));
+      }
+      std::size_t idx = static_cast<std::size_t>(it - impl_->var_names.begin());
+      cursor->columns.push_back(impl_->var_ids[idx]);
+      cursor->column_names.push_back(impl_->var_names[idx]);
+    }
+    // Dropping variables can collapse distinct answers; a permutation of
+    // the full variable list cannot. Count distinct columns so repeated
+    // names (SELECT ?x, ?x) do not mask a dropped variable.
+    std::vector<TermId> distinct = cursor->columns;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+    cursor->dedup = distinct.size() < impl_->var_ids.size();
+  }
+  return Cursor(std::move(cursor));
+}
+
+BindingTable Statement::ExecuteTable() const { return ExecuteTable({}); }
+
+BindingTable Statement::ExecuteTable(const std::vector<std::string>& projection) const {
+  Cursor cursor = Execute(projection);
+  std::vector<std::string> names;
+  if (cursor.state() != Cursor::State::kFailed) {
+    for (std::size_t c = 0; c < cursor.width(); ++c) {
+      names.push_back(cursor.VariableName(c));
+    }
+  }
+  BindingTable table(std::move(names));
+  while (cursor.Next()) {
+    std::vector<std::string> spellings;
+    spellings.reserve(cursor.width());
+    for (std::size_t c = 0; c < cursor.width(); ++c) {
+      spellings.push_back(cursor.Value(c));
+    }
+    std::vector<std::optional<std::string_view>> cells;
+    for (std::size_t c = 0; c < cursor.width(); ++c) {
+      if (cursor.IsBound(c)) {
+        cells.emplace_back(spellings[c]);
+      } else {
+        cells.emplace_back(std::nullopt);
+      }
+    }
+    table.AppendRow(cells);
+  }
+  return table;
+}
+
+std::vector<Mapping> Statement::Solutions() const {
+  std::vector<Mapping> out;
+  Cursor cursor = Execute();
+  while (cursor.Next()) out.push_back(cursor.Row());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t Statement::Count() const {
+  uint64_t count = 0;
+  Cursor cursor = Execute();
+  while (cursor.Next()) ++count;
+  return count;
+}
+
+bool Statement::Contains(const Mapping& mu) const {
+  if (!ok()) return false;
+  for (const FilterCondition& filter : impl_->filters) {
+    if (!filter.Satisfied(mu)) return false;
+  }
+  return engine_internal::EvaluateMembership(*impl_->db, impl_->options,
+                                             impl_->forest, mu);
+}
+
+}  // namespace wdsparql

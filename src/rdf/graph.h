@@ -35,6 +35,19 @@ class RdfGraph {
     return Insert(Triple(pool_->InternIri(s), pool_->InternIri(p), pool_->InternIri(o)));
   }
 
+  /// Removes a triple; returns true iff it was present.
+  bool Remove(const Triple& t) { return triples_.Erase(t); }
+
+  /// Looks the three IRI spellings up (without interning — a miss means
+  /// the triple cannot be present) and removes the triple.
+  bool Remove(std::string_view s, std::string_view p, std::string_view o) {
+    std::optional<TermId> sid = pool_->FindIri(s);
+    std::optional<TermId> pid = pool_->FindIri(p);
+    std::optional<TermId> oid = pool_->FindIri(o);
+    if (!sid.has_value() || !pid.has_value() || !oid.has_value()) return false;
+    return Remove(Triple(*sid, *pid, *oid));
+  }
+
   /// True iff the ground triple `t` is present.
   bool Contains(const Triple& t) const { return triples_.Contains(t); }
 

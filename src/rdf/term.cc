@@ -24,6 +24,18 @@ TermId TermPool::InternVariable(std::string_view name) {
   return id;
 }
 
+std::optional<TermId> TermPool::FindIri(std::string_view spelling) const {
+  auto it = iri_ids_.find(std::string(spelling));
+  if (it == iri_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<TermId> TermPool::FindVariable(std::string_view name) const {
+  auto it = var_ids_.find(std::string(name));
+  if (it == var_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
 TermId TermPool::FreshVariable(std::string_view hint) {
   for (;;) {
     std::string name(hint);

@@ -1,83 +1,11 @@
-#ifndef WDSPARQL_RDF_TRIPLE_H_
-#define WDSPARQL_RDF_TRIPLE_H_
-
-#include <algorithm>
-#include <array>
-#include <cstddef>
-#include <functional>
-#include <vector>
-
-#include "rdf/term.h"
-#include "util/hash.h"
+#ifndef WDSPARQL_SHIM_SRC_RDF_TRIPLE_H
+#define WDSPARQL_SHIM_SRC_RDF_TRIPLE_H
 
 /// \file
-/// Triples and triple patterns.
-///
-/// A `Triple` is a tuple in (I u V)^3. When every position is an IRI it is
-/// an RDF triple; otherwise it is a SPARQL triple pattern. The same struct
-/// serves both roles (the paper's t-graphs are sets of triple patterns and
-/// RDF graphs are exactly the ground ones).
+/// Compatibility forwarder: this header moved to the stable public
+/// surface at include/wdsparql/triple.h. Internal code may keep the old
+/// path; new code should include "wdsparql/triple.h" directly.
 
-namespace wdsparql {
+#include "wdsparql/triple.h"
 
-/// A triple (subject, predicate, object) over interned terms.
-struct Triple {
-  TermId subject;
-  TermId predicate;
-  TermId object;
-
-  Triple() : subject(0), predicate(0), object(0) {}
-  Triple(TermId s, TermId p, TermId o) : subject(s), predicate(p), object(o) {}
-
-  /// Position access: 0=subject, 1=predicate, 2=object.
-  TermId operator[](int pos) const {
-    WDSPARQL_DCHECK(pos >= 0 && pos < 3);
-    return pos == 0 ? subject : (pos == 1 ? predicate : object);
-  }
-
-  /// Sets the term at `pos` (0=subject, 1=predicate, 2=object).
-  void Set(int pos, TermId t) {
-    WDSPARQL_DCHECK(pos >= 0 && pos < 3);
-    (pos == 0 ? subject : (pos == 1 ? predicate : object)) = t;
-  }
-
-  /// True iff no position holds a variable (an RDF triple).
-  bool IsGround() const {
-    return !IsVariable(subject) && !IsVariable(predicate) && !IsVariable(object);
-  }
-
-  /// The distinct variables of the triple, in position order.
-  std::vector<TermId> Variables() const {
-    std::vector<TermId> out;
-    for (int pos = 0; pos < 3; ++pos) {
-      TermId t = (*this)[pos];
-      if (IsVariable(t) && std::find(out.begin(), out.end(), t) == out.end()) {
-        out.push_back(t);
-      }
-    }
-    return out;
-  }
-
-  friend bool operator==(const Triple& a, const Triple& b) {
-    return a.subject == b.subject && a.predicate == b.predicate && a.object == b.object;
-  }
-  friend bool operator!=(const Triple& a, const Triple& b) { return !(a == b); }
-  friend bool operator<(const Triple& a, const Triple& b) {
-    return std::array<TermId, 3>{a.subject, a.predicate, a.object} <
-           std::array<TermId, 3>{b.subject, b.predicate, b.object};
-  }
-};
-
-/// Hash functor for Triple (for unordered containers).
-struct TripleHash {
-  std::size_t operator()(const Triple& t) const {
-    std::size_t seed = std::hash<TermId>{}(t.subject);
-    HashCombine(seed, std::hash<TermId>{}(t.predicate));
-    HashCombine(seed, std::hash<TermId>{}(t.object));
-    return seed;
-  }
-};
-
-}  // namespace wdsparql
-
-#endif  // WDSPARQL_RDF_TRIPLE_H_
+#endif  // WDSPARQL_SHIM_SRC_RDF_TRIPLE_H

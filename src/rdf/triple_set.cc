@@ -14,6 +14,47 @@ bool TripleSet::Insert(const Triple& t) {
   return true;
 }
 
+bool TripleSet::Erase(const Triple& t) {
+  auto it = set_.find(t);
+  if (it == set_.end()) return false;
+  set_.erase(it);
+
+  // Locate the dense slot of `t` through the (smallest) subject bucket.
+  uint32_t idx = 0;
+  bool found = false;
+  for (uint32_t i : index_[0][t.subject]) {
+    if (triples_[i] == t) {
+      idx = i;
+      found = true;
+      break;
+    }
+  }
+  WDSPARQL_CHECK(found);
+
+  auto drop_from_bucket = [this](int pos, TermId term, uint32_t value) {
+    auto bucket_it = index_[pos].find(term);
+    WDSPARQL_CHECK(bucket_it != index_[pos].end());
+    std::vector<uint32_t>& bucket = bucket_it->second;
+    bucket.erase(std::find(bucket.begin(), bucket.end(), value));
+    if (bucket.empty()) index_[pos].erase(bucket_it);
+  };
+  for (int pos = 0; pos < 3; ++pos) drop_from_bucket(pos, t[pos], idx);
+
+  // Swap-pop: move the last triple into the vacated slot and repoint its
+  // index entries from the old tail position to `idx`.
+  uint32_t last = static_cast<uint32_t>(triples_.size()) - 1;
+  if (idx != last) {
+    const Triple moved = triples_[last];
+    triples_[idx] = moved;
+    for (int pos = 0; pos < 3; ++pos) {
+      std::vector<uint32_t>& bucket = index_[pos][moved[pos]];
+      *std::find(bucket.begin(), bucket.end(), last) = idx;
+    }
+  }
+  triples_.pop_back();
+  return true;
+}
+
 void TripleSet::InsertAll(const TripleSet& other) {
   // Self-insertion would otherwise iterate `triples_` while `Insert`
   // appends to it (iterator invalidation); every triple is already

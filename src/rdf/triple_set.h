@@ -28,6 +28,11 @@ class TripleSet {
   /// Inserts `t`; returns true iff it was not already present.
   bool Insert(const Triple& t);
 
+  /// Removes `t`; returns true iff it was present. The dense slot of the
+  /// removed triple is filled by the last triple (swap-pop), so indices
+  /// previously obtained from `TriplesWithTermAt` are invalidated.
+  bool Erase(const Triple& t);
+
   /// Inserts every triple of `other`. Safe when `other` aliases `*this`
   /// (a no-op in that case: a set already contains its own triples).
   void InsertAll(const TripleSet& other);

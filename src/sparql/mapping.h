@@ -1,102 +1,11 @@
-#ifndef WDSPARQL_SPARQL_MAPPING_H_
-#define WDSPARQL_SPARQL_MAPPING_H_
-
-#include <optional>
-#include <string>
-#include <vector>
-
-#include "rdf/term.h"
-#include "rdf/triple.h"
-#include "util/hash.h"
+#ifndef WDSPARQL_SHIM_SRC_SPARQL_MAPPING_H
+#define WDSPARQL_SHIM_SRC_SPARQL_MAPPING_H
 
 /// \file
-/// SPARQL mappings.
-///
-/// A mapping mu is a partial function from variables V to IRIs I
-/// (Section 2 of the paper). Mappings are the query answers: the
-/// evaluation of a graph pattern over an RDF graph is a set of mappings.
-/// The representation is a vector of (variable, IRI) bindings kept sorted
-/// by variable id, so equality, hashing and compatibility are linear scans.
+/// Compatibility forwarder: this header moved to the stable public
+/// surface at include/wdsparql/mapping.h. Internal code may keep the old
+/// path; new code should include "wdsparql/mapping.h" directly.
 
-namespace wdsparql {
+#include "wdsparql/mapping.h"
 
-/// A partial function from variables to IRIs.
-class Mapping {
- public:
-  /// The empty mapping (empty domain).
-  Mapping() = default;
-
-  /// Binds `var` to `iri`. Fatal if `var` is not a variable id or `iri`
-  /// is not an IRI id. Returns false iff `var` was already bound to a
-  /// different IRI (the mapping is unchanged in that case).
-  bool Bind(TermId var, TermId iri);
-
-  /// The value of `var`, or nullopt if outside the domain.
-  std::optional<TermId> Get(TermId var) const;
-
-  /// True iff `var` is in dom(mu).
-  bool IsDefinedOn(TermId var) const { return Get(var).has_value(); }
-
-  /// dom(mu), ascending by variable id.
-  std::vector<TermId> Domain() const;
-
-  /// Number of bound variables.
-  std::size_t size() const { return bindings_.size(); }
-  /// True iff the domain is empty.
-  bool empty() const { return bindings_.empty(); }
-
-  /// The sorted (variable, IRI) pairs.
-  const std::vector<std::pair<TermId, TermId>>& bindings() const { return bindings_; }
-
-  /// True iff `a` and `b` agree on every shared variable.
-  static bool Compatible(const Mapping& a, const Mapping& b);
-
-  /// The union a ∪ b if `a` and `b` are compatible, else nullopt.
-  static std::optional<Mapping> Union(const Mapping& a, const Mapping& b);
-
-  /// True iff dom(a) ⊆ dom(b) and they agree on dom(a) (i.e. a ⊆ b as a
-  /// set of bindings).
-  static bool IsSubmapping(const Mapping& a, const Mapping& b);
-
-  /// The restriction of this mapping to the variables in `vars`.
-  Mapping RestrictedTo(const std::vector<TermId>& vars) const;
-
-  /// mu(t): replaces every variable of `t` by its image. Fatal unless
-  /// vars(t) ⊆ dom(mu).
-  Triple Apply(const Triple& t) const;
-
-  /// Like Apply but leaves unbound variables in place (used for partial
-  /// instantiation of t-graphs).
-  Triple ApplyPartial(const Triple& t) const;
-
-  /// Renders as "{?x -> a, ?y -> b}" using `pool` spellings.
-  std::string ToString(const TermPool& pool) const;
-
-  friend bool operator==(const Mapping& a, const Mapping& b) {
-    return a.bindings_ == b.bindings_;
-  }
-  friend bool operator!=(const Mapping& a, const Mapping& b) { return !(a == b); }
-  friend bool operator<(const Mapping& a, const Mapping& b) {
-    return a.bindings_ < b.bindings_;
-  }
-
- private:
-  // Sorted by variable id; values are IRI ids.
-  std::vector<std::pair<TermId, TermId>> bindings_;
-};
-
-/// Hash functor for Mapping.
-struct MappingHash {
-  std::size_t operator()(const Mapping& m) const {
-    std::size_t seed = 0x12345;
-    for (const auto& [var, iri] : m.bindings()) {
-      HashCombine(seed, var);
-      HashCombine(seed, iri);
-    }
-    return seed;
-  }
-};
-
-}  // namespace wdsparql
-
-#endif  // WDSPARQL_SPARQL_MAPPING_H_
+#endif  // WDSPARQL_SHIM_SRC_SPARQL_MAPPING_H

@@ -36,7 +36,7 @@ void CountLeafOccurrences(const GraphPattern& p,
 /// count inside P' is strictly smaller than its total count.
 Status CheckUnionFree(const GraphPattern& p,
                       const std::unordered_map<TermId, int>& total,
-                      const TermPool& pool) {
+                      const TermPool& pool, TermId* offending) {
   if (p.kind() == PatternKind::kTriple) return Status::OK();
   WDSPARQL_CHECK(p.kind() != PatternKind::kUnion);
   if (p.kind() == PatternKind::kFilter) {
@@ -45,15 +45,16 @@ Status CheckUnionFree(const GraphPattern& p,
     std::unordered_set<TermId> child_set(child_vars.begin(), child_vars.end());
     for (TermId var : p.condition().Variables()) {
       if (child_set.count(var) == 0) {
+        if (offending != nullptr) *offending = var;
         return Status::NotWellDesigned(
             "unsafe FILTER: variable ?" + std::string(pool.Spelling(var)) +
             " does not occur in the filtered subpattern");
       }
     }
-    return CheckUnionFree(*p.left(), total, pool);
+    return CheckUnionFree(*p.left(), total, pool, offending);
   }
-  WDSPARQL_RETURN_IF_ERROR(CheckUnionFree(*p.left(), total, pool));
-  WDSPARQL_RETURN_IF_ERROR(CheckUnionFree(*p.right(), total, pool));
+  WDSPARQL_RETURN_IF_ERROR(CheckUnionFree(*p.left(), total, pool, offending));
+  WDSPARQL_RETURN_IF_ERROR(CheckUnionFree(*p.right(), total, pool, offending));
   if (p.kind() != PatternKind::kOpt) return Status::OK();
 
   std::vector<TermId> left_vars = p.left()->Variables();
@@ -68,6 +69,7 @@ Status CheckUnionFree(const GraphPattern& p,
     auto total_it = total.find(var);
     WDSPARQL_CHECK(total_it != total.end());
     if (inside.at(var) < total_it->second) {
+      if (offending != nullptr) *offending = var;
       return Status::NotWellDesigned(
           "variable ?" + std::string(pool.Spelling(var)) +
           " occurs in the optional side of an OPT but also outside that OPT "
@@ -99,14 +101,30 @@ Result<std::vector<PatternPtr>> UnionNormalForm(const PatternPtr& pattern) {
 }
 
 Status CheckWellDesigned(const PatternPtr& pattern, const TermPool& pool) {
+  return CheckWellDesignedDetailed(pattern, pool).status;
+}
+
+WellDesignedness CheckWellDesignedDetailed(const PatternPtr& pattern,
+                                           const TermPool& pool) {
+  WellDesignedness report;
   Result<std::vector<PatternPtr>> operands = UnionNormalForm(pattern);
-  if (!operands.ok()) return operands.status();
+  if (!operands.ok()) {
+    report.status = operands.status();
+    return report;
+  }
   for (const PatternPtr& operand : operands.value()) {
     std::unordered_map<TermId, int> total;
     CountLeafOccurrences(*operand, &total);
-    WDSPARQL_RETURN_IF_ERROR(CheckUnionFree(*operand, total, pool));
+    TermId offending = 0;
+    Status st = CheckUnionFree(*operand, total, pool, &offending);
+    if (!st.ok()) {
+      report.status = std::move(st);
+      report.has_offending_variable = true;
+      report.offending_variable = offending;
+      return report;
+    }
   }
-  return Status::OK();
+  return report;
 }
 
 bool IsWellDesigned(const PatternPtr& pattern, const TermPool& pool) {

@@ -22,6 +22,19 @@ namespace wdsparql {
 /// operator nesting.
 Status CheckWellDesigned(const PatternPtr& pattern, const TermPool& pool);
 
+/// Structured outcome of the well-designedness check: the status plus the
+/// offending variable as a field (for diagnostics objects), when the
+/// violation names one (the UNION-nesting violation does not).
+struct WellDesignedness {
+  Status status;
+  bool has_offending_variable = false;
+  TermId offending_variable = 0;  ///< Valid iff has_offending_variable.
+};
+
+/// Like CheckWellDesigned, reporting the offending variable structurally.
+WellDesignedness CheckWellDesignedDetailed(const PatternPtr& pattern,
+                                           const TermPool& pool);
+
 /// True iff `pattern` is well designed.
 bool IsWellDesigned(const PatternPtr& pattern, const TermPool& pool);
 

@@ -1,45 +1,11 @@
-#ifndef WDSPARQL_UTIL_CHECK_H_
-#define WDSPARQL_UTIL_CHECK_H_
-
-#include <cstdio>
-#include <cstdlib>
+#ifndef WDSPARQL_SHIM_SRC_UTIL_CHECK_H
+#define WDSPARQL_SHIM_SRC_UTIL_CHECK_H
 
 /// \file
-/// Invariant-checking macros.
-///
-/// The library uses CHECK-style macros (always on, including release
-/// builds) for internal invariants whose violation indicates a programming
-/// error, and DCHECK for expensive checks enabled only in debug builds.
-/// API-level, user-triggerable failures are reported through
-/// `wdsparql::Status` instead (see status.h); exceptions are not used.
+/// Compatibility forwarder: this header moved to the stable public
+/// surface at include/wdsparql/check.h. Internal code may keep the old
+/// path; new code should include "wdsparql/check.h" directly.
 
-namespace wdsparql {
-namespace internal {
+#include "wdsparql/check.h"
 
-/// Prints a fatal-check diagnostic and aborts the process.
-[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
-  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
-  std::abort();
-}
-
-}  // namespace internal
-}  // namespace wdsparql
-
-/// Aborts with a diagnostic if `cond` is false. Enabled in all builds.
-#define WDSPARQL_CHECK(cond)                                          \
-  do {                                                                \
-    if (!(cond)) {                                                    \
-      ::wdsparql::internal::CheckFailed(__FILE__, __LINE__, #cond);   \
-    }                                                                 \
-  } while (0)
-
-/// Debug-only variant of WDSPARQL_CHECK.
-#ifdef NDEBUG
-#define WDSPARQL_DCHECK(cond) \
-  do {                        \
-  } while (0)
-#else
-#define WDSPARQL_DCHECK(cond) WDSPARQL_CHECK(cond)
-#endif
-
-#endif  // WDSPARQL_UTIL_CHECK_H_
+#endif  // WDSPARQL_SHIM_SRC_UTIL_CHECK_H

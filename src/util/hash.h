@@ -1,52 +1,11 @@
-#ifndef WDSPARQL_UTIL_HASH_H_
-#define WDSPARQL_UTIL_HASH_H_
-
-#include <cstddef>
-#include <cstdint>
-#include <functional>
-#include <utility>
-#include <vector>
+#ifndef WDSPARQL_SHIM_SRC_UTIL_HASH_H
+#define WDSPARQL_SHIM_SRC_UTIL_HASH_H
 
 /// \file
-/// Hash-combination helpers used by the interned-id containers throughout
-/// the library (triple indexes, partial-homomorphism tables, memo caches).
+/// Compatibility forwarder: this header moved to the stable public
+/// surface at include/wdsparql/hash.h. Internal code may keep the old
+/// path; new code should include "wdsparql/hash.h" directly.
 
-namespace wdsparql {
+#include "wdsparql/hash.h"
 
-/// Mixes `value` into `seed` (boost::hash_combine-style with a 64-bit
-/// avalanche constant). Deterministic across runs and platforms.
-inline void HashCombine(std::size_t& seed, std::size_t value) {
-  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
-}
-
-/// Hashes a range of hashable elements into a single value.
-template <typename It>
-std::size_t HashRange(It first, It last) {
-  std::size_t seed = 0xcbf29ce484222325ULL;
-  for (It it = first; it != last; ++it) {
-    HashCombine(seed, std::hash<std::decay_t<decltype(*it)>>{}(*it));
-  }
-  return seed;
-}
-
-/// Hash functor for std::pair, usable as an unordered_map hasher.
-struct PairHash {
-  template <typename A, typename B>
-  std::size_t operator()(const std::pair<A, B>& p) const {
-    std::size_t seed = std::hash<A>{}(p.first);
-    HashCombine(seed, std::hash<B>{}(p.second));
-    return seed;
-  }
-};
-
-/// Hash functor for std::vector of hashable elements.
-struct VectorHash {
-  template <typename T>
-  std::size_t operator()(const std::vector<T>& v) const {
-    return HashRange(v.begin(), v.end());
-  }
-};
-
-}  // namespace wdsparql
-
-#endif  // WDSPARQL_UTIL_HASH_H_
+#endif  // WDSPARQL_SHIM_SRC_UTIL_HASH_H

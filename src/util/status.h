@@ -1,134 +1,11 @@
-#ifndef WDSPARQL_UTIL_STATUS_H_
-#define WDSPARQL_UTIL_STATUS_H_
-
-#include <optional>
-#include <string>
-#include <utility>
-
-#include "util/check.h"
+#ifndef WDSPARQL_SHIM_SRC_UTIL_STATUS_H
+#define WDSPARQL_SHIM_SRC_UTIL_STATUS_H
 
 /// \file
-/// Error propagation primitives.
-///
-/// Fallible, user-facing operations (parsing, validation, file I/O) return
-/// `Status` or `Result<T>` rather than throwing. This follows the
-/// RocksDB/Arrow convention for database libraries: error codes are part of
-/// the API contract and must be inspected by the caller.
+/// Compatibility forwarder: this header moved to the stable public
+/// surface at include/wdsparql/status.h. Internal code may keep the old
+/// path; new code should include "wdsparql/status.h" directly.
 
-namespace wdsparql {
+#include "wdsparql/status.h"
 
-/// Machine-readable error category.
-enum class StatusCode {
-  kOk = 0,
-  kInvalidArgument = 1,   ///< Malformed input (e.g. parse errors).
-  kNotWellDesigned = 2,   ///< A SPARQL pattern violates the well-designedness condition.
-  kNotFound = 3,          ///< A referenced entity does not exist.
-  kResourceExhausted = 4, ///< An algorithm exceeded a configured limit.
-  kInternal = 5,          ///< Invariant violation surfaced as a recoverable error.
-};
-
-/// Human-readable name of a status code (e.g. "InvalidArgument").
-const char* StatusCodeToString(StatusCode code);
-
-/// Result of a fallible operation that produces no value.
-///
-/// A `Status` is either OK or carries a code plus a diagnostic message.
-/// It is cheap to copy in the OK case and must be checked by callers
-/// (the library never silently drops errors).
-class Status {
- public:
-  /// Constructs an OK status.
-  Status() : code_(StatusCode::kOk) {}
-
-  /// Constructs a status with the given code and message.
-  Status(StatusCode code, std::string message)
-      : code_(code), message_(std::move(message)) {}
-
-  /// Returns the OK status.
-  static Status OK() { return Status(); }
-  /// Returns an InvalidArgument status with `message`.
-  static Status InvalidArgument(std::string message) {
-    return Status(StatusCode::kInvalidArgument, std::move(message));
-  }
-  /// Returns a NotWellDesigned status with `message`.
-  static Status NotWellDesigned(std::string message) {
-    return Status(StatusCode::kNotWellDesigned, std::move(message));
-  }
-  /// Returns a NotFound status with `message`.
-  static Status NotFound(std::string message) {
-    return Status(StatusCode::kNotFound, std::move(message));
-  }
-  /// Returns a ResourceExhausted status with `message`.
-  static Status ResourceExhausted(std::string message) {
-    return Status(StatusCode::kResourceExhausted, std::move(message));
-  }
-  /// Returns an Internal status with `message`.
-  static Status Internal(std::string message) {
-    return Status(StatusCode::kInternal, std::move(message));
-  }
-
-  /// True iff the status is OK.
-  bool ok() const { return code_ == StatusCode::kOk; }
-  /// The status code.
-  StatusCode code() const { return code_; }
-  /// The diagnostic message (empty for OK statuses).
-  const std::string& message() const { return message_; }
-
-  /// Renders the status as "OK" or "<Code>: <message>".
-  std::string ToString() const;
-
- private:
-  StatusCode code_;
-  std::string message_;
-};
-
-/// Result of a fallible operation producing a `T` on success.
-///
-/// Either holds a value (status OK) or an error status. Accessing the
-/// value of an errored result is a checked fatal error.
-template <typename T>
-class Result {
- public:
-  /// Constructs a successful result holding `value`.
-  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
-
-  /// Constructs a failed result from a non-OK `status`.
-  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
-    WDSPARQL_CHECK(!status_.ok());
-  }
-
-  /// True iff a value is present.
-  bool ok() const { return value_.has_value(); }
-  /// The status (OK iff a value is present).
-  const Status& status() const { return status_; }
-
-  /// Returns the held value; fatal if `!ok()`.
-  const T& value() const& {
-    WDSPARQL_CHECK(ok());
-    return *value_;
-  }
-  /// Moves out the held value; fatal if `!ok()`.
-  T&& value() && {
-    WDSPARQL_CHECK(ok());
-    return std::move(*value_);
-  }
-  /// Dereference sugar for `value()`.
-  const T& operator*() const& { return value(); }
-  /// Member-access sugar for `value()`.
-  const T* operator->() const { return &value(); }
-
- private:
-  std::optional<T> value_;
-  Status status_;
-};
-
-}  // namespace wdsparql
-
-/// Propagates a non-OK Status out of the enclosing function.
-#define WDSPARQL_RETURN_IF_ERROR(expr)          \
-  do {                                          \
-    ::wdsparql::Status _st = (expr);            \
-    if (!_st.ok()) return _st;                  \
-  } while (0)
-
-#endif  // WDSPARQL_UTIL_STATUS_H_
+#endif  // WDSPARQL_SHIM_SRC_UTIL_STATUS_H

@@ -10,46 +10,87 @@
 
 namespace wdsparql {
 
+SolutionEnumerator::SolutionEnumerator(const PatternForest& forest,
+                                       EnumerationHooks hooks)
+    : forest_(&forest), hooks_(std::move(hooks)) {}
+
+bool SolutionEnumerator::AdvanceSubtree() {
+  while (true) {
+    while (subtree_idx_ >= subtrees_.size()) {
+      // Drained the loaded tree (or nothing loaded yet, which the
+      // kNoTree sentinel turns into "load tree 0"): materialise the next
+      // tree's subtree list — EnumerateSolutionsWith visits the same
+      // list; holding it lets the machine suspend between any two
+      // candidates.
+      std::size_t next = tree_idx_ + 1;  // kNoTree wraps to 0.
+      if (next >= forest_->trees.size()) return false;
+      tree_idx_ = next;
+      subtrees_.clear();
+      EnumerateSubtrees(forest_->trees[tree_idx_],
+                        [this](const Subtree& subtree) { subtrees_.push_back(subtree); });
+      subtree_idx_ = 0;
+    }
+    const Subtree& subtree = subtrees_[subtree_idx_++];
+    cur_tree_ = subtree.tree;
+    pattern_ = SubtreePattern(subtree);
+    children_ = SubtreeChildren(subtree);
+    buffer_.clear();
+    buffer_pos_ = 0;
+    hooks_.candidates(pattern_, [this](const VarAssignment& assignment) {
+      ++stats_.candidates;
+      Mapping mu;
+      for (const auto& [var, value] : assignment) {
+        WDSPARQL_CHECK(mu.Bind(var, value));
+      }
+      buffer_.push_back(std::move(mu));
+      return true;
+    });
+    if (!buffer_.empty()) return true;  // Else: empty subtree, keep looking.
+  }
+}
+
+bool SolutionEnumerator::Next(Mapping* out) {
+  WDSPARQL_CHECK(out != nullptr);
+  if (state_ == State::kDone) return false;
+  state_ = State::kActive;
+  while (true) {
+    if (buffer_pos_ >= buffer_.size()) {
+      if (!AdvanceSubtree()) {
+        state_ = State::kDone;
+        return false;
+      }
+      continue;
+    }
+    const Mapping& mu = buffer_[buffer_pos_++];
+    if (seen_.count(mu) > 0) continue;
+    // Maximality: no child may extend mu.
+    bool maximal = true;
+    for (NodeId child : children_) {
+      ++stats_.maximality_tests;
+      TripleSet combined = pattern_;
+      combined.InsertAll(cur_tree_->pattern(child));
+      if (hooks_.extends(combined, mu)) {
+        maximal = false;
+        break;
+      }
+    }
+    if (!maximal) continue;
+    seen_.insert(mu);
+    ++stats_.emitted;
+    *out = mu;
+    return true;
+  }
+}
+
 void EnumerateSolutionsWith(const PatternForest& forest, const EnumerationHooks& hooks,
                             const std::function<bool(const Mapping&)>& callback,
                             EnumerateStats* stats) {
-  std::unordered_set<Mapping, MappingHash> seen;
-  bool stopped = false;
-  for (const PatternTree& tree : forest.trees) {
-    if (stopped) break;
-    EnumerateSubtrees(tree, [&](const Subtree& subtree) {
-      if (stopped) return;
-      TripleSet pattern = SubtreePattern(subtree);
-      std::vector<NodeId> children = SubtreeChildren(subtree);
-      hooks.candidates(pattern, [&](const VarAssignment& assignment) {
-        if (stats != nullptr) ++stats->candidates;
-        Mapping mu;
-        for (const auto& [var, value] : assignment) {
-          WDSPARQL_CHECK(mu.Bind(var, value));
-        }
-        if (seen.count(mu) > 0) return true;
-        // Maximality: no child may extend mu.
-        bool maximal = true;
-        for (NodeId child : children) {
-          if (stats != nullptr) ++stats->maximality_tests;
-          TripleSet combined = pattern;
-          combined.InsertAll(subtree.tree->pattern(child));
-          if (hooks.extends(combined, mu)) {
-            maximal = false;
-            break;
-          }
-        }
-        if (!maximal) return true;
-        seen.insert(mu);
-        if (stats != nullptr) ++stats->emitted;
-        if (!callback(mu)) {
-          stopped = true;
-          return false;
-        }
-        return true;
-      });
-    });
+  SolutionEnumerator enumerator(forest, hooks);
+  Mapping mu;
+  while (enumerator.Next(&mu)) {
+    if (!callback(mu)) break;
   }
+  if (stats != nullptr) *stats = enumerator.stats();
 }
 
 void EnumerateSolutionsNaive(const PatternForest& forest, const RdfGraph& graph,

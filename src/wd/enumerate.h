@@ -2,10 +2,12 @@
 #define WDSPARQL_WD_ENUMERATE_H_
 
 #include <functional>
+#include <unordered_set>
 #include <vector>
 
 #include "hom/homomorphism.h"
 #include "ptree/forest.h"
+#include "ptree/subtree.h"
 #include "rdf/graph.h"
 #include "rdf/scan.h"
 #include "sparql/mapping.h"
@@ -62,6 +64,60 @@ struct EnumerationHooks {
 void EnumerateSolutionsWith(const PatternForest& forest, const EnumerationHooks& hooks,
                             const std::function<bool(const Mapping&)>& callback,
                             EnumerateStats* stats = nullptr);
+
+/// Pull-based, suspendable instantiation of the same skeleton — the
+/// engine's `Cursor` runs on this. The enumeration is an explicit state
+/// machine over (tree, subtree, candidate-buffer) coordinates: each
+/// `Next` call resumes exactly where the previous one stopped, performs
+/// the deduplication and per-child maximality certificates for as many
+/// candidates as it takes to reach the next answer, and suspends again.
+/// Candidates of the *current* subtree are materialised in one batch
+/// (they are answers-to-be and bounded by the subtree's match count);
+/// the expensive maximality certificates stay lazy, so closing a cursor
+/// early skips them for every unvisited candidate.
+///
+/// The forest must outlive the enumerator, and the hooks must stay
+/// valid (they typically close over the storage backend).
+class SolutionEnumerator {
+ public:
+  enum class State {
+    kStart,    ///< No Next() call yet.
+    kActive,   ///< Mid-enumeration: at least one answer delivered or sought.
+    kDone,     ///< Exhausted: every further Next() returns false.
+  };
+
+  SolutionEnumerator(const PatternForest& forest, EnumerationHooks hooks);
+
+  /// Advances to the next distinct maximal solution. Returns false when
+  /// the solution set is exhausted (state() == kDone from then on).
+  bool Next(Mapping* out);
+
+  State state() const { return state_; }
+  const EnumerateStats& stats() const { return stats_; }
+
+ private:
+  /// Moves the machine to the next subtree with candidates; fills the
+  /// candidate buffer. Returns false when every tree is exhausted.
+  bool AdvanceSubtree();
+
+  const PatternForest* forest_;
+  EnumerationHooks hooks_;
+  EnumerateStats stats_;
+  State state_ = State::kStart;
+
+  // Explicit iteration coordinates. kNoTree marks "no tree loaded yet";
+  // the first advance wraps it to tree 0.
+  static constexpr std::size_t kNoTree = static_cast<std::size_t>(-1);
+  std::size_t tree_idx_ = kNoTree;
+  const PatternTree* cur_tree_ = nullptr;  // Tree of the open subtree.
+  std::vector<Subtree> subtrees_;        // Subtrees of the current tree.
+  std::size_t subtree_idx_ = 0;          // Next subtree to open.
+  TripleSet pattern_;                    // pat(T') of the open subtree.
+  std::vector<NodeId> children_;         // Children of the open subtree.
+  std::vector<Mapping> buffer_;          // Candidates of the open subtree.
+  std::size_t buffer_pos_ = 0;
+  std::unordered_set<Mapping, MappingHash> seen_;  // Cross-subtree dedup.
+};
 
 /// Streams every mu in JFKG, using exact homomorphism maximality tests.
 /// The callback may return false to stop. Duplicates across trees and

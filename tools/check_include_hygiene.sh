@@ -1,0 +1,35 @@
+#!/bin/sh
+# Include-hygiene check for the stable public surface.
+#
+# Headers under include/wdsparql/ are the supported API: they may include
+# other wdsparql/ headers and the standard library, but never src/-internal
+# headers (which would leak engine internals into the ABI surface and break
+# out-of-tree consumers that only ship include/).
+#
+# Usage: tools/check_include_hygiene.sh [repo-root]
+# Exit status: 0 clean, 1 violations found.
+
+set -u
+root="${1:-$(dirname "$0")/..}"
+public_dir="$root/include/wdsparql"
+
+if [ ! -d "$public_dir" ]; then
+  echo "check_include_hygiene: missing $public_dir" >&2
+  exit 1
+fi
+
+status=0
+for header in "$public_dir"/*.h; do
+  # Every quoted include must resolve inside wdsparql/.
+  bad=$(grep -n '#include "' "$header" | grep -v '#include "wdsparql/' || true)
+  if [ -n "$bad" ]; then
+    echo "include-hygiene violation in $header:" >&2
+    echo "$bad" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "include hygiene OK: public headers include only wdsparql/ and <std>"
+fi
+exit $status
