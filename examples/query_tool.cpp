@@ -5,9 +5,16 @@
 ///
 ///   query_tool <graph.nt> '<pattern>' [--plan] [--count] [--promise K]
 ///              [--backend naive|indexed] [--select ?x,?y] [--table]
+///              [--save <snapshot>]
+///   query_tool --db <snapshot> '<pattern>' [same flags]
 ///
 ///   <graph.nt>   N-Triples-like file (see rdf/ntriples.h)
 ///   <pattern>    e.g. '(?x knows ?y) OPT (?y email ?e)'
+///   --db         open a single-file snapshot (Database::Open — mmap,
+///                no re-parse) instead of parsing N-Triples
+///   --save       after loading, serialize the database to a snapshot
+///                (parse once with --save, then query many times with
+///                --db)
 ///   --plan       print wdpf(P) (the pattern forest) and the width report
 ///   --count      print |JPKG| only
 ///   --promise K  verify every answer with PebbleWdEval at promise K
@@ -51,7 +58,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: query_tool <graph.nt> '<pattern>' [--plan] [--count] "
                "[--promise K] [--backend naive|indexed] [--select ?x,?y] "
-               "[--table]\n");
+               "[--table] [--save <snapshot>]\n"
+               "       query_tool --db <snapshot> '<pattern>' [same flags]\n");
   return 1;
 }
 
@@ -98,17 +106,23 @@ void PrintPlan(const StatementImpl& stmt, TermPool* pool) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  const char* graph_path = argv[1];
-  const char* pattern_text = argv[2];
   bool show_plan = false;
   bool count_only = false;
   bool as_table = false;
   int promise = 0;
+  const char* db_path = nullptr;
+  const char* save_path = nullptr;
+  std::vector<const char*> positional;
   std::vector<std::string> projection;
   SessionOptions options;
-  for (int i = 3; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--plan") == 0) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') {
+      positional.push_back(argv[i]);
+    } else if (std::strcmp(argv[i], "--db") == 0 && i + 1 < argc) {
+      db_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
+      save_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--plan") == 0) {
       show_plan = true;
     } else if (std::strcmp(argv[i], "--count") == 0) {
       count_only = true;
@@ -133,12 +147,37 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
+  // With --db the one positional argument is the pattern; otherwise the
+  // classic <graph.nt> '<pattern>' pair.
+  if (positional.size() != (db_path != nullptr ? 1u : 2u)) return Usage();
+  const char* pattern_text = positional.back();
 
   Database db;
-  Status load = db.LoadNTriplesFile(graph_path);
-  if (!load.ok()) {
-    std::fprintf(stderr, "error loading %s: %s\n", graph_path, load.ToString().c_str());
-    return 1;
+  if (db_path != nullptr) {
+    Result<Database> opened = Database::Open(db_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error opening %s: %s\n", db_path,
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(opened).value();
+  } else {
+    const char* graph_path = positional[0];
+    Status load = db.LoadNTriplesFile(graph_path);
+    if (!load.ok()) {
+      std::fprintf(stderr, "error loading %s: %s\n", graph_path,
+                   load.ToString().c_str());
+      return 1;
+    }
+  }
+  if (save_path != nullptr) {
+    Status saved = db.Save(save_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "error saving %s: %s\n", save_path,
+                   saved.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "saved %zu triple(s) to %s\n", db.size(), save_path);
   }
   TermPool& pool = db.pool();
 

@@ -8,6 +8,7 @@
 
 #include "wdsparql/session.h"
 #include "wdsparql/status.h"
+#include "wdsparql/storage.h"
 #include "wdsparql/term.h"
 #include "wdsparql/triple.h"
 
@@ -62,6 +63,35 @@ class Database {
   Database& operator=(Database&&) noexcept;
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+
+  // Persistence -------------------------------------------------------
+
+  /// Opens the snapshot at `path` (see wdsparql/storage.h and
+  /// docs/FILE_FORMAT.md). The file is memory-mapped (with a buffered
+  /// fallback) and its term heap and SPO/POS/OSP runs are consumed in
+  /// place, so open cost is validation + O(terms), not O(dataset).
+  /// With `OpenOptions::durability == kWal` the sibling `<path>.wal` is
+  /// replayed (torn tail discarded) and subsequent mutations are logged
+  /// before they touch the in-memory delta. Corrupt files yield
+  /// `kCorruption`, missing ones `kNotFound` (unless `create_if_missing`
+  /// with kWal starts an empty database).
+  static Result<Database> Open(const std::string& path,
+                               const OpenOptions& options = {});
+
+  /// Serializes the current content to `path` as a single-file snapshot
+  /// (atomic rename). Folds any pending delta first (like `Compact`, so
+  /// open cursors are invalidated when a delta existed).
+  Status Save(const std::string& path);
+
+  /// Folds base + delta into a fresh snapshot at the path this database
+  /// was opened from, then truncates the write-ahead log. Requires a
+  /// database from `Open` (`kFailedPrecondition` otherwise).
+  Status Checkpoint();
+
+  /// The sticky status of the storage layer: OK while healthy, or the
+  /// first write-ahead-log failure after which mutations return false
+  /// without being applied (they were never made durable).
+  Status storage_status() const;
 
   // Mutation ----------------------------------------------------------
   // Every successful mutation (and `Compact`) bumps the epoch; open

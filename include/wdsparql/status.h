@@ -25,6 +25,9 @@ enum class StatusCode {
   kNotFound = 3,          ///< A referenced entity does not exist.
   kResourceExhausted = 4, ///< An algorithm exceeded a configured limit.
   kInternal = 5,          ///< Invariant violation surfaced as a recoverable error.
+  kCorruption = 6,        ///< Persistent data failed validation (bad magic, CRC, bounds).
+  kIoError = 7,           ///< The operating system rejected a file operation.
+  kFailedPrecondition = 8,///< The operation needs state the object is not in.
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
@@ -65,6 +68,18 @@ class Status {
   /// Returns an Internal status with `message`.
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  /// Returns a Corruption status with `message`.
+  static Status Corruption(std::string message) {
+    return Status(StatusCode::kCorruption, std::move(message));
+  }
+  /// Returns an IoError status with `message`.
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  /// Returns a FailedPrecondition status with `message`.
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
   }
 
   /// True iff the status is OK.

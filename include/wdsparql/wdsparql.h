@@ -21,6 +21,7 @@
 #include "wdsparql/mapping.h"
 #include "wdsparql/session.h"
 #include "wdsparql/status.h"
+#include "wdsparql/storage.h"
 #include "wdsparql/term.h"
 #include "wdsparql/triple.h"
 

@@ -1,7 +1,9 @@
 #ifndef WDSPARQL_ENGINE_API_INTERNAL_H_
 #define WDSPARQL_ENGINE_API_INTERNAL_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -11,6 +13,8 @@
 #include "rdf/scan.h"
 #include "sparql/ast.h"
 #include "sparql/filter.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
 #include "wd/enumerate.h"
 #include "wdsparql/cursor.h"
 #include "wdsparql/database.h"
@@ -40,13 +44,51 @@ struct DatabaseImpl {
   /// (DatabaseImpl is the one friend of Database).
   static DatabaseImpl& Get(const Database& db) { return *db.impl_; }
 
+  /// Hydrates the hash-backend row store from the permutation store. A
+  /// snapshot-opened database borrows its index runs straight out of the
+  /// mapping and defers this O(dataset) hash build until something
+  /// actually needs the naive backend (its scans, the pebble promise
+  /// machinery, or the `Database::graph()` accessor). Double-checked
+  /// under a mutex: hydration is reached from const read paths, and
+  /// session.h promises concurrent statement execution is safe while
+  /// nobody mutates the database.
+  void EnsureGraph() const {
+    if (graph_hydrated.load(std::memory_order_acquire)) return;
+    std::lock_guard<std::mutex> lock(hydrate_mutex);
+    if (graph_hydrated.load(std::memory_order_relaxed)) return;
+    graph.Reserve(store.size());
+    store.ScanPattern(Triple(kAnyTerm, kAnyTerm, kAnyTerm), [this](const Triple& t) {
+      graph.Insert(t);
+      return true;
+    });
+    graph_hydrated.store(true, std::memory_order_release);
+  }
+
+  /// Drops the open snapshot once nothing borrows it any more (the
+  /// first delta merge migrates every base run to owned storage); keeps
+  /// a fully-merged long-lived database from pinning the mapping — or,
+  /// on the buffered fallback, a full heap copy — of a file it no
+  /// longer reads.
+  void MaybeReleaseSnapshot() {
+    if (snapshot != nullptr && !store.borrows_snapshot()) snapshot.reset();
+  }
+
   std::unique_ptr<TermPool> owned_pool;  // Null when the pool is external.
   TermPool* pool;
-  RdfGraph graph;                // Hash-indexed row store (naive backend).
+  // The open snapshot, if any. Declared before the stores that borrow
+  // from it so destruction keeps the mapping alive until they are gone.
+  std::shared_ptr<const storage::SnapshotView> snapshot;
+  mutable RdfGraph graph;        // Hash-indexed row store (naive backend).
   HashTripleSource hash_source;  // TripleSource view over `graph`.
   IndexedStore store;            // Permutation-indexed store (indexed backend).
   DatabaseOptions options;
   uint64_t epoch = 0;
+  // Persistence state (Database::Open / Save / Checkpoint).
+  mutable std::atomic<bool> graph_hydrated{true};  // False until EnsureGraph after Open.
+  mutable std::mutex hydrate_mutex;    // Serialises the one-time hydration.
+  std::string snapshot_path;           // Checkpoint target; empty if not opened.
+  std::unique_ptr<storage::WriteAheadLog> wal;  // Null without kWal.
+  Status storage_error;                // Sticky last WAL/storage failure.
 };
 
 /// Everything a prepared `Statement` shares with its cursors.

@@ -9,6 +9,28 @@
 #include "wd/eval.h"
 
 namespace wdsparql {
+namespace {
+
+/// Frames a mutation into the WAL (spellings, not ids: ids are intern
+/// order and the log outlives this process's pool). On failure the
+/// error sticks in `impl->storage_error` and the caller must not apply
+/// the mutation — it was never made durable.
+bool LogMutation(DatabaseImpl* impl, storage::WalRecordType type, const Triple& t) {
+  // The error latches: once an append failed, the log's tail state is
+  // suspect and later mutations are refused outright (matching the
+  // storage_status() contract) rather than racing a broken device.
+  if (!impl->storage_error.ok()) return false;
+  Status status =
+      impl->wal->Append(type, impl->pool->Spelling(t.subject),
+                        impl->pool->Spelling(t.predicate), impl->pool->Spelling(t.object));
+  if (!status.ok()) {
+    impl->storage_error = status;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Database::Database(const DatabaseOptions& options)
     : impl_(std::make_unique<DatabaseImpl>(nullptr, options)) {}
@@ -24,11 +46,30 @@ Database& Database::operator=(Database&&) noexcept = default;
 
 bool Database::AddTriple(const Triple& t) {
   if (!t.IsGround()) return false;  // Variables are not storable facts.
-  if (!impl_->graph.Insert(t)) return false;
-  bool inserted = impl_->store.Insert(t);
-  WDSPARQL_DCHECK(inserted);
-  (void)inserted;
-  ++impl_->epoch;
+  DatabaseImpl* impl = impl_.get();
+  if (impl->wal != nullptr) {
+    // WAL before data: a non-mutating presence probe first, then the
+    // record is made durable (per the sync mode) before any in-memory
+    // index changes — a crash never acknowledges a mutation it cannot
+    // replay.
+    bool present =
+        impl->graph_hydrated ? impl->graph.Contains(t) : impl->store.Contains(t);
+    if (present) return false;
+    if (!LogMutation(impl, storage::WalRecordType::kAddTriple, t)) return false;
+    if (impl->graph_hydrated) impl->graph.Insert(t);
+    impl->store.Insert(t);
+  } else if (impl->graph_hydrated) {
+    // No log to order against: the insert itself is the presence test
+    // (one hash operation on the hot path).
+    if (!impl->graph.Insert(t)) return false;
+    bool inserted = impl->store.Insert(t);
+    WDSPARQL_DCHECK(inserted);
+    (void)inserted;
+  } else {
+    if (!impl->store.Insert(t)) return false;
+  }
+  impl->MaybeReleaseSnapshot();  // An auto-merge may have migrated the runs.
+  ++impl->epoch;
   return true;
 }
 
@@ -38,11 +79,24 @@ bool Database::AddTriple(std::string_view s, std::string_view p, std::string_vie
 }
 
 bool Database::RemoveTriple(const Triple& t) {
-  if (!impl_->graph.Remove(t)) return false;
-  bool erased = impl_->store.Erase(t);
-  WDSPARQL_DCHECK(erased);
-  (void)erased;
-  ++impl_->epoch;
+  DatabaseImpl* impl = impl_.get();
+  if (impl->wal != nullptr) {
+    bool present =
+        impl->graph_hydrated ? impl->graph.Contains(t) : impl->store.Contains(t);
+    if (!present) return false;
+    if (!LogMutation(impl, storage::WalRecordType::kRemoveTriple, t)) return false;
+    if (impl->graph_hydrated) impl->graph.Remove(t);
+    impl->store.Erase(t);
+  } else if (impl->graph_hydrated) {
+    if (!impl->graph.Remove(t)) return false;
+    bool erased = impl->store.Erase(t);
+    WDSPARQL_DCHECK(erased);
+    (void)erased;
+  } else {
+    if (!impl->store.Erase(t)) return false;
+  }
+  impl->MaybeReleaseSnapshot();
+  ++impl->epoch;
   return true;
 }
 
@@ -61,11 +115,19 @@ Status Database::LoadNTriples(std::string_view text) {
   // Parse into a staging graph first so a parse error loads nothing.
   RdfGraph staged(impl_->pool);
   WDSPARQL_RETURN_IF_ERROR(ParseNTriples(text, &staged));
-  if (empty()) {
+  // The sort-based bulk path bypasses per-triple logging, so a WAL
+  // database takes the per-triple path even when empty (checkpoint
+  // after bulk loads to fold the log back down).
+  if (empty() && impl_->wal == nullptr) {
     engine_internal::BulkLoad(this, staged.triples());
     return Status::OK();
   }
-  for (const Triple& t : staged.triples()) AddTriple(t);
+  for (const Triple& t : staged.triples()) {
+    AddTriple(t);
+    // A false return may just be a duplicate; a WAL failure must not be
+    // swallowed into an OK load.
+    WDSPARQL_RETURN_IF_ERROR(impl_->storage_error);
+  }
   return Status::OK();
 }
 
@@ -73,22 +135,30 @@ Status Database::LoadNTriplesFile(const std::string& path) {
   // Reuse the file reader's I/O handling through a staging graph.
   RdfGraph staged(impl_->pool);
   WDSPARQL_RETURN_IF_ERROR(ReadNTriplesFile(path, &staged));
-  if (empty()) {
+  if (empty() && impl_->wal == nullptr) {
     engine_internal::BulkLoad(this, staged.triples());
     return Status::OK();
   }
-  for (const Triple& t : staged.triples()) AddTriple(t);
+  for (const Triple& t : staged.triples()) {
+    AddTriple(t);
+    WDSPARQL_RETURN_IF_ERROR(impl_->storage_error);
+  }
   return Status::OK();
 }
 
 void Database::Compact() {
   impl_->store.MergeDelta();
+  impl_->MaybeReleaseSnapshot();
   ++impl_->epoch;  // Base runs reallocated: open cursors must not touch them.
 }
 
-std::size_t Database::size() const { return impl_->graph.size(); }
+std::size_t Database::size() const {
+  return impl_->graph_hydrated ? impl_->graph.size() : impl_->store.size();
+}
 
-bool Database::Contains(const Triple& t) const { return impl_->graph.Contains(t); }
+bool Database::Contains(const Triple& t) const {
+  return impl_->graph_hydrated ? impl_->graph.Contains(t) : impl_->store.Contains(t);
+}
 
 std::size_t Database::pending_delta() const { return impl_->store.delta_size(); }
 
@@ -100,7 +170,12 @@ Session Database::OpenSession(const SessionOptions& options) const {
   return Session(impl_.get(), options);
 }
 
-const RdfGraph& Database::graph() const { return impl_->graph; }
+const RdfGraph& Database::graph() const {
+  impl_->EnsureGraph();
+  return impl_->graph;
+}
+
+Status Database::storage_status() const { return impl_->storage_error; }
 
 const IndexedStore& Database::store() const { return impl_->store; }
 
@@ -121,10 +196,13 @@ void BulkLoad(Database* db, const TripleSet& triples) {
   for (const Triple& t : triples.triples()) impl->graph.Insert(t);
   impl->store = IndexedStore::Build(impl->graph.triples());
   impl->store.set_merge_threshold(impl->options.merge_threshold);
+  impl->graph_hydrated = true;  // Both stores now hold the full content.
+  impl->MaybeReleaseSnapshot();  // The rebuilt store owns all its runs.
   ++impl->epoch;
 }
 
 const HashTripleSource& HashSourceOf(const Database& db) {
+  DatabaseImpl::Get(db).EnsureGraph();
   return DatabaseImpl::Get(db).hash_source;
 }
 
@@ -142,6 +220,7 @@ EnumerationHooks MakeEnumerationHooks(const DatabaseImpl& db,
     };
     return hooks;
   }
+  db.EnsureGraph();  // The naive backend scans the hash row store.
   const HashTripleSource* source = &db.hash_source;
   hooks.candidates = [source](const TripleSet& pattern,
                               const std::function<bool(const VarAssignment&)>& emit) {
@@ -173,6 +252,7 @@ bool EvaluateMembership(const DatabaseImpl& db, const SessionOptions& options,
       });
     }
     case Backend::kNaiveHash:
+      db.EnsureGraph();  // Both naive eval paths read the hash row store.
       if (options.pebble_promise > 0) {
         return PebbleWdEval(forest, db.graph, mu, options.pebble_promise, stats);
       }

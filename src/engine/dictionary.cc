@@ -13,6 +13,33 @@ Dictionary Dictionary::Build(const TripleSet& set) {
   return dict;
 }
 
+Dictionary Dictionary::Build(const std::vector<Triple>& triples) {
+  Dictionary dict;
+  dict.terms_.reserve(3 * triples.size());
+  for (const Triple& t : triples) {
+    dict.terms_.push_back(t.subject);
+    dict.terms_.push_back(t.predicate);
+    dict.terms_.push_back(t.object);
+  }
+  std::sort(dict.terms_.begin(), dict.terms_.end());
+  dict.terms_.erase(std::unique(dict.terms_.begin(), dict.terms_.end()),
+                    dict.terms_.end());
+  WDSPARQL_CHECK(dict.terms_.size() < kNoDataId);
+  dict.sorted_limit_ = dict.terms_.size();
+  return dict;
+}
+
+Dictionary Dictionary::FromParts(std::vector<TermId> terms, std::size_t sorted_limit) {
+  Dictionary dict;
+  WDSPARQL_CHECK(sorted_limit <= terms.size() && terms.size() < kNoDataId);
+  dict.terms_ = std::move(terms);
+  dict.sorted_limit_ = sorted_limit;
+  for (std::size_t i = sorted_limit; i < dict.terms_.size(); ++i) {
+    dict.appended_.emplace(dict.terms_[i], static_cast<DataId>(i));
+  }
+  return dict;
+}
+
 DataId Dictionary::Encode(TermId t) const {
   auto prefix_end = terms_.begin() + static_cast<std::ptrdiff_t>(sorted_limit_);
   auto it = std::lower_bound(terms_.begin(), prefix_end, t);

@@ -49,6 +49,20 @@ class Dictionary {
   /// Builds the dictionary of the distinct terms of `set`.
   static Dictionary Build(const TripleSet& set);
 
+  /// Builds the dictionary of the distinct terms of `triples` (the bulk
+  /// loader's path: no TripleSet hash indexes required).
+  static Dictionary Build(const std::vector<Triple>& triples);
+
+  /// \internal Reconstitutes a dictionary from its persisted parts: the
+  /// DataId-indexed term array and the length of its TermId-sorted
+  /// prefix (terms past it were appended by `GetOrAdd` and are looked up
+  /// through the rebuilt hash map). Used by snapshot open.
+  static Dictionary FromParts(std::vector<TermId> terms, std::size_t sorted_limit);
+
+  /// \internal The TermId-sorted prefix length (persisted alongside
+  /// `terms()` so `FromParts` can restore the lookup structure).
+  std::size_t sorted_limit() const { return sorted_limit_; }
+
   /// The dense id of `t`, or `kNoDataId` if `t` is not in the dictionary.
   /// O(log prefix) + O(1) amortised for appended terms.
   DataId Encode(TermId t) const;

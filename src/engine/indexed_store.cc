@@ -37,11 +37,11 @@ struct PermLess {
 
 const int* OrderOf(Permutation perm) { return kPermOrder[static_cast<int>(perm)]; }
 
-/// The contiguous [lo, hi) range of `vec` whose first `prefix` positions
-/// (in permutation order) equal the pattern's bound values.
+/// The contiguous [lo, hi) range of `[begin, end)` whose first `prefix`
+/// positions (in permutation order) equal the pattern's bound values.
 std::pair<const EncTriple*, const EncTriple*> PrefixRange(
-    const std::vector<EncTriple>& vec, const EncPattern& pattern, const int* order,
-    int prefix) {
+    const EncTriple* begin, const EncTriple* end, const EncPattern& pattern,
+    const int* order, int prefix) {
   auto triple_below = [&](const EncTriple& t, const EncPattern& p) {
     for (int i = 0; i < prefix; ++i) {
       int pos = order[i];
@@ -56,10 +56,9 @@ std::pair<const EncTriple*, const EncTriple*> PrefixRange(
     }
     return false;
   };
-  auto lo = std::lower_bound(vec.begin(), vec.end(), pattern, triple_below);
-  auto hi = std::upper_bound(lo, vec.end(), pattern, pattern_below);
-  const EncTriple* base = vec.data();
-  return {base + (lo - vec.begin()), base + (hi - vec.begin())};
+  const EncTriple* lo = std::lower_bound(begin, end, pattern, triple_below);
+  const EncTriple* hi = std::upper_bound(lo, end, pattern, pattern_below);
+  return {lo, hi};
 }
 
 /// Inserts `t` into the permutation-sorted run `vec`.
@@ -143,24 +142,63 @@ std::size_t MergedScan::size() const {
 // IndexedStore
 // ---------------------------------------------------------------------
 
-IndexedStore IndexedStore::Build(const TripleSet& set) {
+namespace {
+
+/// Encodes `triples` against `dict` and installs the three sorted base
+/// runs. With `dedup`, equal encoded triples collapse (plain-vector
+/// inputs carry no set guarantee).
+IndexedStore BuildEncoded(Dictionary dict, const std::vector<Triple>& triples,
+                          bool dedup) {
   IndexedStore store;
-  store.dict_ = Dictionary::Build(set);
-  store.spo_.reserve(set.size());
-  for (const Triple& t : set.triples()) {
+  std::vector<EncTriple> spo;
+  spo.reserve(triples.size());
+  for (const Triple& t : triples) {
     EncTriple enc;
-    enc.s = store.dict_.Encode(t.subject);
-    enc.p = store.dict_.Encode(t.predicate);
-    enc.o = store.dict_.Encode(t.object);
+    enc.s = dict.Encode(t.subject);
+    enc.p = dict.Encode(t.predicate);
+    enc.o = dict.Encode(t.object);
     WDSPARQL_DCHECK(enc.s != kNoDataId && enc.p != kNoDataId && enc.o != kNoDataId);
-    store.spo_.push_back(enc);
+    spo.push_back(enc);
   }
-  store.pos_ = store.spo_;
-  store.osp_ = store.spo_;
-  std::sort(store.spo_.begin(), store.spo_.end(), PermLess{OrderOf(Permutation::kSpo)});
-  std::sort(store.pos_.begin(), store.pos_.end(), PermLess{OrderOf(Permutation::kPos)});
-  std::sort(store.osp_.begin(), store.osp_.end(), PermLess{OrderOf(Permutation::kOsp)});
+  std::sort(spo.begin(), spo.end(), PermLess{OrderOf(Permutation::kSpo)});
+  if (dedup) {
+    spo.erase(std::unique(spo.begin(), spo.end()), spo.end());
+  }
+  std::vector<EncTriple> pos = spo;
+  std::vector<EncTriple> osp = spo;
+  std::sort(pos.begin(), pos.end(), PermLess{OrderOf(Permutation::kPos)});
+  std::sort(osp.begin(), osp.end(), PermLess{OrderOf(Permutation::kOsp)});
+  store.SetBuilt(std::move(dict), std::move(spo), std::move(pos), std::move(osp));
   return store;
+}
+
+}  // namespace
+
+IndexedStore IndexedStore::Build(const TripleSet& set) {
+  return BuildEncoded(Dictionary::Build(set), set.triples(), /*dedup=*/false);
+}
+
+IndexedStore IndexedStore::Build(const std::vector<Triple>& triples) {
+  return BuildEncoded(Dictionary::Build(triples), triples, /*dedup=*/true);
+}
+
+IndexedStore IndexedStore::FromSnapshot(Dictionary dict, const EncTriple* spo,
+                                        const EncTriple* pos, const EncTriple* osp,
+                                        std::size_t count) {
+  IndexedStore store;
+  store.dict_ = std::move(dict);
+  store.spo_.Borrow(spo, count);
+  store.pos_.Borrow(pos, count);
+  store.osp_.Borrow(osp, count);
+  return store;
+}
+
+void IndexedStore::SetBuilt(Dictionary dict, std::vector<EncTriple> spo,
+                            std::vector<EncTriple> pos, std::vector<EncTriple> osp) {
+  dict_ = std::move(dict);
+  spo_.Assign(std::move(spo));
+  pos_.Assign(std::move(pos));
+  osp_.Assign(std::move(osp));
 }
 
 bool IndexedStore::InDelta(const EncTriple& t) const {
@@ -215,12 +253,12 @@ void IndexedStore::MaybeMerge() {
 
 void IndexedStore::MergeDelta() {
   if (dspo_.empty() && dead_.empty()) return;
-  auto merge_one = [this](std::vector<EncTriple>* base, std::vector<EncTriple>* delta,
+  auto merge_one = [this](EncRun* base, std::vector<EncTriple>* delta,
                           Permutation perm) {
     std::vector<EncTriple> merged;
     merged.reserve(base->size() - dead_.size() + delta->size());
     PermLess less{OrderOf(perm)};
-    auto bi = base->begin();
+    const EncTriple* bi = base->begin();
     auto di = delta->begin();
     while (bi != base->end() || di != delta->end()) {
       bool take_base =
@@ -233,7 +271,9 @@ void IndexedStore::MergeDelta() {
         ++di;
       }
     }
-    *base = std::move(merged);
+    // Merging out of a borrowed (snapshot-backed) run lands in owned
+    // storage: the store no longer needs the mapping after this.
+    base->Assign(std::move(merged));
     delta->clear();
   };
   merge_one(&spo_, &dspo_, Permutation::kSpo);
@@ -261,15 +301,16 @@ MergedScan IndexedStore::Scan(const EncPattern& pattern) const {
   const int* order = OrderOf(perm);
   int prefix = (mask & 1) + ((mask >> 1) & 1) + ((mask >> 2) & 1);
 
-  const std::vector<EncTriple>* base;
+  const EncRun* base;
   const std::vector<EncTriple>* delta;
   switch (perm) {
     case Permutation::kSpo: base = &spo_; delta = &dspo_; break;
     case Permutation::kPos: base = &pos_; delta = &dpos_; break;
     default: base = &osp_; delta = &dosp_; break;
   }
-  auto [base_lo, base_hi] = PrefixRange(*base, pattern, order, prefix);
-  auto [delta_lo, delta_hi] = PrefixRange(*delta, pattern, order, prefix);
+  auto [base_lo, base_hi] = PrefixRange(base->begin(), base->end(), pattern, order, prefix);
+  auto [delta_lo, delta_hi] = PrefixRange(delta->data(), delta->data() + delta->size(),
+                                          pattern, order, prefix);
   return MergedScan(base_lo, base_hi, delta_lo, delta_hi, &dead_, perm);
 }
 

@@ -132,6 +132,70 @@ class MergedScan {
   Permutation perm_;
 };
 
+/// A permutation-sorted base run: either owned storage (built or merged
+/// in memory) or a borrowed external array — a mapped snapshot section
+/// consumed in place, whose backing file view must outlive the store.
+/// The next `MergeDelta` naturally migrates a borrowed run into owned
+/// storage (the merge output is always owned).
+class EncRun {
+ public:
+  EncRun() = default;
+  EncRun(const EncRun& other) { *this = other; }
+  EncRun& operator=(const EncRun& other) {
+    borrowed_ = other.borrowed_;
+    size_ = other.size_;
+    owned_ = other.owned_;
+    data_ = borrowed_ ? other.data_ : owned_.data();
+    return *this;
+  }
+  EncRun(EncRun&& other) noexcept { *this = std::move(other); }
+  EncRun& operator=(EncRun&& other) noexcept {
+    if (this == &other) return *this;
+    borrowed_ = other.borrowed_;
+    size_ = other.size_;
+    owned_ = std::move(other.owned_);
+    data_ = borrowed_ ? other.data_ : owned_.data();
+    // Leave the source empty: its data_ must not alias storage that now
+    // belongs to the target.
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.borrowed_ = false;
+    other.owned_.clear();
+    return *this;
+  }
+
+  /// Takes ownership of a sorted run.
+  void Assign(std::vector<EncTriple> triples) {
+    owned_ = std::move(triples);
+    data_ = owned_.data();
+    size_ = owned_.size();
+    borrowed_ = false;
+  }
+
+  /// Borrows `count` sorted triples living elsewhere (snapshot section).
+  void Borrow(const EncTriple* data, std::size_t count) {
+    owned_.clear();
+    owned_.shrink_to_fit();
+    data_ = data;
+    size_ = count;
+    borrowed_ = true;
+  }
+
+  const EncTriple* begin() const { return data_; }
+  const EncTriple* end() const { return data_ + size_; }
+  const EncTriple* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// True when the run borrows external (mapped) storage.
+  bool borrowed() const { return borrowed_; }
+
+ private:
+  const EncTriple* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool borrowed_ = false;
+  std::vector<EncTriple> owned_;
+};
+
 /// Dictionary-encoded store with SPO/POS/OSP permutations and
 /// incremental base+delta maintenance.
 class IndexedStore final : public TripleSource {
@@ -146,6 +210,19 @@ class IndexedStore final : public TripleSource {
   /// Builds the store (dictionary + three sorted base runs) from the
   /// triples of `set` in one sort pass — the bulk-load fast path.
   static IndexedStore Build(const TripleSet& set);
+
+  /// Builds the store from a plain triple vector (duplicates collapse).
+  /// The bulk loader's path: no TripleSet/RdfGraph hash structures are
+  /// ever materialised.
+  static IndexedStore Build(const std::vector<Triple>& triples);
+
+  /// \internal Reconstitutes a store over a snapshot's sections, borrowed
+  /// in place: `spo`/`pos`/`osp` are `count`-long sorted runs whose
+  /// backing memory (the mapped snapshot) must outlive the store or its
+  /// next `MergeDelta`, whichever comes first.
+  static IndexedStore FromSnapshot(Dictionary dict, const EncTriple* spo,
+                                   const EncTriple* pos, const EncTriple* osp,
+                                   std::size_t count);
 
   // Mutation ----------------------------------------------------------
 
@@ -194,6 +271,31 @@ class IndexedStore final : public TripleSource {
     return Triple(dict_.Decode(t.s), dict_.Decode(t.p), dict_.Decode(t.o));
   }
 
+  // Serialization surface (src/storage/) --------------------------------
+
+  /// \internal The base run sorted in `perm` order. Only the full store
+  /// content when the delta is empty (callers `MergeDelta` first).
+  const EncTriple* base_data(Permutation perm) const {
+    switch (perm) {
+      case Permutation::kSpo: return spo_.data();
+      case Permutation::kPos: return pos_.data();
+      default: return osp_.data();
+    }
+  }
+
+  /// \internal Length of each base run.
+  std::size_t base_size() const { return spo_.size(); }
+
+  /// \internal True when any base run still borrows mapped storage.
+  bool borrows_snapshot() const {
+    return spo_.borrowed() || pos_.borrowed() || osp_.borrowed();
+  }
+
+  /// \internal Installs a freshly built dictionary and three sorted,
+  /// owned base runs (the Build helpers funnel through here).
+  void SetBuilt(Dictionary dict, std::vector<EncTriple> spo,
+                std::vector<EncTriple> pos, std::vector<EncTriple> osp);
+
   // TripleSource interface -------------------------------------------
   std::size_t size() const override { return spo_.size() - dead_.size() + dspo_.size(); }
   bool Contains(const Triple& t) const override;
@@ -209,10 +311,11 @@ class IndexedStore final : public TripleSource {
 
   Dictionary dict_;
   // The same triples, sorted in the three cyclic permutation orders:
-  // large immutable-between-merges base runs...
-  std::vector<EncTriple> spo_;
-  std::vector<EncTriple> pos_;
-  std::vector<EncTriple> osp_;
+  // large immutable-between-merges base runs (owned, or borrowed in
+  // place from a mapped snapshot)...
+  EncRun spo_;
+  EncRun pos_;
+  EncRun osp_;
   // ...plus small sorted delta runs absorbing inserts.
   std::vector<EncTriple> dspo_;
   std::vector<EncTriple> dpos_;

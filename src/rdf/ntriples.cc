@@ -51,6 +51,31 @@ bool ParseTermToken(std::string_view line, std::size_t* pos, std::string* out,
 
 }  // namespace
 
+Status ParseNTriplesLine(std::string_view raw_line, int line_number, TermPool* pool,
+                         std::optional<Triple>* out) {
+  WDSPARQL_CHECK(pool != nullptr && out != nullptr);
+  out->reset();
+  std::string_view line = StripAsciiWhitespace(raw_line);
+  if (line.empty() || line[0] == '#') return Status::OK();
+  std::size_t pos = 0;
+  std::string terms[3];
+  for (int i = 0; i < 3; ++i) {
+    std::string error;
+    if (!ParseTermToken(line, &pos, &terms[i], &error)) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) + ": " +
+                                     error);
+    }
+  }
+  std::string_view rest = StripAsciiWhitespace(line.substr(pos));
+  if (!rest.empty() && rest != ".") {
+    return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                   ": trailing content '" + std::string(rest) + "'");
+  }
+  *out = Triple(pool->InternIri(terms[0]), pool->InternIri(terms[1]),
+                pool->InternIri(terms[2]));
+  return Status::OK();
+}
+
 Status ParseNTriples(std::string_view text, RdfGraph* graph) {
   WDSPARQL_CHECK(graph != nullptr);
   // One triple per line at most, so the line count bounds the triple
@@ -62,23 +87,10 @@ Status ParseNTriples(std::string_view text, RdfGraph* graph) {
   int line_number = 0;
   for (const std::string& raw_line : StrSplit(text, '\n')) {
     ++line_number;
-    std::string_view line = StripAsciiWhitespace(raw_line);
-    if (line.empty() || line[0] == '#') continue;
-    std::size_t pos = 0;
-    std::string terms[3];
-    for (int i = 0; i < 3; ++i) {
-      std::string error;
-      if (!ParseTermToken(line, &pos, &terms[i], &error)) {
-        return Status::InvalidArgument("line " + std::to_string(line_number) + ": " +
-                                       error);
-      }
-    }
-    std::string_view rest = StripAsciiWhitespace(line.substr(pos));
-    if (!rest.empty() && rest != ".") {
-      return Status::InvalidArgument("line " + std::to_string(line_number) +
-                                     ": trailing content '" + std::string(rest) + "'");
-    }
-    graph->Insert(terms[0], terms[1], terms[2]);
+    std::optional<Triple> triple;
+    WDSPARQL_RETURN_IF_ERROR(
+        ParseNTriplesLine(raw_line, line_number, graph->pool(), &triple));
+    if (triple.has_value()) graph->Insert(*triple);
   }
   return Status::OK();
 }

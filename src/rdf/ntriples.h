@@ -1,6 +1,7 @@
 #ifndef WDSPARQL_RDF_NTRIPLES_H_
 #define WDSPARQL_RDF_NTRIPLES_H_
 
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -24,6 +25,14 @@ namespace wdsparql {
 
 /// Parses `text` into `graph`. On error, reports the offending line.
 Status ParseNTriples(std::string_view text, RdfGraph* graph);
+
+/// Parses a single line, interning spellings into `pool`. Blank and
+/// comment lines succeed with `*out == nullopt`. `line_number` is used
+/// only for error messages. This is the streaming entry point: the bulk
+/// loader feeds lines straight off a file without materialising the
+/// text (or a graph) in memory.
+Status ParseNTriplesLine(std::string_view line, int line_number, TermPool* pool,
+                         std::optional<Triple>* out);
 
 /// Reads the file at `path` into `graph`.
 Status ReadNTriplesFile(const std::string& path, RdfGraph* graph);

@@ -1,0 +1,23 @@
+#ifndef WDSPARQL_STORAGE_CRC32_H_
+#define WDSPARQL_STORAGE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file
+/// CRC-32 (the IEEE 802.3 polynomial, as used by zip/zlib) over byte
+/// ranges. Every snapshot section and every WAL frame carries one, so a
+/// flipped bit anywhere in a persistent file surfaces as a structured
+/// `kCorruption` status instead of undefined behaviour downstream.
+
+namespace wdsparql {
+namespace storage {
+
+/// CRC-32 of `[data, data + size)`, optionally chained: pass a previous
+/// return value as `seed` to checksum discontiguous ranges as one.
+uint32_t Crc32(const void* data, std::size_t size, uint32_t seed = 0);
+
+}  // namespace storage
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_STORAGE_CRC32_H_

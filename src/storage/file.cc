@@ -1,0 +1,289 @@
+#include "storage/file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(_WIN32)
+#define WDSPARQL_STORAGE_NO_MMAP 1
+#include <cstdio>
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace wdsparql {
+namespace storage {
+namespace {
+
+std::string ErrnoMessage(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+FileBuffer::~FileBuffer() { Release(); }
+
+FileBuffer::FileBuffer(FileBuffer&& other) noexcept { *this = std::move(other); }
+
+FileBuffer& FileBuffer::operator=(FileBuffer&& other) noexcept {
+  if (this == &other) return *this;
+  Release();
+  heap_ = std::move(other.heap_);
+  mapped_ = other.mapped_;
+  size_ = other.size_;
+  data_ = mapped_ ? other.data_ : heap_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  return *this;
+}
+
+void FileBuffer::Release() {
+#if !defined(WDSPARQL_STORAGE_NO_MMAP)
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  heap_.clear();
+}
+
+Result<FileBuffer> FileBuffer::Load(const std::string& path, bool prefer_mmap) {
+#if defined(WDSPARQL_STORAGE_NO_MMAP)
+  (void)prefer_mmap;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open file: " + path);
+  // Chunked read to EOF: no ftell, whose long return is 32-bit on LLP64
+  // platforms and would mis-size files over 2 GiB.
+  FileBuffer buffer;
+  char chunk[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    buffer.heap_.insert(buffer.heap_.end(), chunk, chunk + n);
+  }
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) return Status::IoError("read failure on " + path);
+  buffer.size_ = buffer.heap_.size();
+  buffer.data_ = buffer.heap_.data();
+  return buffer;
+#else
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::IoError(ErrnoMessage("open", path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status status = Status::IoError(ErrnoMessage("fstat", path));
+    ::close(fd);
+    return status;
+  }
+  std::size_t size = static_cast<std::size_t>(st.st_size);
+  FileBuffer buffer;
+  buffer.size_ = size;
+  if (prefer_mmap && size > 0) {
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr != MAP_FAILED) {
+      ::close(fd);  // The mapping keeps the pages; the fd is not needed.
+      buffer.data_ = static_cast<const uint8_t*>(addr);
+      buffer.mapped_ = true;
+      return buffer;
+    }
+    // Fall through to the buffered path: mapping can legitimately fail
+    // (e.g. special filesystems); the caller asked for the bytes, not
+    // the mechanism.
+  }
+  buffer.heap_.resize(size);
+  std::size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::read(fd, buffer.heap_.data() + done, size - done);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      Status status = Status::IoError(ErrnoMessage("read", path));
+      ::close(fd);
+      return status;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  buffer.data_ = buffer.heap_.data();
+  return buffer;
+#endif
+}
+
+bool FileExists(const std::string& path) {
+#if defined(WDSPARQL_STORAGE_NO_MMAP)
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f != nullptr) std::fclose(f);
+  return f != nullptr;
+#else
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+#endif
+}
+
+Status WriteFileAtomic(const std::string& path, const void* bytes, std::size_t size) {
+#if defined(WDSPARQL_STORAGE_NO_MMAP)
+  // Portable fallback: stage into a sibling and rename. Weaker than the
+  // POSIX path (no fsync, and the remove/rename pair is a two-step
+  // window) but never truncates the only durable copy in place.
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot create " + tmp);
+  if (size > 0 && std::fwrite(bytes, 1, size, f) != size) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IoError("short write to " + tmp);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());  // Windows rename refuses to overwrite.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot publish " + path);
+  }
+  return Status::OK();
+#else
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IoError(ErrnoMessage("open", tmp));
+  const uint8_t* cursor = static_cast<const uint8_t*>(bytes);
+  std::size_t remaining = size;
+  while (remaining > 0) {
+    ssize_t n = ::write(fd, cursor, remaining);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      Status status = Status::IoError(ErrnoMessage("write", tmp));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return status;
+    }
+    cursor += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status status = Status::IoError(ErrnoMessage("fsync", tmp));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status status = Status::IoError(ErrnoMessage("rename", tmp));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  SyncParentDir(path);
+  return Status::OK();
+#endif
+}
+
+void SyncParentDir(const std::string& path) {
+#if defined(WDSPARQL_STORAGE_NO_MMAP)
+  (void)path;
+#else
+  // Best effort — some filesystems refuse directory fds.
+  std::string::size_type slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+#endif
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+#if !defined(WDSPARQL_STORAGE_NO_MMAP)
+  if (fd_ >= 0) {
+    ::close(fd_);
+    if (!committed_) ::unlink((path_ + ".tmp").c_str());
+  }
+#endif
+}
+
+AtomicFileWriter::AtomicFileWriter(AtomicFileWriter&& other) noexcept {
+  *this = std::move(other);
+}
+
+AtomicFileWriter& AtomicFileWriter::operator=(AtomicFileWriter&& other) noexcept {
+  if (this == &other) return *this;
+#if !defined(WDSPARQL_STORAGE_NO_MMAP)
+  if (fd_ >= 0) {
+    ::close(fd_);
+    if (!committed_) ::unlink((path_ + ".tmp").c_str());
+  }
+#endif
+  path_ = std::move(other.path_);
+  fd_ = other.fd_;
+  committed_ = other.committed_;
+  other.fd_ = -1;
+  other.committed_ = false;
+  return *this;
+}
+
+Result<AtomicFileWriter> AtomicFileWriter::Create(const std::string& path) {
+#if defined(WDSPARQL_STORAGE_NO_MMAP)
+  return Status::Internal("streaming snapshot writes are not supported on this platform");
+#else
+  AtomicFileWriter writer;
+  writer.path_ = path;
+  std::string tmp = path + ".tmp";
+  writer.fd_ = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (writer.fd_ < 0) return Status::IoError(ErrnoMessage("open", tmp));
+  return writer;
+#endif
+}
+
+Status AtomicFileWriter::WriteAt(uint64_t offset, const void* bytes, std::size_t n) {
+#if defined(WDSPARQL_STORAGE_NO_MMAP)
+  (void)offset; (void)bytes; (void)n;
+  return Status::Internal("streaming snapshot writes are not supported on this platform");
+#else
+  const uint8_t* cursor = static_cast<const uint8_t*>(bytes);
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    ssize_t written = ::pwrite(fd_, cursor, remaining, static_cast<off_t>(offset));
+    if (written < 0 && errno == EINTR) continue;
+    if (written <= 0) return Status::IoError(ErrnoMessage("write", path_ + ".tmp"));
+    cursor += written;
+    offset += static_cast<uint64_t>(written);
+    remaining -= static_cast<std::size_t>(written);
+  }
+  return Status::OK();
+#endif
+}
+
+Status AtomicFileWriter::SetLength(uint64_t size) {
+#if defined(WDSPARQL_STORAGE_NO_MMAP)
+  (void)size;
+  return Status::Internal("streaming snapshot writes are not supported on this platform");
+#else
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::IoError(ErrnoMessage("ftruncate", path_ + ".tmp"));
+  }
+  return Status::OK();
+#endif
+}
+
+Status AtomicFileWriter::Commit() {
+#if defined(WDSPARQL_STORAGE_NO_MMAP)
+  return Status::Internal("streaming snapshot writes are not supported on this platform");
+#else
+  std::string tmp = path_ + ".tmp";
+  if (::fsync(fd_) != 0) return Status::IoError(ErrnoMessage("fsync", tmp));
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return Status::IoError(ErrnoMessage("rename", tmp));
+  }
+  committed_ = true;
+  SyncParentDir(path_);
+  return Status::OK();
+#endif
+}
+
+}  // namespace storage
+}  // namespace wdsparql

@@ -1,0 +1,115 @@
+#ifndef WDSPARQL_STORAGE_FORMAT_H_
+#define WDSPARQL_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "wdsparql/storage.h"
+
+/// \file
+/// The on-disk snapshot and WAL layouts (authoritative prose version in
+/// docs/FILE_FORMAT.md).
+///
+/// A snapshot is: fixed-size header, section directory, then the
+/// page-aligned section payloads. All integers are little-endian (the
+/// `kEndianTag` field makes a byte-swapped reader fail loudly instead of
+/// misreading); all structs below are exact on-disk images, so they are
+/// trivially copyable, packed by construction (no implicit padding) and
+/// `static_assert`ed to their wire size.
+///
+/// The WAL is: fixed-size header, then a run of frames, each an 8-byte
+/// frame header (payload length + payload CRC32) followed by the
+/// payload. A frame whose length or CRC does not check out marks the
+/// torn tail: everything before it is intact, it and everything after is
+/// discarded.
+
+namespace wdsparql {
+namespace storage {
+
+/// Snapshot file magic ("WDSQSNAP").
+inline constexpr char kSnapshotMagic[8] = {'W', 'D', 'S', 'Q', 'S', 'N', 'A', 'P'};
+
+/// WAL file magic ("WDSQWAL\0").
+inline constexpr char kWalMagic[8] = {'W', 'D', 'S', 'Q', 'W', 'A', 'L', '\0'};
+
+/// Written as a native u32; reads back differently on a byte-swapped
+/// machine, turning silent misreads into a structured error.
+inline constexpr uint32_t kEndianTag = 0x0A0B0C0Du;
+
+/// Section payloads start at multiples of this (mmap-friendly, and the
+/// fixed-width sections land on their natural alignment for in-place
+/// consumption).
+inline constexpr uint64_t kSectionAlignment = 4096;
+
+/// Section directory ids.
+enum SectionId : uint32_t {
+  /// The term-pool IRI heap: u64 offsets[iri_count + 1], then the
+  /// concatenated spelling bytes. Spelling i is bytes [offsets[i],
+  /// offsets[i+1]) of the blob.
+  kSectionTerms = 1,
+  /// The store dictionary: TermId[term_count], indexed by DataId.
+  kSectionDict = 2,
+  /// The three permutation runs: EncTriple[triple_count], sorted in the
+  /// section's order.
+  kSectionSpo = 3,
+  kSectionPos = 4,
+  kSectionOsp = 5,
+};
+
+/// Fixed-size snapshot header, first bytes of the file.
+struct SnapshotHeader {
+  char magic[8];              ///< kSnapshotMagic.
+  uint32_t version;           ///< storage_format::kSnapshotVersion.
+  uint32_t endian;            ///< kEndianTag.
+  uint64_t file_size;         ///< Total file length in bytes.
+  uint64_t triple_count;      ///< Length of each permutation run.
+  uint64_t iri_count;         ///< Term-pool IRI spellings.
+  uint64_t term_count;        ///< Dictionary entries (distinct DataIds).
+  uint64_t dict_sorted_limit; ///< TermId-sorted dictionary prefix length.
+  uint32_t section_count;     ///< Entries in the directory.
+  uint32_t directory_crc;     ///< CRC32 of the directory array.
+  uint32_t header_crc;        ///< CRC32 of this struct with this field zeroed.
+  uint32_t reserved;          ///< Zero.
+};
+static_assert(sizeof(SnapshotHeader) == 72, "on-disk layout drifted");
+
+/// One directory entry; the directory follows the header immediately.
+struct SectionEntry {
+  uint32_t id;       ///< SectionId.
+  uint32_t reserved; ///< Zero.
+  uint64_t offset;   ///< Absolute payload offset, kSectionAlignment-aligned.
+  uint64_t length;   ///< Payload length in bytes.
+  uint32_t crc;      ///< CRC32 of the payload.
+  uint32_t pad;      ///< Zero.
+};
+static_assert(sizeof(SectionEntry) == 32, "on-disk layout drifted");
+
+/// Fixed-size WAL header, first bytes of the log.
+struct WalHeader {
+  char magic[8];    ///< kWalMagic.
+  uint32_t version; ///< storage_format::kWalVersion.
+  uint32_t endian;  ///< kEndianTag.
+};
+static_assert(sizeof(WalHeader) == 16, "on-disk layout drifted");
+
+/// Per-frame header; the payload follows immediately.
+struct WalFrameHeader {
+  uint32_t payload_length; ///< Bytes of payload after this header.
+  uint32_t payload_crc;    ///< CRC32 of the payload bytes.
+};
+static_assert(sizeof(WalFrameHeader) == 8, "on-disk layout drifted");
+
+/// WAL payload record types (first payload byte).
+enum class WalRecordType : uint8_t {
+  kAddTriple = 1,
+  kRemoveTriple = 2,
+};
+
+/// Upper bound on sane directory sizes; a section_count beyond this is
+/// corruption, not a real snapshot.
+inline constexpr uint32_t kMaxSections = 64;
+
+}  // namespace storage
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_STORAGE_FORMAT_H_

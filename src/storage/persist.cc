@@ -1,0 +1,135 @@
+#include <algorithm>
+#include <unordered_set>
+
+#include "engine/api_internal.h"
+#include "storage/file.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+#include "wdsparql/database.h"
+
+/// \file
+/// Database-level persistence: `Open`, `Save`, `Checkpoint`. This is
+/// the storage layer's one crossing into the engine pimpl — the
+/// snapshot/WAL machinery itself (snapshot.cc, wal.cc) stays ignorant
+/// of `Database`.
+
+namespace wdsparql {
+
+Result<Database> Database::Open(const std::string& path, const OpenOptions& options) {
+  DatabaseOptions db_options;
+  db_options.merge_threshold = options.merge_threshold;
+  Database db(db_options);
+  DatabaseImpl* impl = &DatabaseImpl::Get(db);
+
+  if (!storage::FileExists(path)) {
+    if (options.durability != Durability::kWal || !options.create_if_missing) {
+      return Status::NotFound("no snapshot at " + path);
+    }
+    // Starting empty: the WAL carries everything until the first
+    // Checkpoint materialises the snapshot.
+  } else {
+    Result<storage::SnapshotView> opened = storage::SnapshotView::Open(path, options);
+    if (!opened.ok()) return opened.status();
+    auto view = std::make_shared<const storage::SnapshotView>(std::move(opened).value());
+
+    // Term pool: IRI ids are intern order, so re-interning the persisted
+    // heap in id order reproduces every id exactly. O(term bytes), the
+    // only per-term work on the open path.
+    TermPool& pool = *impl->pool;
+    for (uint64_t i = 0; i < view->iri_count(); ++i) {
+      TermId id = pool.InternIri(view->IriSpelling(i));
+      if (id != static_cast<TermId>(i)) {
+        return Status::Corruption(path + ": term heap contains duplicate spellings");
+      }
+    }
+    // Dictionary: every DataId must decode to a persisted IRI, and the
+    // Build prefix must be strictly ascending for its binary search.
+    std::vector<TermId> terms(view->dict_terms(),
+                              view->dict_terms() + view->term_count());
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+      if (!IsIri(terms[i]) || terms[i] >= view->iri_count()) {
+        return Status::Corruption(path + ": dictionary references an unknown term");
+      }
+      if (i > 0 && i < view->dict_sorted_limit() && terms[i - 1] >= terms[i]) {
+        return Status::Corruption(path + ": dictionary prefix out of order");
+      }
+    }
+    // A TermId listed twice (e.g. once in the prefix, once appended)
+    // would make Encode and the stored runs disagree about its DataId —
+    // silently wrong answers, so it must be structural corruption. The
+    // prefix is already strictly ascending (duplicate-free), so only the
+    // appended suffix needs probing — O(appended), not a full sort on
+    // the cold-open path.
+    {
+      auto prefix_end =
+          terms.begin() + static_cast<std::ptrdiff_t>(view->dict_sorted_limit());
+      std::unordered_set<TermId> appended_seen;
+      for (std::size_t i = view->dict_sorted_limit(); i < terms.size(); ++i) {
+        if (std::binary_search(terms.begin(), prefix_end, terms[i]) ||
+            !appended_seen.insert(terms[i]).second) {
+          return Status::Corruption(path + ": dictionary lists a term twice");
+        }
+      }
+    }
+    // The permutation runs are consumed in place: no per-triple work,
+    // no re-sort — the store borrows the mapped sections, and the view
+    // (held by the impl) keeps the mapping alive for as long as any run
+    // still points into it.
+    impl->store = IndexedStore::FromSnapshot(
+        Dictionary::FromParts(std::move(terms),
+                              static_cast<std::size_t>(view->dict_sorted_limit())),
+        view->run(Permutation::kSpo), view->run(Permutation::kPos),
+        view->run(Permutation::kOsp), static_cast<std::size_t>(view->triple_count()));
+    impl->store.set_merge_threshold(db_options.merge_threshold);
+    impl->snapshot = view;
+    impl->graph_hydrated = false;  // Hash row store hydrates on demand.
+    ++impl->epoch;
+  }
+  impl->snapshot_path = path;
+
+  if (options.durability == Durability::kWal) {
+    std::vector<storage::WalRecord> replayed;
+    Result<storage::WriteAheadLog> wal =
+        storage::WriteAheadLog::Open(path + ".wal", options.wal_sync, &replayed);
+    if (!wal.ok()) return wal.status();
+    // Replay the tail into the in-memory delta. The WAL is not attached
+    // yet, so replayed mutations are not re-logged; records are already
+    // durable where they sit.
+    for (const storage::WalRecord& record : replayed) {
+      if (record.type == storage::WalRecordType::kAddTriple) {
+        db.AddTriple(record.subject, record.predicate, record.object);
+      } else {
+        db.RemoveTriple(record.subject, record.predicate, record.object);
+      }
+    }
+    impl->wal = std::make_unique<storage::WriteAheadLog>(std::move(wal).value());
+  }
+  return db;
+}
+
+Status Database::Save(const std::string& path) {
+  if (impl_->store.delta_size() > 0) Compact();
+  return storage::WriteSnapshot(path, *impl_->pool, impl_->store);
+}
+
+Status Database::Checkpoint() {
+  if (impl_->snapshot_path.empty()) {
+    return Status::FailedPrecondition(
+        "Checkpoint requires a database opened with Database::Open");
+  }
+  if (impl_->store.delta_size() > 0) Compact();
+  WDSPARQL_RETURN_IF_ERROR(
+      storage::WriteSnapshot(impl_->snapshot_path, *impl_->pool, impl_->store));
+  // Only after the snapshot rename is durable may the log forget its
+  // records; the reverse order could lose acknowledged mutations.
+  if (impl_->wal != nullptr) {
+    WDSPARQL_RETURN_IF_ERROR(impl_->wal->Truncate());
+  }
+  // The snapshot now carries every applied mutation and the log is
+  // empty, so a previously latched append failure no longer describes
+  // the database: mutations may resume.
+  impl_->storage_error = Status::OK();
+  return Status::OK();
+}
+
+}  // namespace wdsparql

@@ -1,0 +1,316 @@
+#include "storage/snapshot.h"
+
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "storage/crc32.h"
+
+namespace wdsparql {
+namespace storage {
+namespace {
+
+static_assert(sizeof(EncTriple) == 12, "EncTriple is the on-disk run element");
+static_assert(sizeof(TermId) == 4, "TermId is the on-disk dictionary element");
+
+uint64_t AlignUp(uint64_t offset) {
+  return (offset + kSectionAlignment - 1) & ~(kSectionAlignment - 1);
+}
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::Corruption(path + ": " + what);
+}
+
+/// memcpy with an empty-range guard (memcpy from nullptr is UB even for
+/// zero bytes; empty stores legitimately have zero-length sections).
+void CopyBytes(void* dst, const void* src, uint64_t n) {
+  if (n > 0) std::memcpy(dst, src, n);
+}
+
+/// The one place the snapshot header is assembled — the streaming and
+/// materialised write paths must stay byte-identical.
+SnapshotHeader BuildHeader(const SectionEntry (&entries)[5], uint64_t file_size,
+                           uint64_t triple_count, uint64_t iri_count,
+                           uint64_t term_count, uint64_t dict_sorted_limit) {
+  SnapshotHeader header{};
+  std::memcpy(header.magic, kSnapshotMagic, sizeof(kSnapshotMagic));
+  header.version = storage_format::kSnapshotVersion;
+  header.endian = kEndianTag;
+  header.file_size = file_size;
+  header.triple_count = triple_count;
+  header.iri_count = iri_count;
+  header.term_count = term_count;
+  header.dict_sorted_limit = dict_sorted_limit;
+  header.section_count = 5;
+  header.directory_crc = Crc32(entries, sizeof(entries));
+  header.header_crc = 0;
+  header.header_crc = Crc32(&header, sizeof(header));
+  return header;
+}
+
+}  // namespace
+
+Result<SnapshotView> SnapshotView::Open(const std::string& path,
+                                        const OpenOptions& options) {
+  Result<FileBuffer> loaded = FileBuffer::Load(path, options.use_mmap);
+  if (!loaded.ok()) return loaded.status();
+  SnapshotView view;
+  view.buffer_ = std::move(loaded).value();
+  const uint8_t* base = view.buffer_.data();
+  const uint64_t size = view.buffer_.size();
+
+  if (size < sizeof(SnapshotHeader)) return Corrupt(path, "truncated header");
+  SnapshotHeader header;
+  std::memcpy(&header, base, sizeof(header));
+  if (std::memcmp(header.magic, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Corrupt(path, "bad magic (not a wdsparql snapshot)");
+  }
+  if (header.endian != kEndianTag) return Corrupt(path, "endianness mismatch");
+  if (header.version == 0 || header.version > storage_format::kSnapshotVersion) {
+    return Corrupt(path, "unsupported format version " + std::to_string(header.version));
+  }
+  SnapshotHeader crc_copy = header;
+  crc_copy.header_crc = 0;
+  if (Crc32(&crc_copy, sizeof(crc_copy)) != header.header_crc) {
+    return Corrupt(path, "header checksum mismatch");
+  }
+  if (header.file_size != size) {
+    return Corrupt(path, "file size mismatch (truncated or appended)");
+  }
+  if (header.section_count < 5 || header.section_count > kMaxSections) {
+    return Corrupt(path, "implausible section count");
+  }
+  const uint64_t directory_bytes =
+      static_cast<uint64_t>(header.section_count) * sizeof(SectionEntry);
+  if (sizeof(SnapshotHeader) + directory_bytes > size) {
+    return Corrupt(path, "truncated section directory");
+  }
+  const uint8_t* directory = base + sizeof(SnapshotHeader);
+  if (Crc32(directory, directory_bytes) != header.directory_crc) {
+    return Corrupt(path, "directory checksum mismatch");
+  }
+  if (header.term_count >= kNoDataId || header.dict_sorted_limit > header.term_count) {
+    return Corrupt(path, "implausible dictionary metadata");
+  }
+  // Counts are bounded by the file size (every IRI needs 8 offset-table
+  // bytes, every dictionary entry 4, every triple 36 across the runs),
+  // so this also keeps the count * element-size arithmetic below from
+  // overflowing uint64 on hostile headers.
+  if (header.iri_count > size || header.term_count > size ||
+      header.triple_count > size) {
+    return Corrupt(path, "implausible entity counts");
+  }
+
+  view.triple_count_ = header.triple_count;
+  view.iri_count_ = header.iri_count;
+  view.term_count_ = header.term_count;
+  view.dict_sorted_limit_ = header.dict_sorted_limit;
+
+  bool seen[6] = {false, false, false, false, false, false};
+  for (uint32_t i = 0; i < header.section_count; ++i) {
+    SectionEntry entry;
+    std::memcpy(&entry, directory + i * sizeof(SectionEntry), sizeof(entry));
+    if (entry.offset % kSectionAlignment != 0) {
+      return Corrupt(path, "misaligned section " + std::to_string(entry.id));
+    }
+    if (entry.offset > size || entry.length > size - entry.offset) {
+      return Corrupt(path, "section " + std::to_string(entry.id) + " out of bounds");
+    }
+    const uint8_t* payload = base + entry.offset;
+    if (options.verify_checksums && Crc32(payload, entry.length) != entry.crc) {
+      return Corrupt(path, "section " + std::to_string(entry.id) + " checksum mismatch");
+    }
+    switch (entry.id) {
+      case kSectionTerms: {
+        const uint64_t table_bytes = (view.iri_count_ + 1) * sizeof(uint64_t);
+        if (entry.length < table_bytes) return Corrupt(path, "terms section too short");
+        view.term_offsets_ = reinterpret_cast<const uint64_t*>(payload);
+        view.term_blob_ = payload + table_bytes;
+        const uint64_t blob_bytes = entry.length - table_bytes;
+        // Monotonic offsets within the blob: every spelling decodes to an
+        // in-bounds, non-negative-length range.
+        for (uint64_t t = 0; t < view.iri_count_; ++t) {
+          if (view.term_offsets_[t] > view.term_offsets_[t + 1] ||
+              view.term_offsets_[t + 1] > blob_bytes) {
+            return Corrupt(path, "terms section offset table out of order");
+          }
+        }
+        break;
+      }
+      case kSectionDict:
+        if (entry.length != view.term_count_ * sizeof(TermId)) {
+          return Corrupt(path, "dictionary section length mismatch");
+        }
+        view.dict_ = reinterpret_cast<const TermId*>(payload);
+        break;
+      case kSectionSpo:
+      case kSectionPos:
+      case kSectionOsp: {
+        if (entry.length != view.triple_count_ * sizeof(EncTriple)) {
+          return Corrupt(path, "permutation run length mismatch");
+        }
+        const EncTriple* run_data = reinterpret_cast<const EncTriple*>(payload);
+        // Every DataId must decode: an out-of-range id would otherwise
+        // surface later as a fatal CHECK inside Dictionary::Decode (a
+        // crash, not a structured error) or as fabricated solutions.
+        // Unconditional — verify_checksums only waives the CRC pass, not
+        // the no-crash guarantee.
+        for (uint64_t t = 0; t < view.triple_count_; ++t) {
+          if (run_data[t].s >= view.term_count_ || run_data[t].p >= view.term_count_ ||
+              run_data[t].o >= view.term_count_) {
+            return Corrupt(path, "permutation run references an unknown term");
+          }
+        }
+        int run = entry.id == kSectionSpo ? 0 : (entry.id == kSectionPos ? 1 : 2);
+        view.runs_[run] = run_data;
+        break;
+      }
+      default:
+        // Unknown sections from a newer minor revision are skippable by
+        // construction; their CRC was still verified above.
+        continue;
+    }
+    if (entry.id < 6) {
+      if (seen[entry.id]) return Corrupt(path, "duplicate section " + std::to_string(entry.id));
+      seen[entry.id] = true;
+    }
+  }
+  for (uint32_t id = kSectionTerms; id <= kSectionOsp; ++id) {
+    if (!seen[id]) return Corrupt(path, "missing section " + std::to_string(id));
+  }
+  return view;
+}
+
+Status WriteSnapshot(const std::string& path, const TermPool& pool,
+                     const IndexedStore& store) {
+  if (store.delta_size() != 0) {
+    return Status::FailedPrecondition(
+        "snapshot requires a merged store (call MergeDelta/Compact first)");
+  }
+  const Dictionary& dict = store.dictionary();
+  const uint64_t iri_count = pool.NumIris();
+  const uint64_t term_count = dict.size();
+  const uint64_t triple_count = store.base_size();
+
+  // The terms offset table is the only piece not already contiguous in
+  // memory; everything else streams straight from the live structures.
+  std::vector<uint64_t> term_offsets(iri_count + 1);
+  uint64_t blob_bytes = 0;
+  for (uint64_t i = 0; i < iri_count; ++i) {
+    term_offsets[i] = blob_bytes;
+    blob_bytes += pool.Spelling(static_cast<TermId>(i)).size();
+  }
+  term_offsets[iri_count] = blob_bytes;
+  const uint64_t terms_table_bytes = term_offsets.size() * sizeof(uint64_t);
+
+  const uint64_t section_lengths[5] = {
+      terms_table_bytes + blob_bytes,
+      term_count * sizeof(TermId),
+      triple_count * sizeof(EncTriple),
+      triple_count * sizeof(EncTriple),
+      triple_count * sizeof(EncTriple),
+  };
+  const uint32_t section_ids[5] = {kSectionTerms, kSectionDict, kSectionSpo,
+                                   kSectionPos, kSectionOsp};
+
+  // Lay the file out: header, directory, aligned payloads.
+  uint64_t cursor = sizeof(SnapshotHeader) + 5 * sizeof(SectionEntry);
+  SectionEntry entries[5];
+  for (int i = 0; i < 5; ++i) {
+    cursor = AlignUp(cursor);
+    entries[i].id = section_ids[i];
+    entries[i].reserved = 0;
+    entries[i].offset = cursor;
+    entries[i].length = section_lengths[i];
+    entries[i].crc = 0;
+    entries[i].pad = 0;
+    cursor += section_lengths[i];
+  }
+
+  // The contiguous payloads: dictionary array and the three runs.
+  const void* flat_payloads[5] = {nullptr, dict.terms().data(),
+                                  store.base_data(Permutation::kSpo),
+                                  store.base_data(Permutation::kPos),
+                                  store.base_data(Permutation::kOsp)};
+
+  Result<AtomicFileWriter> created = AtomicFileWriter::Create(path);
+  if (!created.ok() && created.status().code() != StatusCode::kInternal) {
+    return created.status();
+  }
+  if (created.ok()) {
+    // Streaming path: sections go to disk straight from the live store
+    // (CRCs chained along the way), so peak extra memory is one staging
+    // chunk — Save/Checkpoint and the bulk loader never materialise the
+    // file.
+    AtomicFileWriter writer = std::move(created).value();
+    WDSPARQL_RETURN_IF_ERROR(writer.WriteAt(entries[0].offset, term_offsets.data(),
+                                            terms_table_bytes));
+    uint32_t terms_crc = Crc32(term_offsets.data(), terms_table_bytes);
+    {
+      std::vector<uint8_t> chunk;
+      chunk.reserve(1u << 20);
+      uint64_t flushed = 0;
+      uint64_t blob_base = entries[0].offset + terms_table_bytes;
+      for (uint64_t i = 0; i < iri_count; ++i) {
+        std::string_view spelling = pool.Spelling(static_cast<TermId>(i));
+        chunk.insert(chunk.end(), spelling.begin(), spelling.end());
+        if (chunk.size() >= (1u << 20) || i + 1 == iri_count) {
+          if (!chunk.empty()) {
+            WDSPARQL_RETURN_IF_ERROR(
+                writer.WriteAt(blob_base + flushed, chunk.data(), chunk.size()));
+            terms_crc = Crc32(chunk.data(), chunk.size(), terms_crc);
+            flushed += chunk.size();
+            chunk.clear();
+          }
+        }
+      }
+    }
+    entries[0].crc = terms_crc;
+    for (int i = 1; i < 5; ++i) {
+      if (entries[i].length > 0) {
+        WDSPARQL_RETURN_IF_ERROR(
+            writer.WriteAt(entries[i].offset, flat_payloads[i], entries[i].length));
+      }
+      entries[i].crc = Crc32(flat_payloads[i], entries[i].length);
+    }
+    // Pin the declared file size (the last section may be empty, ending
+    // the writes before the laid-out end; the gap reads back as zeros).
+    WDSPARQL_RETURN_IF_ERROR(writer.SetLength(cursor));
+
+    SnapshotHeader header = BuildHeader(entries, cursor, triple_count, iri_count,
+                                        term_count, dict.sorted_limit());
+    WDSPARQL_RETURN_IF_ERROR(writer.WriteAt(0, &header, sizeof(header)));
+    WDSPARQL_RETURN_IF_ERROR(
+        writer.WriteAt(sizeof(SnapshotHeader), entries, sizeof(entries)));
+    return writer.Commit();
+  }
+
+  // Fallback for platforms without streaming writes: materialise the
+  // whole file and publish it in one atomic write.
+  std::vector<uint8_t> file(cursor, 0);
+  {
+    uint8_t* payload = file.data() + entries[0].offset;
+    CopyBytes(payload, term_offsets.data(), terms_table_bytes);
+    uint8_t* blob = payload + terms_table_bytes;
+    for (uint64_t i = 0; i < iri_count; ++i) {
+      std::string_view spelling = pool.Spelling(static_cast<TermId>(i));
+      CopyBytes(blob + term_offsets[i], spelling.data(), spelling.size());
+    }
+  }
+  for (int i = 1; i < 5; ++i) {
+    CopyBytes(file.data() + entries[i].offset, flat_payloads[i], entries[i].length);
+  }
+  for (SectionEntry& entry : entries) {
+    entry.crc = Crc32(file.data() + entry.offset, entry.length);
+  }
+  std::memcpy(file.data() + sizeof(SnapshotHeader), entries, sizeof(entries));
+
+  SnapshotHeader header = BuildHeader(entries, file.size(), triple_count, iri_count,
+                                      term_count, dict.sorted_limit());
+  std::memcpy(file.data(), &header, sizeof(header));
+
+  return WriteFileAtomic(path, file.data(), file.size());
+}
+
+}  // namespace storage
+}  // namespace wdsparql

@@ -1,0 +1,243 @@
+#include "storage/wal.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
+
+#include "storage/crc32.h"
+#include "storage/file.h"
+
+namespace wdsparql {
+namespace storage {
+namespace {
+
+/// Frames larger than this are torn/corrupt framing, not real records
+/// (a record is one byte of type plus three length-prefixed IRIs).
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), bytes, bytes + sizeof(v));
+}
+
+void AppendString(std::vector<uint8_t>* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+/// Decodes one record payload; false on malformed bytes (treated by the
+/// caller exactly like a CRC mismatch: the tail is torn).
+bool DecodePayload(const uint8_t* payload, uint32_t length, WalRecord* out) {
+  uint32_t pos = 0;
+  if (length < 1) return false;
+  uint8_t type = payload[pos++];
+  if (type != static_cast<uint8_t>(WalRecordType::kAddTriple) &&
+      type != static_cast<uint8_t>(WalRecordType::kRemoveTriple)) {
+    return false;
+  }
+  out->type = static_cast<WalRecordType>(type);
+  std::string* fields[3] = {&out->subject, &out->predicate, &out->object};
+  for (std::string* field : fields) {
+    if (length - pos < sizeof(uint32_t)) return false;
+    uint32_t n;
+    std::memcpy(&n, payload + pos, sizeof(n));
+    pos += sizeof(n);
+    if (length - pos < n) return false;
+    field->assign(reinterpret_cast<const char*>(payload + pos), n);
+    pos += n;
+  }
+  return pos == length;
+}
+
+}  // namespace
+
+WriteAheadLog::~WriteAheadLog() {
+#if !defined(_WIN32)
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept { *this = std::move(other); }
+
+WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
+  if (this == &other) return *this;
+#if !defined(_WIN32)
+  if (fd_ >= 0) ::close(fd_);
+#endif
+  path_ = std::move(other.path_);
+  fd_ = other.fd_;
+  sync_ = other.sync_;
+  append_offset_ = other.append_offset_;
+  scratch_ = std::move(other.scratch_);
+  other.fd_ = -1;
+  other.append_offset_ = sizeof(WalHeader);
+  return *this;
+}
+
+Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path, WalSyncMode sync,
+                                          std::vector<WalRecord>* replayed) {
+#if defined(_WIN32)
+  (void)path;
+  (void)sync;
+  (void)replayed;
+  return Status::Internal("write-ahead logging is not supported on this platform");
+#else
+  replayed->clear();
+  uint64_t valid_end = sizeof(WalHeader);
+  bool fresh = !FileExists(path);
+  if (!fresh) {
+    // Decode every intact frame; stop at the first damaged one.
+    Result<FileBuffer> loaded = FileBuffer::Load(path, /*prefer_mmap=*/false);
+    if (!loaded.ok()) return loaded.status();
+    const FileBuffer& buffer = loaded.value();
+    if (buffer.size() < sizeof(WalHeader)) {
+      // Created but never fully headered (a crash between open and the
+      // header write). Frames live past the header, so a sub-header
+      // file cannot hold an acknowledged record: reinitialise it.
+      fresh = true;
+    } else {
+      WalHeader header;
+      std::memcpy(&header, buffer.data(), sizeof(header));
+      if (std::memcmp(header.magic, kWalMagic, sizeof(kWalMagic)) != 0) {
+        return Status::Corruption(path + ": bad WAL magic");
+      }
+      if (header.endian != kEndianTag) {
+        return Status::Corruption(path + ": WAL endianness mismatch");
+      }
+      if (header.version == 0 || header.version > storage_format::kWalVersion) {
+        return Status::Corruption(path + ": unsupported WAL version");
+      }
+      uint64_t pos = sizeof(WalHeader);
+      while (pos + sizeof(WalFrameHeader) <= buffer.size()) {
+        WalFrameHeader frame;
+        std::memcpy(&frame, buffer.data() + pos, sizeof(frame));
+        if (frame.payload_length > kMaxFrameBytes ||
+            pos + sizeof(frame) + frame.payload_length > buffer.size()) {
+          break;  // Torn tail: length field or payload ran off the file.
+        }
+        const uint8_t* payload = buffer.data() + pos + sizeof(frame);
+        if (Crc32(payload, frame.payload_length) != frame.payload_crc) break;
+        WalRecord record;
+        if (!DecodePayload(payload, frame.payload_length, &record)) break;
+        replayed->push_back(std::move(record));
+        pos += sizeof(frame) + frame.payload_length;
+      }
+      valid_end = pos;
+    }
+  }
+
+  WriteAheadLog wal;
+  wal.path_ = path;
+  wal.sync_ = sync;
+  wal.fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (wal.fd_ < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  // One writer per log: two processes appending at independently
+  // tracked offsets would shred each other's frames. The lock lives as
+  // long as the fd.
+  if (::flock(wal.fd_, LOCK_EX | LOCK_NB) != 0) {
+    if (errno == EWOULDBLOCK) {
+      return Status::FailedPrecondition(path + " is locked by another process");
+    }
+    // Filesystems without flock support (e.g. some network mounts)
+    // proceed unlocked rather than refusing to run at all.
+  }
+  if (fresh) {
+    WalHeader header{};
+    std::memcpy(header.magic, kWalMagic, sizeof(kWalMagic));
+    header.version = storage_format::kWalVersion;
+    header.endian = kEndianTag;
+    if (::pwrite(wal.fd_, &header, sizeof(header), 0) !=
+            static_cast<ssize_t>(sizeof(header)) ||
+        ::ftruncate(wal.fd_, sizeof(header)) != 0 || ::fsync(wal.fd_) != 0) {
+      return Status::IoError("write " + path + ": " + std::strerror(errno));
+    }
+    // The file itself must be durable before any frame is acknowledged:
+    // a frame fsync means nothing if the log's directory entry is lost.
+    SyncParentDir(path);
+    valid_end = sizeof(WalHeader);
+  } else if (::ftruncate(wal.fd_, static_cast<off_t>(valid_end)) != 0) {
+    // Drop the torn tail so future replays (and appends) start clean.
+    return Status::IoError("ftruncate " + path + ": " + std::strerror(errno));
+  }
+  wal.append_offset_ = valid_end;
+  return wal;
+#endif
+}
+
+Status WriteAheadLog::Append(const WalRecord& record) {
+  return Append(record.type, record.subject, record.predicate, record.object);
+}
+
+Status WriteAheadLog::Append(WalRecordType type, std::string_view subject,
+                             std::string_view predicate, std::string_view object) {
+#if defined(_WIN32)
+  (void)type;
+  (void)subject;
+  (void)predicate;
+  (void)object;
+  return Status::Internal("write-ahead logging is not supported on this platform");
+#else
+  if (fd_ < 0) return Status::FailedPrecondition("WAL is not open");
+  // Replay treats any frame above kMaxFrameBytes as a torn tail, so an
+  // oversize record must be rejected here — acknowledging it would lose
+  // it (and every later frame) on the next open.
+  uint64_t payload_bytes = 1 + 3 * sizeof(uint32_t) + subject.size() +
+                           predicate.size() + object.size();
+  if (payload_bytes > kMaxFrameBytes) {
+    return Status::InvalidArgument("WAL record exceeds the maximum frame size");
+  }
+  // One reused buffer holding the whole frame, written with a single
+  // contiguous pwrite: either the frame lands in full or the tail is
+  // torn — which replay detects and discards.
+  scratch_.clear();
+  scratch_.reserve(sizeof(WalFrameHeader) + payload_bytes);
+  scratch_.resize(sizeof(WalFrameHeader));  // Header patched in below.
+  scratch_.push_back(static_cast<uint8_t>(type));
+  AppendString(&scratch_, subject);
+  AppendString(&scratch_, predicate);
+  AppendString(&scratch_, object);
+
+  WalFrameHeader frame;
+  frame.payload_length = static_cast<uint32_t>(scratch_.size() - sizeof(frame));
+  frame.payload_crc =
+      Crc32(scratch_.data() + sizeof(frame), scratch_.size() - sizeof(frame));
+  std::memcpy(scratch_.data(), &frame, sizeof(frame));
+
+  ssize_t written = ::pwrite(fd_, scratch_.data(), scratch_.size(),
+                             static_cast<off_t>(append_offset_));
+  if (written != static_cast<ssize_t>(scratch_.size())) {
+    return Status::IoError("append to " + path_ + ": " + std::strerror(errno));
+  }
+  if (sync_ == WalSyncMode::kEveryRecord && ::fsync(fd_) != 0) {
+    return Status::IoError("fsync " + path_ + ": " + std::strerror(errno));
+  }
+  append_offset_ += scratch_.size();
+  return Status::OK();
+#endif
+}
+
+Status WriteAheadLog::Truncate() {
+#if defined(_WIN32)
+  return Status::Internal("write-ahead logging is not supported on this platform");
+#else
+  if (fd_ < 0) return Status::FailedPrecondition("WAL is not open");
+  if (::ftruncate(fd_, sizeof(WalHeader)) != 0) {
+    return Status::IoError("ftruncate " + path_ + ": " + std::strerror(errno));
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::IoError("fsync " + path_ + ": " + std::strerror(errno));
+  }
+  append_offset_ = sizeof(WalHeader);
+  return Status::OK();
+#endif
+}
+
+}  // namespace storage
+}  // namespace wdsparql

@@ -1,0 +1,88 @@
+#ifndef WDSPARQL_STORAGE_WAL_H_
+#define WDSPARQL_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/format.h"
+#include "util/status.h"
+#include "wdsparql/storage.h"
+
+/// \file
+/// The write-ahead log.
+///
+/// One append-only file of CRC-framed mutation records sitting next to
+/// the snapshot. Records carry term *spellings*, not ids: ids are an
+/// artifact of intern order, and the log must replay into a pool whose
+/// tail diverged from the snapshot's. `Open` replays every intact frame
+/// through a callback, then truncates the file after the last intact
+/// frame — a torn tail (crash mid-append) is discarded exactly once and
+/// never corrupts later appends.
+
+namespace wdsparql {
+namespace storage {
+
+/// A decoded log record.
+struct WalRecord {
+  WalRecordType type;
+  std::string subject;
+  std::string predicate;
+  std::string object;
+};
+
+/// An open, appendable write-ahead log. Move-only (owns the fd).
+class WriteAheadLog {
+ public:
+  WriteAheadLog() = default;
+  ~WriteAheadLog();
+  WriteAheadLog(WriteAheadLog&& other) noexcept;
+  WriteAheadLog& operator=(WriteAheadLog&& other) noexcept;
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Opens (creating if absent) the log at `path`, validates the header,
+  /// decodes every intact frame into `*replayed`, truncates the torn
+  /// tail if any, and leaves the log positioned for appends. The file is
+  /// exclusively locked (flock) for the log's lifetime: a second writer
+  /// on the same path gets `kFailedPrecondition` instead of the two
+  /// silently overwriting each other's frames. A log whose header is
+  /// damaged is `kCorruption` (the caller decides whether to discard
+  /// it); OS failures are `kIoError`.
+  static Result<WriteAheadLog> Open(const std::string& path, WalSyncMode sync,
+                                    std::vector<WalRecord>* replayed);
+
+  /// Appends one framed record; with `WalSyncMode::kEveryRecord` the
+  /// frame is fsynced before returning. The record is durable (per the
+  /// sync mode) when this returns OK — callers must not mutate the
+  /// in-memory state on error.
+  Status Append(const WalRecord& record);
+
+  /// Zero-copy append: serialises straight from the views into a
+  /// reusable scratch buffer (the mutation hot path — no per-record
+  /// string or vector allocations once the buffer is warm).
+  Status Append(WalRecordType type, std::string_view subject,
+                std::string_view predicate, std::string_view object);
+
+  /// Discards every record: truncates the log back to its header and
+  /// syncs. Used by `Database::Checkpoint` after the snapshot rename.
+  Status Truncate();
+
+  /// Bytes of record data currently in the log (excludes the header).
+  uint64_t record_bytes() const { return append_offset_ - sizeof(WalHeader); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  WalSyncMode sync_ = WalSyncMode::kNone;
+  uint64_t append_offset_ = sizeof(WalHeader);
+  std::vector<uint8_t> scratch_;  // Reused frame buffer for appends.
+};
+
+}  // namespace storage
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_STORAGE_WAL_H_
