@@ -107,7 +107,7 @@ void BM_E11_CandidateGeneration(benchmark::State& state) {
   uint64_t candidates = 0;
   for (auto _ : state) {
     if (indexed) {
-      JoinEnumerate(instance.store(), instance.path_pattern.triples(), VarAssignment{},
+      JoinEnumerate(instance.store().view(), instance.path_pattern.triples(), VarAssignment{},
                     [&](const VarAssignment&) {
                       ++candidates;
                       return true;

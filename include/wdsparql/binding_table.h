@@ -17,7 +17,9 @@
 /// Arrow dictionary arrays and of result blocks in columnar engines).
 /// Unbound cells — SPARQL's partial answers — carry the `kUnbound`
 /// sentinel. The table owns its spellings outright, so it outlives the
-/// database, session and cursor that produced it.
+/// database, session and cursor that produced it — and, being fully
+/// self-contained, a built table may be read from any number of threads
+/// (building one remains a single-thread affair).
 
 namespace wdsparql {
 

@@ -12,13 +12,13 @@
 /// Pull-based result enumeration.
 ///
 /// A `Cursor` is the volcano-style consumer side of a prepared
-/// statement: `Open` pins the database snapshot, each `Next` resumes the
-/// engine's suspendable enumeration state machine just long enough to
-/// produce one more distinct (projected, filtered) answer, and `Close`
-/// releases the machinery early. Nothing is materialised ahead of the
-/// consumer beyond the current subtree's candidate batch, so closing a
-/// cursor after the first row skips the maximality certificates of every
-/// answer never asked for.
+/// statement: `Open` pins the database's current read view, each `Next`
+/// resumes the engine's suspendable enumeration state machine just long
+/// enough to produce one more distinct (projected, filtered) answer,
+/// and `Close` releases the machinery (and the pinned view) early.
+/// Nothing is materialised ahead of the consumer beyond the current
+/// subtree's candidate batch, so closing a cursor after the first row
+/// skips the maximality certificates of every answer never asked for.
 
 namespace wdsparql {
 
@@ -26,10 +26,20 @@ struct CursorImpl;
 
 /// Pull-based enumeration of one statement execution. Move-only.
 ///
-/// Lifetime: the cursor holds the prepared statement alive, but reads
-/// the database in place — any mutation (including `Compact`) bumps the
-/// database epoch and flips open cursors to `kInvalidated` on their next
-/// pull. Re-execute the statement for a fresh cursor.
+/// Lifetime: the cursor holds the prepared statement alive and, on the
+/// indexed backend, a refcounted pin on the read view it opened
+/// against. Mutations (including `Compact`) do NOT invalidate it: the
+/// cursor keeps enumerating the exact snapshot it pinned, and the pin is
+/// released only explicitly — by `Close`, exhaustion, or destruction.
+/// Re-execute the statement for a cursor over the freshest view.
+///
+/// Naive-backend cursors (`Backend::kNaiveHash`) cannot pin the live
+/// hash graph; they retain the historical fail-fast behaviour and flip
+/// to `kInvalidated` on their next pull after any mutation.
+///
+/// Thread-safety: one cursor belongs to one thread at a time, but any
+/// number of cursors (across threads) may run concurrently with each
+/// other and with a single writer mutating the database.
 class Cursor {
  public:
   enum class State {
@@ -37,7 +47,8 @@ class Cursor {
     kOpen,         ///< Mid-enumeration; `Row` is valid after a true `Next`.
     kExhausted,    ///< Every answer was delivered.
     kClosed,       ///< Closed by the consumer.
-    kInvalidated,  ///< The database mutated under the cursor.
+    kInvalidated,  ///< The database mutated under a naive-backend
+                   ///< cursor (indexed cursors pin their view instead).
     kFailed,       ///< The statement never prepared / bad projection.
   };
 
@@ -51,8 +62,9 @@ class Cursor {
   Cursor(const Cursor&) = delete;
   Cursor& operator=(const Cursor&) = delete;
 
-  /// Pins the database epoch and readies enumeration. Idempotent while
-  /// open; returns true iff the cursor is (now) open.
+  /// Pins the database's current read view (indexed backend) or its
+  /// generation (naive backend) and readies enumeration. Idempotent
+  /// while open; returns true iff the cursor is (now) open.
   bool Open();
 
   /// Advances to the next answer. Opens on first call. Returns true iff
@@ -60,10 +72,16 @@ class Cursor {
   /// (inspect `state()` to distinguish).
   bool Next();
 
-  /// Releases enumeration state early. Further `Next` calls return false.
+  /// Releases enumeration state — and the pinned view — early. Further
+  /// `Next` calls return false.
   void Close();
 
   State state() const;
+
+  /// The `Database::generation()` the cursor pinned at `Open` (0 before
+  /// opening). The rows this cursor delivers are exactly the statement's
+  /// answers over that generation's view.
+  uint64_t generation() const;
 
   /// Why the cursor failed / what was prepared (copied from the
   /// statement, possibly extended with execution-time codes).

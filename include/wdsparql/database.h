@@ -24,6 +24,19 @@
 /// discipline of production stores). Reads go through `Session`s
 /// (cheap, concurrent) and pull-based `Cursor`s.
 ///
+/// Threading model (single writer / many readers; the full contract is
+/// docs/CONCURRENCY.md): at most one thread mutates the database at a
+/// time; any number of threads may concurrently prepare statements and
+/// run cursors on the default indexed backend *while the writer works*.
+/// Every mutation publishes a fresh immutable read view; cursors pin
+/// the current view when they open and keep it — readers never block
+/// the writer and never observe a half-applied mutation. The exceptions
+/// are `graph()`, `store()` and naive-backend execution, which read
+/// live writer-side state and therefore require that no concurrent
+/// mutation happens; and `Save`/`Checkpoint`/`Compact`, which are
+/// writer-side calls. The database must outlive every session,
+/// statement and cursor derived from it.
+///
 /// ```
 /// Database db;
 /// db.AddTriple("alice", "knows", "bob");
@@ -90,12 +103,16 @@ class Database {
 
   /// The sticky status of the storage layer: OK while healthy, or the
   /// first write-ahead-log failure after which mutations return false
-  /// without being applied (they were never made durable).
+  /// without being applied (they were never made durable). Thread-safe:
+  /// any thread may poll health while the writer works.
   Status storage_status() const;
 
-  // Mutation ----------------------------------------------------------
-  // Every successful mutation (and `Compact`) bumps the epoch; open
-  // cursors notice on their next pull and report `kInvalidated`.
+  // Mutation (writer side: one mutating thread at a time) -------------
+  // Every successful mutation (and `Compact`) publishes a new read view
+  // and bumps `generation()`. Open cursors are *not* invalidated: they
+  // keep the view they pinned at `Open` and continue to enumerate the
+  // database exactly as it was then (naive-backend cursors are the
+  // exception — see wdsparql/cursor.h).
 
   /// Inserts a ground triple; returns true iff newly inserted (false for
   /// duplicates and for triples containing variables).
@@ -118,36 +135,47 @@ class Database {
   Status LoadNTriplesFile(const std::string& path);
 
   /// Folds pending delta runs and tombstones into the base permutation
-  /// runs now. Idempotent; changes no query results.
+  /// runs now. Idempotent; changes no query results. Pinned views keep
+  /// the pre-merge runs alive, so open cursors are unaffected.
   void Compact();
 
-  // Inspection --------------------------------------------------------
+  // Inspection (safe on any thread, concurrent with the writer) -------
 
-  /// Number of triples.
+  /// Number of triples (of the latest published view).
   std::size_t size() const;
   bool empty() const { return size() == 0; }
 
-  /// True iff the ground triple is present.
+  /// True iff the ground triple is present (in the latest view).
   bool Contains(const Triple& t) const;
 
   /// Pending un-merged index work (delta inserts + tombstones).
   std::size_t pending_delta() const;
 
-  /// Mutation counter; cursors pin it at `Open`.
-  uint64_t epoch() const;
+  /// The view generation: the monotonic publish counter of the latest
+  /// read view. Every successful mutation and every (non-empty)
+  /// compaction publishes at least one new view, so two equal
+  /// generations bracket an unchanged database; cursors record the
+  /// generation of the view they pinned (`Cursor::generation()`). The
+  /// counter may advance by more than one across a single mutation
+  /// (e.g. a threshold merge publishes, then the mutation publishes).
+  uint64_t generation() const;
 
   /// The term pool. Const access still permits interning (the pool is an
-  /// append-only cache), which `Session::Prepare` relies on.
+  /// append-only cache), which `Session::Prepare` relies on. The pool
+  /// synchronises internally: interning and spelling lookups are safe
+  /// from any thread.
   TermPool& pool() const;
 
   // Reading -----------------------------------------------------------
 
-  /// Opens a read view with the given execution options.
+  /// Opens a session with the given execution options. Sessions are
+  /// cheap value objects — open one per thread or per request.
   Session OpenSession(const SessionOptions& options = {}) const;
 
   /// \internal Storage accessors for in-tree tooling (the deprecated
   /// QueryEngine facade, benchmarks, width machinery). Not part of the
-  /// stable surface.
+  /// stable surface, and NOT safe concurrently with a writer: they
+  /// expose live writer-side state rather than a pinned view.
   const RdfGraph& graph() const;
   const IndexedStore& store() const;
 

@@ -13,7 +13,9 @@
 /// where in the pipeline the query stands — parse, well-designedness,
 /// fragment support, plan shape — with the offending variable surfaced
 /// as a field rather than buried in prose. Tools branch on `code`;
-/// humans read `message`.
+/// humans read `message`. Plain value type: the copies returned by
+/// `Statement::diagnostics()`/`Cursor::diagnostics()` reference no
+/// shared mutable state.
 
 namespace wdsparql {
 
@@ -28,7 +30,9 @@ struct QueryDiagnostics {
                          ///< (e.g. FILTER below AND/OPT).
     kInvalidProjection,  ///< An execution-time projection named an unknown
                          ///< variable.
-    kInvalidated,        ///< The database mutated under an open cursor.
+    kInvalidated,        ///< The database mutated under an open
+                         ///< naive-backend cursor (indexed cursors pin
+                         ///< an immutable view instead; see cursor.h).
     kInternal,           ///< Pipeline invariant failure (library bug).
   };
 

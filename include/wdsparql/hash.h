@@ -10,6 +10,7 @@
 /// \file
 /// Hash-combination helpers used by the interned-id containers throughout
 /// the library (triple indexes, partial-homomorphism tables, memo caches).
+/// All stateless and reentrant: safe from any thread.
 
 namespace wdsparql {
 

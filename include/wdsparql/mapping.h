@@ -17,6 +17,10 @@
 /// evaluation of a graph pattern over an RDF graph is a set of mappings.
 /// The representation is a vector of (variable, IRI) bindings kept sorted
 /// by variable id, so equality, hashing and compatibility are linear scans.
+///
+/// Thread-safety: a plain value type (a vector of id pairs). Distinct
+/// instances are independent; share const instances freely. Rendering
+/// (`ToString`) resolves spellings through the pool's lock-free reads.
 
 namespace wdsparql {
 

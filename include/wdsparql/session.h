@@ -23,10 +23,15 @@
 /// immutable, shareable, and executed through pull-based `Cursor`s or
 /// materialised into columnar `BindingTable`s.
 ///
-/// Concurrency: executing statements and iterating cursors from many
-/// sessions concurrently is safe as long as nobody mutates the database.
-/// `Prepare` interns query terms into the shared `TermPool`, so
-/// concurrent *preparation* requires external serialisation.
+/// Concurrency: sessions are value objects bound to the database's
+/// move-stable internals — copy them freely, one per thread or per
+/// request. On the indexed backend (the default), preparing statements
+/// and iterating cursors from many threads is safe even while a single
+/// writer thread mutates the database: execution pins an immutable read
+/// view, and `Prepare`'s interning of query terms into the shared
+/// `TermPool` synchronises internally. Naive-backend (`kNaiveHash`)
+/// execution reads the live hash graph and is only safe while nobody
+/// mutates. See docs/CONCURRENCY.md.
 
 namespace wdsparql {
 
@@ -57,7 +62,9 @@ struct SessionOptions {
 };
 
 /// A parsed, validated and planned query. Immutable and cheap to copy
-/// (shared state); produced by `Session::Prepare`.
+/// (shared state); produced by `Session::Prepare`. Because the prepared
+/// state never changes, one statement may be executed from many threads
+/// concurrently — every execution opens an independent cursor.
 class Statement {
  public:
   /// An unprepared statement (kInternal diagnostics); placeholder only.
@@ -95,7 +102,9 @@ class Statement {
   uint64_t Count() const;
 
   /// wdEVAL membership: decides mu ∈ JPKG on the session's backend
-  /// (false on failed statements).
+  /// (false on failed statements). On the indexed backend the test pins
+  /// the current read view for its duration, so it is safe concurrently
+  /// with the writer.
   bool Contains(const Mapping& mu) const;
 
   /// \internal Shared prepared state.
@@ -105,7 +114,7 @@ class Statement {
   std::shared_ptr<const StatementImpl> impl_;
 };
 
-/// A cheap, concurrently-usable read view preparing queries against one
+/// A cheap, concurrently-usable handle preparing queries against one
 /// database. Obtained from `Database::OpenSession`. Sessions (and the
 /// statements/cursors they produce) bind to the database's internal
 /// state, which is stable across `Database` moves — only destroying the

@@ -14,6 +14,10 @@
 /// `Status` or `Result<T>` rather than throwing. This follows the
 /// RocksDB/Arrow convention for database libraries: error codes are part of
 /// the API contract and must be inspected by the caller.
+///
+/// Thread-safety: `Status` and `Result` are value types; distinct
+/// instances are independent. (`Database::storage_status()` returns a
+/// fresh copy, so polling it from any thread is safe.)
 
 namespace wdsparql {
 

@@ -20,6 +20,13 @@
 /// base + delta into a fresh snapshot (atomic rename) and truncates the
 /// log. A torn final log frame — the signature of a crash mid-append —
 /// is discarded on open; every earlier acknowledged mutation replays.
+///
+/// Thread-safety: `Open`, `Save` and `Checkpoint` are writer-side
+/// operations (one thread, not concurrent with mutations). Readers on
+/// other threads are unaffected throughout: a mapped snapshot stays
+/// alive for exactly as long as some pinned read view still borrows
+/// from it, even across the checkpoint that supersedes it. The options
+/// structs here are plain values.
 
 namespace wdsparql {
 

@@ -1,7 +1,10 @@
 #ifndef WDSPARQL_PUBLIC_TERM_H_
 #define WDSPARQL_PUBLIC_TERM_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -43,6 +46,17 @@ inline uint32_t TermIndex(TermId t) { return t & ~kVariableBit; }
 /// id. The pool can mint fresh variables (guaranteed distinct from every
 /// interned spelling), which the domination-width machinery uses for the
 /// variable renamings `rho_Delta`.
+///
+/// Thread-safety: fully internally synchronised, tuned for the serving
+/// path. Interning (`InternIri`, `InternVariable`, `FreshVariable`) and
+/// map lookups (`FindIri`, `FindVariable`) take a short mutex; spelling
+/// reads (`Spelling`, `ToDisplayString`, …) are lock-free, so cursor
+/// `Value()` calls on many reader threads never contend. The storage
+/// behind a spelling is append-only and address-stable: a returned
+/// `string_view` stays valid for the pool's whole lifetime. A reader may
+/// resolve any `TermId` it legitimately obtained (i.e. that reached it
+/// through a published read view, a prepared statement, or its own
+/// intern call); ids guessed ahead of publication are a logic error.
 class TermPool {
  public:
   TermPool() = default;
@@ -70,6 +84,7 @@ class TermPool {
   TermId FreshVariable(std::string_view hint);
 
   /// Returns the spelling of `t` (no '?' prefix, no angle brackets).
+  /// Lock-free; the view stays valid for the pool's lifetime.
   std::string_view Spelling(TermId t) const;
 
   /// Renders `t` for display: variables as "?name", IRIs verbatim.
@@ -85,11 +100,64 @@ class TermPool {
   std::size_t NumVariables() const { return var_spellings_.size(); }
 
  private:
+  /// Interns a variable; the caller holds `mutex_`.
+  TermId InternVariableLocked(std::string&& name);
+
+  /// Append-only spelling storage with lock-free reads. Spellings live
+  /// in fixed-size chunks whose element addresses never change; the
+  /// chunk directory grows by swapping in a copied successor, never by
+  /// reallocating under a reader. `At(i)` is safe on any thread for any
+  /// `i` that was appended before the reader learned of it through a
+  /// release/acquire edge (the pool's own size counter provides one:
+  /// the writer stores it with release after constructing the slot).
+  class SpellingTable {
+   public:
+    /// Appends a spelling; single writer (callers hold the pool mutex).
+    /// Returns the new index.
+    uint32_t Append(std::string_view s) {
+      std::size_t n = size_.load(std::memory_order_relaxed);
+      std::size_t chunk_index = n >> kChunkShift;
+      std::shared_ptr<const Directory> dir =
+          std::atomic_load_explicit(&chunks_, std::memory_order_relaxed);
+      if (dir == nullptr || chunk_index == dir->size()) {
+        auto grown = std::make_shared<Directory>();
+        if (dir != nullptr) *grown = *dir;
+        grown->push_back(std::make_shared<Chunk>(kChunkMask + 1));
+        std::atomic_store(&chunks_, std::shared_ptr<const Directory>(grown));
+        dir = std::move(grown);
+      }
+      // Construct the slot fully before publishing the new size.
+      (*(*dir)[chunk_index])[n & kChunkMask].assign(s.data(), s.size());
+      size_.store(n + 1, std::memory_order_release);
+      return static_cast<uint32_t>(n);
+    }
+
+    /// Lock-free read; fatal on out-of-range indexes.
+    std::string_view At(uint32_t index) const {
+      WDSPARQL_CHECK(index < size_.load(std::memory_order_acquire));
+      std::shared_ptr<const Directory> dir =
+          std::atomic_load_explicit(&chunks_, std::memory_order_acquire);
+      return (*(*dir)[index >> kChunkShift])[index & kChunkMask];
+    }
+
+    std::size_t size() const { return size_.load(std::memory_order_acquire); }
+
+   private:
+    static constexpr std::size_t kChunkShift = 10;  // 1024 spellings/chunk.
+    static constexpr std::size_t kChunkMask = (1u << kChunkShift) - 1;
+    using Chunk = std::vector<std::string>;  // Sized once, never resized.
+    using Directory = std::vector<std::shared_ptr<Chunk>>;
+
+    std::shared_ptr<const Directory> chunks_;  // Atomic access only.
+    std::atomic<std::size_t> size_{0};
+  };
+
   std::unordered_map<std::string, TermId> iri_ids_;
   std::unordered_map<std::string, TermId> var_ids_;
-  std::vector<std::string> iri_spellings_;
-  std::vector<std::string> var_spellings_;
+  SpellingTable iri_spellings_;
+  SpellingTable var_spellings_;
   uint64_t fresh_counter_ = 0;
+  mutable std::mutex mutex_;  // Guards the maps and fresh_counter_.
 };
 
 }  // namespace wdsparql

@@ -17,6 +17,9 @@
 /// an RDF triple; otherwise it is a SPARQL triple pattern. The same struct
 /// serves both roles (the paper's t-graphs are sets of triple patterns and
 /// RDF graphs are exactly the ground ones).
+///
+/// Thread-safety: `Triple` is a trivially copyable value type with no
+/// shared state — share const instances freely, copy for mutation.
 
 namespace wdsparql {
 

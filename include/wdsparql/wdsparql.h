@@ -11,6 +11,11 @@
 /// `Cursor`s / columnar `BindingTable`s for consuming answers. Headers
 /// here include only other wdsparql/ headers and the standard library —
 /// never src/-internal ones (enforced by tools/check_include_hygiene.sh).
+///
+/// Threading: single writer / many readers. Mutate from one thread;
+/// prepare and execute on the indexed backend from any number of
+/// threads concurrently — cursors pin immutable read views published
+/// by each mutation. The full contract is docs/CONCURRENCY.md.
 
 #include "wdsparql/binding_table.h"
 #include "wdsparql/check.h"

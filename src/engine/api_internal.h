@@ -8,12 +8,12 @@
 #include <vector>
 
 #include "engine/indexed_store.h"
+#include "engine/read_view.h"
 #include "ptree/forest.h"
 #include "rdf/graph.h"
 #include "rdf/scan.h"
 #include "sparql/ast.h"
 #include "sparql/filter.h"
-#include "storage/snapshot.h"
 #include "storage/wal.h"
 #include "wd/enumerate.h"
 #include "wdsparql/cursor.h"
@@ -26,6 +26,11 @@
 /// pimpl surface. In-tree only: the public headers forward-declare these
 /// types; database.cc, session.cc, cursor.cc and the deprecated
 /// QueryEngine facade include this header to cross the pimpl boundary.
+///
+/// Threading model (see docs/CONCURRENCY.md for the full contract): one
+/// writer thread mutates; any number of reader threads pin `ReadView`s
+/// through the store's epoch publish and run statements/cursors over
+/// them. The fields below are annotated with which side touches them.
 
 namespace wdsparql {
 
@@ -49,9 +54,11 @@ struct DatabaseImpl {
   /// mapping and defers this O(dataset) hash build until something
   /// actually needs the naive backend (its scans, the pebble promise
   /// machinery, or the `Database::graph()` accessor). Double-checked
-  /// under a mutex: hydration is reached from const read paths, and
-  /// session.h promises concurrent statement execution is safe while
-  /// nobody mutates the database.
+  /// under a mutex so racing readers hydrate exactly once: the winning
+  /// thread fully builds the graph before the release store, and every
+  /// later reader observes it through the acquire load — even on the
+  /// single-threaded path this costs one relaxed atomic load when
+  /// already hydrated.
   void EnsureGraph() const {
     if (graph_hydrated.load(std::memory_order_acquire)) return;
     std::lock_guard<std::mutex> lock(hydrate_mutex);
@@ -64,34 +71,50 @@ struct DatabaseImpl {
     graph_hydrated.store(true, std::memory_order_release);
   }
 
-  /// Drops the open snapshot once nothing borrows it any more (the
-  /// first delta merge migrates every base run to owned storage); keeps
-  /// a fully-merged long-lived database from pinning the mapping — or,
-  /// on the buffered fallback, a full heap copy — of a file it no
-  /// longer reads.
-  void MaybeReleaseSnapshot() {
-    if (snapshot != nullptr && !store.borrows_snapshot()) snapshot.reset();
+  /// The sticky storage status, thread-safe (readers may poll health
+  /// while the writer latches a WAL failure).
+  Status sticky_storage_status() const {
+    std::lock_guard<std::mutex> lock(storage_mutex);
+    return storage_error;
+  }
+
+  /// Latches the first storage failure (no-op once latched).
+  void LatchStorageError(const Status& status) {
+    std::lock_guard<std::mutex> lock(storage_mutex);
+    if (storage_error.ok()) storage_error = status;
+  }
+
+  /// Clears the latch (Checkpoint folded everything into the snapshot).
+  void ClearStorageError() {
+    std::lock_guard<std::mutex> lock(storage_mutex);
+    storage_error = Status::OK();
   }
 
   std::unique_ptr<TermPool> owned_pool;  // Null when the pool is external.
   TermPool* pool;
-  // The open snapshot, if any. Declared before the stores that borrow
-  // from it so destruction keeps the mapping alive until they are gone.
-  std::shared_ptr<const storage::SnapshotView> snapshot;
   mutable RdfGraph graph;        // Hash-indexed row store (naive backend).
   HashTripleSource hash_source;  // TripleSource view over `graph`.
   IndexedStore store;            // Permutation-indexed store (indexed backend).
   DatabaseOptions options;
-  uint64_t epoch = 0;
-  // Persistence state (Database::Open / Save / Checkpoint).
+
+  // The public view generation lives inside the store's published
+  // ReadView (one counter, no way for the pinned view and the reported
+  // generation to disagree); see IndexedStore::generation().
+
+  // Persistence state (Database::Open / Save / Checkpoint). Writer side,
+  // except the sticky status which is mutex-guarded for readers.
   mutable std::atomic<bool> graph_hydrated{true};  // False until EnsureGraph after Open.
   mutable std::mutex hydrate_mutex;    // Serialises the one-time hydration.
   std::string snapshot_path;           // Checkpoint target; empty if not opened.
   std::unique_ptr<storage::WriteAheadLog> wal;  // Null without kWal.
+  mutable std::mutex storage_mutex;    // Guards storage_error.
   Status storage_error;                // Sticky last WAL/storage failure.
 };
 
 /// Everything a prepared `Statement` shares with its cursors.
+/// Immutable after `Session::Prepare` returns, so it is safe to execute
+/// one statement from many threads concurrently (each execution gets
+/// its own cursor state).
 struct StatementImpl {
   const DatabaseImpl* db = nullptr;
   SessionOptions options;
@@ -104,7 +127,9 @@ struct StatementImpl {
   std::vector<std::string> var_names;   // Display forms ("?x").
 };
 
-/// One cursor's execution state.
+/// One cursor's execution state. Owned by exactly one thread at a time
+/// (cursors are not shared); the pinned view decouples it from the
+/// writer.
 struct CursorImpl {
   std::shared_ptr<const StatementImpl> stmt;
   QueryDiagnostics diagnostics;
@@ -120,7 +145,15 @@ struct CursorImpl {
   std::unique_ptr<SolutionEnumerator> enumerator;
   std::unordered_set<Mapping, MappingHash> emitted;
   Mapping row;
-  uint64_t open_epoch = 0;
+
+  /// The store snapshot this cursor reads (indexed backend). Pinned at
+  /// `Open`, released at `Close`/destruction; mutations never invalidate
+  /// it. Null for naive-backend cursors, which read the live hash graph
+  /// and fall back to generation-based invalidation.
+  std::shared_ptr<const ReadView> view;
+  /// The pinned view's generation (both backends; for naive cursors the
+  /// view itself is dropped and only this stays).
+  uint64_t open_generation = 0;
   uint64_t rows = 0;
 };
 
@@ -129,6 +162,8 @@ namespace engine_internal {
 /// Bulk-loads `triples` into an *empty* database via the sort-based
 /// build path (dictionary + one sort per permutation), bypassing the
 /// per-triple delta. Used by the QueryEngine compatibility facade.
+/// Writer side: must not race concurrent readers (the store object
+/// itself is replaced).
 void BulkLoad(Database* db, const TripleSet& triples);
 
 /// The database's hash-backed TripleSource (naive backend scans).
@@ -136,10 +171,16 @@ const HashTripleSource& HashSourceOf(const Database& db);
 
 /// Enumeration hooks for the session's backend over `db`'s storage.
 /// Bound to the move-stable impl, not the movable `Database` shell.
+/// On the indexed backend the hooks close over `view` (pinned by the
+/// caller — this is the cursor's pin-at-open step); the naive backend
+/// reads the live hash graph and `view` may be null.
 EnumerationHooks MakeEnumerationHooks(const DatabaseImpl& db,
-                                      const SessionOptions& options);
+                                      const SessionOptions& options,
+                                      std::shared_ptr<const ReadView> view);
 
 /// wdEVAL membership on the session's backend (no filter application).
+/// Pins its own view for the duration of the call on the indexed
+/// backend, so it is reader-thread safe against a live writer.
 bool EvaluateMembership(const DatabaseImpl& db, const SessionOptions& options,
                         const PatternForest& forest, const Mapping& mu,
                         EvalStats* stats = nullptr);

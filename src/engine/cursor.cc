@@ -22,9 +22,20 @@ bool Cursor::Open() {
     default: return false;  // Closed/exhausted/invalidated/failed stay put.
   }
   const StatementImpl& stmt = *impl_->stmt;
-  impl_->open_epoch = stmt.db->epoch;
+  // Pin-at-open: take shared ownership of the freshest published
+  // ReadView. Indexed cursors read it exclusively from here on (the
+  // writer may mutate, merge and checkpoint freely — this cursor's
+  // world no longer changes until it releases the view at Close or
+  // destruction); naive cursors record only its generation, to detect
+  // mutation underneath the unversioned hash graph.
+  std::shared_ptr<const ReadView> pinned = stmt.db->store.PinView();
+  impl_->open_generation = pinned->generation();
+  if (stmt.options.backend == Backend::kIndexed) {
+    impl_->view = std::move(pinned);
+  }
   impl_->enumerator = std::make_unique<SolutionEnumerator>(
-      stmt.forest, engine_internal::MakeEnumerationHooks(*stmt.db, stmt.options));
+      stmt.forest,
+      engine_internal::MakeEnumerationHooks(*stmt.db, stmt.options, impl_->view));
   impl_->state = State::kOpen;
   return true;
 }
@@ -33,13 +44,16 @@ bool Cursor::Next() {
   if (impl_->state == State::kUnopened && !Open()) return false;
   if (impl_->state != State::kOpen) return false;
   const StatementImpl& stmt = *impl_->stmt;
-  if (stmt.db->epoch != impl_->open_epoch) {
-    // The database mutated (or compacted) under us; the enumerator's
-    // scan state points into reallocated runs. Fail fast and loudly.
+  if (impl_->view == nullptr &&
+      stmt.db->store.PinView()->generation() != impl_->open_generation) {
+    // Naive-backend cursors read the live hash graph in place, so a
+    // mutation underneath them is unrecoverable: fail fast and loudly.
+    // (Indexed cursors hold a pinned view and never take this path.)
     impl_->state = State::kInvalidated;
     impl_->diagnostics.code = QueryDiagnostics::Code::kInvalidated;
     impl_->diagnostics.message =
-        "cursor invalidated: the database mutated during enumeration";
+        "cursor invalidated: the database mutated during enumeration "
+        "(naive backend cursors cannot pin a snapshot)";
     impl_->enumerator.reset();
     return false;
   }
@@ -61,6 +75,7 @@ bool Cursor::Next() {
   }
   impl_->state = State::kExhausted;
   impl_->enumerator.reset();
+  impl_->view.reset();  // Release the pinned snapshot promptly.
   return false;
 }
 
@@ -70,11 +85,16 @@ void Cursor::Close() {
   }
   impl_->enumerator.reset();
   impl_->emitted.clear();
+  // The explicit view release: dropping the last pin lets the store
+  // free superseded runs (and unmap a snapshot file they borrowed).
+  impl_->view.reset();
 }
 
 Cursor::State Cursor::state() const { return impl_->state; }
 
 const QueryDiagnostics& Cursor::diagnostics() const { return impl_->diagnostics; }
+
+uint64_t Cursor::generation() const { return impl_->open_generation; }
 
 std::size_t Cursor::width() const { return impl_->columns.size(); }
 

@@ -13,18 +13,18 @@ namespace {
 
 /// Frames a mutation into the WAL (spellings, not ids: ids are intern
 /// order and the log outlives this process's pool). On failure the
-/// error sticks in `impl->storage_error` and the caller must not apply
-/// the mutation — it was never made durable.
+/// error latches in the impl and the caller must not apply the mutation
+/// — it was never made durable.
 bool LogMutation(DatabaseImpl* impl, storage::WalRecordType type, const Triple& t) {
   // The error latches: once an append failed, the log's tail state is
   // suspect and later mutations are refused outright (matching the
   // storage_status() contract) rather than racing a broken device.
-  if (!impl->storage_error.ok()) return false;
+  if (!impl->sticky_storage_status().ok()) return false;
   Status status =
       impl->wal->Append(type, impl->pool->Spelling(t.subject),
                         impl->pool->Spelling(t.predicate), impl->pool->Spelling(t.object));
   if (!status.ok()) {
-    impl->storage_error = status;
+    impl->LatchStorageError(status);
     return false;
   }
   return true;
@@ -68,9 +68,7 @@ bool Database::AddTriple(const Triple& t) {
   } else {
     if (!impl->store.Insert(t)) return false;
   }
-  impl->MaybeReleaseSnapshot();  // An auto-merge may have migrated the runs.
-  ++impl->epoch;
-  return true;
+  return true;  // The store published the new view (and its generation).
 }
 
 bool Database::AddTriple(std::string_view s, std::string_view p, std::string_view o) {
@@ -95,8 +93,6 @@ bool Database::RemoveTriple(const Triple& t) {
   } else {
     if (!impl->store.Erase(t)) return false;
   }
-  impl->MaybeReleaseSnapshot();
-  ++impl->epoch;
   return true;
 }
 
@@ -126,7 +122,7 @@ Status Database::LoadNTriples(std::string_view text) {
     AddTriple(t);
     // A false return may just be a duplicate; a WAL failure must not be
     // swallowed into an OK load.
-    WDSPARQL_RETURN_IF_ERROR(impl_->storage_error);
+    WDSPARQL_RETURN_IF_ERROR(impl_->sticky_storage_status());
   }
   return Status::OK();
 }
@@ -141,28 +137,28 @@ Status Database::LoadNTriplesFile(const std::string& path) {
   }
   for (const Triple& t : staged.triples()) {
     AddTriple(t);
-    WDSPARQL_RETURN_IF_ERROR(impl_->storage_error);
+    WDSPARQL_RETURN_IF_ERROR(impl_->sticky_storage_status());
   }
   return Status::OK();
 }
 
-void Database::Compact() {
-  impl_->store.MergeDelta();
-  impl_->MaybeReleaseSnapshot();
-  ++impl_->epoch;  // Base runs reallocated: open cursors must not touch them.
-}
+void Database::Compact() { impl_->store.MergeDelta(); }
 
-std::size_t Database::size() const {
-  return impl_->graph_hydrated ? impl_->graph.size() : impl_->store.size();
-}
+std::size_t Database::size() const { return impl_->store.PinView()->size(); }
 
 bool Database::Contains(const Triple& t) const {
-  return impl_->graph_hydrated ? impl_->graph.Contains(t) : impl_->store.Contains(t);
+  // The permutation store mirrors the hash graph exactly, and its
+  // pinned view is safe against a concurrent writer.
+  return impl_->store.PinView()->Contains(t);
 }
 
-std::size_t Database::pending_delta() const { return impl_->store.delta_size(); }
+std::size_t Database::pending_delta() const {
+  return impl_->store.PinView()->pending_delta();
+}
 
-uint64_t Database::epoch() const { return impl_->epoch; }
+uint64_t Database::generation() const {
+  return impl_->store.PinView()->generation();
+}
 
 TermPool& Database::pool() const { return *impl_->pool; }
 
@@ -175,7 +171,7 @@ const RdfGraph& Database::graph() const {
   return impl_->graph;
 }
 
-Status Database::storage_status() const { return impl_->storage_error; }
+Status Database::storage_status() const { return impl_->sticky_storage_status(); }
 
 const IndexedStore& Database::store() const { return impl_->store; }
 
@@ -194,11 +190,12 @@ void BulkLoad(Database* db, const TripleSet& triples) {
   WDSPARQL_CHECK(impl->graph.empty() && impl->store.size() == 0);
   impl->graph.Reserve(triples.size());
   for (const Triple& t : triples.triples()) impl->graph.Insert(t);
-  impl->store = IndexedStore::Build(impl->graph.triples());
-  impl->store.set_merge_threshold(impl->options.merge_threshold);
+  // AdoptFrom, not assignment: replacing the store object outright
+  // would swap the view slot non-atomically under concurrent readers
+  // (size()/Contains()/cursor opens are documented safe during any
+  // mutation, bulk loads included).
+  impl->store.AdoptFrom(IndexedStore::Build(impl->graph.triples()));
   impl->graph_hydrated = true;  // Both stores now hold the full content.
-  impl->MaybeReleaseSnapshot();  // The rebuilt store owns all its runs.
-  ++impl->epoch;
 }
 
 const HashTripleSource& HashSourceOf(const Database& db) {
@@ -207,16 +204,20 @@ const HashTripleSource& HashSourceOf(const Database& db) {
 }
 
 EnumerationHooks MakeEnumerationHooks(const DatabaseImpl& db,
-                                      const SessionOptions& options) {
+                                      const SessionOptions& options,
+                                      std::shared_ptr<const ReadView> view) {
   EnumerationHooks hooks;
   if (options.backend == Backend::kIndexed) {
-    const IndexedStore* store = &db.store;
-    hooks.candidates = [store](const TripleSet& pattern,
-                               const std::function<bool(const VarAssignment&)>& emit) {
-      JoinEnumerate(*store, pattern.triples(), VarAssignment{}, emit);
+    // The hooks share ownership of the pinned view: the enumeration
+    // stays valid however long the cursor lives and whatever the writer
+    // does meanwhile.
+    if (view == nullptr) view = db.store.PinView();
+    hooks.candidates = [view](const TripleSet& pattern,
+                              const std::function<bool(const VarAssignment&)>& emit) {
+      JoinEnumerate(*view, pattern.triples(), VarAssignment{}, emit);
     };
-    hooks.extends = [store](const TripleSet& combined, const Mapping& mu) {
-      return JoinExists(*store, combined.triples(), MappingToAssignment(mu));
+    hooks.extends = [view](const TripleSet& combined, const Mapping& mu) {
+      return JoinExists(*view, combined.triples(), MappingToAssignment(mu));
     };
     return hooks;
   }
@@ -245,10 +246,12 @@ bool EvaluateMembership(const DatabaseImpl& db, const SessionOptions& options,
                         EvalStats* stats) {
   switch (options.backend) {
     case Backend::kIndexed: {
-      const IndexedStore& store = db.store;
+      // Pin once for the whole membership test: candidate scans and the
+      // maximality certificates all read the same consistent snapshot.
+      std::shared_ptr<const ReadView> view = db.store.PinView();
       VarAssignment fixed = MappingToAssignment(mu);
-      return WdEvalWith(forest, store, mu, stats, [&](const TripleSet& combined) {
-        return JoinExists(store, combined.triples(), fixed);
+      return WdEvalWith(forest, *view, mu, stats, [&](const TripleSet& combined) {
+        return JoinExists(*view, combined.triples(), fixed);
       });
     }
     case Backend::kNaiveHash:

@@ -3,60 +3,184 @@
 #include <algorithm>
 
 namespace wdsparql {
+namespace {
+
+using AppendedEntry = std::pair<TermId, DataId>;
+
+/// The shared lookup algorithm of Dictionary and DictView: binary search
+/// the TermId-sorted prefix, then the folded appended run, then scan the
+/// bounded appended tail.
+DataId EncodeIn(TermId t, const std::vector<TermId>* terms, std::size_t sorted_limit,
+                const std::vector<AppendedEntry>* folded,
+                const std::vector<AppendedEntry>* tail, std::size_t tail_size) {
+  if (terms != nullptr) {
+    auto prefix_end = terms->begin() + static_cast<std::ptrdiff_t>(sorted_limit);
+    auto it = std::lower_bound(terms->begin(), prefix_end, t);
+    if (it != prefix_end && *it == t) return static_cast<DataId>(it - terms->begin());
+  }
+  if (folded != nullptr) {
+    auto it = std::lower_bound(
+        folded->begin(), folded->end(), t,
+        [](const AppendedEntry& e, TermId term) { return e.first < term; });
+    if (it != folded->end() && it->first == t) return it->second;
+  }
+  if (tail != nullptr) {
+    for (std::size_t i = 0; i < tail_size; ++i) {
+      if ((*tail)[i].first == t) return (*tail)[i].second;
+    }
+  }
+  return kNoDataId;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// DictView
+// ---------------------------------------------------------------------
+
+DataId DictView::Encode(TermId t) const {
+  return EncodeIn(t, terms_.get(), sorted_limit_, folded_.get(), tail_.get(),
+                  tail_size_);
+}
+
+// ---------------------------------------------------------------------
+// Dictionary
+// ---------------------------------------------------------------------
+
+Dictionary& Dictionary::operator=(const Dictionary& other) {
+  if (this == &other) return *this;
+  terms_ = other.terms_ == nullptr
+               ? nullptr
+               : std::make_shared<std::vector<TermId>>(*other.terms_);
+  size_ = other.size_;
+  sorted_limit_ = other.sorted_limit_;
+  folded_ = other.folded_;  // Immutable once published: safe to share.
+  tail_ = other.tail_ == nullptr
+              ? nullptr
+              : std::make_shared<std::vector<AppendedEntry>>(*other.tail_);
+  tail_size_ = other.tail_size_;
+  return *this;
+}
+
+Dictionary& Dictionary::operator=(Dictionary&& other) noexcept {
+  if (this == &other) return *this;
+  terms_ = std::move(other.terms_);
+  size_ = other.size_;
+  sorted_limit_ = other.sorted_limit_;
+  folded_ = std::move(other.folded_);
+  tail_ = std::move(other.tail_);
+  tail_size_ = other.tail_size_;
+  other.size_ = 0;
+  other.sorted_limit_ = 0;
+  other.tail_size_ = 0;
+  return *this;
+}
+
+void Dictionary::InitBuffers(std::vector<TermId> sorted_terms) {
+  WDSPARQL_CHECK(sorted_terms.size() < kNoDataId);
+  size_ = sorted_terms.size();
+  terms_ = std::make_shared<std::vector<TermId>>(std::move(sorted_terms));
+}
 
 Dictionary Dictionary::Build(const TripleSet& set) {
   Dictionary dict;
-  dict.terms_ = set.AllTerms();
-  std::sort(dict.terms_.begin(), dict.terms_.end());
-  WDSPARQL_CHECK(dict.terms_.size() < kNoDataId);
-  dict.sorted_limit_ = dict.terms_.size();
+  std::vector<TermId> terms = set.AllTerms();
+  std::sort(terms.begin(), terms.end());
+  dict.InitBuffers(std::move(terms));
+  dict.sorted_limit_ = dict.size_;
   return dict;
 }
 
 Dictionary Dictionary::Build(const std::vector<Triple>& triples) {
   Dictionary dict;
-  dict.terms_.reserve(3 * triples.size());
+  std::vector<TermId> terms;
+  terms.reserve(3 * triples.size());
   for (const Triple& t : triples) {
-    dict.terms_.push_back(t.subject);
-    dict.terms_.push_back(t.predicate);
-    dict.terms_.push_back(t.object);
+    terms.push_back(t.subject);
+    terms.push_back(t.predicate);
+    terms.push_back(t.object);
   }
-  std::sort(dict.terms_.begin(), dict.terms_.end());
-  dict.terms_.erase(std::unique(dict.terms_.begin(), dict.terms_.end()),
-                    dict.terms_.end());
-  WDSPARQL_CHECK(dict.terms_.size() < kNoDataId);
-  dict.sorted_limit_ = dict.terms_.size();
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  dict.InitBuffers(std::move(terms));
+  dict.sorted_limit_ = dict.size_;
   return dict;
 }
 
 Dictionary Dictionary::FromParts(std::vector<TermId> terms, std::size_t sorted_limit) {
   Dictionary dict;
   WDSPARQL_CHECK(sorted_limit <= terms.size() && terms.size() < kNoDataId);
-  dict.terms_ = std::move(terms);
+  dict.InitBuffers(std::move(terms));
   dict.sorted_limit_ = sorted_limit;
-  for (std::size_t i = sorted_limit; i < dict.terms_.size(); ++i) {
-    dict.appended_.emplace(dict.terms_[i], static_cast<DataId>(i));
+  if (dict.size_ > sorted_limit) {
+    auto folded = std::make_shared<std::vector<AppendedEntry>>();
+    folded->reserve(dict.size_ - sorted_limit);
+    for (std::size_t i = sorted_limit; i < dict.size_; ++i) {
+      folded->push_back({(*dict.terms_)[i], static_cast<DataId>(i)});
+    }
+    std::sort(folded->begin(), folded->end());
+    dict.folded_ = std::move(folded);
   }
   return dict;
 }
 
 DataId Dictionary::Encode(TermId t) const {
-  auto prefix_end = terms_.begin() + static_cast<std::ptrdiff_t>(sorted_limit_);
-  auto it = std::lower_bound(terms_.begin(), prefix_end, t);
-  if (it != prefix_end && *it == t) return static_cast<DataId>(it - terms_.begin());
-  auto appended_it = appended_.find(t);
-  if (appended_it != appended_.end()) return appended_it->second;
-  return kNoDataId;
+  return EncodeIn(t, terms_.get(), sorted_limit_, folded_.get(), tail_.get(),
+                  tail_size_);
+}
+
+void Dictionary::AppendTerm(TermId t, DataId id) {
+  // Grow by swapping in a fresh doubled buffer: a published view may
+  // still index the old one, so it must never be reallocated in place.
+  if (terms_ == nullptr || size_ == terms_->size()) {
+    auto grown = std::make_shared<std::vector<TermId>>();
+    grown->resize(std::max<std::size_t>(64, 2 * size_));
+    if (terms_ != nullptr) std::copy_n(terms_->begin(), size_, grown->begin());
+    terms_ = std::move(grown);
+  }
+  (*terms_)[size_] = t;
+  ++size_;
+
+  if (tail_ == nullptr || tail_size_ == tail_->size()) {
+    auto grown = std::make_shared<std::vector<AppendedEntry>>();
+    grown->resize(kFoldLimit);
+    if (tail_ != nullptr) std::copy_n(tail_->begin(), tail_size_, grown->begin());
+    tail_ = std::move(grown);
+  }
+  (*tail_)[tail_size_] = {t, id};
+  ++tail_size_;
+
+  if (tail_size_ < kFoldLimit) return;
+  // Fold the tail into a fresh sorted run. The old run stays alive for
+  // any view that still references it.
+  auto folded = std::make_shared<std::vector<AppendedEntry>>();
+  folded->reserve((folded_ == nullptr ? 0 : folded_->size()) + tail_size_);
+  if (folded_ != nullptr) *folded = *folded_;
+  folded->insert(folded->end(), tail_->begin(), tail_->begin() + tail_size_);
+  std::sort(folded->begin(), folded->end());
+  folded_ = std::move(folded);
+  tail_ = nullptr;
+  tail_size_ = 0;
 }
 
 DataId Dictionary::GetOrAdd(TermId t) {
   DataId existing = Encode(t);
   if (existing != kNoDataId) return existing;
-  WDSPARQL_CHECK(terms_.size() + 1 < kNoDataId);
-  DataId id = static_cast<DataId>(terms_.size());
-  terms_.push_back(t);
-  appended_.emplace(t, id);
+  WDSPARQL_CHECK(size_ + 1 < kNoDataId);
+  DataId id = static_cast<DataId>(size_);
+  AppendTerm(t, id);
   return id;
+}
+
+DictView Dictionary::view() const {
+  DictView v;
+  v.terms_ = terms_;
+  v.size_ = size_;
+  v.sorted_limit_ = sorted_limit_;
+  v.folded_ = folded_;
+  v.tail_ = tail_;
+  v.tail_size_ = tail_size_;
+  return v;
 }
 
 }  // namespace wdsparql

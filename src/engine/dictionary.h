@@ -2,8 +2,9 @@
 #define WDSPARQL_ENGINE_DICTIONARY_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "rdf/triple_set.h"
@@ -22,6 +23,14 @@
 /// sortable and binary-searchable, and the order preservation means
 /// `DataId` order coincides with `TermId` order — handy for emitting
 /// sorted candidate values during joins.
+///
+/// Concurrency: the dictionary is append-only, and its storage is laid
+/// out so that a published *prefix* of it can be read lock-free while a
+/// single writer keeps appending. The term array lives in a shared
+/// buffer that is only ever replaced wholesale (never reallocated under
+/// readers), and the lookup index over appended terms is an immutable
+/// sorted run plus a bounded tail, both copy-on-write. `DictView`
+/// captures one consistent prefix; see docs/CONCURRENCY.md.
 
 namespace wdsparql {
 
@@ -30,6 +39,54 @@ using DataId = uint32_t;
 
 /// Sentinel: "no id" / wildcard in encoded patterns.
 inline constexpr DataId kNoDataId = 0xFFFFFFFFu;
+
+/// An immutable snapshot of a `Dictionary` prefix: every `DataId` below
+/// `size()` decodes, and `Encode` resolves exactly the terms that had
+/// been added when the view was taken. Cheap to copy (a few shared
+/// pointers); safe to use from any thread while the source dictionary
+/// keeps growing, provided the view was obtained through a
+/// release/acquire publication edge (the `ReadView` publish).
+class DictView {
+ public:
+  DictView() = default;
+
+  /// The dense id of `t`, or `kNoDataId` if `t` was not in the
+  /// dictionary when the view was taken. O(log size).
+  DataId Encode(TermId t) const;
+
+  /// Miss-safe `Encode`.
+  std::optional<DataId> TryResolve(TermId t) const {
+    DataId id = Encode(t);
+    if (id == kNoDataId) return std::nullopt;
+    return id;
+  }
+
+  /// The term with dense id `id`; fatal if out of the view's range.
+  TermId Decode(DataId id) const {
+    WDSPARQL_CHECK(id < size_);
+    return (*terms_)[id];
+  }
+
+  /// Number of distinct terms in the view.
+  std::size_t size() const { return size_; }
+
+  /// Length of the TermId-sorted prefix (see `Dictionary`).
+  std::size_t sorted_limit() const { return sorted_limit_; }
+
+ private:
+  friend class Dictionary;
+
+  // The buffers are over-allocated: only the first `size_` /
+  // `tail_size_` entries belong to this view. Slots past them may be
+  // written by the dictionary's writer thread, but never the ones the
+  // view indexes — see the publication protocol in docs/CONCURRENCY.md.
+  std::shared_ptr<const std::vector<TermId>> terms_;
+  std::size_t size_ = 0;
+  std::size_t sorted_limit_ = 0;
+  std::shared_ptr<const std::vector<std::pair<TermId, DataId>>> folded_;
+  std::shared_ptr<const std::vector<std::pair<TermId, DataId>>> tail_;
+  std::size_t tail_size_ = 0;
+};
 
 /// Map between the distinct `TermId`s of one triple set and the dense
 /// range `[0, size)`.
@@ -42,9 +99,20 @@ inline constexpr DataId kNoDataId = 0xFFFFFFFFu;
 /// DataId-order/TermId-order coincidence only holds for the built prefix;
 /// all engine algorithms require only a fixed total order on `DataId`s,
 /// which appending preserves.
+///
+/// Thread-safety: not itself thread-safe — one writer (or external
+/// serialisation) mutates it. Concurrent readers go through `view()`
+/// snapshots published by the owning store.
 class Dictionary {
  public:
   Dictionary() = default;
+
+  // Copies deep-copy the mutable buffers (two dictionaries must never
+  // append into shared storage); the immutable folded run is shared.
+  Dictionary(const Dictionary& other) { *this = other; }
+  Dictionary& operator=(const Dictionary& other);
+  Dictionary(Dictionary&& other) noexcept { *this = std::move(other); }
+  Dictionary& operator=(Dictionary&& other) noexcept;
 
   /// Builds the dictionary of the distinct terms of `set`.
   static Dictionary Build(const TripleSet& set);
@@ -56,15 +124,15 @@ class Dictionary {
   /// \internal Reconstitutes a dictionary from its persisted parts: the
   /// DataId-indexed term array and the length of its TermId-sorted
   /// prefix (terms past it were appended by `GetOrAdd` and are looked up
-  /// through the rebuilt hash map). Used by snapshot open.
+  /// through the rebuilt appended index). Used by snapshot open.
   static Dictionary FromParts(std::vector<TermId> terms, std::size_t sorted_limit);
 
-  /// \internal The TermId-sorted prefix length (persisted alongside
-  /// `terms()` so `FromParts` can restore the lookup structure).
+  /// \internal The TermId-sorted prefix length (persisted alongside the
+  /// term array so `FromParts` can restore the lookup structure).
   std::size_t sorted_limit() const { return sorted_limit_; }
 
   /// The dense id of `t`, or `kNoDataId` if `t` is not in the dictionary.
-  /// O(log prefix) + O(1) amortised for appended terms.
+  /// O(log size).
   DataId Encode(TermId t) const;
 
   /// Miss-safe lookup: the dense id of `t`, or nullopt if `t` is not in
@@ -82,22 +150,40 @@ class Dictionary {
 
   /// The term with dense id `id`; fatal if out of range.
   TermId Decode(DataId id) const {
-    WDSPARQL_CHECK(id < terms_.size());
-    return terms_[id];
+    WDSPARQL_CHECK(id < size_);
+    return (*terms_)[id];
   }
 
   /// Number of distinct terms.
-  std::size_t size() const { return terms_.size(); }
+  std::size_t size() const { return size_; }
 
-  /// The distinct terms, indexed by `DataId`. Ascending by `TermId` over
-  /// the `Build` prefix; terms appended by `GetOrAdd` follow in insertion
-  /// order.
-  const std::vector<TermId>& terms() const { return terms_; }
+  /// \internal Contiguous DataId-indexed term array, `size()` entries
+  /// (snapshot serialization).
+  const TermId* terms_data() const { return terms_ == nullptr ? nullptr : terms_->data(); }
+
+  /// An immutable snapshot of the current content. O(1).
+  DictView view() const;
 
  private:
-  std::vector<TermId> terms_;        // Index == DataId.
-  std::size_t sorted_limit_ = 0;     // [0, sorted_limit_) is TermId-sorted.
-  std::unordered_map<TermId, DataId> appended_;  // Terms past the prefix.
+  void InitBuffers(std::vector<TermId> sorted_terms);
+  void AppendTerm(TermId t, DataId id);
+
+  // Shared, over-allocated buffers: the first `size_`/`tail_size_`
+  // entries are live. Growth swaps in a fresh doubled buffer instead of
+  // reallocating, so views taken earlier keep valid storage.
+  std::shared_ptr<std::vector<TermId>> terms_;   // Index == DataId.
+  std::size_t size_ = 0;
+  std::size_t sorted_limit_ = 0;  // [0, sorted_limit_) is TermId-sorted.
+  // Lookup index over terms appended past the sorted prefix: an
+  // immutable TermId-sorted run, plus a small insertion-order tail that
+  // is folded into a fresh run when it exceeds kFoldLimit. Readers
+  // binary-search the run and linearly scan the tail, so the tail bound
+  // caps their worst case; folding is O(appended) but amortised
+  // O(appended / kFoldLimit) per append.
+  static constexpr std::size_t kFoldLimit = 256;
+  std::shared_ptr<const std::vector<std::pair<TermId, DataId>>> folded_;
+  std::shared_ptr<std::vector<std::pair<TermId, DataId>>> tail_;
+  std::size_t tail_size_ = 0;
 };
 
 }  // namespace wdsparql

@@ -1,148 +1,41 @@
 #include "engine/indexed_store.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace wdsparql {
-namespace {
 
-/// Position order of each permutation: kSpo reads positions (0,1,2),
-/// kPos (1,2,0), kOsp (2,0,1).
-constexpr int kPermOrder[3][3] = {{0, 1, 2}, {1, 2, 0}, {2, 0, 1}};
-
-/// The permutation whose sort prefix covers the bound-position mask
-/// (bit 0 = subject, bit 1 = predicate, bit 2 = object). Every mask is a
-/// prefix of one cyclic permutation; full and empty masks default to SPO.
-constexpr Permutation kPermForMask[8] = {
-    Permutation::kSpo,  // ---
-    Permutation::kSpo,  // S--
-    Permutation::kPos,  // -P-
-    Permutation::kSpo,  // SP-
-    Permutation::kOsp,  // --O
-    Permutation::kOsp,  // S-O  (OSP prefix: O, S)
-    Permutation::kPos,  // -PO  (POS prefix: P, O)
-    Permutation::kSpo,  // SPO
-};
-
-/// Lexicographic comparator in the given permutation order.
-struct PermLess {
-  const int* order;
-  bool operator()(const EncTriple& a, const EncTriple& b) const {
-    for (int i = 0; i < 3; ++i) {
-      int pos = order[i];
-      if (a[pos] != b[pos]) return a[pos] < b[pos];
-    }
-    return false;
-  }
-};
-
-const int* OrderOf(Permutation perm) { return kPermOrder[static_cast<int>(perm)]; }
-
-/// The contiguous [lo, hi) range of `[begin, end)` whose first `prefix`
-/// positions (in permutation order) equal the pattern's bound values.
-std::pair<const EncTriple*, const EncTriple*> PrefixRange(
-    const EncTriple* begin, const EncTriple* end, const EncPattern& pattern,
-    const int* order, int prefix) {
-  auto triple_below = [&](const EncTriple& t, const EncPattern& p) {
-    for (int i = 0; i < prefix; ++i) {
-      int pos = order[i];
-      if (t[pos] != p[pos]) return t[pos] < p[pos];
-    }
-    return false;
-  };
-  auto pattern_below = [&](const EncPattern& p, const EncTriple& t) {
-    for (int i = 0; i < prefix; ++i) {
-      int pos = order[i];
-      if (t[pos] != p[pos]) return p[pos] < t[pos];
-    }
-    return false;
-  };
-  const EncTriple* lo = std::lower_bound(begin, end, pattern, triple_below);
-  const EncTriple* hi = std::upper_bound(lo, end, pattern, pattern_below);
-  return {lo, hi};
-}
-
-/// Inserts `t` into the permutation-sorted run `vec`.
-void SortedInsert(std::vector<EncTriple>* vec, const EncTriple& t, Permutation perm) {
-  PermLess less{OrderOf(perm)};
-  vec->insert(std::upper_bound(vec->begin(), vec->end(), t, less), t);
-}
-
-/// Removes `t` from the permutation-sorted run `vec` (must be present).
-void SortedErase(std::vector<EncTriple>* vec, const EncTriple& t, Permutation perm) {
-  PermLess less{OrderOf(perm)};
-  auto it = std::lower_bound(vec->begin(), vec->end(), t, less);
-  WDSPARQL_DCHECK(it != vec->end() && *it == t);
-  vec->erase(it);
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------------
-// MergedScan
-// ---------------------------------------------------------------------
-
-MergedScan::MergedScan(const EncTriple* base_begin, const EncTriple* base_end,
-                       const EncTriple* delta_begin, const EncTriple* delta_end,
-                       const Tombstones* dead, Permutation perm)
-    : base_begin_(base_begin),
-      base_end_(base_end),
-      delta_begin_(delta_begin),
-      delta_end_(delta_end),
-      dead_(dead),
-      perm_(perm) {}
-
-MergedScan::Iterator::Iterator(const EncTriple* base, const EncTriple* base_end,
-                               const EncTriple* delta, const EncTriple* delta_end,
-                               const Tombstones* dead, const int* order)
-    : base_(base),
-      base_end_(base_end),
-      delta_(delta),
-      delta_end_(delta_end),
-      dead_(dead),
-      order_(order) {
-  Settle();
-}
-
-void MergedScan::Iterator::Settle() {
-  while (base_ != base_end_ && !dead_->empty() && dead_->count(*base_) > 0) ++base_;
-  if (base_ == base_end_) {
-    on_delta_ = true;
-    return;
-  }
-  on_delta_ =
-      delta_ != delta_end_ && PermLess{order_}(*delta_, *base_);
-}
-
-MergedScan::Iterator& MergedScan::Iterator::operator++() {
-  if (on_delta_) {
-    ++delta_;
-  } else {
-    ++base_;
-  }
-  Settle();
-  return *this;
-}
-
-MergedScan::Iterator MergedScan::begin() const {
-  return Iterator(base_begin_, base_end_, delta_begin_, delta_end_, dead_,
-                  OrderOf(perm_));
-}
-
-MergedScan::Iterator MergedScan::end() const {
-  return Iterator(base_end_, base_end_, delta_end_, delta_end_, dead_, OrderOf(perm_));
-}
-
-std::size_t MergedScan::size() const {
-  std::size_t n = 0;
-  for (auto it = begin(); it != end(); ++it) ++n;
-  return n;
-}
-
-// ---------------------------------------------------------------------
-// IndexedStore
-// ---------------------------------------------------------------------
+using enc_order::OrderOf;
+using enc_order::PermLess;
 
 namespace {
+
+/// Copies `src` with `t` inserted at its sorted position — the
+/// copy-on-write successor of one delta run.
+std::vector<EncTriple> CopyInsert(const std::vector<EncTriple>& src,
+                                  const EncTriple& t, Permutation perm) {
+  PermLess less{OrderOf(perm)};
+  auto pivot = std::upper_bound(src.begin(), src.end(), t, less);
+  std::vector<EncTriple> out;
+  out.reserve(src.size() + 1);
+  out.insert(out.end(), src.begin(), pivot);
+  out.push_back(t);
+  out.insert(out.end(), pivot, src.end());
+  return out;
+}
+
+/// Copies `src` with `t` removed (must be present).
+std::vector<EncTriple> CopyErase(const std::vector<EncTriple>& src,
+                                 const EncTriple& t, Permutation perm) {
+  PermLess less{OrderOf(perm)};
+  auto pivot = std::lower_bound(src.begin(), src.end(), t, less);
+  WDSPARQL_DCHECK(pivot != src.end() && *pivot == t);
+  std::vector<EncTriple> out;
+  out.reserve(src.size() - 1);
+  out.insert(out.end(), src.begin(), pivot);
+  out.insert(out.end(), pivot + 1, src.end());
+  return out;
+}
 
 /// Encodes `triples` against `dict` and installs the three sorted base
 /// runs. With `dedup`, equal encoded triples collapse (plain-vector
@@ -174,6 +67,12 @@ IndexedStore BuildEncoded(Dictionary dict, const std::vector<Triple>& triples,
 
 }  // namespace
 
+IndexedStore::IndexedStore()
+    : base_(std::make_shared<const BaseRuns>()),
+      delta_(std::make_shared<const DeltaRuns>()) {
+  Publish();
+}
+
 IndexedStore IndexedStore::Build(const TripleSet& set) {
   return BuildEncoded(Dictionary::Build(set), set.triples(), /*dedup=*/false);
 }
@@ -184,26 +83,51 @@ IndexedStore IndexedStore::Build(const std::vector<Triple>& triples) {
 
 IndexedStore IndexedStore::FromSnapshot(Dictionary dict, const EncTriple* spo,
                                         const EncTriple* pos, const EncTriple* osp,
-                                        std::size_t count) {
+                                        std::size_t count,
+                                        std::shared_ptr<const void> keepalive) {
   IndexedStore store;
   store.dict_ = std::move(dict);
-  store.spo_.Borrow(spo, count);
-  store.pos_.Borrow(pos, count);
-  store.osp_.Borrow(osp, count);
+  auto base = std::make_shared<BaseRuns>();
+  base->spo.Borrow(spo, count);
+  base->pos.Borrow(pos, count);
+  base->osp.Borrow(osp, count);
+  base->keepalive = std::move(keepalive);
+  store.base_ = std::move(base);
+  store.Publish();
   return store;
 }
 
 void IndexedStore::SetBuilt(Dictionary dict, std::vector<EncTriple> spo,
                             std::vector<EncTriple> pos, std::vector<EncTriple> osp) {
   dict_ = std::move(dict);
-  spo_.Assign(std::move(spo));
-  pos_.Assign(std::move(pos));
-  osp_.Assign(std::move(osp));
+  auto base = std::make_shared<BaseRuns>();
+  base->spo.Assign(std::move(spo));
+  base->pos.Assign(std::move(pos));
+  base->osp.Assign(std::move(osp));
+  base_ = std::move(base);
+  delta_ = std::make_shared<const DeltaRuns>();
+  Publish();
 }
 
-bool IndexedStore::InDelta(const EncTriple& t) const {
-  return std::binary_search(dspo_.begin(), dspo_.end(), t,
-                            PermLess{OrderOf(Permutation::kSpo)});
+void IndexedStore::Publish() {
+  auto next = std::make_shared<const ReadView>(dict_.view(), base_, delta_,
+                                               ++generation_);
+  // The epoch publish: everything the new view references was fully
+  // written (sequenced) before this store, and readers acquire through
+  // the matching atomic load in PinView — so a pinned view is always
+  // internally consistent, never torn.
+  std::atomic_store(&view_, std::move(next));
+}
+
+std::shared_ptr<const ReadView> IndexedStore::PinView() const {
+  return std::atomic_load(&view_);
+}
+
+void IndexedStore::AdoptFrom(IndexedStore&& other) {
+  dict_ = std::move(other.dict_);
+  base_ = std::move(other.base_);
+  delta_ = std::move(other.delta_);
+  Publish();
 }
 
 bool IndexedStore::Insert(const Triple& t) {
@@ -211,17 +135,32 @@ bool IndexedStore::Insert(const Triple& t) {
   enc.s = dict_.GetOrAdd(t.subject);
   enc.p = dict_.GetOrAdd(t.predicate);
   enc.o = dict_.GetOrAdd(t.object);
-  bool in_base = std::binary_search(spo_.begin(), spo_.end(), enc,
+  bool in_base = std::binary_search(base_->spo.begin(), base_->spo.end(), enc,
                                     PermLess{OrderOf(Permutation::kSpo)});
   if (in_base) {
     // Re-inserting a tombstoned base triple just revives it.
-    return dead_.erase(enc) > 0;
+    if (!std::binary_search(delta_->dead.begin(), delta_->dead.end(), enc,
+                            PermLess{OrderOf(Permutation::kSpo)})) {
+      return false;
+    }
+    auto next = std::make_shared<DeltaRuns>();
+    next->dspo = delta_->dspo;
+    next->dpos = delta_->dpos;
+    next->dosp = delta_->dosp;
+    next->dead = CopyErase(delta_->dead, enc, Permutation::kSpo);
+    delta_ = std::move(next);
+    Publish();
+    return true;
   }
-  if (InDelta(enc)) return false;
-  SortedInsert(&dspo_, enc, Permutation::kSpo);
-  SortedInsert(&dpos_, enc, Permutation::kPos);
-  SortedInsert(&dosp_, enc, Permutation::kOsp);
+  if (view_->InDelta(enc)) return false;
+  auto next = std::make_shared<DeltaRuns>();
+  next->dspo = CopyInsert(delta_->dspo, enc, Permutation::kSpo);
+  next->dpos = CopyInsert(delta_->dpos, enc, Permutation::kPos);
+  next->dosp = CopyInsert(delta_->dosp, enc, Permutation::kOsp);
+  next->dead = delta_->dead;
+  delta_ = std::move(next);
   MaybeMerge();
+  Publish();
   return true;
 }
 
@@ -232,118 +171,75 @@ bool IndexedStore::Erase(const Triple& t) {
     if (!id.has_value()) return false;  // Unknown term: nothing to remove.
     (pos == 0 ? enc.s : (pos == 1 ? enc.p : enc.o)) = *id;
   }
-  if (InDelta(enc)) {
-    SortedErase(&dspo_, enc, Permutation::kSpo);
-    SortedErase(&dpos_, enc, Permutation::kPos);
-    SortedErase(&dosp_, enc, Permutation::kOsp);
+  if (view_->InDelta(enc)) {
+    auto next = std::make_shared<DeltaRuns>();
+    next->dspo = CopyErase(delta_->dspo, enc, Permutation::kSpo);
+    next->dpos = CopyErase(delta_->dpos, enc, Permutation::kPos);
+    next->dosp = CopyErase(delta_->dosp, enc, Permutation::kOsp);
+    next->dead = delta_->dead;
+    delta_ = std::move(next);
+    Publish();
     return true;
   }
-  bool in_base = std::binary_search(spo_.begin(), spo_.end(), enc,
+  bool in_base = std::binary_search(base_->spo.begin(), base_->spo.end(), enc,
                                     PermLess{OrderOf(Permutation::kSpo)});
-  if (!in_base || dead_.count(enc) > 0) return false;
-  dead_.insert(enc);
+  if (!in_base ||
+      std::binary_search(delta_->dead.begin(), delta_->dead.end(), enc,
+                         PermLess{OrderOf(Permutation::kSpo)})) {
+    return false;
+  }
+  auto next = std::make_shared<DeltaRuns>();
+  next->dspo = delta_->dspo;
+  next->dpos = delta_->dpos;
+  next->dosp = delta_->dosp;
+  next->dead = CopyInsert(delta_->dead, enc, Permutation::kSpo);
+  delta_ = std::move(next);
   MaybeMerge();
+  Publish();
   return true;
 }
 
 void IndexedStore::MaybeMerge() {
   if (merge_threshold_ == 0) return;
-  if (delta_size() >= merge_threshold_) MergeDelta();
+  if (delta_->pending() >= merge_threshold_) MergeDelta();
 }
 
 void IndexedStore::MergeDelta() {
-  if (dspo_.empty() && dead_.empty()) return;
-  auto merge_one = [this](EncRun* base, std::vector<EncTriple>* delta,
-                          Permutation perm) {
+  if (delta_->dspo.empty() && delta_->dead.empty()) return;
+  const DeltaRuns& delta = *delta_;
+  auto merged_base = std::make_shared<BaseRuns>();
+  auto merge_one = [&delta](const EncRun& base, const std::vector<EncTriple>& d,
+                            EncRun* out, Permutation perm) {
     std::vector<EncTriple> merged;
-    merged.reserve(base->size() - dead_.size() + delta->size());
+    merged.reserve(base.size() - delta.dead.size() + d.size());
     PermLess less{OrderOf(perm)};
-    const EncTriple* bi = base->begin();
-    auto di = delta->begin();
-    while (bi != base->end() || di != delta->end()) {
-      bool take_base =
-          di == delta->end() || (bi != base->end() && !less(*di, *bi));
+    const EncTriple* bi = base.begin();
+    auto di = d.begin();
+    while (bi != base.end() || di != d.end()) {
+      bool take_base = di == d.end() || (bi != base.end() && !less(*di, *bi));
       if (take_base) {
-        if (dead_.empty() || dead_.count(*bi) == 0) merged.push_back(*bi);
+        if (delta.dead.empty() ||
+            !std::binary_search(delta.dead.begin(), delta.dead.end(), *bi,
+                                PermLess{OrderOf(Permutation::kSpo)})) {
+          merged.push_back(*bi);
+        }
         ++bi;
       } else {
         merged.push_back(*di);
         ++di;
       }
     }
-    // Merging out of a borrowed (snapshot-backed) run lands in owned
-    // storage: the store no longer needs the mapping after this.
-    base->Assign(std::move(merged));
-    delta->clear();
+    out->Assign(std::move(merged));
   };
-  merge_one(&spo_, &dspo_, Permutation::kSpo);
-  merge_one(&pos_, &dpos_, Permutation::kPos);
-  merge_one(&osp_, &dosp_, Permutation::kOsp);
-  dead_.clear();
-}
-
-bool IndexedStore::EncodeScanPattern(const Triple& pattern, EncPattern* out) const {
-  *out = EncPattern{};
-  for (int pos = 0; pos < 3; ++pos) {
-    TermId term = pattern[pos];
-    if (term == kAnyTerm) continue;
-    std::optional<DataId> id = dict_.TryResolve(term);
-    if (!id.has_value()) return false;  // Term absent: nothing can match.
-    (pos == 0 ? out->s : (pos == 1 ? out->p : out->o)) = *id;
-  }
-  return true;
-}
-
-MergedScan IndexedStore::Scan(const EncPattern& pattern) const {
-  int mask = (pattern.s != kNoDataId ? 1 : 0) | (pattern.p != kNoDataId ? 2 : 0) |
-             (pattern.o != kNoDataId ? 4 : 0);
-  Permutation perm = kPermForMask[mask];
-  const int* order = OrderOf(perm);
-  int prefix = (mask & 1) + ((mask >> 1) & 1) + ((mask >> 2) & 1);
-
-  const EncRun* base;
-  const std::vector<EncTriple>* delta;
-  switch (perm) {
-    case Permutation::kSpo: base = &spo_; delta = &dspo_; break;
-    case Permutation::kPos: base = &pos_; delta = &dpos_; break;
-    default: base = &osp_; delta = &dosp_; break;
-  }
-  auto [base_lo, base_hi] = PrefixRange(base->begin(), base->end(), pattern, order, prefix);
-  auto [delta_lo, delta_hi] = PrefixRange(delta->data(), delta->data() + delta->size(),
-                                          pattern, order, prefix);
-  return MergedScan(base_lo, base_hi, delta_lo, delta_hi, &dead_, perm);
-}
-
-bool IndexedStore::Contains(const EncTriple& t) const {
-  if (InDelta(t)) return true;
-  return std::binary_search(spo_.begin(), spo_.end(), t,
-                            PermLess{OrderOf(Permutation::kSpo)}) &&
-         dead_.count(t) == 0;
-}
-
-bool IndexedStore::Contains(const Triple& t) const {
-  EncTriple enc;
-  for (int pos = 0; pos < 3; ++pos) {
-    std::optional<DataId> id = dict_.TryResolve(t[pos]);
-    if (!id.has_value()) return false;
-    (pos == 0 ? enc.s : (pos == 1 ? enc.p : enc.o)) = *id;
-  }
-  return Contains(enc);
-}
-
-bool IndexedStore::ScanPattern(const Triple& pattern, const TripleScanCallback& fn) const {
-  EncPattern enc;
-  if (!EncodeScanPattern(pattern, &enc)) return true;  // Empty scan completes.
-  for (const EncTriple& t : Scan(enc)) {
-    if (!fn(Decode(t))) return false;
-  }
-  return true;
-}
-
-std::vector<TermId> IndexedStore::AllTerms() const {
-  std::vector<TermId> terms = dict_.terms();
-  std::sort(terms.begin(), terms.end());
-  return terms;
+  // Merging out of a borrowed (snapshot-backed) run lands in owned
+  // storage; the old BaseRuns (and its mapping keepalive) stays alive
+  // only while pinned views still reference it.
+  merge_one(base_->spo, delta.dspo, &merged_base->spo, Permutation::kSpo);
+  merge_one(base_->pos, delta.dpos, &merged_base->pos, Permutation::kPos);
+  merge_one(base_->osp, delta.dosp, &merged_base->osp, Permutation::kOsp);
+  base_ = std::move(merged_base);
+  delta_ = std::make_shared<const DeltaRuns>();
+  Publish();
 }
 
 }  // namespace wdsparql

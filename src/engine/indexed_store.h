@@ -2,13 +2,13 @@
 #define WDSPARQL_ENGINE_INDEXED_STORE_H_
 
 #include <cstdint>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
 #include "engine/dictionary.h"
+#include "engine/read_view.h"
 #include "rdf/scan.h"
 #include "rdf/triple_set.h"
-#include "wdsparql/hash.h"
 
 /// \file
 /// Dictionary-encoded triple store with sorted permutation indexes.
@@ -33,171 +33,24 @@
 /// it exceeds a threshold (`MergeDelta`). `DataId`s are stable across
 /// merges: the dictionary only ever appends, so no run is re-encoded.
 ///
-/// The store also implements the `TripleSource` scan interface, so the
-/// paper's homomorphism/wdEVAL algorithms run on top of it unchanged.
+/// Concurrency (single writer, many readers): all store state lives in
+/// immutable refcounted pieces (`BaseRuns`, `DeltaRuns`, the dictionary
+/// prefix — see engine/read_view.h). A mutation builds the successor
+/// delta copy-on-write, then publishes a fresh `ReadView` with one
+/// atomic shared-ptr store; `PinView()` on any thread acquires the
+/// latest view with one atomic load. Readers therefore never block the
+/// writer, never observe a torn delta, and keep whatever view they
+/// pinned alive until they drop it. The mutation API itself is
+/// single-writer: concurrent mutators require external serialisation.
+///
+/// The store also implements the `TripleSource` scan interface (against
+/// its freshest view), so the paper's homomorphism/wdEVAL algorithms run
+/// on top of it unchanged.
 
 namespace wdsparql {
 
-/// A dictionary-encoded triple. Field order is always (s, p, o); the
-/// permutation lives in the sort order of the containing vector.
-struct EncTriple {
-  DataId s;
-  DataId p;
-  DataId o;
-
-  /// Position access: 0=subject, 1=predicate, 2=object.
-  DataId operator[](int pos) const { return pos == 0 ? s : (pos == 1 ? p : o); }
-
-  friend bool operator==(const EncTriple& a, const EncTriple& b) {
-    return a.s == b.s && a.p == b.p && a.o == b.o;
-  }
-};
-
-/// Hash functor for EncTriple (tombstone set, dedup probes).
-struct EncTripleHash {
-  std::size_t operator()(const EncTriple& t) const {
-    std::size_t seed = t.s;
-    HashCombine(seed, t.p);
-    HashCombine(seed, t.o);
-    return seed;
-  }
-};
-
-/// An encoded triple pattern: `kNoDataId` positions are wildcards.
-struct EncPattern {
-  DataId s = kNoDataId;
-  DataId p = kNoDataId;
-  DataId o = kNoDataId;
-
-  DataId operator[](int pos) const { return pos == 0 ? s : (pos == 1 ? p : o); }
-};
-
-/// The three cyclic permutation orders.
-enum class Permutation { kSpo = 0, kPos = 1, kOsp = 2 };
-
-/// The matching triples of one scan: a sorted base-run range merged on
-/// the fly with a sorted delta-run range, with tombstoned base triples
-/// skipped. Iteration yields triples in permutation order (so the first
-/// unbound position is ascending, as the merge join requires). The
-/// backing store must outlive the scan and must not be mutated while a
-/// scan is live.
-class MergedScan {
- public:
-  using Tombstones = std::unordered_set<EncTriple, EncTripleHash>;
-
-  MergedScan(const EncTriple* base_begin, const EncTriple* base_end,
-             const EncTriple* delta_begin, const EncTriple* delta_end,
-             const Tombstones* dead, Permutation perm);
-
-  /// Two-run merging input iterator.
-  class Iterator {
-   public:
-    Iterator(const EncTriple* base, const EncTriple* base_end, const EncTriple* delta,
-             const EncTriple* delta_end, const Tombstones* dead, const int* order);
-
-    const EncTriple& operator*() const { return on_delta_ ? *delta_ : *base_; }
-    Iterator& operator++();
-    friend bool operator!=(const Iterator& a, const Iterator& b) {
-      return a.base_ != b.base_ || a.delta_ != b.delta_;
-    }
-    friend bool operator==(const Iterator& a, const Iterator& b) { return !(a != b); }
-
-   private:
-    void Settle();  // Skip dead base triples; pick the smaller run head.
-
-    const EncTriple* base_;
-    const EncTriple* base_end_;
-    const EncTriple* delta_;
-    const EncTriple* delta_end_;
-    const Tombstones* dead_;
-    const int* order_;
-    bool on_delta_ = false;
-  };
-
-  Iterator begin() const;
-  Iterator end() const;
-  /// Number of live triples in the scan. O(range) — counts by iterating;
-  /// intended for tests and diagnostics, not hot paths.
-  std::size_t size() const;
-  bool empty() const { return !(begin() != end()); }
-  /// The permutation the scan is ordered in.
-  Permutation permutation() const { return perm_; }
-
- private:
-  const EncTriple* base_begin_;
-  const EncTriple* base_end_;
-  const EncTriple* delta_begin_;
-  const EncTriple* delta_end_;
-  const Tombstones* dead_;
-  Permutation perm_;
-};
-
-/// A permutation-sorted base run: either owned storage (built or merged
-/// in memory) or a borrowed external array — a mapped snapshot section
-/// consumed in place, whose backing file view must outlive the store.
-/// The next `MergeDelta` naturally migrates a borrowed run into owned
-/// storage (the merge output is always owned).
-class EncRun {
- public:
-  EncRun() = default;
-  EncRun(const EncRun& other) { *this = other; }
-  EncRun& operator=(const EncRun& other) {
-    borrowed_ = other.borrowed_;
-    size_ = other.size_;
-    owned_ = other.owned_;
-    data_ = borrowed_ ? other.data_ : owned_.data();
-    return *this;
-  }
-  EncRun(EncRun&& other) noexcept { *this = std::move(other); }
-  EncRun& operator=(EncRun&& other) noexcept {
-    if (this == &other) return *this;
-    borrowed_ = other.borrowed_;
-    size_ = other.size_;
-    owned_ = std::move(other.owned_);
-    data_ = borrowed_ ? other.data_ : owned_.data();
-    // Leave the source empty: its data_ must not alias storage that now
-    // belongs to the target.
-    other.data_ = nullptr;
-    other.size_ = 0;
-    other.borrowed_ = false;
-    other.owned_.clear();
-    return *this;
-  }
-
-  /// Takes ownership of a sorted run.
-  void Assign(std::vector<EncTriple> triples) {
-    owned_ = std::move(triples);
-    data_ = owned_.data();
-    size_ = owned_.size();
-    borrowed_ = false;
-  }
-
-  /// Borrows `count` sorted triples living elsewhere (snapshot section).
-  void Borrow(const EncTriple* data, std::size_t count) {
-    owned_.clear();
-    owned_.shrink_to_fit();
-    data_ = data;
-    size_ = count;
-    borrowed_ = true;
-  }
-
-  const EncTriple* begin() const { return data_; }
-  const EncTriple* end() const { return data_ + size_; }
-  const EncTriple* data() const { return data_; }
-  std::size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
-  /// True when the run borrows external (mapped) storage.
-  bool borrowed() const { return borrowed_; }
-
- private:
-  const EncTriple* data_ = nullptr;
-  std::size_t size_ = 0;
-  bool borrowed_ = false;
-  std::vector<EncTriple> owned_;
-};
-
-/// Dictionary-encoded store with SPO/POS/OSP permutations and
-/// incremental base+delta maintenance.
+/// Dictionary-encoded store with SPO/POS/OSP permutations, incremental
+/// base+delta maintenance, and epoch-published `ReadView` snapshots.
 class IndexedStore final : public TripleSource {
  public:
   /// Delta size (inserts + tombstones) that triggers an automatic
@@ -205,7 +58,7 @@ class IndexedStore final : public TripleSource {
   /// insertion stays cheap, large enough to amortise the linear merge.
   static constexpr std::size_t kDefaultMergeThreshold = 4096;
 
-  IndexedStore() = default;
+  IndexedStore();
 
   /// Builds the store (dictionary + three sorted base runs) from the
   /// triples of `set` in one sort pass — the bulk-load fast path.
@@ -218,110 +71,136 @@ class IndexedStore final : public TripleSource {
 
   /// \internal Reconstitutes a store over a snapshot's sections, borrowed
   /// in place: `spo`/`pos`/`osp` are `count`-long sorted runs whose
-  /// backing memory (the mapped snapshot) must outlive the store or its
-  /// next `MergeDelta`, whichever comes first.
+  /// backing memory must stay valid while `keepalive` is held. The
+  /// keepalive is stored inside the published base runs, so the mapping
+  /// lives exactly as long as the last `ReadView` that borrows from it
+  /// (the next `MergeDelta` migrates the store itself to owned storage).
   static IndexedStore FromSnapshot(Dictionary dict, const EncTriple* spo,
                                    const EncTriple* pos, const EncTriple* osp,
-                                   std::size_t count);
+                                   std::size_t count,
+                                   std::shared_ptr<const void> keepalive);
 
-  // Mutation ----------------------------------------------------------
+  // Mutation (single writer) ------------------------------------------
 
   /// Inserts `t`, growing the dictionary as needed; returns true iff it
-  /// was not already present. O(delta) for the sorted-run insertion,
-  /// amortised O(size/threshold) for merges.
+  /// was not already present. O(delta) for the copy-on-write sorted-run
+  /// insertion, amortised O(size/threshold) for merges. Publishes a new
+  /// view on success.
   bool Insert(const Triple& t);
 
   /// Removes `t`; returns true iff it was present. Base-resident triples
   /// are tombstoned (physically removed by the next merge); delta
-  /// triples are removed in place.
+  /// triples are removed copy-on-write. Publishes a new view on success.
   bool Erase(const Triple& t);
 
-  /// Folds the delta runs and tombstones into the base runs with one
-  /// linear merge pass per permutation. Idempotent; `DataId`s and the
-  /// dictionary are unchanged.
+  /// Folds the delta runs and tombstones into fresh base runs with one
+  /// linear merge pass per permutation, then publishes. Idempotent;
+  /// `DataId`s and the dictionary are unchanged. Views pinned before the
+  /// merge keep the pre-merge runs alive and stay fully readable.
   void MergeDelta();
 
   /// Pending un-merged work: delta triples plus tombstones.
-  std::size_t delta_size() const { return dspo_.size() + dead_.size(); }
+  std::size_t delta_size() const { return delta_->pending(); }
 
   /// Sets the auto-merge trigger (0 disables automatic merging; callers
   /// then compact via `MergeDelta` explicitly).
   void set_merge_threshold(std::size_t n) { merge_threshold_ = n; }
 
-  // Lookup ------------------------------------------------------------
+  // Reading -----------------------------------------------------------
 
-  /// The term dictionary.
+  /// Pins the latest published view: one atomic load + refcount bump,
+  /// callable from any thread concurrently with the writer. The caller
+  /// keeps the shared_ptr for as long as it reads the view.
+  std::shared_ptr<const ReadView> PinView() const;
+
+  /// The latest published view, borrowed. Writer-thread (or externally
+  /// serialised) use only: the reference dies with the next mutation.
+  const ReadView& view() const { return *view_; }
+
+  /// Monotonic publish counter (the generation of the latest view).
+  /// This IS the public `Database::generation()` value; note it can
+  /// advance by more than one across a single mutation (a threshold
+  /// merge publishes, then the mutation publishes again). Writer-side
+  /// read; other threads read `PinView()->generation()` instead.
+  uint64_t generation() const { return generation_; }
+
+  /// \internal Adopts another store's content (dictionary + runs +
+  /// delta) and publishes it as this store's next view. Unlike a plain
+  /// assignment this keeps the publish atomic — concurrent readers may
+  /// pin views throughout — and keeps the generation monotonic. The
+  /// merge threshold is retained. Used by the bulk-load path.
+  void AdoptFrom(IndexedStore&& other);
+
+  // Writer-side lookup (delegates to the freshest view) ---------------
+
+  /// The term dictionary (writer side; readers use `PinView()->dict()`).
   const Dictionary& dictionary() const { return dict_; }
 
-  /// Encodes a `TermId`-space pattern (`kAnyTerm` positions become
-  /// wildcards). Returns false iff some bound term does not occur in the
-  /// store — in which case no triple can match.
-  bool EncodeScanPattern(const Triple& pattern, EncPattern* out) const;
-
-  /// The triples matching `pattern`, in the permutation whose sort
-  /// prefix covers the bound positions. Every yielded triple matches; no
-  /// residual filtering is needed.
-  MergedScan Scan(const EncPattern& pattern) const;
-
-  /// True iff the encoded triple is present (and not tombstoned).
-  bool Contains(const EncTriple& t) const;
-
-  /// Decodes `t` back to `TermId` space.
-  Triple Decode(const EncTriple& t) const {
-    return Triple(dict_.Decode(t.s), dict_.Decode(t.p), dict_.Decode(t.o));
+  /// See `ReadView::EncodeScanPattern`.
+  bool EncodeScanPattern(const Triple& pattern, EncPattern* out) const {
+    return view_->EncodeScanPattern(pattern, out);
   }
 
-  // Serialization surface (src/storage/) --------------------------------
+  /// See `ReadView::Scan`. The scan borrows the current view: do not
+  /// hold it across mutations (pin a view for that).
+  MergedScan Scan(const EncPattern& pattern) const { return view_->Scan(pattern); }
+
+  /// True iff the encoded triple is present (and not tombstoned).
+  bool Contains(const EncTriple& t) const { return view_->Contains(t); }
+
+  /// Decodes `t` back to `TermId` space.
+  Triple Decode(const EncTriple& t) const { return view_->Decode(t); }
+
+  // Serialization surface (src/storage/) ------------------------------
 
   /// \internal The base run sorted in `perm` order. Only the full store
   /// content when the delta is empty (callers `MergeDelta` first).
   const EncTriple* base_data(Permutation perm) const {
     switch (perm) {
-      case Permutation::kSpo: return spo_.data();
-      case Permutation::kPos: return pos_.data();
-      default: return osp_.data();
+      case Permutation::kSpo: return base_->spo.data();
+      case Permutation::kPos: return base_->pos.data();
+      default: return base_->osp.data();
     }
   }
 
   /// \internal Length of each base run.
-  std::size_t base_size() const { return spo_.size(); }
+  std::size_t base_size() const { return base_->spo.size(); }
 
   /// \internal True when any base run still borrows mapped storage.
   bool borrows_snapshot() const {
-    return spo_.borrowed() || pos_.borrowed() || osp_.borrowed();
+    return base_->spo.borrowed() || base_->pos.borrowed() || base_->osp.borrowed();
   }
 
   /// \internal Installs a freshly built dictionary and three sorted,
-  /// owned base runs (the Build helpers funnel through here).
+  /// owned base runs (the Build helpers funnel through here), then
+  /// publishes.
   void SetBuilt(Dictionary dict, std::vector<EncTriple> spo,
                 std::vector<EncTriple> pos, std::vector<EncTriple> osp);
 
-  // TripleSource interface -------------------------------------------
-  std::size_t size() const override { return spo_.size() - dead_.size() + dspo_.size(); }
-  bool Contains(const Triple& t) const override;
-  bool ScanPattern(const Triple& pattern, const TripleScanCallback& fn) const override;
+  // TripleSource interface (freshest view) ----------------------------
+  std::size_t size() const override { return view_->size(); }
+  bool Contains(const Triple& t) const override { return view_->Contains(t); }
+  bool ScanPattern(const Triple& pattern, const TripleScanCallback& fn) const override {
+    return view_->ScanPattern(pattern, fn);
+  }
   /// All dictionary terms, ascending by `TermId`. After removals this may
   /// include terms that no longer occur in any triple (the dictionary is
   /// append-only); such terms simply match nothing.
-  std::vector<TermId> AllTerms() const override;
+  std::vector<TermId> AllTerms() const override { return view_->AllTerms(); }
 
  private:
   void MaybeMerge();
-  bool InDelta(const EncTriple& t) const;
+  /// Builds and atomically publishes the view of the current state.
+  void Publish();
 
-  Dictionary dict_;
-  // The same triples, sorted in the three cyclic permutation orders:
-  // large immutable-between-merges base runs (owned, or borrowed in
-  // place from a mapped snapshot)...
-  EncRun spo_;
-  EncRun pos_;
-  EncRun osp_;
-  // ...plus small sorted delta runs absorbing inserts.
-  std::vector<EncTriple> dspo_;
-  std::vector<EncTriple> dpos_;
-  std::vector<EncTriple> dosp_;
-  // Deleted base-resident triples awaiting the next merge.
-  MergedScan::Tombstones dead_;
+  Dictionary dict_;  // Writer-side handle; its buffers are COW-shared.
+  // The canonical state: immutable refcounted pieces, replaced (never
+  // mutated) by the writer. `view_` packages the current pieces and is
+  // what readers pin; it is accessed with atomic shared_ptr loads.
+  std::shared_ptr<const BaseRuns> base_;
+  std::shared_ptr<const DeltaRuns> delta_;
+  std::shared_ptr<const ReadView> view_;
+  uint64_t generation_ = 0;
   std::size_t merge_threshold_ = kDefaultMergeThreshold;
 };
 

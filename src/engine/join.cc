@@ -18,7 +18,7 @@ struct EncConjunct {
 /// Variable-at-a-time join state.
 class JoinRun {
  public:
-  JoinRun(const IndexedStore& store, const VarAssignment& fixed,
+  JoinRun(const ReadView& store, const VarAssignment& fixed,
           const std::function<bool(const VarAssignment&)>& callback, JoinStats* stats)
       : store_(store), fixed_(fixed), callback_(callback), stats_(stats) {}
 
@@ -37,7 +37,7 @@ class JoinRun {
           ground = false;
           continue;
         }
-        DataId id = store_.dictionary().Encode(term);
+        DataId id = store_.dict().Encode(term);
         if (id == kNoDataId) return false;  // Constant absent from the store.
         c.constant[pos] = id;
         c.var[pos] = -1;
@@ -149,7 +149,7 @@ class JoinRun {
     if (depth == order_.size()) {
       VarAssignment out = fixed_;
       for (std::size_t i = 0; i < vars_.size(); ++i) {
-        out[vars_[i]] = store_.dictionary().Decode(binding_[i]);
+        out[vars_[i]] = store_.dict().Decode(binding_[i]);
       }
       if (stats_ != nullptr) ++stats_->emitted;
       return callback_(out);
@@ -169,7 +169,7 @@ class JoinRun {
     return true;
   }
 
-  const IndexedStore& store_;
+  const ReadView& store_;
   const VarAssignment& fixed_;
   const std::function<bool(const VarAssignment&)>& callback_;
   JoinStats* stats_;
@@ -184,7 +184,7 @@ class JoinRun {
 
 }  // namespace
 
-void JoinEnumerate(const IndexedStore& store, const std::vector<Triple>& patterns,
+void JoinEnumerate(const ReadView& store, const std::vector<Triple>& patterns,
                    const VarAssignment& fixed,
                    const std::function<bool(const VarAssignment&)>& callback,
                    JoinStats* stats) {
@@ -193,7 +193,7 @@ void JoinEnumerate(const IndexedStore& store, const std::vector<Triple>& pattern
   run.Run();
 }
 
-bool JoinExists(const IndexedStore& store, const std::vector<Triple>& patterns,
+bool JoinExists(const ReadView& store, const std::vector<Triple>& patterns,
                 const VarAssignment& fixed, JoinStats* stats) {
   bool found = false;
   JoinEnumerate(

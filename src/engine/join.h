@@ -5,7 +5,7 @@
 #include <functional>
 #include <vector>
 
-#include "engine/indexed_store.h"
+#include "engine/read_view.h"
 #include "hom/homomorphism.h"
 
 /// \file
@@ -33,17 +33,21 @@ struct JoinStats {
 
 /// Enumerates every assignment of vars(`patterns`) \ dom(`fixed`) such
 /// that all patterns, instantiated by the assignment plus `fixed`, are
-/// triples of `store`. The emitted assignments include `fixed` (same
+/// triples of `view`. The emitted assignments include `fixed` (same
 /// convention as EnumerateHomomorphisms). `callback` may return false to
 /// stop. Deterministic order. Patterns may repeat variables within a
-/// triple; `fixed` values must occur in the store for a match to exist.
-void JoinEnumerate(const IndexedStore& store, const std::vector<Triple>& patterns,
+/// triple; `fixed` values must occur in the view for a match to exist.
+///
+/// Joins run over an immutable `ReadView`, so they are safe on any
+/// thread concurrently with a live writer: pin a view
+/// (`IndexedStore::PinView`) and keep it pinned for the join's duration.
+void JoinEnumerate(const ReadView& view, const std::vector<Triple>& patterns,
                    const VarAssignment& fixed,
                    const std::function<bool(const VarAssignment&)>& callback,
                    JoinStats* stats = nullptr);
 
 /// True iff at least one such assignment exists (early-exit join).
-bool JoinExists(const IndexedStore& store, const std::vector<Triple>& patterns,
+bool JoinExists(const ReadView& view, const std::vector<Triple>& patterns,
                 const VarAssignment& fixed, JoinStats* stats = nullptr);
 
 }  // namespace wdsparql

@@ -52,7 +52,7 @@ void QueryEngine::EnumerateSolutions(const PreparedQuery& query,
   // completion (or until the callback stops it).
   SolutionEnumerator enumerator(
       query.forest,
-      engine_internal::MakeEnumerationHooks(DatabaseImpl::Get(db_), session_options()));
+      engine_internal::MakeEnumerationHooks(DatabaseImpl::Get(db_), session_options(), nullptr));
   Mapping mu;
   while (enumerator.Next(&mu)) {
     if (!callback(mu)) break;

@@ -71,19 +71,17 @@ Result<Database> Database::Open(const std::string& path, const OpenOptions& opti
         }
       }
     }
-    // The permutation runs are consumed in place: no per-triple work,
-    // no re-sort — the store borrows the mapped sections, and the view
-    // (held by the impl) keeps the mapping alive for as long as any run
-    // still points into it.
-    impl->store = IndexedStore::FromSnapshot(
+    // The permutation runs are consumed in place: the store borrows the
+    // mapped sections, and the shared view travels inside the published
+    // base runs as a keepalive — the mapping stays alive exactly as long
+    // as the last `ReadView` (pinned cursor included) that borrows it.
+    impl->store.AdoptFrom(IndexedStore::FromSnapshot(
         Dictionary::FromParts(std::move(terms),
                               static_cast<std::size_t>(view->dict_sorted_limit())),
         view->run(Permutation::kSpo), view->run(Permutation::kPos),
-        view->run(Permutation::kOsp), static_cast<std::size_t>(view->triple_count()));
-    impl->store.set_merge_threshold(db_options.merge_threshold);
-    impl->snapshot = view;
+        view->run(Permutation::kOsp), static_cast<std::size_t>(view->triple_count()),
+        view));
     impl->graph_hydrated = false;  // Hash row store hydrates on demand.
-    ++impl->epoch;
   }
   impl->snapshot_path = path;
 
@@ -128,7 +126,7 @@ Status Database::Checkpoint() {
   // The snapshot now carries every applied mutation and the log is
   // empty, so a previously latched append failure no longer describes
   // the database: mutations may resume.
-  impl_->storage_error = Status::OK();
+  impl_->ClearStorageError();
   return Status::OK();
 }
 

@@ -228,7 +228,7 @@ Status WriteSnapshot(const std::string& path, const TermPool& pool,
   }
 
   // The contiguous payloads: dictionary array and the three runs.
-  const void* flat_payloads[5] = {nullptr, dict.terms().data(),
+  const void* flat_payloads[5] = {nullptr, dict.terms_data(),
                                   store.base_data(Permutation::kSpo),
                                   store.base_data(Permutation::kPos),
                                   store.base_data(Permutation::kOsp)};

@@ -76,16 +76,16 @@ TEST(DatabaseTest, SessionsSurviveDatabaseMoves) {
   EXPECT_EQ(session.Prepare("(?x email ?e)").Count(), 1u);
 }
 
-TEST(DatabaseTest, EpochAdvancesOnMutationAndCompact) {
+TEST(DatabaseTest, GenerationAdvancesOnMutationAndCompact) {
   Database db;
-  uint64_t e0 = db.epoch();
+  uint64_t g0 = db.generation();
   db.AddTriple("a", "p", "b");
-  EXPECT_GT(db.epoch(), e0);
-  uint64_t e1 = db.epoch();
+  EXPECT_GT(db.generation(), g0);
+  uint64_t g1 = db.generation();
   db.AddTriple("a", "p", "b");  // No-op: duplicate.
-  EXPECT_EQ(db.epoch(), e1);
+  EXPECT_EQ(db.generation(), g1);
   db.Compact();
-  EXPECT_GT(db.epoch(), e1);
+  EXPECT_GT(db.generation(), g1);
 }
 
 TEST(DatabaseTest, LoadNTriplesIsAtomicOnParseError) {
@@ -246,9 +246,36 @@ TEST(CursorTest, CloseStopsEnumerationEarly) {
   EXPECT_FALSE(cursor.Next());
 }
 
-TEST(CursorTest, MutationInvalidatesOpenCursors) {
+TEST(CursorTest, IndexedCursorKeepsItsPinnedViewAcrossMutations) {
+  // The MVCC contract: an open indexed-backend cursor pinned a read
+  // view at Open and keeps enumerating that exact snapshot, whatever
+  // the writer does meanwhile.
   Database db = MakeSmallDatabase();
   Statement stmt = db.OpenSession().Prepare("(?x knows ?y)");
+  ASSERT_TRUE(stmt.ok());
+  Cursor cursor = stmt.Execute();
+  ASSERT_TRUE(cursor.Next());
+  uint64_t pinned = cursor.generation();
+  db.AddTriple("dave", "knows", "alice");
+  EXPECT_GT(db.generation(), pinned);
+  // The cursor still completes over the pre-mutation snapshot: two
+  // answers total, never the freshly inserted row.
+  uint64_t rows = 1;
+  while (cursor.Next()) ++rows;
+  EXPECT_EQ(rows, 2u);
+  EXPECT_EQ(cursor.state(), Cursor::State::kExhausted);
+  EXPECT_TRUE(cursor.diagnostics().ok());
+  // A fresh execution pins the freshest view and sees the new data.
+  EXPECT_EQ(stmt.Count(), 3u);
+}
+
+TEST(CursorTest, NaiveCursorStillInvalidatesOnMutation) {
+  // The naive hash backend reads the live row store in place, so it
+  // keeps the historical fail-fast contract.
+  Database db = MakeSmallDatabase();
+  SessionOptions naive;
+  naive.backend = Backend::kNaiveHash;
+  Statement stmt = db.OpenSession(naive).Prepare("(?x knows ?y)");
   ASSERT_TRUE(stmt.ok());
   Cursor cursor = stmt.Execute();
   ASSERT_TRUE(cursor.Next());
@@ -260,6 +287,34 @@ TEST(CursorTest, MutationInvalidatesOpenCursors) {
   EXPECT_FALSE(cursor.diagnostics().ok());
   // A fresh execution sees the new data.
   EXPECT_EQ(stmt.Count(), 3u);
+}
+
+TEST(CursorTest, PinnedCursorSurvivesCompactAndMergeChurn) {
+  // Compact reallocates every base run; a pinned cursor must keep the
+  // superseded runs alive and finish exactly its snapshot.
+  DatabaseOptions options;
+  options.merge_threshold = 4;  // Force merges mid-enumeration.
+  Database db(options);
+  for (int i = 0; i < 32; ++i) {
+    db.AddTriple("n" + std::to_string(i), "p", "n" + std::to_string(i + 1));
+  }
+  Statement stmt = db.OpenSession().Prepare("(?x p ?y)");
+  ASSERT_TRUE(stmt.ok());
+  Cursor cursor = stmt.Execute();
+  ASSERT_TRUE(cursor.Next());
+  // Churn: inserts crossing the merge threshold repeatedly, removals of
+  // rows the cursor has not delivered yet, and an explicit Compact.
+  for (int i = 0; i < 16; ++i) {
+    db.AddTriple("m" + std::to_string(i), "p", "m" + std::to_string(i + 1));
+  }
+  for (int i = 10; i < 20; ++i) {
+    db.RemoveTriple("n" + std::to_string(i), "p", "n" + std::to_string(i + 1));
+  }
+  db.Compact();
+  uint64_t rows = 1;
+  while (cursor.Next()) ++rows;
+  EXPECT_EQ(rows, 32u);  // The pinned snapshot, unperturbed.
+  EXPECT_EQ(cursor.state(), Cursor::State::kExhausted);
 }
 
 // ---------------------------------------------------------------------

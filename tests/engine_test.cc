@@ -190,7 +190,7 @@ TEST_P(JoinDifferentialTest, JoinMatchesHomomorphismEnumeration) {
     }
 
     std::vector<VarAssignment> join_results;
-    JoinEnumerate(store, pattern.triples(), fixed,
+    JoinEnumerate(store.view(), pattern.triples(), fixed,
                   [&](const VarAssignment& a) {
                     join_results.push_back(a);
                     return true;
@@ -203,7 +203,7 @@ TEST_P(JoinDifferentialTest, JoinMatchesHomomorphismEnumeration) {
                            });
     EXPECT_EQ(SortedMappings(join_results), SortedMappings(hom_results))
         << "trial " << trial;
-    EXPECT_EQ(JoinExists(store, pattern.triples(), fixed), !hom_results.empty());
+    EXPECT_EQ(JoinExists(store.view(), pattern.triples(), fixed), !hom_results.empty());
   }
 }
 
