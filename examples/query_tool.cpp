@@ -5,13 +5,19 @@
 ///
 ///   query_tool <graph.nt> '<pattern>' [--plan] [--count] [--promise K]
 ///              [--backend naive|indexed] [--select ?x,?y] [--table]
-///              [--save <snapshot>]
-///   query_tool --db <snapshot> '<pattern>' [same flags]
+///              [--save <snapshot>] [--batch-size N]
+///   query_tool --db <snapshot> '<pattern>' [same flags] [--wal]
 ///
 ///   <graph.nt>   N-Triples-like file (see rdf/ntriples.h)
 ///   <pattern>    e.g. '(?x knows ?y) OPT (?y email ?e)'
 ///   --db         open a single-file snapshot (Database::Open — mmap,
 ///                no re-parse) instead of parsing N-Triples
+///   --wal        with --db: open with write-ahead-log durability and
+///                replay the sibling <snapshot>.wal (the snapshot file
+///                may not exist yet — a WAL-only database opens empty
+///                and serves exactly the committed batches)
+///   --batch-size without --db: stream the file in WriteBatch commits
+///                of N triples instead of one atomic batch
 ///   --save       after loading, serialize the database to a snapshot
 ///                (parse once with --save, then query many times with
 ///                --db)
@@ -58,8 +64,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: query_tool <graph.nt> '<pattern>' [--plan] [--count] "
                "[--promise K] [--backend naive|indexed] [--select ?x,?y] "
-               "[--table] [--save <snapshot>]\n"
-               "       query_tool --db <snapshot> '<pattern>' [same flags]\n");
+               "[--table] [--save <snapshot>] [--batch-size N]\n"
+               "       query_tool --db <snapshot> '<pattern>' [same flags] "
+               "[--wal]\n");
   return 1;
 }
 
@@ -109,7 +116,9 @@ int main(int argc, char** argv) {
   bool show_plan = false;
   bool count_only = false;
   bool as_table = false;
+  bool open_wal = false;
   int promise = 0;
+  std::size_t batch_size = 0;  // 0 = one atomic batch.
   const char* db_path = nullptr;
   const char* save_path = nullptr;
   std::vector<const char*> positional;
@@ -122,6 +131,12 @@ int main(int argc, char** argv) {
       db_path = argv[++i];
     } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
       save_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--wal") == 0) {
+      open_wal = true;
+    } else if (std::strcmp(argv[i], "--batch-size") == 0 && i + 1 < argc) {
+      long parsed = std::atol(argv[++i]);
+      if (parsed < 1) return Usage();
+      batch_size = static_cast<std::size_t>(parsed);
     } else if (std::strcmp(argv[i], "--plan") == 0) {
       show_plan = true;
     } else if (std::strcmp(argv[i], "--count") == 0) {
@@ -154,7 +169,12 @@ int main(int argc, char** argv) {
 
   Database db;
   if (db_path != nullptr) {
-    Result<Database> opened = Database::Open(db_path);
+    OpenOptions open_options;
+    if (open_wal) {
+      open_options.durability = Durability::kWal;
+      open_options.create_if_missing = true;
+    }
+    Result<Database> opened = Database::Open(db_path, open_options);
     if (!opened.ok()) {
       std::fprintf(stderr, "error opening %s: %s\n", db_path,
                    opened.status().ToString().c_str());
@@ -163,7 +183,7 @@ int main(int argc, char** argv) {
     db = std::move(opened).value();
   } else {
     const char* graph_path = positional[0];
-    Status load = db.LoadNTriplesFile(graph_path);
+    Status load = db.LoadNTriplesFile(graph_path, batch_size);
     if (!load.ok()) {
       std::fprintf(stderr, "error loading %s: %s\n", graph_path,
                    load.ToString().c_str());

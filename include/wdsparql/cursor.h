@@ -19,6 +19,11 @@
 /// Nothing is materialised ahead of the consumer beyond the current
 /// subtree's candidate batch, so closing a cursor after the first row
 /// skips the maximality certificates of every answer never asked for.
+///
+/// Executions can be bounded per call with `ExecOptions` (row limits,
+/// deadlines, cancellation tokens — see wdsparql/exec_options.h) and
+/// pinned to an explicit `Snapshot` for repeatable reads (see
+/// wdsparql/snapshot.h); both bind at `Statement::Execute` time.
 
 namespace wdsparql {
 
@@ -49,6 +54,11 @@ class Cursor {
     kClosed,       ///< Closed by the consumer.
     kInvalidated,  ///< The database mutated under a naive-backend
                    ///< cursor (indexed cursors pin their view instead).
+    kLimited,      ///< `ExecOptions::row_limit` rows were delivered; the
+                   ///< rows seen are an exact answer prefix, not an error.
+    kCancelled,    ///< Stopped mid-enumeration by a fired cancellation
+                   ///< token or an expired deadline (`diagnostics()`
+                   ///< distinguishes: kCancelled vs kDeadlineExceeded).
     kFailed,       ///< The statement never prepared / bad projection.
   };
 

@@ -7,10 +7,12 @@
 #include <string_view>
 
 #include "wdsparql/session.h"
+#include "wdsparql/snapshot.h"
 #include "wdsparql/status.h"
 #include "wdsparql/storage.h"
 #include "wdsparql/term.h"
 #include "wdsparql/triple.h"
+#include "wdsparql/write_batch.h"
 
 /// \file
 /// The owning database object.
@@ -39,7 +41,10 @@
 ///
 /// ```
 /// Database db;
-/// db.AddTriple("alice", "knows", "bob");
+/// WriteBatch batch;
+/// batch.Add("alice", "knows", "bob");
+/// batch.Add("bob", "email", "bob@example.org");
+/// db.Apply(std::move(batch));  // One delta build, one publish.
 /// Session session = db.OpenSession();
 /// Statement stmt = session.Prepare("(?x knows ?y) OPT (?y email ?e)");
 /// Cursor cursor = stmt.Execute();
@@ -108,14 +113,30 @@ class Database {
   Status storage_status() const;
 
   // Mutation (writer side: one mutating thread at a time) -------------
-  // Every successful mutation (and `Compact`) publishes a new read view
-  // and bumps `generation()`. Open cursors are *not* invalidated: they
-  // keep the view they pinned at `Open` and continue to enumerate the
-  // database exactly as it was then (naive-backend cursors are the
-  // exception — see wdsparql/cursor.h).
+  // Every effective mutation (and non-empty `Compact`) publishes a new
+  // read view and bumps `generation()`; a no-op — duplicate insert,
+  // absent removal, empty or fully-cancelling batch — publishes
+  // nothing. Open cursors are *not* invalidated: they keep the view
+  // they pinned at `Open` and continue to enumerate the database
+  // exactly as it was then (naive-backend cursors are the exception —
+  // see wdsparql/cursor.h).
+
+  /// Applies `batch` atomically: the net effect of its operations (a
+  /// later op on the same triple supersedes an earlier one; ops that
+  /// match the current state drop out) lands in ONE merged
+  /// copy-on-write delta build, ONE view publish, and — under
+  /// `Durability::kWal` — ONE CRC-framed WAL group record, replayed
+  /// all-or-nothing on reopen. A batch with empty net effect is a
+  /// complete no-op: no publish, no WAL record, no `generation()` bump.
+  /// On a WAL append failure nothing is applied and the error latches
+  /// in `storage_status()`. `result`, when non-null, receives the net
+  /// counts. This is THE bulk-ingest path: per-triple cost is amortised
+  /// over the batch (see bench_e15_batch).
+  Status Apply(WriteBatch&& batch, ApplyResult* result = nullptr);
 
   /// Inserts a ground triple; returns true iff newly inserted (false for
-  /// duplicates and for triples containing variables).
+  /// duplicates and for triples containing variables). Equivalent to —
+  /// and implemented as — applying a one-element batch.
   bool AddTriple(const Triple& t);
 
   /// Interns the spellings and inserts the triple.
@@ -126,13 +147,18 @@ class Database {
   bool RemoveTriple(std::string_view s, std::string_view p, std::string_view o);
 
   /// Parses N-Triples text (see rdf/ntriples.h for the accepted subset)
-  /// and inserts every triple. Atomic on parse errors: either the whole
-  /// text loads or nothing does. Uses the sort-based bulk path when the
-  /// database is empty.
+  /// and applies it as ONE `WriteBatch` (single delta build, single
+  /// publish, single WAL group). Atomic on parse errors: either the
+  /// whole text loads or nothing does.
   Status LoadNTriples(std::string_view text);
 
-  /// Reads the file at `path` and loads it as `LoadNTriples`.
-  Status LoadNTriplesFile(const std::string& path);
+  /// Reads the file at `path` and loads it as `LoadNTriples`. With
+  /// `batch_size > 0` the file is streamed and applied in batches of
+  /// that many triples (bounding peak memory and WAL group size at the
+  /// price of parse-error atomicity: batches applied before the error
+  /// stay applied); `batch_size == 0` loads the whole file as one
+  /// atomic batch.
+  Status LoadNTriplesFile(const std::string& path, std::size_t batch_size = 0);
 
   /// Folds pending delta runs and tombstones into the base permutation
   /// runs now. Idempotent; changes no query results. Pinned views keep
@@ -171,6 +197,12 @@ class Database {
   /// Opens a session with the given execution options. Sessions are
   /// cheap value objects — open one per thread or per request.
   Session OpenSession(const SessionOptions& options = {}) const;
+
+  /// Pins the current published state as a user-held `Snapshot` for
+  /// repeatable reads across many statements and cursors (see
+  /// wdsparql/snapshot.h for the lifetime rules). One atomic load plus
+  /// a refcount — callable from any thread, concurrent with the writer.
+  Snapshot GetSnapshot() const;
 
   /// \internal Storage accessors for in-tree tooling (the deprecated
   /// QueryEngine facade, benchmarks, width machinery). Not part of the

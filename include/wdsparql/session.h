@@ -10,7 +10,9 @@
 #include "wdsparql/binding_table.h"
 #include "wdsparql/cursor.h"
 #include "wdsparql/diagnostics.h"
+#include "wdsparql/exec_options.h"
 #include "wdsparql/mapping.h"
+#include "wdsparql/snapshot.h"
 
 /// \file
 /// Sessions and prepared statements.
@@ -91,6 +93,26 @@ class Statement {
   /// kInvalidProjection diagnostics.
   Cursor Execute(const std::vector<std::string>& projection) const;
 
+  /// Bounded execution: the cursor observes `options`' row limit,
+  /// deadline and cancellation token mid-enumeration (see
+  /// wdsparql/exec_options.h). Note `Execute({})` is ambiguous between
+  /// this and the projection overload — spell the empty case
+  /// `Execute()` or `Execute(ExecOptions{})`.
+  Cursor Execute(const ExecOptions& options) const;
+  Cursor Execute(const std::vector<std::string>& projection,
+                 const ExecOptions& options) const;
+
+  /// Snapshot-bound execution: the cursor enumerates exactly the state
+  /// `snapshot` pinned, regardless of batches committed since —
+  /// repeatable reads across many cursors (see wdsparql/snapshot.h).
+  /// Only the indexed backend serves snapshots: a naive-hash session
+  /// yields a kFailed cursor with kUnimplemented diagnostics, an
+  /// invalid snapshot or one from another database a kFailed cursor
+  /// with kInternal diagnostics.
+  Cursor Execute(const Snapshot& snapshot, const ExecOptions& options = {}) const;
+  Cursor Execute(const std::vector<std::string>& projection,
+                 const Snapshot& snapshot, const ExecOptions& options = {}) const;
+
   /// Materialises the execution into a columnar table.
   BindingTable ExecuteTable() const;
   BindingTable ExecuteTable(const std::vector<std::string>& projection) const;
@@ -111,6 +133,11 @@ class Statement {
   const std::shared_ptr<const StatementImpl>& impl() const { return impl_; }
 
  private:
+  /// The one execution funnel behind every `Execute` overload.
+  Cursor ExecuteInternal(const std::vector<std::string>& projection,
+                         const Snapshot* snapshot,
+                         const ExecOptions& options) const;
+
   std::shared_ptr<const StatementImpl> impl_;
 };
 

@@ -84,8 +84,12 @@ namespace storage_format {
 /// newer-versioned files with `kCorruption` rather than misreading them.
 inline constexpr uint32_t kSnapshotVersion = 1;
 
-/// WAL format version.
-inline constexpr uint32_t kWalVersion = 1;
+/// WAL format version. Version 2 added group frames (one CRC-framed
+/// record carrying a whole `WriteBatch`, replayed all-or-nothing);
+/// version-1 logs still open and replay, while a version-2 log is
+/// rejected loudly by version-1 readers instead of being silently
+/// truncated at its first group frame.
+inline constexpr uint32_t kWalVersion = 2;
 
 }  // namespace storage_format
 

@@ -22,12 +22,15 @@
 #include "wdsparql/cursor.h"
 #include "wdsparql/database.h"
 #include "wdsparql/diagnostics.h"
+#include "wdsparql/exec_options.h"
 #include "wdsparql/hash.h"
 #include "wdsparql/mapping.h"
 #include "wdsparql/session.h"
+#include "wdsparql/snapshot.h"
 #include "wdsparql/status.h"
 #include "wdsparql/storage.h"
 #include "wdsparql/term.h"
 #include "wdsparql/triple.h"
+#include "wdsparql/write_batch.h"
 
 #endif  // WDSPARQL_PUBLIC_WDSPARQL_H_

@@ -19,6 +19,7 @@
 #include "wdsparql/cursor.h"
 #include "wdsparql/database.h"
 #include "wdsparql/diagnostics.h"
+#include "wdsparql/exec_options.h"
 #include "wdsparql/session.h"
 
 /// \file
@@ -147,10 +148,17 @@ struct CursorImpl {
   Mapping row;
 
   /// The store snapshot this cursor reads (indexed backend). Pinned at
-  /// `Open`, released at `Close`/destruction; mutations never invalidate
-  /// it. Null for naive-backend cursors, which read the live hash graph
-  /// and fall back to generation-based invalidation.
+  /// `Open` — or copied from a user-held `Snapshot` at `Execute` when
+  /// `snapshot_bound` — and released at `Close`/destruction; mutations
+  /// never invalidate it. Null for naive-backend cursors, which read the
+  /// live hash graph and fall back to generation-based invalidation.
   std::shared_ptr<const ReadView> view;
+  /// True when `view` came from a user-held `Snapshot`: `Open` must use
+  /// it as-is instead of pinning the freshest published view.
+  bool snapshot_bound = false;
+  /// Per-execution bounds (row limit, deadline, cancellation token),
+  /// bound at `Execute` time. Default state bounds nothing.
+  ExecOptions exec;
   /// The pinned view's generation (both backends; for naive cursors the
   /// view itself is dropped and only this stays).
   uint64_t open_generation = 0;

@@ -23,19 +23,43 @@ bool Cursor::Open() {
   }
   const StatementImpl& stmt = *impl_->stmt;
   // Pin-at-open: take shared ownership of the freshest published
-  // ReadView. Indexed cursors read it exclusively from here on (the
-  // writer may mutate, merge and checkpoint freely — this cursor's
+  // ReadView — unless a user-held Snapshot already bound one at Execute
+  // time, in which case the cursor reads exactly that state however old
+  // it is. Indexed cursors read their view exclusively from here on
+  // (the writer may mutate, merge and checkpoint freely — this cursor's
   // world no longer changes until it releases the view at Close or
-  // destruction); naive cursors record only its generation, to detect
-  // mutation underneath the unversioned hash graph.
-  std::shared_ptr<const ReadView> pinned = stmt.db->store.PinView();
-  impl_->open_generation = pinned->generation();
-  if (stmt.options.backend == Backend::kIndexed) {
-    impl_->view = std::move(pinned);
+  // destruction); naive cursors record only the current generation, to
+  // detect mutation underneath the unversioned hash graph.
+  if (impl_->snapshot_bound) {
+    impl_->open_generation = impl_->view->generation();
+  } else {
+    std::shared_ptr<const ReadView> pinned = stmt.db->store.PinView();
+    impl_->open_generation = pinned->generation();
+    if (stmt.options.backend == Backend::kIndexed) {
+      impl_->view = std::move(pinned);
+    }
   }
   impl_->enumerator = std::make_unique<SolutionEnumerator>(
       stmt.forest,
       engine_internal::MakeEnumerationHooks(*stmt.db, stmt.options, impl_->view));
+  if (impl_->exec.deadline.has_value() || impl_->exec.cancel != nullptr) {
+    // The probe closes over copies of the bounds: the ExecOptions value
+    // itself stays untouched, and the shared cancellation token may be
+    // flipped from any thread (relaxed load — the flag is the only
+    // communication, no ordering is needed).
+    CancelToken cancel = impl_->exec.cancel;
+    std::optional<std::chrono::steady_clock::time_point> deadline =
+        impl_->exec.deadline;
+    impl_->enumerator->SetInterruptProbe(
+        [cancel, deadline]() {
+          if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+            return true;
+          }
+          return deadline.has_value() &&
+                 std::chrono::steady_clock::now() >= *deadline;
+        },
+        impl_->exec.check_interval);
+  }
   impl_->state = State::kOpen;
   return true;
 }
@@ -43,6 +67,16 @@ bool Cursor::Open() {
 bool Cursor::Next() {
   if (impl_->state == State::kUnopened && !Open()) return false;
   if (impl_->state != State::kOpen) return false;
+  if (impl_->exec.row_limit != 0 && impl_->rows >= impl_->exec.row_limit) {
+    // The permitted prefix was delivered in full; park the cursor and
+    // release the machinery (and the pinned view) like exhaustion does.
+    // kLimited rather than kExhausted: the consumer can tell a complete
+    // answer set from a truncated one.
+    impl_->state = State::kLimited;
+    impl_->enumerator.reset();
+    impl_->view.reset();
+    return false;
+  }
   const StatementImpl& stmt = *impl_->stmt;
   if (impl_->view == nullptr &&
       stmt.db->store.PinView()->generation() != impl_->open_generation) {
@@ -73,7 +107,22 @@ bool Cursor::Next() {
     ++impl_->rows;
     return true;
   }
-  impl_->state = State::kExhausted;
+  if (impl_->enumerator->interrupted()) {
+    // Stopped mid-subtree by the ExecOptions probe. The token is
+    // checked first so a cancel that races the deadline reports as a
+    // cancellation (the caller's explicit action wins the tie).
+    bool token_fired = impl_->exec.cancel != nullptr &&
+                       impl_->exec.cancel->load(std::memory_order_relaxed);
+    impl_->state = State::kCancelled;
+    impl_->diagnostics.code = token_fired
+                                  ? QueryDiagnostics::Code::kCancelled
+                                  : QueryDiagnostics::Code::kDeadlineExceeded;
+    impl_->diagnostics.message =
+        token_fired ? "execution cancelled by its cancellation token"
+                    : "execution exceeded its deadline";
+  } else {
+    impl_->state = State::kExhausted;
+  }
   impl_->enumerator.reset();
   impl_->view.reset();  // Release the pinned snapshot promptly.
   return false;
@@ -123,6 +172,8 @@ const char* CursorStateToString(Cursor::State state) {
     case Cursor::State::kExhausted: return "exhausted";
     case Cursor::State::kClosed: return "closed";
     case Cursor::State::kInvalidated: return "invalidated";
+    case Cursor::State::kLimited: return "limited";
+    case Cursor::State::kCancelled: return "cancelled";
     case Cursor::State::kFailed: return "failed";
   }
   return "unknown";

@@ -1,5 +1,8 @@
 #include "wdsparql/database.h"
 
+#include <fstream>
+#include <unordered_map>
+
 #include "engine/api_internal.h"
 #include "engine/join.h"
 #include "hom/homomorphism.h"
@@ -11,23 +14,135 @@
 namespace wdsparql {
 namespace {
 
-/// Frames a mutation into the WAL (spellings, not ids: ids are intern
-/// order and the log outlives this process's pool). On failure the
-/// error latches in the impl and the caller must not apply the mutation
-/// — it was never made durable.
-bool LogMutation(DatabaseImpl* impl, storage::WalRecordType type, const Triple& t) {
+/// One id-resolved batch operation (the currency of the shared commit
+/// path below; `Database::Apply` resolves spellings into these, the
+/// single-triple mutators build one directly).
+struct ResolvedOp {
+  Triple t;
+  bool add;
+};
+
+/// THE commit path — every mutation funnels through here. Sequential
+/// semantics over `ops` reduce to a *net effect* (the last op per
+/// triple wins; ops matching the current state drop out), which is then
+/// made durable as ONE write-ahead-log record (a group frame for
+/// multi-op batches) and applied as ONE copy-on-write delta build with
+/// ONE view publish. An empty net effect is a complete no-op: nothing
+/// is logged, nothing published, `generation()` stays put. On a WAL
+/// failure the error latches, nothing is applied, and the status is
+/// returned — the mutation was never made durable.
+Status ApplyResolvedOps(DatabaseImpl* impl, const std::vector<ResolvedOp>& ops,
+                        ApplyResult* result) {
+  if (result != nullptr) *result = ApplyResult{};
+
+  // Net effect: final desired presence per touched triple, in
+  // first-touch order (deterministic WAL records and apply order).
+  std::vector<Triple> touched;
+  std::unordered_map<Triple, bool, TripleHash> desired;
+  touched.reserve(ops.size());
+  desired.reserve(ops.size());
+  for (const ResolvedOp& op : ops) {
+    auto [it, inserted] = desired.emplace(op.t, op.add);
+    if (inserted) {
+      touched.push_back(op.t);
+    } else {
+      it->second = op.add;
+    }
+  }
+  std::vector<Triple> adds;
+  std::vector<Triple> removes;
+  for (const Triple& t : touched) {
+    // The store mirrors the hash graph exactly and is maintained on
+    // every path (hydrated or not), so it is the one presence oracle.
+    bool present = impl->store.Contains(t);
+    if (desired[t] && !present) {
+      adds.push_back(t);
+    } else if (!desired[t] && present) {
+      removes.push_back(t);
+    }
+  }
+  if (adds.empty() && removes.empty()) return Status::OK();
+
+  auto apply_chunk = [impl, result](const std::vector<Triple>& chunk_adds,
+                                    const std::vector<Triple>& chunk_removes) {
+    impl->store.ApplyBatch(chunk_adds, chunk_removes);
+    if (impl->graph_hydrated) {
+      for (const Triple& t : chunk_adds) impl->graph.Insert(t);
+      for (const Triple& t : chunk_removes) impl->graph.Remove(t);
+    }
+    if (result != nullptr) {
+      result->added += chunk_adds.size();
+      result->removed += chunk_removes.size();
+    }
+  };
+
+  if (impl->wal == nullptr) {
+    apply_chunk(adds, removes);
+    return Status::OK();
+  }
+
   // The error latches: once an append failed, the log's tail state is
   // suspect and later mutations are refused outright (matching the
   // storage_status() contract) rather than racing a broken device.
-  if (!impl->sticky_storage_status().ok()) return false;
-  Status status =
-      impl->wal->Append(type, impl->pool->Spelling(t.subject),
-                        impl->pool->Spelling(t.predicate), impl->pool->Spelling(t.object));
-  if (!status.ok()) {
-    impl->LatchStorageError(status);
-    return false;
+  WDSPARQL_RETURN_IF_ERROR(impl->sticky_storage_status());
+
+  // WAL before data: spellings, not ids (ids are intern order and the
+  // log outlives this pool; TermPool spelling views are address-stable,
+  // so the refs stay valid across the append). Every practical batch is
+  // ONE group frame, replayed all-or-nothing. A batch whose spellings
+  // would overflow the WAL frame bound degrades gracefully into several
+  // consecutive groups — each chunk is logged, then applied, before the
+  // next, so the in-memory state and the log agree at every step,
+  // whatever fails in between.
+  std::vector<std::pair<Triple, bool>> net_ops;  // (triple, is_add).
+  net_ops.reserve(adds.size() + removes.size());
+  for (const Triple& t : adds) net_ops.emplace_back(t, true);
+  for (const Triple& t : removes) net_ops.emplace_back(t, false);
+
+  constexpr uint64_t kGroupPayloadBudget = 32ull << 20;  // Half the frame cap.
+  std::size_t begin = 0;
+  while (begin < net_ops.size()) {
+    std::vector<storage::WalOp> wal_ops;
+    std::vector<Triple> chunk_adds;
+    std::vector<Triple> chunk_removes;
+    uint64_t payload = 1 + sizeof(uint32_t);  // Group tag + count.
+    std::size_t end = begin;
+    while (end < net_ops.size()) {
+      const Triple& t = net_ops[end].first;
+      bool is_add = net_ops[end].second;
+      storage::WalOp op{is_add ? storage::WalRecordType::kAddTriple
+                               : storage::WalRecordType::kRemoveTriple,
+                        impl->pool->Spelling(t.subject),
+                        impl->pool->Spelling(t.predicate),
+                        impl->pool->Spelling(t.object)};
+      uint64_t op_bytes = 1 + 3 * sizeof(uint32_t) + op.subject.size() +
+                          op.predicate.size() + op.object.size();
+      if (!wal_ops.empty() && payload + op_bytes > kGroupPayloadBudget) break;
+      payload += op_bytes;
+      wal_ops.push_back(op);
+      (is_add ? chunk_adds : chunk_removes).push_back(t);
+      ++end;
+    }
+    // One-op chunks keep the compact single-record frame; real groups
+    // get the version-2 group frame.
+    Status logged = wal_ops.size() == 1
+                        ? impl->wal->Append(wal_ops[0].type, wal_ops[0].subject,
+                                            wal_ops[0].predicate, wal_ops[0].object)
+                        : impl->wal->AppendGroup(wal_ops);
+    if (!logged.ok()) {
+      // A size refusal (kInvalidArgument) wrote nothing and leaves the
+      // log tail healthy: return it without latching. Device/tail
+      // failures latch as always. Chunks committed before this point
+      // are both durable and applied — memory and log still agree.
+      if (logged.code() != StatusCode::kInvalidArgument) {
+        impl->LatchStorageError(logged);
+      }
+      return logged;
+    }
+    apply_chunk(chunk_adds, chunk_removes);
+    begin = end;
   }
-  return true;
+  return Status::OK();
 }
 
 }  // namespace
@@ -46,29 +161,12 @@ Database& Database::operator=(Database&&) noexcept = default;
 
 bool Database::AddTriple(const Triple& t) {
   if (!t.IsGround()) return false;  // Variables are not storable facts.
-  DatabaseImpl* impl = impl_.get();
-  if (impl->wal != nullptr) {
-    // WAL before data: a non-mutating presence probe first, then the
-    // record is made durable (per the sync mode) before any in-memory
-    // index changes — a crash never acknowledges a mutation it cannot
-    // replay.
-    bool present =
-        impl->graph_hydrated ? impl->graph.Contains(t) : impl->store.Contains(t);
-    if (present) return false;
-    if (!LogMutation(impl, storage::WalRecordType::kAddTriple, t)) return false;
-    if (impl->graph_hydrated) impl->graph.Insert(t);
-    impl->store.Insert(t);
-  } else if (impl->graph_hydrated) {
-    // No log to order against: the insert itself is the presence test
-    // (one hash operation on the hot path).
-    if (!impl->graph.Insert(t)) return false;
-    bool inserted = impl->store.Insert(t);
-    WDSPARQL_DCHECK(inserted);
-    (void)inserted;
-  } else {
-    if (!impl->store.Insert(t)) return false;
-  }
-  return true;  // The store published the new view (and its generation).
+  // A one-element batch through the shared commit path: same WAL-before-
+  // data ordering, same single publish, same no-op-for-duplicates
+  // behaviour as always — just no longer a separate code path.
+  ApplyResult result;
+  Status status = ApplyResolvedOps(impl_.get(), {{t, true}}, &result);
+  return status.ok() && result.added == 1;
 }
 
 bool Database::AddTriple(std::string_view s, std::string_view p, std::string_view o) {
@@ -77,23 +175,9 @@ bool Database::AddTriple(std::string_view s, std::string_view p, std::string_vie
 }
 
 bool Database::RemoveTriple(const Triple& t) {
-  DatabaseImpl* impl = impl_.get();
-  if (impl->wal != nullptr) {
-    bool present =
-        impl->graph_hydrated ? impl->graph.Contains(t) : impl->store.Contains(t);
-    if (!present) return false;
-    if (!LogMutation(impl, storage::WalRecordType::kRemoveTriple, t)) return false;
-    if (impl->graph_hydrated) impl->graph.Remove(t);
-    impl->store.Erase(t);
-  } else if (impl->graph_hydrated) {
-    if (!impl->graph.Remove(t)) return false;
-    bool erased = impl->store.Erase(t);
-    WDSPARQL_DCHECK(erased);
-    (void)erased;
-  } else {
-    if (!impl->store.Erase(t)) return false;
-  }
-  return true;
+  ApplyResult result;
+  Status status = ApplyResolvedOps(impl_.get(), {{t, false}}, &result);
+  return status.ok() && result.removed == 1;
 }
 
 bool Database::RemoveTriple(std::string_view s, std::string_view p,
@@ -107,39 +191,72 @@ bool Database::RemoveTriple(std::string_view s, std::string_view p,
   return RemoveTriple(Triple(*sid, *pid, *oid));
 }
 
-Status Database::LoadNTriples(std::string_view text) {
-  // Parse into a staging graph first so a parse error loads nothing.
-  RdfGraph staged(impl_->pool);
-  WDSPARQL_RETURN_IF_ERROR(ParseNTriples(text, &staged));
-  // The sort-based bulk path bypasses per-triple logging, so a WAL
-  // database takes the per-triple path even when empty (checkpoint
-  // after bulk loads to fold the log back down).
-  if (empty() && impl_->wal == nullptr) {
-    engine_internal::BulkLoad(this, staged.triples());
-    return Status::OK();
+Status Database::Apply(WriteBatch&& batch, ApplyResult* result) {
+  if (result != nullptr) *result = ApplyResult{};
+  // Resolve spellings sequentially: adds intern (so a later remove of a
+  // triple this very batch introduces still finds its terms); removes
+  // only probe — a spelling the pool never interned cannot name a
+  // present triple, so that remove is a net no-op and must not grow the
+  // append-only pool.
+  std::vector<ResolvedOp> ops;
+  ops.reserve(batch.ops().size());
+  TermPool& terms = pool();
+  for (const WriteBatch::Op& op : batch.ops()) {
+    if (op.add) {
+      ops.push_back({Triple(terms.InternIri(op.subject),
+                            terms.InternIri(op.predicate),
+                            terms.InternIri(op.object)),
+                     true});
+    } else {
+      std::optional<TermId> s = terms.FindIri(op.subject);
+      std::optional<TermId> p = terms.FindIri(op.predicate);
+      std::optional<TermId> o = terms.FindIri(op.object);
+      if (!s.has_value() || !p.has_value() || !o.has_value()) continue;
+      ops.push_back({Triple(*s, *p, *o), false});
+    }
   }
-  for (const Triple& t : staged.triples()) {
-    AddTriple(t);
-    // A false return may just be a duplicate; a WAL failure must not be
-    // swallowed into an OK load.
-    WDSPARQL_RETURN_IF_ERROR(impl_->sticky_storage_status());
-  }
-  return Status::OK();
+  Status status = ApplyResolvedOps(impl_.get(), ops, result);
+  if (status.ok()) batch.Clear();  // Sink semantics: the batch is consumed.
+  return status;
 }
 
-Status Database::LoadNTriplesFile(const std::string& path) {
-  // Reuse the file reader's I/O handling through a staging graph.
-  RdfGraph staged(impl_->pool);
-  WDSPARQL_RETURN_IF_ERROR(ReadNTriplesFile(path, &staged));
-  if (empty() && impl_->wal == nullptr) {
-    engine_internal::BulkLoad(this, staged.triples());
-    return Status::OK();
+Status Database::LoadNTriples(std::string_view text) {
+  // One batch, one delta build, one publish, one WAL group — and atomic
+  // on parse errors, because the batch stages nothing until the whole
+  // text parsed. (This retires the old empty-database-only sort-based
+  // fast path: the batch path amortises identically without the
+  // special case, WAL databases included.)
+  WriteBatch batch;
+  WDSPARQL_RETURN_IF_ERROR(batch.LoadNTriples(text));
+  return Apply(std::move(batch));
+}
+
+Status Database::LoadNTriplesFile(const std::string& path, std::size_t batch_size) {
+  if (batch_size == 0) {
+    WriteBatch batch;
+    WDSPARQL_RETURN_IF_ERROR(batch.LoadNTriplesFile(path));
+    return Apply(std::move(batch));
   }
-  for (const Triple& t : staged.triples()) {
-    AddTriple(t);
-    WDSPARQL_RETURN_IF_ERROR(impl_->sticky_storage_status());
+  // Streaming mode: parse straight into the database's pool and commit
+  // every `batch_size` triples, bounding peak memory and WAL group size
+  // (each committed batch stays applied if a later line fails to parse).
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  WriteBatch batch;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::optional<Triple> triple;
+    WDSPARQL_RETURN_IF_ERROR(ParseNTriplesLine(line, line_number, &pool(), &triple));
+    if (!triple.has_value()) continue;
+    batch.Add(pool(), *triple);
+    if (batch.size() >= batch_size) {
+      WDSPARQL_RETURN_IF_ERROR(Apply(std::move(batch)));
+    }
   }
-  return Status::OK();
+  if (in.bad()) return Status::IoError("read failure on " + path);
+  return Apply(std::move(batch));
 }
 
 void Database::Compact() { impl_->store.MergeDelta(); }
@@ -164,6 +281,20 @@ TermPool& Database::pool() const { return *impl_->pool; }
 
 Session Database::OpenSession(const SessionOptions& options) const {
   return Session(impl_.get(), options);
+}
+
+Snapshot Database::GetSnapshot() const {
+  return Snapshot(impl_.get(), impl_->store.PinView());
+}
+
+uint64_t Snapshot::generation() const {
+  return view_ == nullptr ? 0 : view_->generation();
+}
+
+std::size_t Snapshot::size() const { return view_ == nullptr ? 0 : view_->size(); }
+
+bool Snapshot::Contains(const Triple& t) const {
+  return view_ != nullptr && view_->Contains(t);
 }
 
 const RdfGraph& Database::graph() const {

@@ -172,6 +172,59 @@ DataId Dictionary::GetOrAdd(TermId t) {
   return id;
 }
 
+void Dictionary::EnsureTerms(const std::vector<TermId>& terms) {
+  std::vector<TermId> unknown;
+  for (TermId t : terms) {
+    if (Encode(t) == kNoDataId) unknown.push_back(t);
+  }
+  std::sort(unknown.begin(), unknown.end());
+  unknown.erase(std::unique(unknown.begin(), unknown.end()), unknown.end());
+  if (unknown.empty()) return;
+  WDSPARQL_CHECK(size_ + unknown.size() < kNoDataId);
+  if (unknown.size() < kFoldLimit) {
+    // Too few newcomers to justify rebuilding the folded run: take the
+    // bounded-tail append path (its fold amortises these fine). The
+    // eager single fold below is for genuinely bulk batches, where
+    // per-kFoldLimit refolds would go quadratic.
+    for (TermId t : unknown) AppendTerm(t, static_cast<DataId>(size_));
+    return;
+  }
+
+  // One growth of the term array (swap-in-fresh, never reallocating
+  // under a published view), then consecutive ids for the newcomers.
+  if (terms_ == nullptr || size_ + unknown.size() > terms_->size()) {
+    auto grown = std::make_shared<std::vector<TermId>>();
+    grown->resize(std::max<std::size_t>(
+        64, std::max(2 * size_, size_ + unknown.size())));
+    if (terms_ != nullptr) std::copy_n(terms_->begin(), size_, grown->begin());
+    terms_ = std::move(grown);
+  }
+  std::vector<AppendedEntry> entries;
+  entries.reserve(unknown.size());
+  for (TermId t : unknown) {
+    (*terms_)[size_] = t;
+    entries.push_back({t, static_cast<DataId>(size_)});
+    ++size_;
+  }
+
+  // ONE fold: the new sorted run absorbs the old run, the pending tail
+  // and every newcomer. Old runs stay alive for views that hold them.
+  auto folded = std::make_shared<std::vector<AppendedEntry>>();
+  folded->reserve((folded_ == nullptr ? 0 : folded_->size()) + tail_size_ +
+                  entries.size());
+  if (folded_ != nullptr) {
+    folded->insert(folded->end(), folded_->begin(), folded_->end());
+  }
+  if (tail_ != nullptr) {
+    folded->insert(folded->end(), tail_->begin(), tail_->begin() + tail_size_);
+  }
+  folded->insert(folded->end(), entries.begin(), entries.end());
+  std::sort(folded->begin(), folded->end());
+  folded_ = std::move(folded);
+  tail_ = nullptr;
+  tail_size_ = 0;
+}
+
 DictView Dictionary::view() const {
   DictView v;
   v.terms_ = terms_;

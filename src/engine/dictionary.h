@@ -148,6 +148,16 @@ class Dictionary {
   /// The dense id of `t`, appending a fresh id if `t` is new.
   DataId GetOrAdd(TermId t);
 
+  /// Bulk variant for batch ingest: appends every not-yet-present term
+  /// of `terms` (duplicates collapse; ids assigned in ascending TermId
+  /// order among the newcomers) and rebuilds the appended-term index
+  /// exactly ONCE. `GetOrAdd` folds that index every `kFoldLimit`
+  /// appends — quadratic across a large bulk load — so the batch apply
+  /// path pre-registers its terms here and its per-triple `GetOrAdd`
+  /// calls all hit. Readers are unaffected: the same copy-on-write
+  /// publication discipline applies.
+  void EnsureTerms(const std::vector<TermId>& terms);
+
   /// The term with dense id `id`; fatal if out of range.
   TermId Decode(DataId id) const {
     WDSPARQL_CHECK(id < size_);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <unordered_set>
 
 namespace wdsparql {
 
@@ -197,6 +198,118 @@ bool IndexedStore::Erase(const Triple& t) {
   MaybeMerge();
   Publish();
   return true;
+}
+
+void IndexedStore::ApplyBatch(const std::vector<Triple>& adds,
+                              const std::vector<Triple>& removes) {
+  if (adds.empty() && removes.empty()) return;
+  PermLess spo_less{OrderOf(Permutation::kSpo)};
+
+  // Pre-register the batch's terms with one fold of the appended-term
+  // index (per-triple GetOrAdd would refold it every kFoldLimit appends
+  // — quadratic across a bulk load), then encode the adds and split
+  // them: absent triples join the delta runs; tombstoned base residents
+  // just revive.
+  {
+    std::vector<TermId> batch_terms;
+    batch_terms.reserve(adds.size() * 3);
+    for (const Triple& t : adds) {
+      batch_terms.push_back(t.subject);
+      batch_terms.push_back(t.predicate);
+      batch_terms.push_back(t.object);
+    }
+    dict_.EnsureTerms(batch_terms);
+  }
+  std::vector<EncTriple> fresh;   // Into the delta runs.
+  std::vector<EncTriple> revive;  // Tombstones to drop.
+  fresh.reserve(adds.size());
+  for (const Triple& t : adds) {
+    EncTriple enc;
+    enc.s = dict_.GetOrAdd(t.subject);
+    enc.p = dict_.GetOrAdd(t.predicate);
+    enc.o = dict_.GetOrAdd(t.object);
+    if (std::binary_search(base_->spo.begin(), base_->spo.end(), enc, spo_less)) {
+      WDSPARQL_DCHECK(std::binary_search(delta_->dead.begin(), delta_->dead.end(),
+                                         enc, spo_less));
+      revive.push_back(enc);
+    } else {
+      WDSPARQL_DCHECK(!view_->InDelta(enc));
+      fresh.push_back(enc);
+    }
+  }
+
+  // Split the removes: delta residents vanish from the delta runs, base
+  // residents gain tombstones. Every removed triple is present, so its
+  // terms must already resolve.
+  std::unordered_set<EncTriple, EncTripleHash> delta_removals;
+  std::vector<EncTriple> newly_dead;
+  for (const Triple& t : removes) {
+    EncTriple enc;
+    for (int pos = 0; pos < 3; ++pos) {
+      std::optional<DataId> id = dict_.TryResolve(t[pos]);
+      WDSPARQL_CHECK(id.has_value());
+      (pos == 0 ? enc.s : (pos == 1 ? enc.p : enc.o)) = *id;
+    }
+    if (view_->InDelta(enc)) {
+      delta_removals.insert(enc);
+    } else {
+      WDSPARQL_DCHECK(
+          std::binary_search(base_->spo.begin(), base_->spo.end(), enc, spo_less));
+      newly_dead.push_back(enc);
+    }
+  }
+
+  // The successor delta: per permutation, one linear merge of (old run
+  // minus the delta removals) with the sorted fresh adds — the batched
+  // generalisation of CopyInsert/CopyErase, whose per-op O(delta) copy
+  // this amortises into O(delta + batch log batch) for the whole batch.
+  auto next = std::make_shared<DeltaRuns>();
+  auto rebuild_run = [&](const std::vector<EncTriple>& old_run, Permutation perm,
+                         std::vector<EncTriple>* out) {
+    std::vector<EncTriple> incoming = fresh;
+    PermLess less{OrderOf(perm)};
+    std::sort(incoming.begin(), incoming.end(), less);
+    out->reserve(old_run.size() - delta_removals.size() + incoming.size());
+    auto oi = old_run.begin();
+    auto ni = incoming.begin();
+    while (oi != old_run.end() || ni != incoming.end()) {
+      bool take_old =
+          ni == incoming.end() || (oi != old_run.end() && !less(*ni, *oi));
+      if (take_old) {
+        if (delta_removals.empty() || delta_removals.count(*oi) == 0) {
+          out->push_back(*oi);
+        }
+        ++oi;
+      } else {
+        out->push_back(*ni);
+        ++ni;
+      }
+    }
+  };
+  rebuild_run(delta_->dspo, Permutation::kSpo, &next->dspo);
+  rebuild_run(delta_->dpos, Permutation::kPos, &next->dpos);
+  rebuild_run(delta_->dosp, Permutation::kOsp, &next->dosp);
+
+  // Tombstones: (old dead minus revived) merged with the new ones.
+  std::sort(revive.begin(), revive.end(), spo_less);
+  std::sort(newly_dead.begin(), newly_dead.end(), spo_less);
+  std::vector<EncTriple> surviving;
+  surviving.reserve(delta_->dead.size() - revive.size());
+  std::set_difference(delta_->dead.begin(), delta_->dead.end(), revive.begin(),
+                      revive.end(), std::back_inserter(surviving), spo_less);
+  next->dead.reserve(surviving.size() + newly_dead.size());
+  std::merge(surviving.begin(), surviving.end(), newly_dead.begin(),
+             newly_dead.end(), std::back_inserter(next->dead), spo_less);
+
+  delta_ = std::move(next);
+  // Exactly one publish per batch: a threshold crossing folds the delta
+  // through MergeDelta (which publishes the merged state itself) instead
+  // of publishing twice.
+  if (merge_threshold_ != 0 && delta_->pending() >= merge_threshold_) {
+    MergeDelta();
+  } else {
+    Publish();
+  }
 }
 
 void IndexedStore::MaybeMerge() {

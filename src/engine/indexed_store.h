@@ -93,6 +93,19 @@ class IndexedStore final : public TripleSource {
   /// triples are removed copy-on-write. Publishes a new view on success.
   bool Erase(const Triple& t);
 
+  /// Applies a pre-resolved net batch in one step: every triple of
+  /// `adds` must be absent from the current view and every triple of
+  /// `removes` present (`Database::Apply` guarantees both by computing
+  /// the net effect first). Builds ONE successor delta copy-on-write —
+  /// one linear pass per permutation, O(batch log batch + delta)
+  /// however large the batch — and performs ONE view publish; when the
+  /// grown delta crosses the merge threshold, the fold happens inside
+  /// the same step and the merge's publish is the only one. This is the
+  /// amortised bulk path that retires the old per-triple loop (and the
+  /// empty-database-only `Build` fast path) for ingest.
+  void ApplyBatch(const std::vector<Triple>& adds,
+                  const std::vector<Triple>& removes);
+
   /// Folds the delta runs and tombstones into fresh base runs with one
   /// linear merge pass per permutation, then publishes. Idempotent;
   /// `DataId`s and the dictionary are unchanged. Views pinned before the

@@ -154,15 +154,71 @@ const std::vector<std::string>& Statement::variables() const {
   return impl_->var_names;
 }
 
-Cursor Statement::Execute() const { return Execute({}); }
+Cursor Statement::Execute() const { return ExecuteInternal({}, nullptr, {}); }
 
 Cursor Statement::Execute(const std::vector<std::string>& projection) const {
+  return ExecuteInternal(projection, nullptr, {});
+}
+
+Cursor Statement::Execute(const ExecOptions& options) const {
+  return ExecuteInternal({}, nullptr, options);
+}
+
+Cursor Statement::Execute(const std::vector<std::string>& projection,
+                          const ExecOptions& options) const {
+  return ExecuteInternal(projection, nullptr, options);
+}
+
+Cursor Statement::Execute(const Snapshot& snapshot,
+                          const ExecOptions& options) const {
+  return ExecuteInternal({}, &snapshot, options);
+}
+
+Cursor Statement::Execute(const std::vector<std::string>& projection,
+                          const Snapshot& snapshot,
+                          const ExecOptions& options) const {
+  return ExecuteInternal(projection, &snapshot, options);
+}
+
+Cursor Statement::ExecuteInternal(const std::vector<std::string>& projection,
+                                  const Snapshot* snapshot,
+                                  const ExecOptions& options) const {
   auto cursor = std::make_unique<CursorImpl>();
   cursor->stmt = impl_;
   cursor->diagnostics = impl_->diagnostics;
+  cursor->exec = options;
   if (!ok()) {
     cursor->state = Cursor::State::kFailed;
     return Cursor(std::move(cursor));
+  }
+  if (snapshot != nullptr) {
+    // Snapshot binding happens here, not at Open: a refused combination
+    // must fail loudly at Execute time, never silently read live state.
+    if (impl_->options.backend != Backend::kIndexed) {
+      cursor->state = Cursor::State::kFailed;
+      cursor->diagnostics.code = QueryDiagnostics::Code::kUnimplemented;
+      cursor->diagnostics.message =
+          "snapshot-bound execution is not implemented on the naive-hash "
+          "oracle backend (it reads live state and cannot pin a view); "
+          "use Backend::kIndexed";
+      return Cursor(std::move(cursor));
+    }
+    if (!snapshot->valid()) {
+      cursor->state = Cursor::State::kFailed;
+      cursor->diagnostics.code = QueryDiagnostics::Code::kInternal;
+      cursor->diagnostics.message =
+          "cannot execute against an invalid (default-constructed) snapshot";
+      return Cursor(std::move(cursor));
+    }
+    if (snapshot->db_ != impl_->db) {
+      cursor->state = Cursor::State::kFailed;
+      cursor->diagnostics.code = QueryDiagnostics::Code::kInternal;
+      cursor->diagnostics.message =
+          "snapshot and statement belong to different databases";
+      return Cursor(std::move(cursor));
+    }
+    cursor->view = snapshot->view_;
+    cursor->snapshot_bound = true;
   }
   if (projection.empty()) {
     cursor->columns = impl_->var_ids;

@@ -1,0 +1,89 @@
+#include "wdsparql/write_batch.h"
+
+#include <fstream>
+#include <optional>
+#include <utility>
+
+#include "rdf/ntriples.h"
+
+namespace wdsparql {
+
+void WriteBatch::Add(std::string_view subject, std::string_view predicate,
+                     std::string_view object) {
+  ops_.push_back(Op{true, std::string(subject), std::string(predicate),
+                    std::string(object)});
+}
+
+void WriteBatch::Remove(std::string_view subject, std::string_view predicate,
+                        std::string_view object) {
+  ops_.push_back(Op{false, std::string(subject), std::string(predicate),
+                    std::string(object)});
+}
+
+bool WriteBatch::Add(const TermPool& pool, const Triple& t) {
+  if (!t.IsGround()) return false;  // Variables are not storable facts.
+  Add(pool.Spelling(t.subject), pool.Spelling(t.predicate),
+      pool.Spelling(t.object));
+  return true;
+}
+
+bool WriteBatch::Remove(const TermPool& pool, const Triple& t) {
+  if (!t.IsGround()) return false;
+  Remove(pool.Spelling(t.subject), pool.Spelling(t.predicate),
+         pool.Spelling(t.object));
+  return true;
+}
+
+Status WriteBatch::LoadNTriples(std::string_view text) {
+  // Parse into a scratch pool and stage the ops aside, so a parse error
+  // on line N leaves the batch exactly as it was.
+  TermPool scratch;
+  std::vector<Op> staged;
+  int line_number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    ++line_number;
+    std::optional<Triple> triple;
+    WDSPARQL_RETURN_IF_ERROR(
+        ParseNTriplesLine(line, line_number, &scratch, &triple));
+    if (triple.has_value()) {
+      staged.push_back(Op{true, std::string(scratch.Spelling(triple->subject)),
+                          std::string(scratch.Spelling(triple->predicate)),
+                          std::string(scratch.Spelling(triple->object))});
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  ops_.insert(ops_.end(), std::make_move_iterator(staged.begin()),
+              std::make_move_iterator(staged.end()));
+  return Status::OK();
+}
+
+Status WriteBatch::LoadNTriplesFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  TermPool scratch;
+  std::vector<Op> staged;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::optional<Triple> triple;
+    WDSPARQL_RETURN_IF_ERROR(
+        ParseNTriplesLine(line, line_number, &scratch, &triple));
+    if (triple.has_value()) {
+      staged.push_back(Op{true, std::string(scratch.Spelling(triple->subject)),
+                          std::string(scratch.Spelling(triple->predicate)),
+                          std::string(scratch.Spelling(triple->object))});
+    }
+  }
+  if (in.bad()) return Status::IoError("read failure on " + path);
+  ops_.insert(ops_.end(), std::make_move_iterator(staged.begin()),
+              std::make_move_iterator(staged.end()));
+  return Status::OK();
+}
+
+}  // namespace wdsparql

@@ -103,6 +103,12 @@ static_assert(sizeof(WalFrameHeader) == 8, "on-disk layout drifted");
 enum class WalRecordType : uint8_t {
   kAddTriple = 1,
   kRemoveTriple = 2,
+  /// A batch commit (WAL version >= 2): u32 op count, then that many
+  /// sub-records, each {u8 kAddTriple/kRemoveTriple, three
+  /// length-prefixed spellings}. The group shares ONE frame and ONE
+  /// CRC, so replay applies it all-or-nothing — a torn group is
+  /// discarded exactly like a torn single-record tail.
+  kGroup = 3,
 };
 
 /// Upper bound on sane directory sizes; a section_count beyond this is

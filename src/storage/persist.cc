@@ -90,16 +90,23 @@ Result<Database> Database::Open(const std::string& path, const OpenOptions& opti
     Result<storage::WriteAheadLog> wal =
         storage::WriteAheadLog::Open(path + ".wal", options.wal_sync, &replayed);
     if (!wal.ok()) return wal.status();
-    // Replay the tail into the in-memory delta. The WAL is not attached
-    // yet, so replayed mutations are not re-logged; records are already
-    // durable where they sit.
-    for (const storage::WalRecord& record : replayed) {
+    // Replay the tail into the in-memory delta as ONE batch: the net
+    // effect of a record sequence equals its sequential application, so
+    // one delta build and one publish reconstruct what used to take a
+    // copy-on-write publish per record. Group frames arrive flattened —
+    // their atomicity was already enforced at decode time (a torn group
+    // never reaches this vector). The WAL is not attached yet, so
+    // replayed mutations are not re-logged; records are already durable
+    // where they sit.
+    WriteBatch replay;
+    for (storage::WalRecord& record : replayed) {
       if (record.type == storage::WalRecordType::kAddTriple) {
-        db.AddTriple(record.subject, record.predicate, record.object);
+        replay.Add(record.subject, record.predicate, record.object);
       } else {
-        db.RemoveTriple(record.subject, record.predicate, record.object);
+        replay.Remove(record.subject, record.predicate, record.object);
       }
     }
+    WDSPARQL_RETURN_IF_ERROR(db.Apply(std::move(replay)));
     impl->wal = std::make_unique<storage::WriteAheadLog>(std::move(wal).value());
   }
   return db;

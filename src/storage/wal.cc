@@ -1,5 +1,6 @@
 #include "storage/wal.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -30,12 +31,12 @@ void AppendString(std::vector<uint8_t>* out, std::string_view s) {
   out->insert(out->end(), s.begin(), s.end());
 }
 
-/// Decodes one record payload; false on malformed bytes (treated by the
-/// caller exactly like a CRC mismatch: the tail is torn).
-bool DecodePayload(const uint8_t* payload, uint32_t length, WalRecord* out) {
-  uint32_t pos = 0;
-  if (length < 1) return false;
-  uint8_t type = payload[pos++];
+/// Decodes one single-mutation image at `*pos`: u8 type + three
+/// length-prefixed spellings. Advances `*pos` past it on success.
+bool DecodeMutation(const uint8_t* payload, uint32_t length, uint32_t* pos,
+                    WalRecord* out) {
+  if (length - *pos < 1) return false;
+  uint8_t type = payload[(*pos)++];
   if (type != static_cast<uint8_t>(WalRecordType::kAddTriple) &&
       type != static_cast<uint8_t>(WalRecordType::kRemoveTriple)) {
     return false;
@@ -43,15 +44,53 @@ bool DecodePayload(const uint8_t* payload, uint32_t length, WalRecord* out) {
   out->type = static_cast<WalRecordType>(type);
   std::string* fields[3] = {&out->subject, &out->predicate, &out->object};
   for (std::string* field : fields) {
-    if (length - pos < sizeof(uint32_t)) return false;
+    if (length - *pos < sizeof(uint32_t)) return false;
     uint32_t n;
-    std::memcpy(&n, payload + pos, sizeof(n));
-    pos += sizeof(n);
-    if (length - pos < n) return false;
-    field->assign(reinterpret_cast<const char*>(payload + pos), n);
-    pos += n;
+    std::memcpy(&n, payload + *pos, sizeof(n));
+    *pos += sizeof(n);
+    if (length - *pos < n) return false;
+    field->assign(reinterpret_cast<const char*>(payload + *pos), n);
+    *pos += n;
   }
-  return pos == length;
+  return true;
+}
+
+/// Decodes one frame payload — a single record or a whole group — and
+/// appends the decoded mutations to `out` only if the entire payload is
+/// well formed (a malformed payload is treated by the caller exactly
+/// like a CRC mismatch: the tail is torn, and nothing of this frame may
+/// leak into the replay stream).
+bool DecodePayload(const uint8_t* payload, uint32_t length,
+                   std::vector<WalRecord>* out) {
+  uint32_t pos = 0;
+  if (length < 1) return false;
+  if (payload[0] == static_cast<uint8_t>(WalRecordType::kGroup)) {
+    pos = 1;
+    if (length - pos < sizeof(uint32_t)) return false;
+    uint32_t count;
+    std::memcpy(&count, payload + pos, sizeof(count));
+    pos += sizeof(count);
+    std::vector<WalRecord> group;
+    // `count` is untrusted bytes: clamp the reservation by the smallest
+    // possible mutation image (13 bytes) so a crafted frame cannot
+    // request a huge allocation before decoding fails.
+    group.reserve(std::min<uint64_t>(count, length / 13 + 1));
+    for (uint32_t i = 0; i < count; ++i) {
+      WalRecord record;
+      if (!DecodeMutation(payload, length, &pos, &record)) return false;
+      group.push_back(std::move(record));
+    }
+    if (pos != length) return false;
+    out->insert(out->end(), std::make_move_iterator(group.begin()),
+                std::make_move_iterator(group.end()));
+    return true;
+  }
+  WalRecord record;
+  if (!DecodeMutation(payload, length, &pos, &record) || pos != length) {
+    return false;
+  }
+  out->push_back(std::move(record));
+  return true;
 }
 
 }  // namespace
@@ -90,6 +129,7 @@ Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path, WalSyncMode s
   replayed->clear();
   uint64_t valid_end = sizeof(WalHeader);
   bool fresh = !FileExists(path);
+  bool upgrade_header = false;  // Older-version log: stamp it current.
   if (!fresh) {
     // Decode every intact frame; stop at the first damaged one.
     Result<FileBuffer> loaded = FileBuffer::Load(path, /*prefer_mmap=*/false);
@@ -112,6 +152,12 @@ Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path, WalSyncMode s
       if (header.version == 0 || header.version > storage_format::kWalVersion) {
         return Status::Corruption(path + ": unsupported WAL version");
       }
+      // An older-version log replays fine, but this writer may append
+      // newer frame shapes (group frames) that an old reader would
+      // misdecode as a torn tail and TRUNCATE — destroying acknowledged
+      // records. Stamping the header to the current version first makes
+      // that old reader fail loudly with kCorruption instead.
+      upgrade_header = header.version < storage_format::kWalVersion;
       uint64_t pos = sizeof(WalHeader);
       while (pos + sizeof(WalFrameHeader) <= buffer.size()) {
         WalFrameHeader frame;
@@ -122,9 +168,7 @@ Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path, WalSyncMode s
         }
         const uint8_t* payload = buffer.data() + pos + sizeof(frame);
         if (Crc32(payload, frame.payload_length) != frame.payload_crc) break;
-        WalRecord record;
-        if (!DecodePayload(payload, frame.payload_length, &record)) break;
-        replayed->push_back(std::move(record));
+        if (!DecodePayload(payload, frame.payload_length, replayed)) break;
         pos += sizeof(frame) + frame.payload_length;
       }
       valid_end = pos;
@@ -166,6 +210,18 @@ Result<WriteAheadLog> WriteAheadLog::Open(const std::string& path, WalSyncMode s
     // Drop the torn tail so future replays (and appends) start clean.
     return Status::IoError("ftruncate " + path + ": " + std::strerror(errno));
   }
+  if (!fresh && upgrade_header) {
+    // Durable before any new-shape frame can be acknowledged.
+    WalHeader header{};
+    std::memcpy(header.magic, kWalMagic, sizeof(kWalMagic));
+    header.version = storage_format::kWalVersion;
+    header.endian = kEndianTag;
+    if (::pwrite(wal.fd_, &header, sizeof(header), 0) !=
+            static_cast<ssize_t>(sizeof(header)) ||
+        ::fsync(wal.fd_) != 0) {
+      return Status::IoError("write " + path + ": " + std::strerror(errno));
+    }
+  }
   wal.append_offset_ = valid_end;
   return wal;
 #endif
@@ -203,7 +259,46 @@ Status WriteAheadLog::Append(WalRecordType type, std::string_view subject,
   AppendString(&scratch_, subject);
   AppendString(&scratch_, predicate);
   AppendString(&scratch_, object);
+  return WriteScratchFrame();
+#endif
+}
 
+Status WriteAheadLog::AppendGroup(const std::vector<WalOp>& ops) {
+#if defined(_WIN32)
+  (void)ops;
+  return Status::Internal("write-ahead logging is not supported on this platform");
+#else
+  if (fd_ < 0) return Status::FailedPrecondition("WAL is not open");
+  uint64_t payload_bytes = 1 + sizeof(uint32_t);
+  for (const WalOp& op : ops) {
+    payload_bytes += 1 + 3 * sizeof(uint32_t) + op.subject.size() +
+                     op.predicate.size() + op.object.size();
+  }
+  // Oversize groups are refused before anything touches the file: an
+  // acknowledged group that replay rejects as a torn tail would lose it
+  // (and every later frame) on the next open, silently breaking the
+  // all-or-nothing contract.
+  if (payload_bytes > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        "WAL group exceeds the maximum frame size; split the batch");
+  }
+  scratch_.clear();
+  scratch_.reserve(sizeof(WalFrameHeader) + payload_bytes);
+  scratch_.resize(sizeof(WalFrameHeader));
+  scratch_.push_back(static_cast<uint8_t>(WalRecordType::kGroup));
+  AppendU32(&scratch_, static_cast<uint32_t>(ops.size()));
+  for (const WalOp& op : ops) {
+    scratch_.push_back(static_cast<uint8_t>(op.type));
+    AppendString(&scratch_, op.subject);
+    AppendString(&scratch_, op.predicate);
+    AppendString(&scratch_, op.object);
+  }
+  return WriteScratchFrame();
+#endif
+}
+
+#if !defined(_WIN32)
+Status WriteAheadLog::WriteScratchFrame() {
   WalFrameHeader frame;
   frame.payload_length = static_cast<uint32_t>(scratch_.size() - sizeof(frame));
   frame.payload_crc =
@@ -220,8 +315,8 @@ Status WriteAheadLog::Append(WalRecordType type, std::string_view subject,
   }
   append_offset_ += scratch_.size();
   return Status::OK();
-#endif
 }
+#endif
 
 Status WriteAheadLog::Truncate() {
 #if defined(_WIN32)

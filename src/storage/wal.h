@@ -20,16 +20,33 @@
 /// through a callback, then truncates the file after the last intact
 /// frame — a torn tail (crash mid-append) is discarded exactly once and
 /// never corrupts later appends.
+///
+/// Two frame shapes exist: single records (one mutation each) and
+/// *group* records (format version 2): a whole `WriteBatch` commit in
+/// one frame under one CRC, written with one contiguous pwrite and one
+/// optional fsync. Replay flattens groups into the record stream; the
+/// shared CRC makes each group atomic — a crash mid-group discards the
+/// whole group, never a prefix of it.
 
 namespace wdsparql {
 namespace storage {
 
-/// A decoded log record.
+/// A decoded log record (single mutation; groups flatten into these on
+/// replay).
 struct WalRecord {
   WalRecordType type;
   std::string subject;
   std::string predicate;
   std::string object;
+};
+
+/// One mutation of a group append, viewing the caller's spellings (they
+/// must stay alive for the duration of the `AppendGroup` call).
+struct WalOp {
+  WalRecordType type;  ///< kAddTriple or kRemoveTriple.
+  std::string_view subject;
+  std::string_view predicate;
+  std::string_view object;
 };
 
 /// An open, appendable write-ahead log. Move-only (owns the fd).
@@ -65,6 +82,13 @@ class WriteAheadLog {
   Status Append(WalRecordType type, std::string_view subject,
                 std::string_view predicate, std::string_view object);
 
+  /// Appends `ops` as ONE group frame: one contiguous pwrite, one CRC,
+  /// one fsync (per the sync mode). The group is durable atomically —
+  /// replay applies all of it or none of it. `kInvalidArgument` if the
+  /// group would exceed the maximum frame size (the caller splits its
+  /// batch); nothing is written in that case.
+  Status AppendGroup(const std::vector<WalOp>& ops);
+
   /// Discards every record: truncates the log back to its header and
   /// syncs. Used by `Database::Checkpoint` after the snapshot rename.
   Status Truncate();
@@ -75,6 +99,11 @@ class WriteAheadLog {
   const std::string& path() const { return path_; }
 
  private:
+  /// CRCs, frames and writes the payload staged in `scratch_` (which
+  /// starts with `sizeof(WalFrameHeader)` reserved bytes) as one
+  /// contiguous pwrite + optional fsync.
+  Status WriteScratchFrame();
+
   std::string path_;
   int fd_ = -1;
   WalSyncMode sync_ = WalSyncMode::kNone;

@@ -14,6 +14,14 @@ SolutionEnumerator::SolutionEnumerator(const PatternForest& forest,
                                        EnumerationHooks hooks)
     : forest_(&forest), hooks_(std::move(hooks)) {}
 
+bool SolutionEnumerator::CheckInterrupt() {
+  if (interrupted_ || !probe_) return interrupted_;
+  if (++steps_since_probe_ < probe_interval_) return false;
+  steps_since_probe_ = 0;
+  if (probe_()) interrupted_ = true;
+  return interrupted_;
+}
+
 bool SolutionEnumerator::AdvanceSubtree() {
   while (true) {
     while (subtree_idx_ >= subtrees_.size()) {
@@ -37,6 +45,10 @@ bool SolutionEnumerator::AdvanceSubtree() {
     buffer_.clear();
     buffer_pos_ = 0;
     hooks_.candidates(pattern_, [this](const VarAssignment& assignment) {
+      // The interrupt check sits inside candidate generation, so even a
+      // subtree with a huge match set stops within check_interval steps
+      // (returning false tells the backend scan to stop mid-range).
+      if (CheckInterrupt()) return false;
       ++stats_.candidates;
       Mapping mu;
       for (const auto& [var, value] : assignment) {
@@ -45,6 +57,7 @@ bool SolutionEnumerator::AdvanceSubtree() {
       buffer_.push_back(std::move(mu));
       return true;
     });
+    if (interrupted_) return false;  // Partial buffer: never delivered.
     if (!buffer_.empty()) return true;  // Else: empty subtree, keep looking.
   }
 }
@@ -54,6 +67,10 @@ bool SolutionEnumerator::Next(Mapping* out) {
   if (state_ == State::kDone) return false;
   state_ = State::kActive;
   while (true) {
+    if (CheckInterrupt()) {
+      state_ = State::kDone;
+      return false;
+    }
     if (buffer_pos_ >= buffer_.size()) {
       if (!AdvanceSubtree()) {
         state_ = State::kDone;

@@ -89,8 +89,26 @@ class SolutionEnumerator {
   SolutionEnumerator(const PatternForest& forest, EnumerationHooks hooks);
 
   /// Advances to the next distinct maximal solution. Returns false when
-  /// the solution set is exhausted (state() == kDone from then on).
+  /// the solution set is exhausted (state() == kDone from then on) or
+  /// when the interruption probe fired (`interrupted()` distinguishes).
   bool Next(Mapping* out);
+
+  /// Installs a cooperative interruption probe, consulted every
+  /// `interval` enumeration steps (a step is one candidate generated or
+  /// one buffered candidate examined — so the machine stops *mid-
+  /// subtree*, within a bounded amount of work, not at the next answer
+  /// boundary). Once the probe returns true the enumeration is over:
+  /// `Next` returns false from then on and `interrupted()` stays true.
+  /// The engine's `Cursor` wires `ExecOptions` deadlines and
+  /// cancellation tokens through this.
+  void SetInterruptProbe(std::function<bool()> probe, uint32_t interval) {
+    probe_ = std::move(probe);
+    probe_interval_ = interval == 0 ? 1 : interval;
+  }
+
+  /// True iff the enumeration was stopped by the interruption probe
+  /// (as opposed to running out of answers).
+  bool interrupted() const { return interrupted_; }
 
   State state() const { return state_; }
   const EnumerateStats& stats() const { return stats_; }
@@ -100,10 +118,21 @@ class SolutionEnumerator {
   /// candidate buffer. Returns false when every tree is exhausted.
   bool AdvanceSubtree();
 
+  /// Counts one enumeration step; every `probe_interval_` steps asks
+  /// the probe whether to stop. Returns (and latches) the interrupted
+  /// state.
+  bool CheckInterrupt();
+
   const PatternForest* forest_;
   EnumerationHooks hooks_;
   EnumerateStats stats_;
   State state_ = State::kStart;
+
+  // Cooperative interruption (see SetInterruptProbe).
+  std::function<bool()> probe_;
+  uint32_t probe_interval_ = 64;
+  uint32_t steps_since_probe_ = 0;
+  bool interrupted_ = false;
 
   // Explicit iteration coordinates. kNoTree marks "no tree loaded yet";
   // the first advance wraps it to tree 0.
