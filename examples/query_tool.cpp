@@ -5,7 +5,7 @@
 ///
 ///   query_tool <graph.nt> '<pattern>' [--plan] [--count] [--promise K]
 ///              [--backend naive|indexed] [--select ?x,?y] [--table]
-///              [--save <snapshot>] [--batch-size N]
+///              [--save <snapshot>] [--batch-size N] [--stats] [--metrics]
 ///   query_tool --db <snapshot> '<pattern>' [same flags] [--wal]
 ///
 ///   <graph.nt>   N-Triples-like file (see rdf/ntriples.h)
@@ -30,6 +30,14 @@
 ///   --select     SELECT-style projection: print only the named
 ///                variables, duplicate rows eliminated
 ///   --table      render results as an aligned columnar table
+///   --stats      execute with ExecStats collection and print the
+///                EXPLAIN-style tree (wdsparql/stats.h) to stderr after
+///                the results (ignored with --table, whose execution
+///                path does not take ExecOptions)
+///   --metrics    print the engine's MetricsRegistry as one line of
+///                JSON on stdout, last, on every successful exit — pipe
+///                `... --metrics | tail -n 1 | python3 -m json.tool`
+///                for a pretty-printed dump
 ///
 /// Top-level FILTER conditions are peeled by Session::Prepare and
 /// post-applied over the enumerated bindings, so FILTER queries honour
@@ -64,7 +72,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: query_tool <graph.nt> '<pattern>' [--plan] [--count] "
                "[--promise K] [--backend naive|indexed] [--select ?x,?y] "
-               "[--table] [--save <snapshot>] [--batch-size N]\n"
+               "[--table] [--save <snapshot>] [--batch-size N] [--stats] "
+               "[--metrics]\n"
                "       query_tool --db <snapshot> '<pattern>' [same flags] "
                "[--wal]\n");
   return 1;
@@ -117,6 +126,8 @@ int main(int argc, char** argv) {
   bool count_only = false;
   bool as_table = false;
   bool open_wal = false;
+  bool show_stats = false;
+  bool show_metrics = false;
   int promise = 0;
   std::size_t batch_size = 0;  // 0 = one atomic batch.
   const char* db_path = nullptr;
@@ -143,6 +154,10 @@ int main(int argc, char** argv) {
       count_only = true;
     } else if (std::strcmp(argv[i], "--table") == 0) {
       as_table = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      show_stats = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      show_metrics = true;
     } else if (std::strcmp(argv[i], "--promise") == 0 && i + 1 < argc) {
       promise = std::atoi(argv[++i]);
       if (promise < 1) return Usage();
@@ -201,6 +216,16 @@ int main(int argc, char** argv) {
   }
   TermPool& pool = db.pool();
 
+  // The registry dump is the tool's last stdout line on every successful
+  // exit, one line of JSON (see --metrics above).
+  auto dump_metrics = [&db, show_metrics]() {
+    if (show_metrics) {
+      std::printf("%s\n", db.DumpMetrics(MetricsFormat::kJson).c_str());
+    }
+  };
+  ExecOptions exec;
+  exec.collect_stats = show_stats;
+
   Session session = db.OpenSession(options);
   Statement stmt = session.Prepare(pattern_text);
 
@@ -225,8 +250,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::vector<Mapping> answers = Evaluate(*parsed.value(), db.graph());
+    if (show_stats) {
+      std::fprintf(stderr,
+                   "note: --stats needs the engine pipeline; the set-semantics "
+                   "fallback collects none\n");
+    }
     if (count_only) {
       std::printf("%zu\n", answers.size());
+      dump_metrics();
       return 0;
     }
     for (const Mapping& mu : answers) {
@@ -240,6 +271,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot verify: %s\n", diag.ToString().c_str());
       return 1;
     }
+    dump_metrics();
     return 0;
   }
 
@@ -249,7 +281,7 @@ int main(int argc, char** argv) {
   }
 
   if (count_only) {
-    Cursor counting = stmt.Execute(projection);
+    Cursor counting = stmt.Execute(projection, exec);
     uint64_t count = 0;
     while (counting.Next()) ++count;
     if (counting.state() == Cursor::State::kFailed) {
@@ -257,18 +289,26 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("%llu\n", static_cast<unsigned long long>(count));
+    if (show_stats && counting.stats() != nullptr) {
+      std::fprintf(stderr, "%s", counting.stats()->ToText().c_str());
+    }
+    dump_metrics();
     return 0;
   }
 
   if (as_table) {
+    if (show_stats) {
+      std::fprintf(stderr, "note: --stats is ignored with --table\n");
+    }
     BindingTable table = stmt.ExecuteTable(projection);
     std::printf("%s", table.ToString().c_str());
     std::fprintf(stderr, "%zu row(s), graph: %zu triple(s), backend: %s\n",
                  table.NumRows(), db.size(), BackendToString(options.backend));
+    dump_metrics();
     return 0;
   }
 
-  Cursor cursor = stmt.Execute(projection);
+  Cursor cursor = stmt.Execute(projection, exec);
   std::vector<Mapping> answers;
   while (cursor.Next()) {
     answers.push_back(cursor.Row());
@@ -285,6 +325,11 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "%zu answer(s), graph: %zu triple(s), backend: %s\n",
                answers.size(), db.size(), BackendToString(options.backend));
+  if (show_stats && cursor.stats() != nullptr) {
+    // The cursor is exhausted, so these are the execution's final
+    // numbers (scan and dictionary counters folded in at finish).
+    std::fprintf(stderr, "%s", cursor.stats()->ToText().c_str());
+  }
 
   if (promise > 0) {
     const PatternForest& forest = stmt.impl()->forest;
@@ -303,5 +348,6 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "all answers verified by PebbleWdEval(k=%d)\n", promise);
   }
+  dump_metrics();
   return 0;
 }

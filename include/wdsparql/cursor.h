@@ -7,6 +7,7 @@
 
 #include "wdsparql/diagnostics.h"
 #include "wdsparql/mapping.h"
+#include "wdsparql/stats.h"
 
 /// \file
 /// Pull-based result enumeration.
@@ -117,6 +118,13 @@ class Cursor {
 
   /// Rows delivered so far.
   uint64_t rows() const;
+
+  /// The execution's statistics, or null unless the cursor was executed
+  /// with `ExecOptions::collect_stats`. Counters update live while the
+  /// cursor runs and are final once it finishes (exhaustion, limit,
+  /// cancellation or `Close`); the pointer stays valid for the cursor's
+  /// lifetime — copy the struct to keep it longer.
+  const ExecStats* stats() const;
 
  private:
   std::unique_ptr<CursorImpl> impl_;

@@ -2,10 +2,12 @@
 #define WDSPARQL_PUBLIC_DATABASE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 
+#include "wdsparql/metrics.h"
 #include "wdsparql/session.h"
 #include "wdsparql/snapshot.h"
 #include "wdsparql/status.h"
@@ -160,6 +162,19 @@ class Database {
   /// atomic batch.
   Status LoadNTriplesFile(const std::string& path, std::size_t batch_size = 0);
 
+  /// Per-batch progress callback for the streaming loader: invoked after
+  /// every committed batch with the triples parsed so far and the size
+  /// of the batch just applied (ingest tooling reports throughput from
+  /// these without re-deriving the streaming loop).
+  using LoadProgress =
+      std::function<void(std::size_t triples_loaded, std::size_t batch_triples)>;
+
+  /// As `LoadNTriplesFile(path, batch_size)`, reporting progress after
+  /// every committed batch (including the final partial one). Requires
+  /// `batch_size > 0`.
+  Status LoadNTriplesFile(const std::string& path, std::size_t batch_size,
+                          const LoadProgress& progress);
+
   /// Folds pending delta runs and tombstones into the base permutation
   /// runs now. Idempotent; changes no query results. Pinned views keep
   /// the pre-merge runs alive, so open cursors are unaffected.
@@ -191,6 +206,16 @@ class Database {
   /// synchronises internally: interning and spelling lookups are safe
   /// from any thread.
   TermPool& pool() const;
+
+  /// The engine-wide metrics registry: always-on counters, gauges and
+  /// histograms covering the write path, storage and the view
+  /// lifecycle (see wdsparql/metrics.h for the cost model and
+  /// docs/OBSERVABILITY.md for the instrument glossary). Thread-safe;
+  /// lives as long as the database.
+  MetricsRegistry& metrics() const;
+
+  /// Renders every registry instrument (`metrics().Dump(format)`).
+  std::string DumpMetrics(MetricsFormat format = MetricsFormat::kText) const;
 
   // Reading -----------------------------------------------------------
 

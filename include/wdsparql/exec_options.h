@@ -64,6 +64,13 @@ struct ExecOptions {
   /// clock reads; 0 is treated as 1.
   uint32_t check_interval = 64;
 
+  /// Collect per-execution `ExecStats` (see wdsparql/stats.h) on the
+  /// cursor: counters per subpattern, scan/dictionary totals and phase
+  /// timers, retrievable via `Cursor::stats()`. Off by default: the
+  /// disabled path allocates nothing and leaves the enumeration hot
+  /// path untouched.
+  bool collect_stats = false;
+
   /// Convenience: a deadline `budget` from now.
   ExecOptions& WithTimeout(std::chrono::steady_clock::duration budget) {
     deadline = std::chrono::steady_clock::now() + budget;

@@ -1,0 +1,144 @@
+#ifndef WDSPARQL_PUBLIC_METRICS_H_
+#define WDSPARQL_PUBLIC_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+/// \file
+/// Engine-wide metrics.
+///
+/// `MetricsRegistry` is the database's always-on instrument panel: named
+/// counters, gauges and exponential-bucket histograms covering the write
+/// path (commit sizes, delta-build/WAL-append/fsync durations), storage
+/// (checkpoint duration, snapshot bytes, WAL replay facts) and the view
+/// lifecycle (live read views, compactions). `Database` owns one
+/// registry (`Database::metrics()`) and exports it as text or JSON via
+/// `Database::DumpMetrics`.
+///
+/// Cost model: instruments are updated with relaxed atomics — safe from
+/// any thread, TSan-clean, and cheap enough for per-commit paths. The
+/// per-*row* enumeration hot path never touches them: cursors count into
+/// cursor-local `ExecStats` (see wdsparql/stats.h) and merge into the
+/// registry once, when they finish. Lookup by name takes a mutex; call
+/// sites cache the returned reference (instrument addresses are stable
+/// for the registry's lifetime).
+
+namespace wdsparql {
+
+/// A monotonically increasing counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A gauge: a value that can move both ways (live view count, bytes on
+/// disk).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// An exponential-bucket histogram over non-negative integer samples
+/// (durations in nanoseconds, sizes in bytes/ops). Bucket `i` counts
+/// samples whose value fits in `i` bits: 0, 1, [2,4), [4,8), ... —
+/// power-of-2 boundaries, so `Observe` is a bit scan, not a search.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Observe(uint64_t sample) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (sample > seen &&
+           !max_.compare_exchange_weak(seen, sample, std::memory_order_relaxed)) {
+    }
+    buckets_[BucketOf(sample)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t mean() const {
+    uint64_t n = count();
+    return n == 0 ? 0 : sum() / n;
+  }
+  uint64_t bucket(int i) const { return buckets_[i].load(std::memory_order_relaxed); }
+
+  /// Lower bound of bucket `i` (inclusive): 0, 1, 2, 4, 8, ...
+  static uint64_t BucketLowerBound(int i) {
+    return i == 0 ? 0 : (uint64_t{1} << (i - 1));
+  }
+
+  /// Bucket index of a sample: the number of significant bits.
+  static int BucketOf(uint64_t sample) {
+    int bits = 0;
+    while (sample != 0) {
+      ++bits;
+      sample >>= 1;
+    }
+    return bits;
+  }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+};
+
+/// Output flavours of `MetricsRegistry::Dump` / `Database::DumpMetrics`.
+enum class MetricsFormat {
+  kText,  ///< One line per instrument, sorted by name.
+  kJson,  ///< One JSON object keyed by instrument name.
+};
+
+/// A named registry of counters, gauges and histograms. Instruments are
+/// created on first lookup and live as long as the registry; returned
+/// references are stable, so hot call sites look up once and cache.
+///
+/// Thread-safety: lookups are mutex-guarded; instrument updates are
+/// lock-free relaxed atomics. Dumping while writers update is safe (the
+/// dump is a relaxed point-in-time read, not a consistent cut).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The counter named `name`, created on first use.
+  Counter& counter(const std::string& name);
+
+  /// The gauge named `name`, created on first use.
+  Gauge& gauge(const std::string& name);
+
+  /// The histogram named `name`, created on first use.
+  Histogram& histogram(const std::string& name);
+
+  /// Every instrument, rendered. Text: `name kind value...` lines,
+  /// sorted by name. JSON: `{"name": {...}, ...}`.
+  std::string Dump(MetricsFormat format = MetricsFormat::kText) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_PUBLIC_METRICS_H_

@@ -1,0 +1,94 @@
+#ifndef WDSPARQL_PUBLIC_STATS_H_
+#define WDSPARQL_PUBLIC_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// Per-query execution statistics.
+///
+/// `ExecStats` is the per-execution observability record: one plain
+/// struct of counters and phase timers, filled in by a single cursor as
+/// it enumerates and retrievable from that cursor at any point
+/// (`Cursor::stats()`), final once the cursor finishes. Collection is
+/// opt-in per execution (`ExecOptions::collect_stats`); when it is off
+/// nothing is allocated and the enumeration hot path is untouched —
+/// `Cursor::stats()` simply returns null.
+///
+/// The counters are *cursor-local*: plain (non-atomic) integers owned by
+/// the one thread driving the cursor, so collection adds increments, not
+/// cache-line contention, to the hot path. Engine-wide aggregation
+/// happens once, at cursor finish, into the database's
+/// `MetricsRegistry` (see wdsparql/metrics.h).
+///
+/// Two renderings are provided: `ToText()` — an EXPLAIN-style tree of
+/// the execution (phases, totals, one line per enumerated subpattern) —
+/// and `ToJson()` for machine consumption. `docs/OBSERVABILITY.md`
+/// holds the counter glossary and a worked example.
+
+namespace wdsparql {
+
+/// Counters and timers of one statement execution. A plain value: copy
+/// it out of the cursor to keep it past the cursor's lifetime.
+struct ExecStats {
+  /// Per-subpattern breakdown: one entry for every subtree pattern the
+  /// enumerator opened that produced at least one candidate (empty
+  /// subtrees are summarised by `empty_subpatterns`). Entries appear in
+  /// enumeration order.
+  struct Subpattern {
+    std::size_t tree = 0;     ///< Index of the pattern tree in wdpf(P).
+    std::size_t subtree = 0;  ///< Index of the subtree within its tree.
+    std::string pattern;      ///< Rendered pat(T'), e.g. "(?x knows ?y)".
+    uint64_t candidates = 0;  ///< Homomorphism candidates buffered.
+    uint64_t dedup_rejected = 0;    ///< Dropped: already emitted elsewhere.
+    uint64_t non_maximal = 0;       ///< Dropped: a child pattern extends them.
+    uint64_t maximality_tests = 0;  ///< Extension certificates run.
+    uint64_t rows = 0;        ///< Answers this subpattern contributed.
+  };
+
+  // Phase timers (nanoseconds). Parse/check/plan are properties of the
+  // prepared statement (paid once, copied into every execution's stats);
+  // enumerate_ns accumulates the wall-clock time this cursor spent
+  // inside Next().
+  uint64_t parse_ns = 0;      ///< Pattern text -> AST.
+  uint64_t check_ns = 0;      ///< Well-designedness check.
+  uint64_t plan_ns = 0;       ///< wdpf forest construction + projection.
+  uint64_t enumerate_ns = 0;  ///< Time spent pulling rows.
+
+  // Enumeration totals.
+  uint64_t rows_emitted = 0;     ///< Rows the cursor delivered (== Cursor::rows()).
+  uint64_t candidates = 0;       ///< Candidates generated across subpatterns.
+  uint64_t dedup_rejected = 0;   ///< Candidates dropped as duplicates.
+  uint64_t non_maximal = 0;      ///< Candidates dropped as extendable.
+  uint64_t maximality_tests = 0; ///< Extension certificates run.
+  uint64_t filtered_out = 0;     ///< Answers dropped by post-FILTERs.
+  uint64_t projection_dedup_rejected = 0;  ///< Dropped by SELECT dedup.
+  uint64_t empty_subpatterns = 0;  ///< Subtrees whose match set was empty.
+  uint64_t interrupt_checks = 0;   ///< Deadline/cancellation probe calls.
+
+  // Storage counters (indexed backend; zero on the naive-hash oracle).
+  uint64_t ranges_scanned = 0;        ///< Permutation ranges materialised.
+  uint64_t values_probed = 0;         ///< Candidate values tested in merges.
+  uint64_t base_triples_scanned = 0;  ///< Triples read from base runs.
+  uint64_t delta_triples_scanned = 0; ///< Triples read from delta runs.
+  uint64_t dict_encodes = 0;          ///< Term -> DataId dictionary probes.
+  uint64_t dict_decodes = 0;          ///< DataId -> Term resolutions.
+
+  /// Backend the execution ran on ("indexed" / "naive-hash").
+  std::string backend;
+
+  std::vector<Subpattern> subpatterns;
+
+  /// Human-readable EXPLAIN-style rendering: phases, totals, then one
+  /// line per subpattern with its candidate/rejection/row counts.
+  std::string ToText() const;
+
+  /// The same content as one JSON object.
+  std::string ToJson() const;
+};
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_PUBLIC_STATS_H_

@@ -25,8 +25,10 @@
 #include "wdsparql/exec_options.h"
 #include "wdsparql/hash.h"
 #include "wdsparql/mapping.h"
+#include "wdsparql/metrics.h"
 #include "wdsparql/session.h"
 #include "wdsparql/snapshot.h"
+#include "wdsparql/stats.h"
 #include "wdsparql/status.h"
 #include "wdsparql/storage.h"
 #include "wdsparql/term.h"

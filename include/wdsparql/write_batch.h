@@ -37,10 +37,30 @@
 namespace wdsparql {
 
 /// Net outcome of one `Database::Apply`: what actually changed after
-/// in-batch cancellation and comparison against the current state.
+/// in-batch cancellation and comparison against the current state, plus
+/// the commit's observability facts — what the WAL and the view publish
+/// machinery did on its behalf — so batch callers no longer infer them
+/// from generation deltas or log sizes.
 struct ApplyResult {
   std::size_t added = 0;    ///< Triples newly inserted.
   std::size_t removed = 0;  ///< Previously present triples removed.
+
+  /// Write-ahead-log bytes this commit appended (frame headers
+  /// included). 0 without `Durability::kWal` or for a no-op batch.
+  uint64_t wal_bytes = 0;
+
+  /// WAL frames written: 1 for every practical batch; more when the
+  /// batch exceeded the group payload budget and degraded into several
+  /// consecutive group frames. 0 without kWal or for a no-op.
+  uint64_t wal_groups = 0;
+
+  /// Read-view publishes this commit performed: 1 for an effective
+  /// batch, 2 when the grown delta crossed the merge threshold (the
+  /// fold publishes too), 0 for a no-op.
+  uint64_t publishes = 0;
+
+  /// Net operations applied (adds + removes after cancellation).
+  std::size_t net_ops() const { return added + removed; }
 
   /// True iff the batch changed nothing (no publish happened).
   bool no_op() const { return added == 0 && removed == 0; }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "engine/indexed_store.h"
+#include "engine/join.h"
 #include "engine/read_view.h"
 #include "ptree/forest.h"
 #include "rdf/graph.h"
@@ -20,7 +21,9 @@
 #include "wdsparql/database.h"
 #include "wdsparql/diagnostics.h"
 #include "wdsparql/exec_options.h"
+#include "wdsparql/metrics.h"
 #include "wdsparql/session.h"
+#include "wdsparql/stats.h"
 
 /// \file
 /// Shared implementation state behind the public Database/Session/Cursor
@@ -44,6 +47,7 @@ struct DatabaseImpl {
         hash_source(graph.triples()),
         options(opts) {
     store.set_merge_threshold(options.merge_threshold);
+    store.set_metrics(metrics);
   }
 
   /// Crosses the pimpl boundary for the engine_internal free functions
@@ -93,6 +97,11 @@ struct DatabaseImpl {
 
   std::unique_ptr<TermPool> owned_pool;  // Null when the pool is external.
   TermPool* pool;
+  /// The engine-wide metrics registry. Shared ownership so view
+  /// lifetime tokens (the `views.live` gauge) and the WAL can hold it
+  /// safely however long their owners live; updated from any thread
+  /// (relaxed atomics inside).
+  std::shared_ptr<MetricsRegistry> metrics = std::make_shared<MetricsRegistry>();
   mutable RdfGraph graph;        // Hash-indexed row store (naive backend).
   HashTripleSource hash_source;  // TripleSource view over `graph`.
   IndexedStore store;            // Permutation-indexed store (indexed backend).
@@ -126,6 +135,12 @@ struct StatementImpl {
   PatternForest forest;                 // wdpf(core).
   std::vector<TermId> var_ids;          // vars(core), first occurrence.
   std::vector<std::string> var_names;   // Display forms ("?x").
+
+  // Preparation phase timers (always measured — three clock reads per
+  // prepare — and copied into every stats-collecting execution).
+  uint64_t parse_ns = 0;  // Text -> AST (0 for PrepareParsed).
+  uint64_t check_ns = 0;  // Well-designedness check.
+  uint64_t plan_ns = 0;   // Filter peel + wdpf forest + variables.
 };
 
 /// One cursor's execution state. Owned by exactly one thread at a time
@@ -163,6 +178,22 @@ struct CursorImpl {
   /// view itself is dropped and only this stays).
   uint64_t open_generation = 0;
   uint64_t rows = 0;
+
+  /// Execution statistics, allocated only when
+  /// `ExecOptions::collect_stats` is set (the disabled path allocates
+  /// and counts nothing — `Cursor::stats()` is null).
+  std::unique_ptr<ExecStats> stats;
+  /// Join-layer counters the indexed-backend hooks write into when
+  /// stats are on (cursor-local, folded into `stats` at finish).
+  JoinStats join_stats;
+  /// The enumerator's aggregate totals, snapshotted before the
+  /// enumerator is released on a finish path (they feed the registry
+  /// merge, which may run later than the reset).
+  EnumerateStats enum_totals;
+  /// One-shot finish latch: the registry merge and the JoinStats fold
+  /// run exactly once, whichever of exhaustion/Close/destruction comes
+  /// first.
+  bool finalized = false;
 };
 
 namespace engine_internal {
@@ -181,10 +212,13 @@ const HashTripleSource& HashSourceOf(const Database& db);
 /// Bound to the move-stable impl, not the movable `Database` shell.
 /// On the indexed backend the hooks close over `view` (pinned by the
 /// caller — this is the cursor's pin-at-open step); the naive backend
-/// reads the live hash graph and `view` may be null.
+/// reads the live hash graph and `view` may be null. A non-null
+/// `join_stats` (indexed backend only) receives the join layer's scan
+/// and dictionary counters; it must outlive the hooks.
 EnumerationHooks MakeEnumerationHooks(const DatabaseImpl& db,
                                       const SessionOptions& options,
-                                      std::shared_ptr<const ReadView> view);
+                                      std::shared_ptr<const ReadView> view,
+                                      JoinStats* join_stats = nullptr);
 
 /// wdEVAL membership on the session's backend (no filter application).
 /// Pins its own view for the duration of the call on the indexed

@@ -1,8 +1,51 @@
 #include "wdsparql/cursor.h"
 
 #include "engine/api_internal.h"
+#include "util/timer.h"
 
 namespace wdsparql {
+namespace {
+
+/// Snapshots the enumerator's aggregate counters into the cursor before
+/// the machinery is released (the finish paths reset the enumerator, but
+/// its totals feed the registry merge).
+void AbsorbEnumeratorTotals(CursorImpl* impl) {
+  if (impl->enumerator != nullptr) impl->enum_totals = impl->enumerator->stats();
+}
+
+/// The once-per-execution finish step: folds the cursor-local counters
+/// into the final `ExecStats` and merges the execution's totals into the
+/// database's `MetricsRegistry`. This is the "per-worker accumulation,
+/// merge at close" half of the observability contract — the enumeration
+/// hot path touched only plain cursor-local integers; the shared atomics
+/// are touched here, once, whichever of exhaustion / `Close` /
+/// destruction ends the execution first.
+void FinalizeCursorStats(CursorImpl* impl) {
+  if (impl->finalized || impl->stmt == nullptr || impl->stmt->db == nullptr ||
+      impl->open_generation == 0) {
+    return;  // Never opened (or already merged): nothing to account.
+  }
+  impl->finalized = true;
+  AbsorbEnumeratorTotals(impl);
+  if (impl->stats != nullptr) {
+    ExecStats& stats = *impl->stats;
+    stats.ranges_scanned = impl->join_stats.ranges_scanned;
+    stats.values_probed = impl->join_stats.values_probed;
+    stats.base_triples_scanned = impl->join_stats.base_scanned;
+    stats.delta_triples_scanned = impl->join_stats.delta_scanned;
+    stats.dict_encodes = impl->join_stats.dict_encodes;
+    stats.dict_decodes = impl->join_stats.dict_decodes;
+  }
+  MetricsRegistry& metrics = *impl->stmt->db->metrics;
+  metrics.counter("query.rows_emitted").Add(impl->rows);
+  metrics.counter("query.candidates").Add(impl->enum_totals.candidates);
+  metrics.counter("query.maximality_tests").Add(impl->enum_totals.maximality_tests);
+  if (impl->stats != nullptr) {
+    metrics.histogram("query.enumerate_ns").Observe(impl->stats->enumerate_ns);
+  }
+}
+
+}  // namespace
 
 Cursor::Cursor() : impl_(std::make_unique<CursorImpl>()) {
   impl_->state = State::kFailed;
@@ -11,7 +54,13 @@ Cursor::Cursor() : impl_(std::make_unique<CursorImpl>()) {
 }
 
 Cursor::Cursor(std::unique_ptr<CursorImpl> impl) : impl_(std::move(impl)) {}
-Cursor::~Cursor() = default;
+
+Cursor::~Cursor() {
+  // A dropped mid-enumeration cursor still merges its totals (moved-from
+  // shells hold no impl and skip this).
+  if (impl_ != nullptr) FinalizeCursorStats(impl_.get());
+}
+
 Cursor::Cursor(Cursor&&) noexcept = default;
 Cursor& Cursor::operator=(Cursor&&) noexcept = default;
 
@@ -41,7 +90,13 @@ bool Cursor::Open() {
   }
   impl_->enumerator = std::make_unique<SolutionEnumerator>(
       stmt.forest,
-      engine_internal::MakeEnumerationHooks(*stmt.db, stmt.options, impl_->view));
+      engine_internal::MakeEnumerationHooks(
+          *stmt.db, stmt.options, impl_->view,
+          impl_->stats != nullptr ? &impl_->join_stats : nullptr));
+  if (impl_->stats != nullptr) {
+    impl_->enumerator->SetStatsSink(impl_->stats.get(), stmt.db->pool);
+  }
+  stmt.db->metrics->counter("query.cursors_opened").Add(1);
   if (impl_->exec.deadline.has_value() || impl_->exec.cancel != nullptr) {
     // The probe closes over copies of the bounds: the ExecOptions value
     // itself stays untouched, and the shared cancellation token may be
@@ -64,35 +119,41 @@ bool Cursor::Open() {
   return true;
 }
 
-bool Cursor::Next() {
-  if (impl_->state == State::kUnopened && !Open()) return false;
-  if (impl_->state != State::kOpen) return false;
-  if (impl_->exec.row_limit != 0 && impl_->rows >= impl_->exec.row_limit) {
+namespace {
+
+/// One pull: the body of `Cursor::Next` after the open/timing prologue.
+/// Terminal paths snapshot the enumerator's totals before releasing it;
+/// the caller runs the finish step once the phase timer has flushed.
+bool NextRow(CursorImpl* impl) {
+  if (impl->state != Cursor::State::kOpen) return false;
+  if (impl->exec.row_limit != 0 && impl->rows >= impl->exec.row_limit) {
     // The permitted prefix was delivered in full; park the cursor and
     // release the machinery (and the pinned view) like exhaustion does.
     // kLimited rather than kExhausted: the consumer can tell a complete
     // answer set from a truncated one.
-    impl_->state = State::kLimited;
-    impl_->enumerator.reset();
-    impl_->view.reset();
+    impl->state = Cursor::State::kLimited;
+    AbsorbEnumeratorTotals(impl);
+    impl->enumerator.reset();
+    impl->view.reset();
     return false;
   }
-  const StatementImpl& stmt = *impl_->stmt;
-  if (impl_->view == nullptr &&
-      stmt.db->store.PinView()->generation() != impl_->open_generation) {
+  const StatementImpl& stmt = *impl->stmt;
+  if (impl->view == nullptr &&
+      stmt.db->store.PinView()->generation() != impl->open_generation) {
     // Naive-backend cursors read the live hash graph in place, so a
     // mutation underneath them is unrecoverable: fail fast and loudly.
     // (Indexed cursors hold a pinned view and never take this path.)
-    impl_->state = State::kInvalidated;
-    impl_->diagnostics.code = QueryDiagnostics::Code::kInvalidated;
-    impl_->diagnostics.message =
+    impl->state = Cursor::State::kInvalidated;
+    impl->diagnostics.code = QueryDiagnostics::Code::kInvalidated;
+    impl->diagnostics.message =
         "cursor invalidated: the database mutated during enumeration "
         "(naive backend cursors cannot pin a snapshot)";
-    impl_->enumerator.reset();
+    AbsorbEnumeratorTotals(impl);
+    impl->enumerator.reset();
     return false;
   }
   Mapping mu;
-  while (impl_->enumerator->Next(&mu)) {
+  while (impl->enumerator->Next(&mu)) {
     bool filtered_out = false;
     for (const FilterCondition& filter : stmt.filters) {
       if (!filter.Satisfied(mu)) {
@@ -100,38 +161,65 @@ bool Cursor::Next() {
         break;
       }
     }
-    if (filtered_out) continue;
-    Mapping projected = impl_->dedup ? mu.RestrictedTo(impl_->columns) : mu;
-    if (impl_->dedup && !impl_->emitted.insert(projected).second) continue;
-    impl_->row = std::move(projected);
-    ++impl_->rows;
+    if (filtered_out) {
+      if (impl->stats != nullptr) ++impl->stats->filtered_out;
+      continue;
+    }
+    Mapping projected = impl->dedup ? mu.RestrictedTo(impl->columns) : mu;
+    if (impl->dedup && !impl->emitted.insert(projected).second) {
+      if (impl->stats != nullptr) ++impl->stats->projection_dedup_rejected;
+      continue;
+    }
+    impl->row = std::move(projected);
+    ++impl->rows;
+    if (impl->stats != nullptr) ++impl->stats->rows_emitted;
     return true;
   }
-  if (impl_->enumerator->interrupted()) {
+  if (impl->enumerator->interrupted()) {
     // Stopped mid-subtree by the ExecOptions probe. The token is
     // checked first so a cancel that races the deadline reports as a
     // cancellation (the caller's explicit action wins the tie).
-    bool token_fired = impl_->exec.cancel != nullptr &&
-                       impl_->exec.cancel->load(std::memory_order_relaxed);
-    impl_->state = State::kCancelled;
-    impl_->diagnostics.code = token_fired
+    bool token_fired = impl->exec.cancel != nullptr &&
+                       impl->exec.cancel->load(std::memory_order_relaxed);
+    impl->state = Cursor::State::kCancelled;
+    impl->diagnostics.code = token_fired
                                   ? QueryDiagnostics::Code::kCancelled
                                   : QueryDiagnostics::Code::kDeadlineExceeded;
-    impl_->diagnostics.message =
+    impl->diagnostics.message =
         token_fired ? "execution cancelled by its cancellation token"
                     : "execution exceeded its deadline";
   } else {
-    impl_->state = State::kExhausted;
+    impl->state = Cursor::State::kExhausted;
   }
-  impl_->enumerator.reset();
-  impl_->view.reset();  // Release the pinned snapshot promptly.
+  AbsorbEnumeratorTotals(impl);
+  impl->enumerator.reset();
+  impl->view.reset();  // Release the pinned snapshot promptly.
   return false;
+}
+
+}  // namespace
+
+bool Cursor::Next() {
+  if (impl_->state == State::kUnopened && !Open()) return false;
+  bool has_row;
+  if (impl_->stats != nullptr) {
+    // The enumerate phase timer brackets exactly the pull work; it must
+    // flush before the finish step so the final observation is complete.
+    Timer enumerate_timer;
+    has_row = NextRow(impl_.get());
+    impl_->stats->enumerate_ns += enumerate_timer.ElapsedNanos();
+  } else {
+    has_row = NextRow(impl_.get());
+  }
+  if (!has_row) FinalizeCursorStats(impl_.get());
+  return has_row;
 }
 
 void Cursor::Close() {
   if (impl_->state == State::kOpen || impl_->state == State::kUnopened) {
     impl_->state = State::kClosed;
   }
+  FinalizeCursorStats(impl_.get());
   impl_->enumerator.reset();
   impl_->emitted.clear();
   // The explicit view release: dropping the last pin lets the store
@@ -164,6 +252,8 @@ std::string Cursor::Value(std::size_t col) const {
 const Mapping& Cursor::Row() const { return impl_->row; }
 
 uint64_t Cursor::rows() const { return impl_->rows; }
+
+const ExecStats* Cursor::stats() const { return impl_->stats.get(); }
 
 const char* CursorStateToString(Cursor::State state) {
   switch (state) {

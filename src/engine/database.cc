@@ -63,8 +63,15 @@ Status ApplyResolvedOps(DatabaseImpl* impl, const std::vector<ResolvedOp>& ops,
   }
   if (adds.empty() && removes.empty()) return Status::OK();
 
-  auto apply_chunk = [impl, result](const std::vector<Triple>& chunk_adds,
-                                    const std::vector<Triple>& chunk_removes) {
+  // Commit-path accounting: one counter bump and one histogram sample
+  // per effective commit (writer thread; never on the read hot path).
+  impl->metrics->counter("write.commits").Add(1);
+  impl->metrics->histogram("write.net_ops").Observe(adds.size() + removes.size());
+
+  const uint64_t generation_before = impl->store.generation();
+  auto apply_chunk = [impl, result, generation_before](
+                         const std::vector<Triple>& chunk_adds,
+                         const std::vector<Triple>& chunk_removes) {
     impl->store.ApplyBatch(chunk_adds, chunk_removes);
     if (impl->graph_hydrated) {
       for (const Triple& t : chunk_adds) impl->graph.Insert(t);
@@ -73,6 +80,10 @@ Status ApplyResolvedOps(DatabaseImpl* impl, const std::vector<ResolvedOp>& ops,
     if (result != nullptr) {
       result->added += chunk_adds.size();
       result->removed += chunk_removes.size();
+      // Generation delta, not a constant: a threshold merge inside
+      // ApplyBatch publishes twice, and error paths return the facts of
+      // whatever prefix committed.
+      result->publishes = impl->store.generation() - generation_before;
     }
   };
 
@@ -100,6 +111,7 @@ Status ApplyResolvedOps(DatabaseImpl* impl, const std::vector<ResolvedOp>& ops,
   for (const Triple& t : removes) net_ops.emplace_back(t, false);
 
   constexpr uint64_t kGroupPayloadBudget = 32ull << 20;  // Half the frame cap.
+  const uint64_t wal_bytes_before = impl->wal->record_bytes();
   std::size_t begin = 0;
   while (begin < net_ops.size()) {
     std::vector<storage::WalOp> wal_ops;
@@ -140,6 +152,10 @@ Status ApplyResolvedOps(DatabaseImpl* impl, const std::vector<ResolvedOp>& ops,
       return logged;
     }
     apply_chunk(chunk_adds, chunk_removes);
+    if (result != nullptr) {
+      result->wal_groups += 1;
+      result->wal_bytes = impl->wal->record_bytes() - wal_bytes_before;
+    }
     begin = end;
   }
   return Status::OK();
@@ -237,6 +253,16 @@ Status Database::LoadNTriplesFile(const std::string& path, std::size_t batch_siz
     WDSPARQL_RETURN_IF_ERROR(batch.LoadNTriplesFile(path));
     return Apply(std::move(batch));
   }
+  return LoadNTriplesFile(path, batch_size, LoadProgress());
+}
+
+Status Database::LoadNTriplesFile(const std::string& path, std::size_t batch_size,
+                                  const LoadProgress& progress) {
+  if (batch_size == 0) {
+    return Status::InvalidArgument(
+        "LoadNTriplesFile with a progress callback requires batch_size > 0 "
+        "(progress is reported per committed batch)");
+  }
   // Streaming mode: parse straight into the database's pool and commit
   // every `batch_size` triples, bounding peak memory and WAL group size
   // (each committed batch stays applied if a later line fails to parse).
@@ -245,6 +271,7 @@ Status Database::LoadNTriplesFile(const std::string& path, std::size_t batch_siz
   WriteBatch batch;
   std::string line;
   int line_number = 0;
+  std::size_t triples_loaded = 0;
   while (std::getline(in, line)) {
     ++line_number;
     std::optional<Triple> triple;
@@ -252,11 +279,20 @@ Status Database::LoadNTriplesFile(const std::string& path, std::size_t batch_siz
     if (!triple.has_value()) continue;
     batch.Add(pool(), *triple);
     if (batch.size() >= batch_size) {
+      std::size_t committed = batch.size();
       WDSPARQL_RETURN_IF_ERROR(Apply(std::move(batch)));
+      triples_loaded += committed;
+      if (progress) progress(triples_loaded, committed);
     }
   }
   if (in.bad()) return Status::IoError("read failure on " + path);
-  return Apply(std::move(batch));
+  std::size_t committed = batch.size();
+  WDSPARQL_RETURN_IF_ERROR(Apply(std::move(batch)));
+  if (committed > 0) {
+    triples_loaded += committed;
+    if (progress) progress(triples_loaded, committed);
+  }
+  return Status::OK();
 }
 
 void Database::Compact() { impl_->store.MergeDelta(); }
@@ -304,6 +340,12 @@ const RdfGraph& Database::graph() const {
 
 Status Database::storage_status() const { return impl_->sticky_storage_status(); }
 
+MetricsRegistry& Database::metrics() const { return *impl_->metrics; }
+
+std::string Database::DumpMetrics(MetricsFormat format) const {
+  return impl_->metrics->Dump(format);
+}
+
 const IndexedStore& Database::store() const { return impl_->store; }
 
 const char* BackendToString(Backend backend) {
@@ -336,19 +378,23 @@ const HashTripleSource& HashSourceOf(const Database& db) {
 
 EnumerationHooks MakeEnumerationHooks(const DatabaseImpl& db,
                                       const SessionOptions& options,
-                                      std::shared_ptr<const ReadView> view) {
+                                      std::shared_ptr<const ReadView> view,
+                                      JoinStats* join_stats) {
   EnumerationHooks hooks;
   if (options.backend == Backend::kIndexed) {
     // The hooks share ownership of the pinned view: the enumeration
     // stays valid however long the cursor lives and whatever the writer
-    // does meanwhile.
+    // does meanwhile. `join_stats` (when collecting) is cursor-local and
+    // outlives the hooks by contract, so the lambdas capture it raw.
     if (view == nullptr) view = db.store.PinView();
-    hooks.candidates = [view](const TripleSet& pattern,
-                              const std::function<bool(const VarAssignment&)>& emit) {
-      JoinEnumerate(*view, pattern.triples(), VarAssignment{}, emit);
+    hooks.candidates = [view, join_stats](
+                           const TripleSet& pattern,
+                           const std::function<bool(const VarAssignment&)>& emit) {
+      JoinEnumerate(*view, pattern.triples(), VarAssignment{}, emit, join_stats);
     };
-    hooks.extends = [view](const TripleSet& combined, const Mapping& mu) {
-      return JoinExists(*view, combined.triples(), MappingToAssignment(mu));
+    hooks.extends = [view, join_stats](const TripleSet& combined, const Mapping& mu) {
+      return JoinExists(*view, combined.triples(), MappingToAssignment(mu),
+                        join_stats);
     };
     return hooks;
   }

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <unordered_set>
 
+#include "util/timer.h"
+
 namespace wdsparql {
 
 using enc_order::OrderOf;
@@ -110,9 +112,37 @@ void IndexedStore::SetBuilt(Dictionary dict, std::vector<EncTriple> spo,
   Publish();
 }
 
+void IndexedStore::set_metrics(std::shared_ptr<MetricsRegistry> metrics) {
+  metrics_ = std::move(metrics);
+  if (metrics_ == nullptr) {
+    publishes_metric_ = nullptr;
+    compactions_metric_ = nullptr;
+    delta_build_ns_metric_ = nullptr;
+    compaction_ns_metric_ = nullptr;
+    return;
+  }
+  publishes_metric_ = &metrics_->counter("write.publishes");
+  compactions_metric_ = &metrics_->counter("store.compactions");
+  delta_build_ns_metric_ = &metrics_->histogram("write.delta_build_ns");
+  compaction_ns_metric_ = &metrics_->histogram("store.compaction_ns");
+}
+
 void IndexedStore::Publish() {
+  // The view's lifetime token keeps the `views.live` gauge honest: +1
+  // now, -1 when the last pin on this view dies. Per-publish (not
+  // per-pin) cost, so PinView itself stays one atomic load.
+  std::shared_ptr<const void> token;
+  if (metrics_ != nullptr) {
+    publishes_metric_->Add(1);
+    Gauge* live = &metrics_->gauge("views.live");
+    live->Add(1);
+    std::shared_ptr<MetricsRegistry> registry = metrics_;
+    token = std::shared_ptr<const void>(
+        static_cast<const void*>(live),
+        [registry, live](const void*) { live->Add(-1); });
+  }
   auto next = std::make_shared<const ReadView>(dict_.view(), base_, delta_,
-                                               ++generation_);
+                                               ++generation_, std::move(token));
   // The epoch publish: everything the new view references was fully
   // written (sequenced) before this store, and readers acquire through
   // the matching atomic load in PinView — so a pinned view is always
@@ -203,6 +233,7 @@ bool IndexedStore::Erase(const Triple& t) {
 void IndexedStore::ApplyBatch(const std::vector<Triple>& adds,
                               const std::vector<Triple>& removes) {
   if (adds.empty() && removes.empty()) return;
+  Timer build_timer;
   PermLess spo_less{OrderOf(Permutation::kSpo)};
 
   // Pre-register the batch's terms with one fold of the appended-term
@@ -302,6 +333,11 @@ void IndexedStore::ApplyBatch(const std::vector<Triple>& adds,
              newly_dead.end(), std::back_inserter(next->dead), spo_less);
 
   delta_ = std::move(next);
+  if (delta_build_ns_metric_ != nullptr) {
+    // The delta build proper; a threshold fold below reports separately
+    // as store.compaction_ns.
+    delta_build_ns_metric_->Observe(build_timer.ElapsedNanos());
+  }
   // Exactly one publish per batch: a threshold crossing folds the delta
   // through MergeDelta (which publishes the merged state itself) instead
   // of publishing twice.
@@ -319,6 +355,7 @@ void IndexedStore::MaybeMerge() {
 
 void IndexedStore::MergeDelta() {
   if (delta_->dspo.empty() && delta_->dead.empty()) return;
+  Timer merge_timer;
   const DeltaRuns& delta = *delta_;
   auto merged_base = std::make_shared<BaseRuns>();
   auto merge_one = [&delta](const EncRun& base, const std::vector<EncTriple>& d,
@@ -352,6 +389,10 @@ void IndexedStore::MergeDelta() {
   merge_one(base_->osp, delta.dosp, &merged_base->osp, Permutation::kOsp);
   base_ = std::move(merged_base);
   delta_ = std::make_shared<const DeltaRuns>();
+  if (compactions_metric_ != nullptr) {
+    compactions_metric_->Add(1);
+    compaction_ns_metric_->Observe(merge_timer.ElapsedNanos());
+  }
   Publish();
 }
 

@@ -9,6 +9,7 @@
 #include "engine/read_view.h"
 #include "rdf/scan.h"
 #include "rdf/triple_set.h"
+#include "wdsparql/metrics.h"
 
 /// \file
 /// Dictionary-encoded triple store with sorted permutation indexes.
@@ -119,6 +120,13 @@ class IndexedStore final : public TripleSource {
   /// then compact via `MergeDelta` explicitly).
   void set_merge_threshold(std::size_t n) { merge_threshold_ = n; }
 
+  /// Attaches the engine-wide metrics registry (see wdsparql/metrics.h):
+  /// the store then times delta builds and compactions, counts
+  /// publishes, and tracks live published views through per-view
+  /// lifetime tokens. Null detaches. Shared ownership, so tokens held by
+  /// long-lived pinned views stay safe whatever outlives what.
+  void set_metrics(std::shared_ptr<MetricsRegistry> metrics);
+
   // Reading -----------------------------------------------------------
 
   /// Pins the latest published view: one atomic load + refcount bump,
@@ -215,6 +223,14 @@ class IndexedStore final : public TripleSource {
   std::shared_ptr<const ReadView> view_;
   uint64_t generation_ = 0;
   std::size_t merge_threshold_ = kDefaultMergeThreshold;
+
+  // Metrics (null when detached). Instrument pointers are cached at
+  // set_metrics so the hot paths skip the registry's name lookup.
+  std::shared_ptr<MetricsRegistry> metrics_;
+  Counter* publishes_metric_ = nullptr;
+  Counter* compactions_metric_ = nullptr;
+  Histogram* delta_build_ns_metric_ = nullptr;
+  Histogram* compaction_ns_metric_ = nullptr;
 };
 
 }  // namespace wdsparql

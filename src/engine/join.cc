@@ -37,6 +37,7 @@ class JoinRun {
           ground = false;
           continue;
         }
+        if (stats_ != nullptr) ++stats_->dict_encodes;
         DataId id = store_.dict().Encode(term);
         if (id == kNoDataId) return false;  // Constant absent from the store.
         c.constant[pos] = id;
@@ -108,13 +109,24 @@ class JoinRun {
     WDSPARQL_DCHECK(num_v_positions > 0);
 
     std::vector<DataId> values;
-    if (stats_ != nullptr) ++stats_->ranges_scanned;
-    for (const EncTriple& t : store_.Scan(probe)) {
+    auto keep = [&](const EncTriple& t) {
       // Repeated variable inside the conjunct: all its positions must
       // carry the same value.
-      if (num_v_positions > 1 && t[v_positions[1]] != t[v_positions[0]]) continue;
-      if (num_v_positions > 2 && t[v_positions[2]] != t[v_positions[0]]) continue;
+      if (num_v_positions > 1 && t[v_positions[1]] != t[v_positions[0]]) return;
+      if (num_v_positions > 2 && t[v_positions[2]] != t[v_positions[0]]) return;
       values.push_back(t[v_positions[0]]);
+    };
+    if (stats_ == nullptr) {
+      for (const EncTriple& t : store_.Scan(probe)) keep(t);
+    } else {
+      // Instrumented walk: the explicit iterator exposes which run each
+      // triple came from, attributing scan volume to base vs delta.
+      ++stats_->ranges_scanned;
+      MergedScan scan = store_.Scan(probe);
+      for (auto it = scan.begin(); it != scan.end(); ++it) {
+        ++(it.on_delta() ? stats_->delta_scanned : stats_->base_scanned);
+        keep(*it);
+      }
     }
     if (!std::is_sorted(values.begin(), values.end())) {
       std::sort(values.begin(), values.end());
@@ -151,7 +163,10 @@ class JoinRun {
       for (std::size_t i = 0; i < vars_.size(); ++i) {
         out[vars_[i]] = store_.dict().Decode(binding_[i]);
       }
-      if (stats_ != nullptr) ++stats_->emitted;
+      if (stats_ != nullptr) {
+        ++stats_->emitted;
+        stats_->dict_decodes += vars_.size();
+      }
       return callback_(out);
     }
     int v = order_[depth];

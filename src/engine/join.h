@@ -24,11 +24,17 @@
 
 namespace wdsparql {
 
-/// Counters for one join run.
+/// Counters for one join run. Plain (non-atomic) integers owned by the
+/// calling thread — cursors accumulate these locally and merge at close,
+/// so no shared state sits on the enumeration hot path.
 struct JoinStats {
   uint64_t ranges_scanned = 0;  ///< Permutation ranges materialised.
   uint64_t values_probed = 0;   ///< Candidate values tested in merges.
   uint64_t emitted = 0;         ///< Solutions produced.
+  uint64_t base_scanned = 0;    ///< Triples read from base runs.
+  uint64_t delta_scanned = 0;   ///< Triples read from delta runs.
+  uint64_t dict_encodes = 0;    ///< Term -> DataId dictionary probes.
+  uint64_t dict_decodes = 0;    ///< DataId -> Term resolutions.
 };
 
 /// Enumerates every assignment of vars(`patterns`) \ dom(`fixed`) such

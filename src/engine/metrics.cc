@@ -1,0 +1,87 @@
+#include "wdsparql/metrics.h"
+
+#include <sstream>
+
+#include "util/json.h"
+
+namespace wdsparql {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::Dump(MetricsFormat format) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (format == MetricsFormat::kText) {
+    // One line per instrument; the maps are ordered, so the dump is
+    // sorted by name within each kind.
+    std::ostringstream out;
+    for (const auto& [name, c] : counters_) {
+      out << name << " counter " << c->value() << "\n";
+    }
+    for (const auto& [name, g] : gauges_) {
+      out << name << " gauge " << g->value() << "\n";
+    }
+    for (const auto& [name, h] : histograms_) {
+      out << name << " histogram count=" << h->count() << " sum=" << h->sum()
+          << " mean=" << h->mean() << " max=" << h->max() << "\n";
+    }
+    return out.str();
+  }
+  util::JsonWriter json;
+  json.BeginObject();
+  for (const auto& [name, c] : counters_) {
+    json.BeginObject(name);
+    json.Field("kind", "counter");
+    json.Field("value", c->value());
+    json.EndObject();
+  }
+  for (const auto& [name, g] : gauges_) {
+    json.BeginObject(name);
+    json.Field("kind", "gauge");
+    json.Field("value", g->value());
+    json.EndObject();
+  }
+  for (const auto& [name, h] : histograms_) {
+    json.BeginObject(name);
+    json.Field("kind", "histogram");
+    json.Field("count", h->count());
+    json.Field("sum", h->sum());
+    json.Field("mean", h->mean());
+    json.Field("max", h->max());
+    json.BeginArray("buckets");
+    // Only populated buckets, as [lower_bound, count] pairs: the full
+    // 64-bucket vector is almost entirely zeros.
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      uint64_t n = h->bucket(i);
+      if (n == 0) continue;
+      json.BeginObject();
+      json.Field("ge", Histogram::BucketLowerBound(i));
+      json.Field("count", n);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  return std::move(json).str();
+}
+
+}  // namespace wdsparql

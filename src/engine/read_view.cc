@@ -130,11 +130,13 @@ std::size_t MergedScan::size() const {
 ReadView::ReadView() : base_(EmptyBaseRuns()), delta_(EmptyDeltaRuns()) {}
 
 ReadView::ReadView(DictView dict, std::shared_ptr<const BaseRuns> base,
-                   std::shared_ptr<const DeltaRuns> delta, uint64_t generation)
+                   std::shared_ptr<const DeltaRuns> delta, uint64_t generation,
+                   std::shared_ptr<const void> lifetime_token)
     : dict_(std::move(dict)),
       base_(base != nullptr ? std::move(base) : EmptyBaseRuns()),
       delta_(delta != nullptr ? std::move(delta) : EmptyDeltaRuns()),
-      generation_(generation) {}
+      generation_(generation),
+      lifetime_token_(std::move(lifetime_token)) {}
 
 bool ReadView::EncodeScanPattern(const Triple& pattern, EncPattern* out) const {
   *out = EncPattern{};

@@ -115,6 +115,10 @@ class MergedScan {
              const EncTriple* delta_end, const Tombstones* dead, const int* order);
 
     const EncTriple& operator*() const { return on_delta_ ? *delta_ : *base_; }
+    /// True iff the current triple comes from the delta run (false:
+    /// base run). Stats collection attributes scan work per run with
+    /// this; only meaningful while the iterator is dereferenceable.
+    bool on_delta() const { return on_delta_; }
     Iterator& operator++();
     friend bool operator!=(const Iterator& a, const Iterator& b) {
       return a.base_ != b.base_ || a.delta_ != b.delta_;
@@ -258,8 +262,13 @@ class ReadView final : public TripleSource {
   ReadView();
 
   /// \internal Assembled by `IndexedStore` at publish time.
+  /// `lifetime_token`, when set, is released when the view dies — the
+  /// store threads a gauge-decrementing token through here so the
+  /// metrics registry can report how many published views are still
+  /// alive (pinned by cursors, snapshots or the store itself).
   ReadView(DictView dict, std::shared_ptr<const BaseRuns> base,
-           std::shared_ptr<const DeltaRuns> delta, uint64_t generation);
+           std::shared_ptr<const DeltaRuns> delta, uint64_t generation,
+           std::shared_ptr<const void> lifetime_token = nullptr);
 
   // Encoded access (the merge join's surface) -------------------------
 
@@ -319,6 +328,7 @@ class ReadView final : public TripleSource {
   std::shared_ptr<const BaseRuns> base_;
   std::shared_ptr<const DeltaRuns> delta_;
   uint64_t generation_ = 0;
+  std::shared_ptr<const void> lifetime_token_;  // See the constructor.
 };
 
 }  // namespace wdsparql

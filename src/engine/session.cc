@@ -5,6 +5,7 @@
 #include "engine/api_internal.h"
 #include "sparql/parser.h"
 #include "sparql/well_designed.h"
+#include "util/timer.h"
 
 namespace wdsparql {
 namespace {
@@ -45,7 +46,9 @@ std::shared_ptr<StatementImpl> PrepareImpl(const DatabaseImpl* db,
 }  // namespace
 
 Statement Session::Prepare(std::string_view pattern_text) const {
+  Timer parse_timer;
   Result<PatternPtr> parsed = ParsePattern(pattern_text, db_->pool);
+  uint64_t parse_ns = parse_timer.ElapsedNanos();
   if (!parsed.ok()) {
     auto impl = std::make_shared<StatementImpl>();
     impl->db = db_;
@@ -57,6 +60,7 @@ Statement Session::Prepare(std::string_view pattern_text) const {
   }
   std::shared_ptr<StatementImpl> impl = PrepareImpl(db_, options_, parsed.value());
   impl->diagnostics.pattern_text = std::string(pattern_text);
+  impl->parse_ns = parse_ns;
   return Statement(std::move(impl));
 }
 
@@ -80,7 +84,9 @@ std::shared_ptr<StatementImpl> PrepareImpl(const DatabaseImpl* db,
   const TermPool& pool = *db->pool;
 
   // Well-designedness of the full pattern (FILTER safety included).
+  Timer check_timer;
   WellDesignedness wd = CheckWellDesignedDetailed(pattern, pool);
+  impl->check_ns = check_timer.ElapsedNanos();
   if (!wd.status.ok()) {
     diag.code = QueryDiagnostics::Code::kNotWellDesigned;
     diag.message = wd.status.message();
@@ -91,6 +97,7 @@ std::shared_ptr<StatementImpl> PrepareImpl(const DatabaseImpl* db,
   }
   diag.well_designed = true;
 
+  Timer plan_timer;
   // Peel top-level FILTER conditions: JP FILTER RKG = {mu ∈ JPKG : R(mu)},
   // so they run as execution-time post-filters over the enumerated
   // bindings — on whichever backend the session configured. FILTER below
@@ -127,6 +134,7 @@ std::shared_ptr<StatementImpl> PrepareImpl(const DatabaseImpl* db,
     impl->var_names.push_back(DisplayName(pool, var));
     diag.variables.push_back(impl->var_names.back());
   }
+  impl->plan_ns = plan_timer.ElapsedNanos();
   return impl;
 }
 
@@ -250,6 +258,16 @@ Cursor Statement::ExecuteInternal(const std::vector<std::string>& projection,
     std::sort(distinct.begin(), distinct.end());
     distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
     cursor->dedup = distinct.size() < impl_->var_ids.size();
+  }
+  if (options.collect_stats) {
+    // The one allocation of the stats path. The preparation phases are
+    // statement facts, stamped into every collecting execution; the
+    // enumeration counters fill in as the cursor runs.
+    cursor->stats = std::make_unique<ExecStats>();
+    cursor->stats->parse_ns = impl_->parse_ns;
+    cursor->stats->check_ns = impl_->check_ns;
+    cursor->stats->plan_ns = impl_->plan_ns;
+    cursor->stats->backend = BackendToString(impl_->options.backend);
   }
   return Cursor(std::move(cursor));
 }

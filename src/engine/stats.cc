@@ -1,0 +1,101 @@
+#include "wdsparql/stats.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace wdsparql {
+namespace {
+
+/// "1234567" ns -> "1.23ms"-style human duration.
+std::string HumanNs(uint64_t ns) {
+  char buf[32];
+  if (ns < 1000) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 "ns", ns);
+  } else if (ns < 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", static_cast<double>(ns) / 1e3);
+  } else if (ns < 1000ull * 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string ExecStats::ToText() const {
+  std::ostringstream out;
+  out << "ExecStats (" << backend << " backend)\n";
+  out << "  phases: parse=" << HumanNs(parse_ns) << " check=" << HumanNs(check_ns)
+      << " plan=" << HumanNs(plan_ns) << " enumerate=" << HumanNs(enumerate_ns)
+      << "\n";
+  out << "  rows_emitted=" << rows_emitted << " candidates=" << candidates
+      << " dedup_rejected=" << dedup_rejected << " non_maximal=" << non_maximal
+      << " maximality_tests=" << maximality_tests << "\n";
+  out << "  filtered_out=" << filtered_out
+      << " projection_dedup_rejected=" << projection_dedup_rejected
+      << " empty_subpatterns=" << empty_subpatterns
+      << " interrupt_checks=" << interrupt_checks << "\n";
+  out << "  scans: ranges=" << ranges_scanned << " values_probed=" << values_probed
+      << " base_triples=" << base_triples_scanned
+      << " delta_triples=" << delta_triples_scanned
+      << " dict_encodes=" << dict_encodes << " dict_decodes=" << dict_decodes
+      << "\n";
+  for (const Subpattern& sub : subpatterns) {
+    out << "  tree " << sub.tree << " subtree " << sub.subtree << ": "
+        << sub.pattern << "\n";
+    out << "    candidates=" << sub.candidates << " dedup_rejected="
+        << sub.dedup_rejected << " non_maximal=" << sub.non_maximal
+        << " maximality_tests=" << sub.maximality_tests << " rows=" << sub.rows
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string ExecStats::ToJson() const {
+  util::JsonWriter json;
+  json.BeginObject();
+  json.Field("backend", backend);
+  json.BeginObject("phases_ns");
+  json.Field("parse", parse_ns);
+  json.Field("check", check_ns);
+  json.Field("plan", plan_ns);
+  json.Field("enumerate", enumerate_ns);
+  json.EndObject();
+  json.Field("rows_emitted", rows_emitted);
+  json.Field("candidates", candidates);
+  json.Field("dedup_rejected", dedup_rejected);
+  json.Field("non_maximal", non_maximal);
+  json.Field("maximality_tests", maximality_tests);
+  json.Field("filtered_out", filtered_out);
+  json.Field("projection_dedup_rejected", projection_dedup_rejected);
+  json.Field("empty_subpatterns", empty_subpatterns);
+  json.Field("interrupt_checks", interrupt_checks);
+  json.Field("ranges_scanned", ranges_scanned);
+  json.Field("values_probed", values_probed);
+  json.Field("base_triples_scanned", base_triples_scanned);
+  json.Field("delta_triples_scanned", delta_triples_scanned);
+  json.Field("dict_encodes", dict_encodes);
+  json.Field("dict_decodes", dict_decodes);
+  json.BeginArray("subpatterns");
+  for (const Subpattern& sub : subpatterns) {
+    json.BeginObject();
+    json.Field("tree", static_cast<uint64_t>(sub.tree));
+    json.Field("subtree", static_cast<uint64_t>(sub.subtree));
+    json.Field("pattern", sub.pattern);
+    json.Field("candidates", sub.candidates);
+    json.Field("dedup_rejected", sub.dedup_rejected);
+    json.Field("non_maximal", sub.non_maximal);
+    json.Field("maximality_tests", sub.maximality_tests);
+    json.Field("rows", sub.rows);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return std::move(json).str();
+}
+
+}  // namespace wdsparql

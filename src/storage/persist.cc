@@ -1,10 +1,12 @@
 #include <algorithm>
+#include <fstream>
 #include <unordered_set>
 
 #include "engine/api_internal.h"
 #include "storage/file.h"
 #include "storage/snapshot.h"
 #include "storage/wal.h"
+#include "util/timer.h"
 #include "wdsparql/database.h"
 
 /// \file
@@ -14,6 +16,18 @@
 /// of `Database`.
 
 namespace wdsparql {
+namespace {
+
+/// Records the on-disk size of the freshly written snapshot (a gauge:
+/// the current footprint, not a running total). Best-effort — a stat
+/// failure just leaves the gauge where it was.
+void RecordSnapshotBytes(MetricsRegistry* metrics, const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) return;
+  metrics->gauge("storage.snapshot_bytes").Set(static_cast<int64_t>(file.tellg()));
+}
+
+}  // namespace
 
 Result<Database> Database::Open(const std::string& path, const OpenOptions& options) {
   DatabaseOptions db_options;
@@ -87,9 +101,14 @@ Result<Database> Database::Open(const std::string& path, const OpenOptions& opti
 
   if (options.durability == Durability::kWal) {
     std::vector<storage::WalRecord> replayed;
-    Result<storage::WriteAheadLog> wal =
-        storage::WriteAheadLog::Open(path + ".wal", options.wal_sync, &replayed);
+    storage::WalReplayInfo replay_info;
+    Result<storage::WriteAheadLog> wal = storage::WriteAheadLog::Open(
+        path + ".wal", options.wal_sync, &replayed, &replay_info);
     if (!wal.ok()) return wal.status();
+    impl->metrics->counter("storage.wal_replay_records").Add(replay_info.records);
+    if (replay_info.torn_tail) {
+      impl->metrics->counter("storage.wal_torn_tails").Add(1);
+    }
     // Replay the tail into the in-memory delta as ONE batch: the net
     // effect of a record sequence equals its sequential application, so
     // one delta build and one publish reconstruct what used to take a
@@ -108,13 +127,16 @@ Result<Database> Database::Open(const std::string& path, const OpenOptions& opti
     }
     WDSPARQL_RETURN_IF_ERROR(db.Apply(std::move(replay)));
     impl->wal = std::make_unique<storage::WriteAheadLog>(std::move(wal).value());
+    impl->wal->set_metrics(impl->metrics);
   }
   return db;
 }
 
 Status Database::Save(const std::string& path) {
   if (impl_->store.delta_size() > 0) Compact();
-  return storage::WriteSnapshot(path, *impl_->pool, impl_->store);
+  WDSPARQL_RETURN_IF_ERROR(storage::WriteSnapshot(path, *impl_->pool, impl_->store));
+  RecordSnapshotBytes(impl_->metrics.get(), path);
+  return Status::OK();
 }
 
 Status Database::Checkpoint() {
@@ -122,6 +144,7 @@ Status Database::Checkpoint() {
     return Status::FailedPrecondition(
         "Checkpoint requires a database opened with Database::Open");
   }
+  Timer checkpoint_timer;
   if (impl_->store.delta_size() > 0) Compact();
   WDSPARQL_RETURN_IF_ERROR(
       storage::WriteSnapshot(impl_->snapshot_path, *impl_->pool, impl_->store));
@@ -134,6 +157,9 @@ Status Database::Checkpoint() {
   // empty, so a previously latched append failure no longer describes
   // the database: mutations may resume.
   impl_->ClearStorageError();
+  impl_->metrics->histogram("storage.checkpoint_ns")
+      .Observe(checkpoint_timer.ElapsedNanos());
+  RecordSnapshotBytes(impl_->metrics.get(), impl_->snapshot_path);
   return Status::OK();
 }
 

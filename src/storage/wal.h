@@ -6,8 +6,11 @@
 #include <string_view>
 #include <vector>
 
+#include <memory>
+
 #include "storage/format.h"
 #include "util/status.h"
+#include "wdsparql/metrics.h"
 #include "wdsparql/storage.h"
 
 /// \file
@@ -49,6 +52,14 @@ struct WalOp {
   std::string_view object;
 };
 
+/// What `Open` found in the existing log: how many intact mutation
+/// records replayed and whether a torn tail (crash mid-append) was
+/// discarded. Feeds the storage metrics.
+struct WalReplayInfo {
+  uint64_t records = 0;   ///< Mutations replayed (groups flattened).
+  bool torn_tail = false; ///< A damaged tail frame was truncated away.
+};
+
 /// An open, appendable write-ahead log. Move-only (owns the fd).
 class WriteAheadLog {
  public:
@@ -68,7 +79,15 @@ class WriteAheadLog {
   /// damaged is `kCorruption` (the caller decides whether to discard
   /// it); OS failures are `kIoError`.
   static Result<WriteAheadLog> Open(const std::string& path, WalSyncMode sync,
-                                    std::vector<WalRecord>* replayed);
+                                    std::vector<WalRecord>* replayed,
+                                    WalReplayInfo* replay_info = nullptr);
+
+  /// Attaches the engine-wide metrics registry: appends then time the
+  /// frame write and the fsync separately (`write.wal_append_ns`,
+  /// `write.wal_fsync_ns` histograms) and count frames and bytes
+  /// (`write.wal_groups`, `write.wal_bytes`). Null detaches. Instrument
+  /// pointers are cached so the append path skips the name lookup.
+  void set_metrics(std::shared_ptr<MetricsRegistry> metrics);
 
   /// Appends one framed record; with `WalSyncMode::kEveryRecord` the
   /// frame is fsynced before returning. The record is durable (per the
@@ -109,6 +128,13 @@ class WriteAheadLog {
   WalSyncMode sync_ = WalSyncMode::kNone;
   uint64_t append_offset_ = sizeof(WalHeader);
   std::vector<uint8_t> scratch_;  // Reused frame buffer for appends.
+
+  // Metrics (null when detached); see set_metrics.
+  std::shared_ptr<MetricsRegistry> metrics_;
+  Histogram* append_ns_metric_ = nullptr;
+  Histogram* fsync_ns_metric_ = nullptr;
+  Counter* bytes_metric_ = nullptr;
+  Counter* groups_metric_ = nullptr;
 };
 
 }  // namespace storage

@@ -1,0 +1,109 @@
+#ifndef WDSPARQL_UTIL_JSON_H_
+#define WDSPARQL_UTIL_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// A minimal JSON emitter for the observability surfaces (ExecStats,
+/// MetricsRegistry dumps). Write-only, no document model: callers drive
+/// Begin/End and Field calls in document order; the writer tracks the
+/// comma state per nesting level. Output is compact (no whitespace) and
+/// valid JSON as long as Begin/End calls balance.
+
+namespace wdsparql {
+namespace util {
+
+/// Escapes `s` for inclusion in a JSON string literal (quotes excluded).
+inline std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Streaming JSON writer (objects, arrays, string/integer/double
+/// fields). Move the result out with `std::move(writer).str()`.
+class JsonWriter {
+ public:
+  void BeginObject() { Open('{'); }
+  void BeginObject(std::string_view key) { OpenKeyed(key, '{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray() { Open('['); }
+  void BeginArray(std::string_view key) { OpenKeyed(key, '['); }
+  void EndArray() { Close(']'); }
+
+  void Field(std::string_view key, std::string_view value) {
+    Key(key);
+    out_ << '"' << JsonEscape(value) << '"';
+  }
+  void Field(std::string_view key, const char* value) {
+    Field(key, std::string_view(value));
+  }
+  void Field(std::string_view key, uint64_t value) {
+    Key(key);
+    out_ << value;
+  }
+  void Field(std::string_view key, int64_t value) {
+    Key(key);
+    out_ << value;
+  }
+  void Field(std::string_view key, double value) {
+    Key(key);
+    out_ << value;
+  }
+
+  std::string str() && { return out_.str(); }
+
+ private:
+  void Separate() {
+    if (!comma_.empty() && comma_.back()) out_ << ',';
+    if (!comma_.empty()) comma_.back() = true;
+  }
+  void Open(char bracket) {
+    Separate();
+    out_ << bracket;
+    comma_.push_back(false);
+  }
+  void OpenKeyed(std::string_view key, char bracket) {
+    Separate();
+    out_ << '"' << JsonEscape(key) << "\":" << bracket;
+    comma_.push_back(false);
+  }
+  void Close(char bracket) {
+    out_ << bracket;
+    comma_.pop_back();
+  }
+  void Key(std::string_view key) {
+    Separate();
+    out_ << '"' << JsonEscape(key) << "\":";
+  }
+
+  std::ostringstream out_;
+  std::vector<bool> comma_;
+};
+
+}  // namespace util
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_UTIL_JSON_H_

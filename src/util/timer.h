@@ -2,9 +2,13 @@
 #define WDSPARQL_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 /// \file
-/// Wall-clock timing for the experiment harnesses.
+/// Wall-clock timing — THE shared stopwatch. The experiment harnesses,
+/// the command-line tools and the engine's phase timers (ExecStats,
+/// MetricsRegistry duration histograms) all measure through this one
+/// utility instead of re-deriving std::chrono arithmetic per call site.
 
 namespace wdsparql {
 
@@ -25,9 +29,41 @@ class Timer {
   /// Elapsed milliseconds since construction or the last Reset().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Elapsed whole nanoseconds since construction or the last Reset()
+  /// (the unit the observability counters store).
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+            .count());
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII phase timer: accumulates the scope's elapsed nanoseconds into
+/// `*sink` on destruction. A null sink measures nothing (and skips the
+/// clock reads entirely), so instrumented code pays only a branch when
+/// stats collection is off:
+///
+/// ```
+/// { ScopedNanos t(stats ? &stats->plan_ns : nullptr);  ... phase ... }
+/// ```
+class ScopedNanos {
+ public:
+  explicit ScopedNanos(uint64_t* sink) : sink_(sink) {
+    if (sink_ != nullptr) timer_.Reset();
+  }
+  ~ScopedNanos() {
+    if (sink_ != nullptr) *sink_ += timer_.ElapsedNanos();
+  }
+  ScopedNanos(const ScopedNanos&) = delete;
+  ScopedNanos& operator=(const ScopedNanos&) = delete;
+
+ private:
+  uint64_t* sink_;
+  Timer timer_;
 };
 
 }  // namespace wdsparql

@@ -9,15 +9,40 @@
 #include "ptree/tgraph.h"
 
 namespace wdsparql {
+namespace {
+
+std::string RenderTerm(const TermPool& pool, TermId term) {
+  std::string spelling(pool.Spelling(term));
+  return IsVariable(term) ? "?" + spelling : spelling;
+}
+
+/// Renders pat(T') for the ExecStats subpattern breakdown, e.g.
+/// "(?x knows ?y) AND (?y email ?e)".
+std::string RenderPattern(const TermPool& pool, const TripleSet& pattern) {
+  std::string out;
+  for (const Triple& t : pattern.triples()) {
+    if (!out.empty()) out += " AND ";
+    out += "(" + RenderTerm(pool, t.subject) + " " +
+           RenderTerm(pool, t.predicate) + " " + RenderTerm(pool, t.object) + ")";
+  }
+  return out;
+}
+
+}  // namespace
 
 SolutionEnumerator::SolutionEnumerator(const PatternForest& forest,
                                        EnumerationHooks hooks)
     : forest_(&forest), hooks_(std::move(hooks)) {}
 
+ExecStats::Subpattern* SolutionEnumerator::CurSubpattern() {
+  return sink_has_cur_ ? &sink_->subpatterns.back() : nullptr;
+}
+
 bool SolutionEnumerator::CheckInterrupt() {
   if (interrupted_ || !probe_) return interrupted_;
   if (++steps_since_probe_ < probe_interval_) return false;
   steps_since_probe_ = 0;
+  if (sink_ != nullptr) ++sink_->interrupt_checks;
   if (probe_()) interrupted_ = true;
   return interrupted_;
 }
@@ -58,6 +83,23 @@ bool SolutionEnumerator::AdvanceSubtree() {
       return true;
     });
     if (interrupted_) return false;  // Partial buffer: never delivered.
+    if (sink_ != nullptr) {
+      sink_has_cur_ = !buffer_.empty();
+      if (buffer_.empty()) {
+        ++sink_->empty_subpatterns;
+      } else {
+        // One breakdown entry per subtree that produced candidates
+        // (empty subtrees are only tallied, or a wide forest would drown
+        // the report in zero rows).
+        ExecStats::Subpattern sub;
+        sub.tree = tree_idx_;
+        sub.subtree = subtree_idx_ - 1;
+        sub.pattern = RenderPattern(*sink_pool_, pattern_);
+        sub.candidates = buffer_.size();
+        sink_->subpatterns.push_back(std::move(sub));
+        sink_->candidates += buffer_.size();
+      }
+    }
     if (!buffer_.empty()) return true;  // Else: empty subtree, keep looking.
   }
 }
@@ -79,11 +121,21 @@ bool SolutionEnumerator::Next(Mapping* out) {
       continue;
     }
     const Mapping& mu = buffer_[buffer_pos_++];
-    if (seen_.count(mu) > 0) continue;
+    if (seen_.count(mu) > 0) {
+      if (sink_ != nullptr) {
+        ++sink_->dedup_rejected;
+        ++CurSubpattern()->dedup_rejected;
+      }
+      continue;
+    }
     // Maximality: no child may extend mu.
     bool maximal = true;
     for (NodeId child : children_) {
       ++stats_.maximality_tests;
+      if (sink_ != nullptr) {
+        ++sink_->maximality_tests;
+        ++CurSubpattern()->maximality_tests;
+      }
       TripleSet combined = pattern_;
       combined.InsertAll(cur_tree_->pattern(child));
       if (hooks_.extends(combined, mu)) {
@@ -91,9 +143,16 @@ bool SolutionEnumerator::Next(Mapping* out) {
         break;
       }
     }
-    if (!maximal) continue;
+    if (!maximal) {
+      if (sink_ != nullptr) {
+        ++sink_->non_maximal;
+        ++CurSubpattern()->non_maximal;
+      }
+      continue;
+    }
     seen_.insert(mu);
     ++stats_.emitted;
+    if (sink_ != nullptr) ++CurSubpattern()->rows;
     *out = mu;
     return true;
   }

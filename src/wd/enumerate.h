@@ -12,6 +12,7 @@
 #include "rdf/scan.h"
 #include "sparql/mapping.h"
 #include "wd/eval.h"
+#include "wdsparql/stats.h"
 
 /// \file
 /// Answer enumeration under the domination-width promise.
@@ -113,6 +114,17 @@ class SolutionEnumerator {
   State state() const { return state_; }
   const EnumerateStats& stats() const { return stats_; }
 
+  /// Installs an optional `ExecStats` sink for fine-grained collection:
+  /// per-subpattern candidate/rejection/row counters (rendered through
+  /// `pool`), interrupt-probe counts and enumeration totals, all written
+  /// as plain cursor-local increments. Null sink (the default) keeps the
+  /// hot path exactly as uninstrumented. Both pointers must outlive the
+  /// enumerator; install before the first `Next`.
+  void SetStatsSink(ExecStats* sink, const TermPool* pool) {
+    sink_ = sink;
+    sink_pool_ = pool;
+  }
+
  private:
   /// Moves the machine to the next subtree with candidates; fills the
   /// candidate buffer. Returns false when every tree is exhausted.
@@ -123,10 +135,19 @@ class SolutionEnumerator {
   /// state.
   bool CheckInterrupt();
 
+  /// The `ExecStats::Subpattern` entry of the open subtree (valid only
+  /// while `sink_` is set and the current subtree produced candidates).
+  ExecStats::Subpattern* CurSubpattern();
+
   const PatternForest* forest_;
   EnumerationHooks hooks_;
   EnumerateStats stats_;
   State state_ = State::kStart;
+
+  // Optional fine-grained stats collection (see SetStatsSink).
+  ExecStats* sink_ = nullptr;
+  const TermPool* sink_pool_ = nullptr;
+  bool sink_has_cur_ = false;  // Does subpatterns.back() describe the open subtree?
 
   // Cooperative interruption (see SetInterruptProbe).
   std::function<bool()> probe_;
