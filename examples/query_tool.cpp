@@ -6,6 +6,7 @@
 ///   query_tool <graph.nt> '<pattern>' [--plan] [--count] [--promise K]
 ///              [--backend naive|indexed] [--select ?x,?y] [--table]
 ///              [--save <snapshot>] [--batch-size N] [--stats] [--metrics]
+///              [--limit N] [--deadline-ms N] [--cancel-after-ms N]
 ///   query_tool --db <snapshot> '<pattern>' [same flags] [--wal]
 ///
 ///   <graph.nt>   N-Triples-like file (see rdf/ntriples.h)
@@ -38,6 +39,14 @@
 ///                JSON on stdout, last, on every successful exit — pipe
 ///                `... --metrics | tail -n 1 | python3 -m json.tool`
 ///                for a pretty-printed dump
+///   --limit N    stop enumeration after N rows (ExecOptions::row_limit;
+///                the tool reports whether the answer set was truncated)
+///   --deadline-ms N
+///                give the execution a hard deadline of N milliseconds
+///   --cancel-after-ms N
+///                fire the execution's CancelToken from a second thread
+///                after N milliseconds — a command-line demonstration of
+///                cooperative cross-thread cancellation
 ///
 /// Top-level FILTER conditions are peeled by Session::Prepare and
 /// post-applied over the enumerated bindings, so FILTER queries honour
@@ -49,9 +58,11 @@
 /// (which would indicate a library bug).
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/api_internal.h"
@@ -73,7 +84,8 @@ int Usage() {
                "usage: query_tool <graph.nt> '<pattern>' [--plan] [--count] "
                "[--promise K] [--backend naive|indexed] [--select ?x,?y] "
                "[--table] [--save <snapshot>] [--batch-size N] [--stats] "
-               "[--metrics]\n"
+               "[--metrics] [--limit N] [--deadline-ms N] "
+               "[--cancel-after-ms N]\n"
                "       query_tool --db <snapshot> '<pattern>' [same flags] "
                "[--wal]\n");
   return 1;
@@ -129,6 +141,9 @@ int main(int argc, char** argv) {
   bool show_stats = false;
   bool show_metrics = false;
   int promise = 0;
+  long limit = 0;
+  long deadline_ms = 0;
+  long cancel_after_ms = 0;
   std::size_t batch_size = 0;  // 0 = one atomic batch.
   const char* db_path = nullptr;
   const char* save_path = nullptr;
@@ -161,6 +176,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--promise") == 0 && i + 1 < argc) {
       promise = std::atoi(argv[++i]);
       if (promise < 1) return Usage();
+    } else if (std::strcmp(argv[i], "--limit") == 0 && i + 1 < argc) {
+      limit = std::atol(argv[++i]);
+      if (limit < 1) return Usage();
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::atol(argv[++i]);
+      if (deadline_ms < 1) return Usage();
+    } else if (std::strcmp(argv[i], "--cancel-after-ms") == 0 && i + 1 < argc) {
+      cancel_after_ms = std::atol(argv[++i]);
+      if (cancel_after_ms < 1) return Usage();
     } else if (std::strcmp(argv[i], "--select") == 0 && i + 1 < argc) {
       projection = SplitSelect(argv[++i]);
       if (projection.empty()) return Usage();
@@ -225,6 +249,30 @@ int main(int argc, char** argv) {
   };
   ExecOptions exec;
   exec.collect_stats = show_stats;
+  if (limit > 0) exec.row_limit = static_cast<uint64_t>(limit);
+  if (deadline_ms > 0) exec.WithTimeout(std::chrono::milliseconds(deadline_ms));
+  if (cancel_after_ms > 0) {
+    // Cross-thread cancellation, demonstrated for real: the token is
+    // fired from a detached second thread while the main thread
+    // enumerates (the token is shared, so the thread may outlive the
+    // enumeration safely).
+    exec.cancel = MakeCancelToken();
+    CancelToken token = exec.cancel;
+    std::thread([token, cancel_after_ms] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(cancel_after_ms));
+      token->store(true, std::memory_order_relaxed);
+    }).detach();
+  }
+  // A bounded execution may end early; say how it ended so truncated
+  // output is never mistaken for the full answer set.
+  auto report_outcome = [](const Cursor& cursor) {
+    if (cursor.state() == Cursor::State::kLimited) {
+      std::fprintf(stderr, "note: row limit reached; answer set truncated\n");
+    } else if (cursor.state() == Cursor::State::kCancelled) {
+      std::fprintf(stderr, "note: %s\n",
+                   cursor.diagnostics().message.c_str());
+    }
+  };
 
   Session session = db.OpenSession(options);
   Statement stmt = session.Prepare(pattern_text);
@@ -288,6 +336,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", counting.diagnostics().ToString().c_str());
       return 1;
     }
+    report_outcome(counting);
     std::printf("%llu\n", static_cast<unsigned long long>(count));
     if (show_stats && counting.stats() != nullptr) {
       std::fprintf(stderr, "%s", counting.stats()->ToText().c_str());
@@ -317,6 +366,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", cursor.diagnostics().ToString().c_str());
     return 1;
   }
+  report_outcome(cursor);
   // Deterministic output: cursor arrival order is backend-dependent, so
   // the printed answer list is sorted (both backends byte-identical).
   std::sort(answers.begin(), answers.end());

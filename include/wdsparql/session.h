@@ -129,6 +129,16 @@ class Statement {
   /// with the writer.
   bool Contains(const Mapping& mu) const;
 
+  /// Snapshot-bound membership: decides mu ∈ JPKG against exactly the
+  /// state `snapshot` pinned, regardless of batches committed since —
+  /// the membership analogue of the snapshot `Execute` overloads, so a
+  /// server can answer a stream of membership probes from one
+  /// repeatable-read point. Indexed backend only: returns false on the
+  /// naive-hash oracle backend (which cannot pin a view), on an invalid
+  /// snapshot, or on a snapshot from another database — mirroring the
+  /// plain overload's false-on-failed-statement convention.
+  bool Contains(const Mapping& mu, const Snapshot& snapshot) const;
+
   /// \internal Shared prepared state.
   const std::shared_ptr<const StatementImpl>& impl() const { return impl_; }
 

@@ -227,6 +227,13 @@ bool EvaluateMembership(const DatabaseImpl& db, const SessionOptions& options,
                         const PatternForest& forest, const Mapping& mu,
                         EvalStats* stats = nullptr);
 
+/// wdEVAL membership over an explicitly pinned view (indexed machinery
+/// only): the test decides mu ∈ JPKG against exactly the state `view`
+/// pinned, whatever the writer has committed since. Backs the public
+/// snapshot-bound `Statement::Contains` overload.
+bool EvaluateMembershipOnView(const PatternForest& forest, const Mapping& mu,
+                              const ReadView& view, EvalStats* stats = nullptr);
+
 }  // namespace engine_internal
 
 }  // namespace wdsparql

@@ -40,6 +40,29 @@ void FinalizeCursorStats(CursorImpl* impl) {
   metrics.counter("query.rows_emitted").Add(impl->rows);
   metrics.counter("query.candidates").Add(impl->enum_totals.candidates);
   metrics.counter("query.maximality_tests").Add(impl->enum_totals.maximality_tests);
+  // Outcome counters: how executions ended, not just what they did. A
+  // serving layer watches these to tell healthy truncation (limits) from
+  // pressure (deadlines) from abandonment (cancellations / early closes).
+  switch (impl->state) {
+    case Cursor::State::kCancelled:
+      metrics.counter(impl->diagnostics.code ==
+                              QueryDiagnostics::Code::kDeadlineExceeded
+                          ? "query.deadline_exceeded"
+                          : "query.cancelled")
+          .Add(1);
+      break;
+    case Cursor::State::kLimited:
+      metrics.counter("query.limited").Add(1);
+      break;
+    case Cursor::State::kClosed:
+    case Cursor::State::kOpen:  // Destroyed while open: same abandonment.
+      // Closed while still open: the consumer walked away mid-stream
+      // (e.g. a dropped client connection) rather than draining.
+      metrics.counter("query.closed_early").Add(1);
+      break;
+    default:
+      break;
+  }
   if (impl->stats != nullptr) {
     metrics.histogram("query.enumerate_ns").Observe(impl->stats->enumerate_ns);
   }

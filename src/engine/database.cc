@@ -418,6 +418,14 @@ EnumerationHooks MakeEnumerationHooks(const DatabaseImpl& db,
   return hooks;
 }
 
+bool EvaluateMembershipOnView(const PatternForest& forest, const Mapping& mu,
+                              const ReadView& view, EvalStats* stats) {
+  VarAssignment fixed = MappingToAssignment(mu);
+  return WdEvalWith(forest, view, mu, stats, [&](const TripleSet& combined) {
+    return JoinExists(view, combined.triples(), fixed);
+  });
+}
+
 bool EvaluateMembership(const DatabaseImpl& db, const SessionOptions& options,
                         const PatternForest& forest, const Mapping& mu,
                         EvalStats* stats) {
@@ -426,10 +434,7 @@ bool EvaluateMembership(const DatabaseImpl& db, const SessionOptions& options,
       // Pin once for the whole membership test: candidate scans and the
       // maximality certificates all read the same consistent snapshot.
       std::shared_ptr<const ReadView> view = db.store.PinView();
-      VarAssignment fixed = MappingToAssignment(mu);
-      return WdEvalWith(forest, *view, mu, stats, [&](const TripleSet& combined) {
-        return JoinExists(*view, combined.triples(), fixed);
-      });
+      return EvaluateMembershipOnView(forest, mu, *view, stats);
     }
     case Backend::kNaiveHash:
       db.EnsureGraph();  // Both naive eval paths read the hash row store.

@@ -326,4 +326,17 @@ bool Statement::Contains(const Mapping& mu) const {
                                              impl_->forest, mu);
 }
 
+bool Statement::Contains(const Mapping& mu, const Snapshot& snapshot) const {
+  if (!ok()) return false;
+  // The snapshot contract mirrors ExecuteInternal's checks; with a bool
+  // return the refusals collapse to false (documented in session.h).
+  if (impl_->options.backend != Backend::kIndexed) return false;
+  if (!snapshot.valid() || snapshot.db_ != impl_->db) return false;
+  for (const FilterCondition& filter : impl_->filters) {
+    if (!filter.Satisfied(mu)) return false;
+  }
+  return engine_internal::EvaluateMembershipOnView(impl_->forest, mu,
+                                                   *snapshot.view_);
+}
+
 }  // namespace wdsparql

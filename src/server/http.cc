@@ -1,0 +1,260 @@
+#include "server/http.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+namespace wdsparql {
+namespace server {
+namespace {
+
+/// Hard cap on the request line + header block. Anything bigger is a
+/// client error, not a reason to grow a buffer.
+constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+
+/// Sends all of `data`, riding out short writes. MSG_NOSIGNAL turns a
+/// dead peer into an EPIPE return instead of a process signal.
+bool SendAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Splits the raw target into path + decoded params.
+void ParseTarget(std::string_view target, HttpRequest* out) {
+  std::size_t qmark = target.find('?');
+  out->path = UrlDecode(target.substr(0, qmark));
+  if (qmark == std::string_view::npos) return;
+  std::string_view query = target.substr(qmark + 1);
+  while (!query.empty()) {
+    std::size_t amp = query.find('&');
+    std::string_view pair = query.substr(0, amp);
+    std::size_t eq = pair.find('=');
+    if (!pair.empty()) {
+      std::string key = UrlDecode(pair.substr(0, eq));
+      std::string value =
+          eq == std::string_view::npos ? "" : UrlDecode(pair.substr(eq + 1));
+      out->params[key] = value;
+    }
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+}
+
+}  // namespace
+
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size() && HexValue(s[i + 1]) >= 0 &&
+               HexValue(s[i + 2]) >= 0) {
+      out += static_cast<char>(HexValue(s[i + 1]) * 16 + HexValue(s[i + 2]));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+HttpParseResult ReadHttpRequest(int fd, std::size_t max_body_bytes,
+                                HttpRequest* out) {
+  // Accumulate until the blank line ending the header block.
+  std::string buffer;
+  std::size_t header_end = std::string::npos;
+  char chunk[4096];
+  while (true) {
+    header_end = buffer.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    if (buffer.size() > kMaxHeaderBytes) return HttpParseResult::kHeadersTooLarge;
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) return HttpParseResult::kClosed;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return HttpParseResult::kTimeout;
+      return HttpParseResult::kClosed;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  // Request line: METHOD SP target SP HTTP/1.x
+  std::string_view head(buffer.data(), header_end);
+  std::size_t line_end = head.find("\r\n");
+  std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  std::size_t sp1 = request_line.find(' ');
+  std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return HttpParseResult::kMalformed;
+  }
+  out->method = std::string(request_line.substr(0, sp1));
+  std::string_view version = request_line.substr(sp2 + 1);
+  if (version.substr(0, 5) != "HTTP/") return HttpParseResult::kMalformed;
+  ParseTarget(request_line.substr(sp1 + 1, sp2 - sp1 - 1), out);
+
+  // Header lines.
+  std::string_view rest =
+      line_end == std::string_view::npos ? std::string_view() : head.substr(line_end + 2);
+  while (!rest.empty()) {
+    std::size_t eol = rest.find("\r\n");
+    std::string_view line = rest.substr(0, eol);
+    std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      out->headers[ToLower(Trim(line.substr(0, colon)))] =
+          std::string(Trim(line.substr(colon + 1)));
+    }
+    if (eol == std::string_view::npos) break;
+    rest.remove_prefix(eol + 2);
+  }
+
+  if (out->headers.count("transfer-encoding") != 0) {
+    return HttpParseResult::kUnsupported;  // Request chunking unimplemented.
+  }
+
+  std::size_t content_length = 0;
+  auto it = out->headers.find("content-length");
+  if (it != out->headers.end()) {
+    char* end = nullptr;
+    unsigned long long parsed = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') return HttpParseResult::kMalformed;
+    content_length = static_cast<std::size_t>(parsed);
+  }
+  if (content_length > max_body_bytes) return HttpParseResult::kBodyTooLarge;
+
+  out->body = buffer.substr(header_end + 4);
+  while (out->body.size() < content_length) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) return HttpParseResult::kClosed;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return HttpParseResult::kTimeout;
+      return HttpParseResult::kClosed;
+    }
+    out->body.append(chunk, static_cast<std::size_t>(n));
+  }
+  out->body.resize(content_length);  // Drop any pipelined overshoot.
+  return HttpParseResult::kOk;
+}
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+namespace {
+
+std::string ResponseHead(int status, std::string_view content_type,
+                         const std::map<std::string, std::string>& extra_headers,
+                         std::string_view framing) {
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                     StatusReason(status) + "\r\n";
+  head += "Content-Type: " + std::string(content_type) + "\r\n";
+  head += "Connection: close\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    head += name + ": " + value + "\r\n";
+  }
+  head += framing;
+  head += "\r\n";
+  return head;
+}
+
+}  // namespace
+
+bool WriteHttpResponse(int fd, int status, std::string_view content_type,
+                       std::string_view body,
+                       const std::map<std::string, std::string>& extra_headers,
+                       uint64_t* bytes_written) {
+  std::string head =
+      ResponseHead(status, content_type, extra_headers,
+                   "Content-Length: " + std::to_string(body.size()) + "\r\n");
+  if (!SendAll(fd, head)) return false;
+  if (bytes_written != nullptr) *bytes_written += body.size();
+  return SendAll(fd, body);
+}
+
+bool ChunkedWriter::Begin(int status, std::string_view content_type,
+                          const std::map<std::string, std::string>& extra_headers) {
+  if (failed_) return false;
+  std::string head = ResponseHead(status, content_type, extra_headers,
+                                  "Transfer-Encoding: chunked\r\n");
+  failed_ = !SendAll(fd_, head);
+  return !failed_;
+}
+
+bool ChunkedWriter::Write(std::string_view data) {
+  if (failed_) return false;
+  if (data.empty()) return true;  // An empty chunk would terminate the stream.
+  char size_line[32];
+  std::snprintf(size_line, sizeof(size_line), "%zx\r\n", data.size());
+  std::string frame = size_line;
+  frame.append(data);
+  frame += "\r\n";
+  bytes_written_ += data.size();
+  failed_ = !SendAll(fd_, frame);
+  return !failed_;
+}
+
+bool ChunkedWriter::End() {
+  if (failed_) return false;
+  failed_ = !SendAll(fd_, "0\r\n\r\n");
+  return !failed_;
+}
+
+bool PeerClosed(int fd) {
+  char probe;
+  ssize_t n = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (n == 0) return true;  // Orderly FIN.
+  if (n < 0) return errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR;
+  return false;  // Pipelined bytes: the peer is alive (and impatient).
+}
+
+}  // namespace server
+}  // namespace wdsparql

@@ -1,0 +1,109 @@
+#ifndef WDSPARQL_SERVER_HTTP_H_
+#define WDSPARQL_SERVER_HTTP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+/// \file
+/// Minimal HTTP/1.1 framing over POSIX sockets.
+///
+/// The serving front door (server/server.h) speaks just enough HTTP for
+/// a query endpoint: one request per connection, request bodies framed
+/// by Content-Length, responses either written whole or streamed with
+/// chunked transfer encoding. Self-contained by design — the repo's
+/// zero-dependency rule applies to the network layer too — and small
+/// enough to audit: no keep-alive, no pipelining, no TLS, no request
+/// chunking. Every read respects the socket's receive timeout (set by
+/// the server) so a stalled client can never wedge a worker forever.
+///
+/// Thread-safety: free functions plus a per-connection writer object;
+/// nothing here is shared between threads.
+
+namespace wdsparql {
+namespace server {
+
+/// One parsed request. Header names are lower-cased; query-string
+/// parameters are percent-decoded.
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // "/query" (no query string).
+  std::map<std::string, std::string> params;   // Decoded query parameters.
+  std::map<std::string, std::string> headers;  // Lower-cased names.
+  std::string body;
+};
+
+/// Outcome of `ReadHttpRequest`, mapped by the server onto an HTTP
+/// status for malformed traffic.
+enum class HttpParseResult {
+  kOk = 0,
+  kClosed,           ///< The peer closed before a full request arrived.
+  kTimeout,          ///< The socket receive timeout expired mid-request.
+  kMalformed,        ///< Not parseable as HTTP/1.1 (-> 400).
+  kHeadersTooLarge,  ///< Header block over the hard cap (-> 431).
+  kBodyTooLarge,     ///< Content-Length over `max_body_bytes` (-> 413).
+  kUnsupported,      ///< Transfer-Encoding request bodies (-> 411).
+};
+
+/// Reads and parses one request from `fd` (blocking, honouring the
+/// socket timeouts). Bodies larger than `max_body_bytes` are rejected
+/// without being buffered.
+HttpParseResult ReadHttpRequest(int fd, std::size_t max_body_bytes,
+                                HttpRequest* out);
+
+/// Percent-decodes `s` ('+' becomes space, "%XY" its byte); invalid
+/// escapes pass through verbatim.
+std::string UrlDecode(std::string_view s);
+
+/// The canonical reason phrase for `status` ("OK", "Not Found", ...).
+const char* StatusReason(int status);
+
+/// Serialises one response onto `fd`. Writes with MSG_NOSIGNAL: a peer
+/// that went away yields `false`, never SIGPIPE. `bytes_written`, when
+/// non-null, accumulates the payload bytes actually sent (headers
+/// excluded) whether or not the write completed.
+bool WriteHttpResponse(int fd, int status, std::string_view content_type,
+                       std::string_view body,
+                       const std::map<std::string, std::string>& extra_headers = {},
+                       uint64_t* bytes_written = nullptr);
+
+/// Streaming (chunked) response writer for one connection. Usage:
+/// `Begin` once, `Write` any number of times (each flushes one chunk to
+/// the socket — the client sees rows as they are produced), `End` once.
+/// Every method returns false as soon as the peer is gone; callers stop
+/// streaming (and cancel the producing cursor) on the first failure.
+class ChunkedWriter {
+ public:
+  explicit ChunkedWriter(int fd) : fd_(fd) {}
+
+  /// Writes the status line and headers with
+  /// `Transfer-Encoding: chunked`.
+  bool Begin(int status, std::string_view content_type,
+             const std::map<std::string, std::string>& extra_headers = {});
+
+  /// Sends `data` as one chunk (empty data is a no-op, not a
+  /// terminator).
+  bool Write(std::string_view data);
+
+  /// Sends the terminating zero-length chunk.
+  bool End();
+
+  /// Payload bytes handed to the socket so far (chunk framing excluded).
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  int fd_;
+  bool failed_ = false;
+  uint64_t bytes_written_ = 0;
+};
+
+/// True iff the peer has closed its end of the connection (a FIN/RST
+/// arrived). Non-blocking — safe to call between streamed rows; bytes
+/// the client may have pipelined are left unread.
+bool PeerClosed(int fd);
+
+}  // namespace server
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_SERVER_HTTP_H_

@@ -1,0 +1,163 @@
+#include "server/http_client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace wdsparql {
+namespace server {
+namespace {
+
+bool SendAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// Reads until EOF or error; the server closes after each response, so
+/// EOF frames the transfer.
+bool ReadAll(int fd, std::string* out) {
+  char chunk[8192];
+  while (true) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) return true;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    out->append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Decodes a chunked transfer-coded payload; false on framing errors.
+bool DecodeChunked(std::string_view raw, std::string* out) {
+  while (true) {
+    std::size_t eol = raw.find("\r\n");
+    if (eol == std::string_view::npos) return false;
+    char* end = nullptr;
+    std::string size_line(raw.substr(0, eol));
+    unsigned long long size = std::strtoull(size_line.c_str(), &end, 16);
+    if (end == size_line.c_str()) return false;
+    raw.remove_prefix(eol + 2);
+    if (size == 0) return true;
+    if (raw.size() < size + 2) return false;
+    out->append(raw.data(), size);
+    raw.remove_prefix(size + 2);  // Payload + trailing CRLF.
+  }
+}
+
+}  // namespace
+
+int DialTcp(const std::string& host, uint16_t port, int timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+Status HttpClient::Fetch(std::string_view method, std::string_view target,
+                         std::string_view body, HttpResponse* out) const {
+  int fd = DialTcp(host_, port_, timeout_ms_);
+  if (fd < 0) {
+    return Status::IoError("connect " + host_ + ":" + std::to_string(port_) +
+                           ": " + std::strerror(errno));
+  }
+  std::string request;
+  request.append(method).append(" ").append(target).append(" HTTP/1.1\r\n");
+  request += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  request += "Connection: close\r\n\r\n";
+  request.append(body);
+  std::string raw;
+  bool io_ok = SendAll(fd, request) && ReadAll(fd, &raw);
+  ::close(fd);
+  if (!io_ok) return Status::IoError("request I/O failed");
+
+  std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::IoError("truncated HTTP response");
+  }
+  std::string_view head(raw.data(), header_end);
+  std::size_t line_end = head.find("\r\n");
+  std::string_view status_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  std::size_t sp = status_line.find(' ');
+  if (sp == std::string_view::npos) return Status::IoError("bad status line");
+  out->status = std::atoi(std::string(status_line.substr(sp + 1, 3)).c_str());
+
+  out->headers.clear();
+  std::string_view rest =
+      line_end == std::string_view::npos ? std::string_view() : head.substr(line_end + 2);
+  while (!rest.empty()) {
+    std::size_t eol = rest.find("\r\n");
+    std::string_view line = rest.substr(0, eol);
+    std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      out->headers[ToLower(Trim(line.substr(0, colon)))] =
+          std::string(Trim(line.substr(colon + 1)));
+    }
+    if (eol == std::string_view::npos) break;
+    rest.remove_prefix(eol + 2);
+  }
+
+  std::string_view payload(raw.data() + header_end + 4,
+                           raw.size() - header_end - 4);
+  auto te = out->headers.find("transfer-encoding");
+  out->body.clear();
+  if (te != out->headers.end() && ToLower(te->second) == "chunked") {
+    if (!DecodeChunked(payload, &out->body)) {
+      return Status::IoError("bad chunked framing in response");
+    }
+  } else {
+    out->body.assign(payload);
+  }
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace wdsparql

@@ -1,0 +1,65 @@
+#ifndef WDSPARQL_SERVER_HTTP_CLIENT_H_
+#define WDSPARQL_SERVER_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "wdsparql/status.h"
+
+/// \file
+/// A minimal blocking HTTP/1.1 client — just enough to drive the
+/// serving front door from the load-generator bench and the tests
+/// without external dependencies. One request per connection (matching
+/// the server), Content-Length and chunked response bodies decoded.
+///
+/// Thread-safety: `HttpClient` is a plain value (host/port/timeout);
+/// each `Fetch` opens its own connection, so one client may be shared
+/// across threads.
+
+namespace wdsparql {
+namespace server {
+
+/// One decoded response.
+struct HttpResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;  // Lower-cased names.
+  std::string body;
+};
+
+class HttpClient {
+ public:
+  HttpClient(std::string host, uint16_t port, int timeout_ms = 10'000)
+      : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+
+  /// Performs one request; fails with `kIoError` when the connection
+  /// cannot be established or dies mid-response.
+  Status Fetch(std::string_view method, std::string_view target,
+               std::string_view body, HttpResponse* out) const;
+
+  Status Get(std::string_view target, HttpResponse* out) const {
+    return Fetch("GET", target, "", out);
+  }
+  Status Post(std::string_view target, std::string_view body,
+              HttpResponse* out) const {
+    return Fetch("POST", target, body, out);
+  }
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+
+ private:
+  std::string host_;
+  uint16_t port_;
+  int timeout_ms_;
+};
+
+/// Dials `host:port` and returns a connected socket fd (-1 on failure).
+/// Exposed for tests that need raw-socket behaviour (early disconnect).
+int DialTcp(const std::string& host, uint16_t port, int timeout_ms);
+
+}  // namespace server
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_SERVER_HTTP_CLIENT_H_

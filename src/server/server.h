@@ -1,0 +1,183 @@
+#ifndef WDSPARQL_SERVER_SERVER_H_
+#define WDSPARQL_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/http.h"
+#include "wdsparql/database.h"
+#include "wdsparql/metrics.h"
+#include "wdsparql/status.h"
+
+/// \file
+/// `wdsparql_serve`'s serving core: an HTTP front door over one
+/// `Database`, built entirely on the public execution surface —
+/// per-request `ExecOptions` (deadline / row limit / cancellation),
+/// a pinned `Snapshot` per query so a streaming response never observes
+/// concurrent commits, `WriteBatch` commits for ingestion, and the
+/// engine's `MetricsRegistry` for observability.
+///
+/// Endpoints (docs/SERVING.md is the full reference):
+///   POST /query     body = pattern text; chunked JSON rows streamed
+///                   from the cursor as they are produced. Params:
+///                   `limit`, `deadline_ms`, `stats=1`.
+///   POST /contains  wdEVAL membership: line 1 = pattern, then one
+///                   "?var value" binding per line; snapshot-bound.
+///   POST /write     N-Triples body applied as ONE WriteBatch.
+///   GET  /metrics   `Database::DumpMetrics(kJson)` verbatim.
+///   GET  /healthz   liveness + triple count + storage health.
+///
+/// Robustness model:
+///  * A fixed worker pool (`num_workers`) handles requests; accepted
+///    connections wait in a bounded admission queue. When the queue is
+///    full the acceptor itself answers `503` with `Retry-After` and
+///    closes — overload sheds load in O(1) memory instead of queuing
+///    unboundedly.
+///  * Every query gets a hard deadline (`default_deadline_ms` unless
+///    the request asks for less) and a fresh `CancelToken`. Between
+///    streamed rows the worker probes the connection; a client that
+///    disconnected mid-stream fires the token and the cursor is closed
+///    immediately — no orphaned cursor keeps pinning a read view.
+///  * `Stop()` drains gracefully: the listener closes first (new
+///    connections are refused), queued and in-flight requests finish,
+///    workers join. The caller then checkpoints and exits.
+///
+/// Thread-safety: `Start`/`Stop` from one controlling thread. Handlers
+/// run on worker threads and use only thread-safe database surfaces;
+/// mutations (`/write`) serialise on an internal writer mutex, honouring
+/// the engine's single-writer contract.
+
+namespace wdsparql {
+namespace server {
+
+struct ServerOptions {
+  /// Bind address. The default binds loopback only; serving a network
+  /// means explicitly asking for it ("0.0.0.0").
+  std::string host = "127.0.0.1";
+
+  /// TCP port; 0 picks an ephemeral port (see `Server::port()`).
+  uint16_t port = 0;
+
+  /// Worker threads executing requests.
+  int num_workers = 4;
+
+  /// Accepted connections allowed to wait for a worker. Above this the
+  /// acceptor sheds with 503 + Retry-After.
+  std::size_t queue_capacity = 64;
+
+  /// Hard per-query deadline applied when the request sends none (or
+  /// asks for more). 0 = unbounded queries allowed.
+  uint64_t default_deadline_ms = 10'000;
+
+  /// `Retry-After` seconds advertised on 503 responses.
+  int retry_after_s = 1;
+
+  /// Largest accepted request body (queries and /write batches).
+  std::size_t max_body_bytes = 16 * 1024 * 1024;
+
+  /// Socket send/receive timeout: a peer stalled longer than this
+  /// forfeits its request (the worker moves on).
+  int io_timeout_ms = 10'000;
+
+  /// Rows streamed between connection-liveness probes on /query.
+  uint32_t disconnect_probe_interval = 16;
+
+  /// Adds `GET /block` (parks a worker until `UnblockTestRequests`) so
+  /// tests can fill the pool and the admission queue deterministically.
+  /// Never enable in production builds of the tool.
+  bool enable_test_endpoints = false;
+};
+
+/// The HTTP server. Construct over a database, `Start`, eventually
+/// `Stop` (drain). One server per database; the database must outlive
+/// the server.
+class Server {
+ public:
+  Server(Database* db, const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the acceptor + worker threads. Fails
+  /// with `kIoError` when the address cannot be bound.
+  Status Start();
+
+  /// Graceful drain: refuse new connections, finish every queued and
+  /// in-flight request, join all threads. Idempotent.
+  void Stop();
+
+  /// The bound port (resolves port 0 after `Start`).
+  uint16_t port() const { return port_; }
+
+  /// True between a successful `Start` and `Stop`.
+  bool running() const { return running_; }
+
+  /// Releases every request parked on the test-only /block endpoint.
+  void UnblockTestRequests();
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(int fd);
+  void HandleQuery(int fd, const HttpRequest& request);
+  void HandleContains(int fd, const HttpRequest& request);
+  void HandleWrite(int fd, const HttpRequest& request);
+  void HandleMetrics(int fd);
+  void HandleHealth(int fd);
+  void HandleBlock(int fd);
+
+  /// Writes a `{"error": ...}` response and counts it.
+  void WriteError(int fd, int status, const std::string& code,
+                  const std::string& message);
+
+  Database* db_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  bool running_ = false;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  // Bounded admission queue of accepted connection fds.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;
+  /// Set once by `Stop` (atomic: both condition variables consult it
+  /// without nesting their mutexes).
+  std::atomic<bool> stopping_{false};
+
+  // Test-only /block latch.
+  std::mutex block_mutex_;
+  std::condition_variable block_cv_;
+  bool unblocked_ = false;
+
+  // The engine is single-writer: /write commits (and nothing else in
+  // the server) serialise here.
+  std::mutex write_mutex_;
+
+  // Cached instrument pointers (stable addresses for the registry's
+  // lifetime; see wdsparql/metrics.h).
+  Counter* requests_;
+  Counter* queries_;
+  Counter* writes_;
+  Counter* rejected_;
+  Counter* http_errors_;
+  Counter* client_disconnects_;
+  Counter* bytes_streamed_;
+  Gauge* inflight_;
+  Gauge* queue_depth_;
+  Histogram* request_ns_;
+};
+
+}  // namespace server
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_SERVER_SERVER_H_

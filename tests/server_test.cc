@@ -1,0 +1,485 @@
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/http_client.h"
+#include "server/server.h"
+#include "support/testlib.h"
+#include "wdsparql/wdsparql.h"
+
+/// \file
+/// The HTTP serving front door, tested in-process: a `server::Server`
+/// on an ephemeral port driven by the bundled `HttpClient` (and, for
+/// the disconnect scenarios, raw sockets). Runs under ThreadSanitizer
+/// in CI alongside the other concurrency suites — the server's worker
+/// pool, the admission queue, /write commits racing streamed /query
+/// responses, and the drain path are all genuinely multi-threaded here.
+
+namespace wdsparql {
+namespace server {
+namespace {
+
+/// A small fixed corpus: 60 triples over 3 predicates.
+void Populate(Database* db) {
+  for (int i = 0; i < 60; ++i) {
+    db->AddTriple("http://t/s" + std::to_string(i % 10),
+                  "http://t/p" + std::to_string(i % 3),
+                  "http://t/o" + std::to_string(i));
+  }
+}
+
+/// Starts a server over `db` with test endpoints enabled.
+std::unique_ptr<Server> StartServer(Database* db, ServerOptions options = {}) {
+  options.port = 0;  // Ephemeral.
+  options.enable_test_endpoints = true;
+  auto server = std::make_unique<Server>(db, options);
+  Status started = server->Start();
+  EXPECT_TRUE(started.ok()) << started.ToString();
+  return server;
+}
+
+HttpClient ClientFor(const Server& server) {
+  return HttpClient("127.0.0.1", server.port());
+}
+
+/// Polls a predicate for up to ~15 s (metrics written by worker threads
+/// land shortly after the response; never assert them race-sharp — and
+/// under TSan on a loaded CI machine, scheduling can stall for seconds).
+template <typename Predicate>
+bool Eventually(Predicate&& predicate) {
+  for (int i = 0; i < 3000; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------
+// Query round trips
+// ---------------------------------------------------------------------
+
+TEST(ServeQueryTest, StreamsRowsAndReportsExhaustion) {
+  Database db;
+  Populate(&db);
+  auto server = StartServer(&db);
+  HttpClient client = ClientFor(*server);
+
+  HttpResponse response;
+  ASSERT_TRUE(client.Post("/query", "(?s <http://t/p1> ?o)", &response).ok());
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.headers["transfer-encoding"], "chunked");
+  EXPECT_NE(response.body.find("\"vars\":[\"?s\",\"?o\"]"), std::string::npos);
+  EXPECT_NE(response.body.find("\"status\":\"exhausted\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"row_count\":20"), std::string::npos);
+  // 20 rows, each ["s","o"].
+  EXPECT_NE(response.body.find("[\"http://t/s1\",\"http://t/o1\"]"),
+            std::string::npos);
+  server->Stop();
+}
+
+TEST(ServeQueryTest, LimitTruncatesAndSaysSo) {
+  Database db;
+  Populate(&db);
+  auto server = StartServer(&db);
+  HttpClient client = ClientFor(*server);
+
+  HttpResponse response;
+  ASSERT_TRUE(client.Post("/query?limit=3", "(?s ?p ?o)", &response).ok());
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"status\":\"limited\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"row_count\":3"), std::string::npos);
+  EXPECT_TRUE(Eventually(
+      [&] { return db.metrics().counter("query.limited").value() >= 1; }));
+  server->Stop();
+}
+
+TEST(ServeQueryTest, StatsParamAppendsExecStats) {
+  Database db;
+  Populate(&db);
+  auto server = StartServer(&db);
+  HttpClient client = ClientFor(*server);
+
+  HttpResponse response;
+  ASSERT_TRUE(client.Post("/query?stats=1", "(?s <http://t/p0> ?o)",
+                          &response).ok());
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"stats\":{"), std::string::npos);
+  EXPECT_NE(response.body.find("rows_emitted"), std::string::npos);
+
+  // Without the param the tail carries no stats object.
+  ASSERT_TRUE(client.Post("/query", "(?s <http://t/p0> ?o)", &response).ok());
+  EXPECT_EQ(response.body.find("\"stats\":{"), std::string::npos);
+  server->Stop();
+}
+
+TEST(ServeQueryTest, ServerDeadlineIsAHardCeiling) {
+  Database db;
+  // A cross-join explosion: enough rows that 1 ms cannot finish.
+  // (One batched load — per-triple commits would dominate the test
+  // under TSan.)
+  std::string corpus;
+  for (int i = 0; i < 400; ++i) {
+    corpus += "<http://t/a" + std::to_string(i) + "> <http://t/p> <http://t/x> .\n";
+    corpus += "<http://t/x> <http://t/q> <http://t/b" + std::to_string(i) + "> .\n";
+  }
+  ASSERT_TRUE(db.LoadNTriples(corpus).ok());
+  ServerOptions options;
+  options.default_deadline_ms = 1;
+  auto server = StartServer(&db, options);
+  HttpClient client = ClientFor(*server);
+
+  HttpResponse response;
+  // The request asks for a *longer* deadline; the server ceiling wins.
+  ASSERT_TRUE(client.Post("/query?deadline_ms=60000",
+                          "(?a <http://t/p> ?x) AND (?x <http://t/q> ?b)",
+                          &response).ok());
+  EXPECT_EQ(response.status, 200);  // Streaming had begun; tail reports it.
+  EXPECT_NE(response.body.find("\"status\":\"deadline_exceeded\""),
+            std::string::npos)
+      << response.body;
+  EXPECT_TRUE(Eventually([&] {
+    return db.metrics().counter("query.deadline_exceeded").value() >= 1;
+  }));
+  server->Stop();
+}
+
+TEST(ServeQueryTest, MalformedQueryGetsStructured400) {
+  Database db;
+  Populate(&db);
+  auto server = StartServer(&db);
+  HttpClient client = ClientFor(*server);
+
+  HttpResponse response;
+  ASSERT_TRUE(client.Post("/query", "((( nonsense", &response).ok());
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("\"code\":\"ParseError\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"message\""), std::string::npos);
+
+  // Bad parameter values are 400 too, before any execution.
+  ASSERT_TRUE(client.Post("/query?limit=banana", "(?s ?p ?o)", &response).ok());
+  EXPECT_EQ(response.status, 400);
+  server->Stop();
+}
+
+TEST(ServeHttpTest, RoutesAndMethodsAreEnforced) {
+  Database db;
+  Populate(&db);
+  auto server = StartServer(&db);
+  HttpClient client = ClientFor(*server);
+
+  HttpResponse response;
+  ASSERT_TRUE(client.Get("/nope", &response).ok());
+  EXPECT_EQ(response.status, 404);
+  ASSERT_TRUE(client.Get("/query", &response).ok());
+  EXPECT_EQ(response.status, 405);
+  ASSERT_TRUE(client.Post("/metrics", "x", &response).ok());
+  EXPECT_EQ(response.status, 405);
+
+  ASSERT_TRUE(client.Get("/healthz", &response).ok());
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"triples\":60"), std::string::npos);
+
+  ASSERT_TRUE(client.Get("/metrics", &response).ok());
+  EXPECT_EQ(response.status, 200);
+  // Verbatim DumpMetrics(kJson): instrument names present.
+  EXPECT_NE(response.body.find("server.requests"), std::string::npos);
+  server->Stop();
+}
+
+// ---------------------------------------------------------------------
+// Writes
+// ---------------------------------------------------------------------
+
+TEST(ServeWriteTest, NTriplesBodyCommitsAsOneBatch) {
+  Database db;
+  Populate(&db);
+  auto server = StartServer(&db);
+  HttpClient client = ClientFor(*server);
+
+  uint64_t generation_before = db.generation();
+  HttpResponse response;
+  ASSERT_TRUE(client.Post("/write",
+                          "<http://t/new1> <http://t/p9> <http://t/oX> .\n"
+                          "<http://t/new2> <http://t/p9> <http://t/oX> .\n",
+                          &response).ok());
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"added\":2"), std::string::npos);
+  EXPECT_EQ(db.size(), 62u);
+  // ONE WriteBatch: exactly one publish for the two triples.
+  EXPECT_EQ(db.generation(), generation_before + 1);
+
+  ASSERT_TRUE(client.Post("/write", "not n-triples at all", &response).ok());
+  EXPECT_EQ(response.status, 400);
+  EXPECT_EQ(db.size(), 62u);
+  server->Stop();
+}
+
+TEST(ServeWriteTest, QueryStreamsPinOneGenerationAcrossConcurrentWrites) {
+  Database db;
+  Populate(&db);
+  auto server = StartServer(&db);
+  HttpClient client = ClientFor(*server);
+
+  // Hammer /query and /write concurrently; every query response must be
+  // internally consistent (its row_count matches its rows) and each
+  // write must apply atomically. TSan watches the rest.
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 20; ++i) {
+        HttpResponse response;
+        Status status = client.Post("/query", "(?s <http://t/p1> ?o)", &response);
+        if (!status.ok() || response.status != 200 ||
+            response.body.find("\"status\":\"exhausted\"") == std::string::npos) {
+          failed = true;
+        }
+        (void)t;
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < 20; ++i) {
+      HttpResponse response;
+      std::string body = "<http://t/w" + std::to_string(i) +
+                         "> <http://t/pw> <http://t/ow> .\n";
+      Status status = client.Post("/write", body, &response);
+      if (!status.ok() || response.status != 200) failed = true;
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(db.size(), 80u);
+  server->Stop();
+}
+
+// ---------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------
+
+TEST(ServeOverloadTest, FullQueueShedsWith503AndRetryAfter) {
+  Database db;
+  Populate(&db);
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  auto server = StartServer(&db, options);
+  HttpClient client = ClientFor(*server);
+
+  // Park the one worker on /block, then fill the queue: connection 2
+  // waits, connection 3 must be shed by the acceptor. No ASSERT while
+  // the helper thread is joinable — a failed assertion would leave it
+  // running and std::terminate the whole binary.
+  std::thread blocked([&] {
+    HttpResponse response;
+    (void)client.Get("/block", &response);
+  });
+  bool worker_parked = Eventually(
+      [&] { return db.metrics().gauge("server.inflight").value() == 1; });
+
+  // Occupy the single queue slot with a connection that just waits.
+  int parked_fd = DialTcp("127.0.0.1", server->port(), 2000);
+  bool queue_full =
+      worker_parked && parked_fd >= 0 &&
+      Eventually(
+          [&] { return db.metrics().gauge("server.queue_depth").value() == 1; });
+
+  HttpResponse shed;
+  bool shed_fetched = queue_full && client.Get("/healthz", &shed).ok();
+
+  server->UnblockTestRequests();
+  blocked.join();
+  if (parked_fd >= 0) ::close(parked_fd);
+  server->Stop();
+
+  EXPECT_TRUE(worker_parked);
+  EXPECT_TRUE(queue_full) << "parked_fd=" << parked_fd
+      << " depth=" << db.metrics().gauge("server.queue_depth").value()
+      << " inflight=" << db.metrics().gauge("server.inflight").value()
+      << " rejected=" << db.metrics().counter("server.rejected").value()
+      << " requests=" << db.metrics().counter("server.requests").value();
+  ASSERT_TRUE(shed_fetched);
+  EXPECT_EQ(shed.status, 503);
+  EXPECT_EQ(shed.headers["retry-after"], "1");
+  EXPECT_GE(db.metrics().counter("server.rejected").value(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Client disconnect mid-stream
+// ---------------------------------------------------------------------
+
+TEST(ServeDisconnectTest, EarlyCloseCancelsTheCursorAndReleasesItsView) {
+  Database db;
+  // Enough cross-join answers that the stream far outlives the client.
+  std::string corpus;
+  for (int i = 0; i < 300; ++i) {
+    corpus += "<http://t/a" + std::to_string(i) + "> <http://t/p> <http://t/x> .\n";
+    corpus += "<http://t/x> <http://t/q> <http://t/b" + std::to_string(i) + "> .\n";
+  }
+  ASSERT_TRUE(db.LoadNTriples(corpus).ok());
+  ServerOptions options;
+  options.disconnect_probe_interval = 4;
+  options.default_deadline_ms = 60'000;  // The probe, not the deadline, ends it.
+  auto server = StartServer(&db, options);
+
+  int64_t views_baseline = db.metrics().gauge("views.live").value();
+  uint64_t closed_early_before =
+      db.metrics().counter("query.closed_early").value();
+
+  // Raw socket: send the request, read a little of the stream, vanish.
+  // Generous socket timeout: under TSan on a loaded machine the first
+  // streamed row can take seconds to arrive.
+  int fd = DialTcp("127.0.0.1", server->port(), 30'000);
+  ASSERT_GE(fd, 0);
+  std::string body = "(?a <http://t/p> ?x) AND (?x <http://t/q> ?b)";
+  std::string request =
+      "POST /query HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  char sink[1024];
+  ASSERT_GT(::recv(fd, sink, sizeof(sink), 0), 0);  // Stream is flowing.
+  ::close(fd);  // Walk away mid-stream.
+
+  // The server must notice, fire the token, close the cursor and drop
+  // the pinned view — no orphaned cursor keeps the snapshot alive.
+  EXPECT_TRUE(Eventually([&] {
+    return db.metrics().counter("server.client_disconnects").value() >= 1;
+  }));
+  EXPECT_TRUE(Eventually([&] {
+    return db.metrics().gauge("views.live").value() <= views_baseline;
+  }));
+  EXPECT_TRUE(Eventually([&] {
+    return db.metrics().counter("query.closed_early").value() >
+           closed_early_before;
+  }));
+  server->Stop();
+}
+
+// ---------------------------------------------------------------------
+// Graceful drain
+// ---------------------------------------------------------------------
+
+TEST(ServeDrainTest, StopFinishesInFlightRequestsBeforeReturning) {
+  Database db;
+  Populate(&db);
+  ServerOptions options;
+  options.num_workers = 2;
+  auto server = StartServer(&db, options);
+  HttpClient client = ClientFor(*server);
+  uint16_t port = server->port();
+
+  // One request parks on /block (in flight when Stop begins).
+  std::atomic<int> blocked_status{0};
+  std::thread in_flight([&] {
+    HttpResponse response;
+    Status status = client.Get("/block", &response);
+    blocked_status = status.ok() ? response.status : -1;
+  });
+  bool parked = Eventually(
+      [&] { return db.metrics().gauge("server.inflight").value() >= 1; });
+
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    server->UnblockTestRequests();  // Drain releases the parked request.
+  });
+  server->Stop();  // Must not return before the in-flight request finished.
+  stopper.join();
+  in_flight.join();
+  EXPECT_TRUE(parked);
+  EXPECT_EQ(blocked_status.load(), 200);
+
+  // Drained means drained: new connections are refused.
+  HttpResponse after;
+  EXPECT_FALSE(HttpClient("127.0.0.1", port, 500).Get("/healthz", &after).ok());
+}
+
+// ---------------------------------------------------------------------
+// Snapshot-bound membership (/contains and the API under it)
+// ---------------------------------------------------------------------
+
+TEST(SnapshotContainsTest, DecidesAgainstThePinnedStateNotTheLiveOne) {
+  Database db;
+  db.AddTriple("http://t/a", "http://t/knows", "http://t/b");
+  Session session = db.OpenSession();
+  Statement stmt = session.Prepare("(?x <http://t/knows> ?y)");
+  ASSERT_TRUE(stmt.ok());
+
+  Snapshot before = db.GetSnapshot();
+  db.AddTriple("http://t/c", "http://t/knows", "http://t/d");
+  Snapshot after = db.GetSnapshot();
+
+  TermPool& pool = db.pool();
+  Mapping old_pair;
+  old_pair.Bind(pool.InternVariable("x"), pool.InternIri("http://t/a"));
+  old_pair.Bind(pool.InternVariable("y"), pool.InternIri("http://t/b"));
+  Mapping new_pair;
+  new_pair.Bind(pool.InternVariable("x"), pool.InternIri("http://t/c"));
+  new_pair.Bind(pool.InternVariable("y"), pool.InternIri("http://t/d"));
+
+  EXPECT_TRUE(stmt.Contains(old_pair, before));
+  EXPECT_FALSE(stmt.Contains(new_pair, before));  // Not in the old state.
+  EXPECT_TRUE(stmt.Contains(new_pair, after));
+  EXPECT_TRUE(stmt.Contains(new_pair));  // Live overload sees it too.
+
+  // Refusals collapse to false: invalid snapshot, foreign snapshot,
+  // naive backend.
+  EXPECT_FALSE(stmt.Contains(old_pair, Snapshot()));
+  Database other;
+  other.AddTriple("http://t/a", "http://t/knows", "http://t/b");
+  EXPECT_FALSE(stmt.Contains(old_pair, other.GetSnapshot()));
+  SessionOptions naive;
+  naive.backend = Backend::kNaiveHash;
+  Statement naive_stmt = db.OpenSession(naive).Prepare("(?x <http://t/knows> ?y)");
+  ASSERT_TRUE(naive_stmt.ok());
+  EXPECT_FALSE(naive_stmt.Contains(old_pair, before));
+}
+
+TEST(ServeContainsTest, EndpointAnswersMembershipOverThePinnedSnapshot) {
+  Database db;
+  Populate(&db);
+  auto server = StartServer(&db);
+  HttpClient client = ClientFor(*server);
+
+  HttpResponse response;
+  // s1 -p1-> o1 exists (i = 1).
+  ASSERT_TRUE(client.Post("/contains",
+                          "(?s <http://t/p1> ?o)\n"
+                          "?s <http://t/s1>\n?o <http://t/o1>\n",
+                          &response).ok());
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"contains\":true"), std::string::npos);
+
+  // Interned terms, but not a triple.
+  ASSERT_TRUE(client.Post("/contains",
+                          "(?s <http://t/p1> ?o)\n"
+                          "?s <http://t/s1>\n?o <http://t/o2>\n",
+                          &response).ok());
+  EXPECT_NE(response.body.find("\"contains\":false"), std::string::npos);
+
+  // A spelling the pool never saw: decided absent without running.
+  ASSERT_TRUE(client.Post("/contains",
+                          "(?s <http://t/p1> ?o)\n?s <http://t/mars>\n",
+                          &response).ok());
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"contains\":false"), std::string::npos);
+
+  // A variable the pattern does not bind: 400.
+  ASSERT_TRUE(client.Post("/contains",
+                          "(?s <http://t/p1> ?o)\n?z <http://t/s1>\n",
+                          &response).ok());
+  EXPECT_EQ(response.status, 400);
+  server->Stop();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace wdsparql

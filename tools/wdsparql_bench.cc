@@ -1,0 +1,448 @@
+/// \file
+/// wdsparql_bench: a load generator for the HTTP serving front door.
+///
+///   wdsparql_bench [--db <path.snap> | --synthetic N | --url HOST:PORT]
+///                  [--duration-s D] [--threads T] [--rate R]
+///                  [--write-frac F] [--query TEXT] [--limit N]
+///                  [--deadline-ms N] [--workers N] [--queue N]
+///
+/// Drives a mixed read/write HTTP load and reports latency percentiles
+/// (p50 / p95 / p99), throughput and the server's shed count. Three
+/// targets:
+///   * --db <path.snap>   starts an in-process `server::Server` over the
+///     snapshot on an ephemeral port and benches that (the default
+///     end-to-end mode: real sockets, real chunked streaming);
+///   * --synthetic N      same, over a generated N-triple database —
+///     self-contained smoke benching with zero setup;
+///   * --url HOST:PORT    benches an externally running wdsparql_serve.
+///
+/// Load model:
+///   * closed loop (default): `--threads` clients issue
+///     request-after-response back to back for `--duration-s`;
+///   * open loop (`--rate R` > 0): arrivals are scheduled at R requests
+///     per second spread across the threads, and each latency is
+///     measured FROM THE SCHEDULED ARRIVAL — a stalled server accrues
+///     queueing delay instead of silently slowing the generator
+///     (coordinated omission stays visible).
+///
+/// A `--write-frac F` slice of requests POST a small unique N-Triples
+/// batch to /write; the rest POST `--query` to /query (with `limit` /
+/// `deadline_ms` attached when given). 503-shed responses are counted
+/// separately and excluded from the latency distribution.
+///
+/// Exit status: 0 when the run completed, 1 on bad flags / setup.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/http_client.h"
+#include "server/server.h"
+#include "wdsparql/wdsparql.h"
+
+using namespace wdsparql;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: wdsparql_bench [--db <path.snap> | --synthetic N | --url "
+      "HOST:PORT]\n"
+      "                      [--duration-s D] [--threads T] [--rate R]\n"
+      "                      [--write-frac F] [--query TEXT] [--limit N]\n"
+      "                      [--deadline-ms N] [--workers N] [--queue N]\n"
+      "\n"
+      "  --db <path.snap>  bench an in-process server over this snapshot\n"
+      "  --synthetic N     bench an in-process server over N generated "
+      "triples\n"
+      "  --url HOST:PORT   bench an external wdsparql_serve\n"
+      "  --duration-s D    run length in seconds (default 5)\n"
+      "  --threads T       client threads (default 4)\n"
+      "  --rate R          open-loop arrivals/s across all threads "
+      "(default 0\n"
+      "                    = closed loop)\n"
+      "  --write-frac F    fraction of requests that POST /write "
+      "(default 0)\n"
+      "  --query TEXT      query text (default \"(?s ?p ?o)\")\n"
+      "  --limit N         attach ?limit=N to queries\n"
+      "  --deadline-ms N   attach ?deadline_ms=N to queries\n"
+      "  --workers N       in-process server worker threads (default 4)\n"
+      "  --queue N         in-process server admission queue (default 64)\n");
+  return 1;
+}
+
+struct BenchConfig {
+  const char* db_path = nullptr;
+  unsigned long synthetic = 0;
+  std::string url_host;
+  uint16_t url_port = 0;
+  bool external = false;
+  double duration_s = 5.0;
+  int threads = 4;
+  double rate = 0.0;  // 0 = closed loop.
+  double write_frac = 0.0;
+  std::string query = "(?s ?p ?o)";
+  unsigned long limit = 0;
+  unsigned long deadline_ms = 0;
+  int workers = 4;
+  unsigned long queue = 64;
+};
+
+/// Per-thread run record: latencies in ns (successful requests only,
+/// split by class) plus status-code tallies.
+struct ThreadResult {
+  std::vector<uint64_t> read_ns;
+  std::vector<uint64_t> write_ns;
+  uint64_t shed_503 = 0;
+  uint64_t http_errors = 0;  // Non-2xx, non-503.
+  uint64_t io_errors = 0;    // Connect/transport failures.
+};
+
+bool ParseUlong(const char* text, unsigned long* out) {
+  char* end = nullptr;
+  errno = 0;
+  unsigned long value = std::strtoul(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(const char* text, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+uint64_t Percentile(const std::vector<uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(rank + 0.5)];
+}
+
+void ReportClass(const char* name, std::vector<uint64_t>* ns, double seconds) {
+  std::sort(ns->begin(), ns->end());
+  std::fprintf(stderr,
+               "  %-6s %8zu ok  %9.1f req/s  p50 %8.3f ms  p95 %8.3f ms  "
+               "p99 %8.3f ms  max %8.3f ms\n",
+               name, ns->size(),
+               seconds > 0 ? static_cast<double>(ns->size()) / seconds : 0.0,
+               Percentile(*ns, 50) / 1e6, Percentile(*ns, 95) / 1e6,
+               Percentile(*ns, 99) / 1e6,
+               (ns->empty() ? 0 : ns->back()) / 1e6);
+}
+
+/// Deterministic per-thread mix decision (xorshift; no global RNG, no
+/// cross-thread coordination).
+struct Mix {
+  uint64_t state;
+  explicit Mix(uint64_t seed) : state(seed * 2654435761u + 1) {}
+  double Next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<double>(state >> 11) / 9007199254740992.0;  // [0,1)
+  }
+};
+
+void RunClient(const BenchConfig& config, const server::HttpClient& client,
+               int thread_index, Clock::time_point start,
+               Clock::time_point stop_at, ThreadResult* result) {
+  // The /query target is fixed per run; /write bodies are unique per
+  // request so every commit really mutates.
+  std::string query_target = "/query";
+  char sep = '?';
+  if (config.limit != 0) {
+    query_target += sep;
+    query_target += "limit=" + std::to_string(config.limit);
+    sep = '&';
+  }
+  if (config.deadline_ms != 0) {
+    query_target += sep;
+    query_target += "deadline_ms=" + std::to_string(config.deadline_ms);
+  }
+  Mix mix(static_cast<uint64_t>(thread_index) + 0x9e3779b9u);
+  // Open-loop pacing: this thread owns arrivals i*threads+thread_index
+  // of the global schedule at `rate` per second.
+  double interval_s =
+      config.rate > 0 ? static_cast<double>(config.threads) / config.rate : 0;
+  uint64_t sequence = 0;
+
+  while (true) {
+    Clock::time_point issued = Clock::now();
+    if (config.rate > 0) {
+      auto scheduled =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(
+                          (static_cast<double>(sequence) + thread_index /
+                           static_cast<double>(config.threads)) * interval_s));
+      if (scheduled >= stop_at) break;
+      std::this_thread::sleep_until(scheduled);
+      issued = scheduled;  // Latency from intended arrival, not send.
+    } else if (issued >= stop_at) {
+      break;
+    }
+
+    bool is_write = config.write_frac > 0 && mix.Next() < config.write_frac;
+    server::HttpResponse response;
+    Status status;
+    if (is_write) {
+      std::string body = "<http://bench/s/" + std::to_string(thread_index) +
+                         "_" + std::to_string(sequence) +
+                         "> <http://bench/p/touched> <http://bench/o> .\n";
+      status = client.Post("/write", body, &response);
+    } else {
+      status = client.Post(query_target, config.query, &response);
+    }
+    uint64_t elapsed_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             issued)
+            .count());
+    ++sequence;
+    if (!status.ok()) {
+      ++result->io_errors;
+      continue;
+    }
+    if (response.status == 503) {
+      ++result->shed_503;
+      continue;  // Shed responses are not service latencies.
+    }
+    if (response.status < 200 || response.status >= 300) {
+      ++result->http_errors;
+      continue;
+    }
+    (is_write ? result->write_ns : result->read_ns).push_back(elapsed_ns);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  int target_modes = 0;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* text = nullptr;
+    if (std::strcmp(argv[i], "--db") == 0) {
+      if ((config.db_path = value("--db")) == nullptr) return Usage();
+      ++target_modes;
+    } else if (std::strcmp(argv[i], "--synthetic") == 0) {
+      if ((text = value("--synthetic")) == nullptr ||
+          !ParseUlong(text, &config.synthetic) || config.synthetic == 0) {
+        std::fprintf(stderr, "error: bad --synthetic value\n");
+        return Usage();
+      }
+      ++target_modes;
+    } else if (std::strcmp(argv[i], "--url") == 0) {
+      if ((text = value("--url")) == nullptr) return Usage();
+      const char* colon = std::strrchr(text, ':');
+      unsigned long port = 0;
+      if (colon == nullptr || colon == text || !ParseUlong(colon + 1, &port) ||
+          port == 0 || port > 65535) {
+        std::fprintf(stderr, "error: --url wants HOST:PORT\n");
+        return Usage();
+      }
+      config.url_host.assign(text, static_cast<std::size_t>(colon - text));
+      config.url_port = static_cast<uint16_t>(port);
+      config.external = true;
+      ++target_modes;
+    } else if (std::strcmp(argv[i], "--duration-s") == 0) {
+      if ((text = value("--duration-s")) == nullptr ||
+          !ParseDouble(text, &config.duration_s) || config.duration_s <= 0) {
+        std::fprintf(stderr, "error: bad --duration-s value\n");
+        return Usage();
+      }
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      unsigned long threads = 0;
+      if ((text = value("--threads")) == nullptr ||
+          !ParseUlong(text, &threads) || threads < 1 || threads > 512) {
+        std::fprintf(stderr, "error: bad --threads value\n");
+        return Usage();
+      }
+      config.threads = static_cast<int>(threads);
+    } else if (std::strcmp(argv[i], "--rate") == 0) {
+      if ((text = value("--rate")) == nullptr ||
+          !ParseDouble(text, &config.rate) || config.rate < 0) {
+        std::fprintf(stderr, "error: bad --rate value\n");
+        return Usage();
+      }
+    } else if (std::strcmp(argv[i], "--write-frac") == 0) {
+      if ((text = value("--write-frac")) == nullptr ||
+          !ParseDouble(text, &config.write_frac) || config.write_frac < 0 ||
+          config.write_frac > 1) {
+        std::fprintf(stderr, "error: bad --write-frac value (want [0,1])\n");
+        return Usage();
+      }
+    } else if (std::strcmp(argv[i], "--query") == 0) {
+      if ((text = value("--query")) == nullptr) return Usage();
+      config.query = text;
+    } else if (std::strcmp(argv[i], "--limit") == 0) {
+      if ((text = value("--limit")) == nullptr ||
+          !ParseUlong(text, &config.limit)) {
+        std::fprintf(stderr, "error: bad --limit value\n");
+        return Usage();
+      }
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      if ((text = value("--deadline-ms")) == nullptr ||
+          !ParseUlong(text, &config.deadline_ms)) {
+        std::fprintf(stderr, "error: bad --deadline-ms value\n");
+        return Usage();
+      }
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      unsigned long workers = 0;
+      if ((text = value("--workers")) == nullptr ||
+          !ParseUlong(text, &workers) || workers < 1 || workers > 1024) {
+        std::fprintf(stderr, "error: bad --workers value\n");
+        return Usage();
+      }
+      config.workers = static_cast<int>(workers);
+    } else if (std::strcmp(argv[i], "--queue") == 0) {
+      if ((text = value("--queue")) == nullptr ||
+          !ParseUlong(text, &config.queue) || config.queue < 1) {
+        std::fprintf(stderr, "error: bad --queue value\n");
+        return Usage();
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", argv[i]);
+      return Usage();
+    }
+  }
+  if (target_modes > 1) {
+    std::fprintf(stderr,
+                 "error: --db, --synthetic and --url are mutually "
+                 "exclusive\n");
+    return Usage();
+  }
+  if (target_modes == 0) config.synthetic = 10'000;  // Self-contained default.
+
+  // Target setup: external URL, or an in-process server on port 0.
+  Database db;
+  std::unique_ptr<server::Server> httpd;
+  std::string host = config.url_host;
+  uint16_t port = config.url_port;
+  if (!config.external) {
+    if (config.db_path != nullptr) {
+      Result<Database> opened = Database::Open(config.db_path);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "error: %s: %s\n", config.db_path,
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      db = std::move(opened).value();
+    } else {
+      // Synthetic corpus: a plausible join shape — s/p/o reuse makes
+      // patterns selective without being empty.
+      std::string triples;
+      triples.reserve(config.synthetic * 48);
+      for (unsigned long i = 0; i < config.synthetic; ++i) {
+        triples += "<http://bench/s/" + std::to_string(i % 997) +
+                   "> <http://bench/p/" + std::to_string(i % 13) +
+                   "> <http://bench/o/" + std::to_string(i) + "> .\n";
+      }
+      Status loaded = db.LoadNTriples(triples);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "error: synthetic load: %s\n",
+                     loaded.ToString().c_str());
+        return 1;
+      }
+    }
+    server::ServerOptions server_options;
+    server_options.port = 0;
+    server_options.num_workers = config.workers;
+    server_options.queue_capacity = config.queue;
+    if (config.deadline_ms != 0) {
+      server_options.default_deadline_ms = config.deadline_ms;
+    }
+    httpd = std::make_unique<server::Server>(&db, server_options);
+    Status started = httpd->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    host = "127.0.0.1";
+    port = httpd->port();
+    std::fprintf(stderr,
+                 "wdsparql_bench: in-process server on 127.0.0.1:%u over "
+                 "%zu triple(s), %d worker(s), queue %lu\n",
+                 port, db.size(), config.workers, config.queue);
+  } else {
+    std::fprintf(stderr, "wdsparql_bench: external target %s:%u\n",
+                 host.c_str(), port);
+  }
+
+  std::fprintf(stderr,
+               "wdsparql_bench: %s loop, %d thread(s), %.1f s, "
+               "write-frac %.2f, query \"%s\"\n",
+               config.rate > 0 ? "open" : "closed", config.threads,
+               config.duration_s, config.write_frac, config.query.c_str());
+  if (config.rate > 0) {
+    std::fprintf(stderr, "wdsparql_bench: target rate %.1f req/s\n",
+                 config.rate);
+  }
+
+  server::HttpClient client(host, port, /*timeout_ms=*/30'000);
+  std::vector<ThreadResult> results(static_cast<std::size_t>(config.threads));
+  std::vector<std::thread> clients;
+  Clock::time_point start = Clock::now();
+  Clock::time_point stop_at =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(config.duration_s));
+  clients.reserve(static_cast<std::size_t>(config.threads));
+  for (int t = 0; t < config.threads; ++t) {
+    clients.emplace_back([&, t] {
+      RunClient(config, client, t, start, stop_at,
+                &results[static_cast<std::size_t>(t)]);
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  // Merge per-thread records and report.
+  std::vector<uint64_t> read_ns;
+  std::vector<uint64_t> write_ns;
+  uint64_t shed = 0, http_errors = 0, io_errors = 0;
+  for (const ThreadResult& r : results) {
+    read_ns.insert(read_ns.end(), r.read_ns.begin(), r.read_ns.end());
+    write_ns.insert(write_ns.end(), r.write_ns.begin(), r.write_ns.end());
+    shed += r.shed_503;
+    http_errors += r.http_errors;
+    io_errors += r.io_errors;
+  }
+  uint64_t total =
+      read_ns.size() + write_ns.size() + shed + http_errors + io_errors;
+  std::fprintf(stderr, "\nwdsparql_bench: %llu request(s) in %.2f s "
+                       "(%.1f req/s overall)\n",
+               static_cast<unsigned long long>(total), elapsed_s,
+               elapsed_s > 0 ? static_cast<double>(total) / elapsed_s : 0.0);
+  ReportClass("read", &read_ns, elapsed_s);
+  if (config.write_frac > 0) ReportClass("write", &write_ns, elapsed_s);
+  std::fprintf(stderr,
+               "  shed   %8llu 503(s)   errors %llu http, %llu transport\n",
+               static_cast<unsigned long long>(shed),
+               static_cast<unsigned long long>(http_errors),
+               static_cast<unsigned long long>(io_errors));
+
+  if (httpd != nullptr) {
+    httpd->Stop();
+    std::fprintf(stderr, "-- server metrics --\n%s",
+                 db.DumpMetrics(MetricsFormat::kText).c_str());
+  }
+  return 0;
+}

@@ -72,6 +72,9 @@ int main(int argc, char** argv) {
       use_wal = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
+    } else if (argv[i][0] == '-' && argv[i][1] != '\0') {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
+      return Usage();
     } else if (input_path == nullptr) {
       input_path = argv[i];
     } else if (output_path == nullptr) {
