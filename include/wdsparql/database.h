@@ -13,6 +13,7 @@
 #include "wdsparql/status.h"
 #include "wdsparql/storage.h"
 #include "wdsparql/term.h"
+#include "wdsparql/trace.h"
 #include "wdsparql/triple.h"
 #include "wdsparql/write_batch.h"
 
@@ -65,6 +66,12 @@ struct DatabaseOptions {
   /// automatic merge into the base permutation runs. 0 disables
   /// automatic merging (callers then `Compact()` explicitly).
   std::size_t merge_threshold = 4096;
+
+  /// Span capacity of the flight-recorder trace ring (rounded up to a
+  /// power of two; see wdsparql/trace.h). 0 disables tracing entirely —
+  /// `trace_recorder()` returns null and every instrumentation site
+  /// reduces to one branch.
+  std::size_t trace_capacity = TraceRecorder::kDefaultCapacity;
 };
 
 /// An owning, mutable triple database with incremental index
@@ -134,7 +141,8 @@ class Database {
   /// in `storage_status()`. `result`, when non-null, receives the net
   /// counts. This is THE bulk-ingest path: per-triple cost is amortised
   /// over the batch (see bench_e15_batch).
-  Status Apply(WriteBatch&& batch, ApplyResult* result = nullptr);
+  Status Apply(WriteBatch&& batch, ApplyResult* result = nullptr,
+               TraceContext* trace = nullptr);
 
   /// Inserts a ground triple; returns true iff newly inserted (false for
   /// duplicates and for triples containing variables). Equivalent to —
@@ -216,6 +224,17 @@ class Database {
 
   /// Renders every registry instrument (`metrics().Dump(format)`).
   std::string DumpMetrics(MetricsFormat format = MetricsFormat::kText) const;
+
+  /// The flight-recorder trace ring (see wdsparql/trace.h), or null when
+  /// `DatabaseOptions::trace_capacity == 0`. Thread-safe; lives as long
+  /// as the database. Construct a `TraceContext` over it per request and
+  /// hand that to `ExecOptions::trace` / `Apply`.
+  TraceRecorder* trace_recorder() const;
+
+  /// The most recent complete traces as JSON
+  /// (`trace_recorder()->DumpJson(max_traces)`; `{"traces":[]}` when
+  /// tracing is disabled).
+  std::string DumpTraces(std::size_t max_traces = 16) const;
 
   // Reading -----------------------------------------------------------
 

@@ -34,6 +34,8 @@
 
 namespace wdsparql {
 
+class TraceContext;  // See wdsparql/trace.h.
+
 /// A shared cancellation flag. Create one per revocable unit of work,
 /// hand it to any number of executions, and `store(true)` to stop them
 /// all at their next check.
@@ -70,6 +72,18 @@ struct ExecOptions {
   /// disabled path allocates nothing and leaves the enumeration hot
   /// path untouched.
   bool collect_stats = false;
+
+  /// Request-scoped tracing (see wdsparql/trace.h): when non-null, the
+  /// execution emits parse/check/plan/enumerate and per-wdpf-subtree
+  /// spans into this context, parented under `trace_parent`. The context
+  /// is single-threaded and must outlive the cursor. Null (the default)
+  /// costs one branch per instrumentation site — no clocks, no
+  /// allocation, no atomics.
+  TraceContext* trace = nullptr;
+
+  /// Span id in `trace` to parent this execution's spans under
+  /// (0 = top level of the trace).
+  uint32_t trace_parent = 0;
 
   /// Convenience: a deadline `budget` from now.
   ExecOptions& WithTimeout(std::chrono::steady_clock::duration budget) {

@@ -78,6 +78,35 @@ class Histogram {
   }
   uint64_t bucket(int i) const { return buckets_[i].load(std::memory_order_relaxed); }
 
+  /// Bucket-interpolated quantile (`0 < q < 1`) over a point-in-time
+  /// snapshot of the buckets: finds the bucket holding the q-th ranked
+  /// sample and interpolates linearly between its bounds. Exact to within
+  /// one power-of-two bucket; returns 0 on an empty histogram.
+  double Quantile(double q) const {
+    uint64_t snapshot[kBuckets];
+    uint64_t total = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      snapshot[i] = bucket(i);
+      total += snapshot[i];
+    }
+    if (total == 0) return 0.0;
+    const double rank = q * static_cast<double>(total);
+    uint64_t cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      if (snapshot[i] == 0) continue;
+      if (static_cast<double>(cum + snapshot[i]) >= rank) {
+        if (i == 0) return 0.0;  // bucket 0 holds only the value 0
+        const double lo = static_cast<double>(BucketLowerBound(i));
+        const double hi = static_cast<double>(BucketLowerBound(i + 1));
+        const double within =
+            (rank - static_cast<double>(cum)) / static_cast<double>(snapshot[i]);
+        return lo + (hi - lo) * within;
+      }
+      cum += snapshot[i];
+    }
+    return static_cast<double>(max());
+  }
+
   /// Lower bound of bucket `i` (inclusive): 0, 1, 2, 4, 8, ...
   static uint64_t BucketLowerBound(int i) {
     return i == 0 ? 0 : (uint64_t{1} << (i - 1));
@@ -102,8 +131,9 @@ class Histogram {
 
 /// Output flavours of `MetricsRegistry::Dump` / `Database::DumpMetrics`.
 enum class MetricsFormat {
-  kText,  ///< One line per instrument, sorted by name.
-  kJson,  ///< One JSON object keyed by instrument name.
+  kText,        ///< One line per instrument, sorted by name.
+  kJson,        ///< One JSON object keyed by instrument name.
+  kPrometheus,  ///< Prometheus text exposition format 0.0.4.
 };
 
 /// A named registry of counters, gauges and histograms. Instruments are

@@ -76,6 +76,10 @@ struct OpenOptions {
   /// Delta size (pending inserts + tombstones) that triggers an
   /// automatic merge, as `DatabaseOptions::merge_threshold`.
   std::size_t merge_threshold = 4096;
+
+  /// Flight-recorder span capacity, as `DatabaseOptions::trace_capacity`
+  /// (0 disables tracing).
+  std::size_t trace_capacity = 4096;
 };
 
 namespace storage_format {

@@ -1,0 +1,202 @@
+// Request-scoped tracing: a per-Database flight recorder.
+//
+// The model mirrors the ExecStats discipline from the metrics layer: the
+// execution hot path never touches shared state. A request builds its spans
+// in a request-local TraceContext (plain vector writes, no atomics), and the
+// whole trace is published into the Database's TraceRecorder ring buffer in
+// one shot when the context flushes. Readers (`/debug/trace`, tests) walk the
+// ring lock-free and reconstruct only traces that survived intact — a trace
+// partially overwritten by newer publishes is dropped, never half-reported.
+//
+// Disabled path: a TraceContext with no recorder (or a null TraceContext
+// pointer in ExecOptions) costs one predictable branch per instrumentation
+// site and performs no clock reads, no allocation, and no atomic operations.
+#ifndef WDSPARQL_PUBLIC_TRACE_H_
+#define WDSPARQL_PUBLIC_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wdsparql {
+
+// One fixed-size span record. POD so the ring buffer can publish it as a
+// sequence of relaxed word stores guarded by a per-slot sequence number.
+struct TraceSpan {
+  static constexpr std::size_t kMaxAnnotations = 4;
+
+  std::uint64_t trace_id = 0;
+  std::uint64_t start_ns = 0;     // offset from the recorder's epoch
+  std::uint64_t duration_ns = 0;  // kOpenDuration while the span is open
+  std::uint32_t span_id = 0;      // 1-based within the trace
+  std::uint32_t parent_id = 0;    // 0 = no parent (the trace root)
+  std::uint16_t trace_spans = 0;  // root span only: span count of the flush
+  std::uint16_t annotation_count = 0;
+  char name[20] = {};             // NUL-terminated, silently truncated
+
+  struct Annotation {
+    char key[12] = {};
+    char value[20] = {};
+  };
+  Annotation annotations[kMaxAnnotations];
+
+  static constexpr std::uint64_t kOpenDuration = ~std::uint64_t{0};
+
+  void SetName(const char* n);
+  void Annotate(const char* key, std::string_view value);
+  void Annotate(const char* key, std::uint64_t value);
+};
+
+static_assert(sizeof(TraceSpan) % sizeof(std::uint64_t) == 0,
+              "TraceSpan must be word-granular for the seqlock ring");
+
+// Lock-free multi-producer flight recorder. Fixed capacity (rounded up to a
+// power of two); old spans are overwritten by new publishes. Each slot
+// carries a sequence number derived from its absolute write position, so a
+// reader can detect torn or recycled slots without blocking writers.
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit TraceRecorder(std::size_t capacity_spans = kDefaultCapacity);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  // Fresh trace id; never returns 0.
+  std::uint64_t NewTraceId();
+
+  // Nanoseconds since this recorder was constructed (steady clock).
+  std::uint64_t NowNs() const;
+
+  // Publishes `count` spans contiguously. Called once per trace flush.
+  void Publish(const TraceSpan* spans, std::size_t count);
+
+  // Reconstructs up to `max_traces` most-recent complete traces,
+  // newest first. Each trace's spans are ordered by span id.
+  std::vector<std::vector<TraceSpan>> CollectTraces(
+      std::size_t max_traces) const;
+
+  // {"traces":[{"trace_id":...,"spans":[...]}]}, newest first.
+  std::string DumpJson(std::size_t max_traces) const;
+
+ private:
+  static constexpr std::size_t kSpanWords =
+      sizeof(TraceSpan) / sizeof(std::uint64_t);
+
+  struct Slot {
+    // Even `2 * pos + 2` once the span written at absolute position `pos`
+    // is complete; odd while a writer owns the slot.
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> words[kSpanWords];
+  };
+
+  std::size_t capacity_;  // power of two
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> head_{0};  // next absolute slot position
+  std::atomic<std::uint64_t> next_trace_id_{1};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+// Request-local span builder. Single-threaded; must outlive any Cursor or
+// Apply call it is handed to. All operations are no-ops when constructed
+// without a recorder, so call sites need no null checks beyond holding a
+// possibly-disabled context.
+class TraceContext {
+ public:
+  // Spans beyond this per-trace cap are dropped (the root is annotated
+  // with the drop count). Bounds both request memory and ring pollution.
+  static constexpr std::size_t kMaxSpans = 512;
+
+  TraceContext() = default;
+  explicit TraceContext(TraceRecorder* recorder);
+  TraceContext(TraceRecorder* recorder, std::uint64_t trace_id);
+  ~TraceContext();
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+  TraceContext(TraceContext&& other) noexcept;
+  TraceContext& operator=(TraceContext&& other) noexcept;
+
+  bool enabled() const { return recorder_ != nullptr; }
+  std::uint64_t trace_id() const { return trace_id_; }
+
+  // Span id of the first (root) span, or 0 if none started yet. Layers that
+  // add top-level work to a caller's trace parent to this.
+  std::uint32_t root() const { return spans_.empty() ? 0 : 1; }
+
+  std::uint64_t NowNs() const;
+
+  // Starts a span; returns its id (0 when disabled or over the cap — all
+  // other operations accept 0 as "no span").
+  std::uint32_t StartSpan(const char* name, std::uint32_t parent = 0);
+  void EndSpan(std::uint32_t span);
+
+  // Records an already-measured interval (e.g. parse/plan timers that ran
+  // before the context reached this layer).
+  std::uint32_t AddCompleteSpan(const char* name, std::uint32_t parent,
+                                std::uint64_t start_ns,
+                                std::uint64_t duration_ns);
+
+  void Annotate(std::uint32_t span, const char* key, std::string_view value);
+  void Annotate(std::uint32_t span, const char* key, std::uint64_t value);
+
+  // Ends every open span and publishes the whole trace to the recorder.
+  // Idempotent; runs from the destructor if not called explicitly.
+  void Flush();
+
+  // Spans accumulated so far (open spans have duration kOpenDuration).
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+  // JSON array of the spans accumulated so far; open spans are rendered
+  // with their duration up to now. Usable before Flush() for inline
+  // `?trace=1` responses.
+  std::string SpansJson() const;
+
+ private:
+  TraceRecorder* recorder_ = nullptr;
+  std::uint64_t trace_id_ = 0;
+  std::uint32_t dropped_ = 0;
+  bool flushed_ = false;
+  std::vector<TraceSpan> spans_;
+};
+
+// RAII span: starts on construction (if the context traces), ends on scope
+// exit. `ctx` may be null.
+class ScopedTraceSpan {
+ public:
+  ScopedTraceSpan(TraceContext* ctx, const char* name, std::uint32_t parent = 0)
+      : ctx_(ctx),
+        id_(ctx != nullptr && ctx->enabled() ? ctx->StartSpan(name, parent)
+                                             : 0) {}
+  ~ScopedTraceSpan() {
+    if (id_ != 0) ctx_->EndSpan(id_);
+  }
+
+  ScopedTraceSpan(const ScopedTraceSpan&) = delete;
+  ScopedTraceSpan& operator=(const ScopedTraceSpan&) = delete;
+
+  std::uint32_t id() const { return id_; }
+
+  void Annotate(const char* key, std::string_view value) {
+    if (id_ != 0) ctx_->Annotate(id_, key, value);
+  }
+  void Annotate(const char* key, std::uint64_t value) {
+    if (id_ != 0) ctx_->Annotate(id_, key, value);
+  }
+
+ private:
+  TraceContext* ctx_;
+  std::uint32_t id_;
+};
+
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_PUBLIC_TRACE_H_

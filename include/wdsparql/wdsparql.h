@@ -32,6 +32,7 @@
 #include "wdsparql/status.h"
 #include "wdsparql/storage.h"
 #include "wdsparql/term.h"
+#include "wdsparql/trace.h"
 #include "wdsparql/triple.h"
 #include "wdsparql/write_batch.h"
 

@@ -48,6 +48,9 @@ struct DatabaseImpl {
         options(opts) {
     store.set_merge_threshold(options.merge_threshold);
     store.set_metrics(metrics);
+    if (options.trace_capacity != 0) {
+      trace = std::make_unique<TraceRecorder>(options.trace_capacity);
+    }
   }
 
   /// Crosses the pimpl boundary for the engine_internal free functions
@@ -102,6 +105,10 @@ struct DatabaseImpl {
   /// safely however long their owners live; updated from any thread
   /// (relaxed atomics inside).
   std::shared_ptr<MetricsRegistry> metrics = std::make_shared<MetricsRegistry>();
+  /// The flight-recorder trace ring; null when
+  /// `DatabaseOptions::trace_capacity == 0`. Lock-free, written by
+  /// request-local `TraceContext` flushes from any thread.
+  std::unique_ptr<TraceRecorder> trace;
   mutable RdfGraph graph;        // Hash-indexed row store (naive backend).
   HashTripleSource hash_source;  // TripleSource view over `graph`.
   IndexedStore store;            // Permutation-indexed store (indexed backend).
@@ -190,6 +197,10 @@ struct CursorImpl {
   /// enumerator is released on a finish path (they feed the registry
   /// merge, which may run later than the reset).
   EnumerateStats enum_totals;
+  /// The "enumerate" span opened at `Open` in `exec.trace` (0 when not
+  /// tracing); ended with rows/outcome annotations when the cursor
+  /// finalizes. The TraceContext in `exec` must outlive the cursor.
+  uint32_t enumerate_span = 0;
   /// One-shot finish latch: the registry merge and the JoinStats fold
   /// run exactly once, whichever of exhaustion/Close/destruction comes
   /// first.

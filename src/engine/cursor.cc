@@ -66,6 +66,15 @@ void FinalizeCursorStats(CursorImpl* impl) {
   if (impl->stats != nullptr) {
     metrics.histogram("query.enumerate_ns").Observe(impl->stats->enumerate_ns);
   }
+  if (impl->exec.trace != nullptr && impl->enumerate_span != 0) {
+    TraceContext& trace = *impl->exec.trace;
+    trace.Annotate(impl->enumerate_span, "rows", impl->rows);
+    trace.Annotate(impl->enumerate_span, "candidates",
+                   impl->enum_totals.candidates);
+    trace.Annotate(impl->enumerate_span, "outcome",
+                   CursorStateToString(impl->state));
+    trace.EndSpan(impl->enumerate_span);
+  }
 }
 
 }  // namespace
@@ -118,6 +127,14 @@ bool Cursor::Open() {
           impl_->stats != nullptr ? &impl_->join_stats : nullptr));
   if (impl_->stats != nullptr) {
     impl_->enumerator->SetStatsSink(impl_->stats.get(), stmt.db->pool);
+  }
+  if (impl_->exec.trace != nullptr && impl_->exec.trace->enabled()) {
+    // One span covering the whole enumeration (ended with rows/outcome
+    // annotations at finish), with per-wdpf-subtree child spans emitted
+    // by the enumerator at subtree boundaries — never per row.
+    impl_->enumerate_span =
+        impl_->exec.trace->StartSpan("enumerate", impl_->exec.trace_parent);
+    impl_->enumerator->SetTraceSink(impl_->exec.trace, impl_->enumerate_span);
   }
   stmt.db->metrics->counter("query.cursors_opened").Add(1);
   if (impl_->exec.deadline.has_value() || impl_->exec.cancel != nullptr) {

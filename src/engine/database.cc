@@ -32,7 +32,7 @@ struct ResolvedOp {
 /// failure the error latches, nothing is applied, and the status is
 /// returned — the mutation was never made durable.
 Status ApplyResolvedOps(DatabaseImpl* impl, const std::vector<ResolvedOp>& ops,
-                        ApplyResult* result) {
+                        ApplyResult* result, TraceContext* trace = nullptr) {
   if (result != nullptr) *result = ApplyResult{};
 
   // Net effect: final desired presence per touched triple, in
@@ -68,11 +68,35 @@ Status ApplyResolvedOps(DatabaseImpl* impl, const std::vector<ResolvedOp>& ops,
   impl->metrics->counter("write.commits").Add(1);
   impl->metrics->histogram("write.net_ops").Observe(adds.size() + removes.size());
 
+  // Tracing: a caller-supplied context (the server's per-request trace)
+  // parents the commit under its root span; without one, an enabled
+  // recorder still gets a self-rooted commit trace, so /debug/trace
+  // shows recent write activity even for embedded callers.
+  TraceContext local_trace;
+  if (trace == nullptr && impl->trace != nullptr) {
+    local_trace = TraceContext(impl->trace.get());
+    trace = &local_trace;
+  }
+  uint32_t commit_span = 0;
+  if (trace != nullptr && trace->enabled()) {
+    commit_span = trace->StartSpan("commit", trace->root());
+    trace->Annotate(commit_span, "adds", static_cast<uint64_t>(adds.size()));
+    trace->Annotate(commit_span, "removes",
+                    static_cast<uint64_t>(removes.size()));
+  }
+  struct EndCommitSpan {
+    TraceContext* trace;
+    uint32_t span;
+    ~EndCommitSpan() {
+      if (trace != nullptr) trace->EndSpan(span);
+    }
+  } end_commit{trace, commit_span};
+
   const uint64_t generation_before = impl->store.generation();
-  auto apply_chunk = [impl, result, generation_before](
+  auto apply_chunk = [impl, result, generation_before, trace, commit_span](
                          const std::vector<Triple>& chunk_adds,
                          const std::vector<Triple>& chunk_removes) {
-    impl->store.ApplyBatch(chunk_adds, chunk_removes);
+    impl->store.ApplyBatch(chunk_adds, chunk_removes, trace, commit_span);
     if (impl->graph_hydrated) {
       for (const Triple& t : chunk_adds) impl->graph.Insert(t);
       for (const Triple& t : chunk_removes) impl->graph.Remove(t);
@@ -96,6 +120,15 @@ Status ApplyResolvedOps(DatabaseImpl* impl, const std::vector<ResolvedOp>& ops,
   // suspect and later mutations are refused outright (matching the
   // storage_status() contract) rather than racing a broken device.
   WDSPARQL_RETURN_IF_ERROR(impl->sticky_storage_status());
+
+  // Commit-scoped WAL trace sink: appends below emit wal.append /
+  // wal.fsync spans under the commit span. Detached on every exit path
+  // (the context may die with this call's caller).
+  struct WalTraceGuard {
+    storage::WriteAheadLog* wal;
+    ~WalTraceGuard() { wal->set_trace(nullptr, 0); }
+  } wal_trace_guard{impl->wal.get()};
+  impl->wal->set_trace(trace, commit_span);
 
   // WAL before data: spellings, not ids (ids are intern order and the
   // log outlives this pool; TermPool spelling views are address-stable,
@@ -207,7 +240,8 @@ bool Database::RemoveTriple(std::string_view s, std::string_view p,
   return RemoveTriple(Triple(*sid, *pid, *oid));
 }
 
-Status Database::Apply(WriteBatch&& batch, ApplyResult* result) {
+Status Database::Apply(WriteBatch&& batch, ApplyResult* result,
+                       TraceContext* trace) {
   if (result != nullptr) *result = ApplyResult{};
   // Resolve spellings sequentially: adds intern (so a later remove of a
   // triple this very batch introduces still finds its terms); removes
@@ -231,7 +265,7 @@ Status Database::Apply(WriteBatch&& batch, ApplyResult* result) {
       ops.push_back({Triple(*s, *p, *o), false});
     }
   }
-  Status status = ApplyResolvedOps(impl_.get(), ops, result);
+  Status status = ApplyResolvedOps(impl_.get(), ops, result, trace);
   if (status.ok()) batch.Clear();  // Sink semantics: the batch is consumed.
   return status;
 }
@@ -341,6 +375,13 @@ const RdfGraph& Database::graph() const {
 Status Database::storage_status() const { return impl_->sticky_storage_status(); }
 
 MetricsRegistry& Database::metrics() const { return *impl_->metrics; }
+
+TraceRecorder* Database::trace_recorder() const { return impl_->trace.get(); }
+
+std::string Database::DumpTraces(std::size_t max_traces) const {
+  if (impl_->trace == nullptr) return "{\"traces\":[]}";
+  return impl_->trace->DumpJson(max_traces);
+}
 
 std::string Database::DumpMetrics(MetricsFormat format) const {
   return impl_->metrics->Dump(format);

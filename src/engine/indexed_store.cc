@@ -231,8 +231,16 @@ bool IndexedStore::Erase(const Triple& t) {
 }
 
 void IndexedStore::ApplyBatch(const std::vector<Triple>& adds,
-                              const std::vector<Triple>& removes) {
+                              const std::vector<Triple>& removes,
+                              TraceContext* trace, uint32_t trace_parent) {
   if (adds.empty() && removes.empty()) return;
+  uint32_t build_span = 0;
+  if (trace != nullptr && trace->enabled()) {
+    build_span = trace->StartSpan("delta_build", trace_parent);
+    trace->Annotate(build_span, "adds", static_cast<uint64_t>(adds.size()));
+    trace->Annotate(build_span, "removes",
+                    static_cast<uint64_t>(removes.size()));
+  }
   Timer build_timer;
   PermLess spo_less{OrderOf(Permutation::kSpo)};
 
@@ -338,12 +346,15 @@ void IndexedStore::ApplyBatch(const std::vector<Triple>& adds,
     // as store.compaction_ns.
     delta_build_ns_metric_->Observe(build_timer.ElapsedNanos());
   }
+  if (trace != nullptr) trace->EndSpan(build_span);
   // Exactly one publish per batch: a threshold crossing folds the delta
   // through MergeDelta (which publishes the merged state itself) instead
   // of publishing twice.
   if (merge_threshold_ != 0 && delta_->pending() >= merge_threshold_) {
+    ScopedTraceSpan span(trace, "compact", trace_parent);
     MergeDelta();
   } else {
+    ScopedTraceSpan span(trace, "publish", trace_parent);
     Publish();
   }
 }

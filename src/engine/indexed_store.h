@@ -10,6 +10,7 @@
 #include "rdf/scan.h"
 #include "rdf/triple_set.h"
 #include "wdsparql/metrics.h"
+#include "wdsparql/trace.h"
 
 /// \file
 /// Dictionary-encoded triple store with sorted permutation indexes.
@@ -104,8 +105,12 @@ class IndexedStore final : public TripleSource {
   /// the same step and the merge's publish is the only one. This is the
   /// amortised bulk path that retires the old per-triple loop (and the
   /// empty-database-only `Build` fast path) for ingest.
+  /// A non-null `trace` receives `delta_build` and `publish` (or
+  /// `compact`, when the batch crosses the merge threshold) spans under
+  /// `trace_parent`; writer-side, so no synchronisation is needed.
   void ApplyBatch(const std::vector<Triple>& adds,
-                  const std::vector<Triple>& removes);
+                  const std::vector<Triple>& removes,
+                  TraceContext* trace = nullptr, uint32_t trace_parent = 0);
 
   /// Folds the delta runs and tombstones into fresh base runs with one
   /// linear merge pass per permutation, then publishes. Idempotent;

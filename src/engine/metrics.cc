@@ -6,6 +6,31 @@
 
 namespace wdsparql {
 
+namespace {
+
+// Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted
+// instrument names ("write.wal_fsync_ns") map dots (and anything else
+// illegal) to underscores.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+uint64_t QuantileU64(const Histogram& h, double q) {
+  const double v = h.Quantile(q);
+  return v <= 0.0 ? 0 : static_cast<uint64_t>(v + 0.5);
+}
+
+}  // namespace
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::unique_ptr<Counter>& slot = counters_[name];
@@ -41,7 +66,44 @@ std::string MetricsRegistry::Dump(MetricsFormat format) const {
     }
     for (const auto& [name, h] : histograms_) {
       out << name << " histogram count=" << h->count() << " sum=" << h->sum()
-          << " mean=" << h->mean() << " max=" << h->max() << "\n";
+          << " mean=" << h->mean() << " p50=" << QuantileU64(*h, 0.50)
+          << " p95=" << QuantileU64(*h, 0.95)
+          << " p99=" << QuantileU64(*h, 0.99) << " max=" << h->max() << "\n";
+    }
+    return out.str();
+  }
+  if (format == MetricsFormat::kPrometheus) {
+    // Text exposition format 0.0.4. Histograms render as the standard
+    // cumulative series; with power-of-two buckets, bucket i's inclusive
+    // upper bound is 2^i - 1 (bucket 0 holds only the value 0). Only
+    // populated buckets are emitted (each bucket line is an independent
+    // sample, and the full 64-entry vector is almost entirely zeros).
+    std::ostringstream out;
+    for (const auto& [name, c] : counters_) {
+      const std::string pn = PrometheusName(name);
+      out << "# TYPE " << pn << " counter\n" << pn << " " << c->value() << "\n";
+    }
+    for (const auto& [name, g] : gauges_) {
+      const std::string pn = PrometheusName(name);
+      out << "# TYPE " << pn << " gauge\n" << pn << " " << g->value() << "\n";
+    }
+    for (const auto& [name, h] : histograms_) {
+      const std::string pn = PrometheusName(name);
+      out << "# TYPE " << pn << " histogram\n";
+      uint64_t cum = 0;
+      for (int i = 0; i < Histogram::kBuckets; ++i) {
+        const uint64_t n = h->bucket(i);
+        if (n == 0) continue;
+        cum += n;
+        const uint64_t upper =
+            i == 0 ? 0 : (i >= 64 ? ~uint64_t{0} : (uint64_t{1} << i) - 1);
+        out << pn << "_bucket{le=\"" << upper << "\"} " << cum << "\n";
+      }
+      // Use the bucket total (not count()) for +Inf/_count so the series
+      // stays internally consistent under concurrent Observe calls.
+      out << pn << "_bucket{le=\"+Inf\"} " << cum << "\n";
+      out << pn << "_sum " << h->sum() << "\n";
+      out << pn << "_count " << cum << "\n";
     }
     return out.str();
   }
@@ -65,6 +127,9 @@ std::string MetricsRegistry::Dump(MetricsFormat format) const {
     json.Field("count", h->count());
     json.Field("sum", h->sum());
     json.Field("mean", h->mean());
+    json.Field("p50", QuantileU64(*h, 0.50));
+    json.Field("p95", QuantileU64(*h, 0.95));
+    json.Field("p99", QuantileU64(*h, 0.99));
     json.Field("max", h->max());
     json.BeginArray("buckets");
     // Only populated buckets, as [lower_bound, count] pairs: the full

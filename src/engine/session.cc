@@ -269,6 +269,24 @@ Cursor Statement::ExecuteInternal(const std::vector<std::string>& projection,
     cursor->stats->plan_ns = impl_->plan_ns;
     cursor->stats->backend = BackendToString(impl_->options.backend);
   }
+  if (options.trace != nullptr && options.trace->enabled()) {
+    // The preparation phases ran before this context existed (a
+    // statement is prepared once, executed many times), so they land as
+    // back-dated spans laid end to end just before now.
+    TraceContext& trace = *options.trace;
+    const uint64_t total = impl_->parse_ns + impl_->check_ns + impl_->plan_ns;
+    uint64_t at = trace.NowNs();
+    at = at > total ? at - total : 0;
+    if (impl_->parse_ns != 0) {
+      trace.AddCompleteSpan("parse", options.trace_parent, at, impl_->parse_ns);
+      at += impl_->parse_ns;
+    }
+    if (impl_->check_ns != 0) {
+      trace.AddCompleteSpan("check", options.trace_parent, at, impl_->check_ns);
+      at += impl_->check_ns;
+    }
+    trace.AddCompleteSpan("plan", options.trace_parent, at, impl_->plan_ns);
+  }
   return Cursor(std::move(cursor));
 }
 

@@ -100,8 +100,10 @@ int DialTcp(const std::string& host, uint16_t port, int timeout_ms) {
   return fd;
 }
 
-Status HttpClient::Fetch(std::string_view method, std::string_view target,
-                         std::string_view body, HttpResponse* out) const {
+Status HttpClient::Fetch(
+    std::string_view method, std::string_view target, std::string_view body,
+    HttpResponse* out,
+    const std::map<std::string, std::string>& extra_headers) const {
   int fd = DialTcp(host_, port_, timeout_ms_);
   if (fd < 0) {
     return Status::IoError("connect " + host_ + ":" + std::to_string(port_) +
@@ -111,6 +113,9 @@ Status HttpClient::Fetch(std::string_view method, std::string_view target,
   request.append(method).append(" ").append(target).append(" HTTP/1.1\r\n");
   request += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
   request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    request += name + ": " + value + "\r\n";
+  }
   request += "Connection: close\r\n\r\n";
   request.append(body);
   std::string raw;

@@ -34,9 +34,12 @@ class HttpClient {
       : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
 
   /// Performs one request; fails with `kIoError` when the connection
-  /// cannot be established or dies mid-response.
+  /// cannot be established or dies mid-response. `extra_headers` are
+  /// sent verbatim (e.g. `{"X-Request-Id", "abc"}`).
   Status Fetch(std::string_view method, std::string_view target,
-               std::string_view body, HttpResponse* out) const;
+               std::string_view body, HttpResponse* out,
+               const std::map<std::string, std::string>& extra_headers = {})
+      const;
 
   Status Get(std::string_view target, HttpResponse* out) const {
     return Fetch("GET", target, "", out);

@@ -9,12 +9,14 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 
 #include "util/json.h"
 #include "util/timer.h"
+#include "util/trace.h"
 #include "wdsparql/cursor.h"
 #include "wdsparql/exec_options.h"
 #include "wdsparql/session.h"
@@ -113,6 +115,14 @@ const char* QueryOutcome(const Cursor& cursor) {
   }
 }
 
+/// Milliseconds since the Unix epoch, for access-log timestamps.
+uint64_t WallClockMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
 /// One result row as a JSON array; unbound OPT columns render as null.
 std::string RowJson(const Cursor& cursor) {
   std::string row = "[";
@@ -134,6 +144,7 @@ std::string RowJson(const Cursor& cursor) {
 
 Server::Server(Database* db, const ServerOptions& options)
     : db_(db), options_(options) {
+  log_stream_ = options_.log_stream != nullptr ? options_.log_stream : stderr;
   MetricsRegistry& metrics = db_->metrics();
   requests_ = &metrics.counter("server.requests");
   queries_ = &metrics.counter("server.queries");
@@ -179,6 +190,13 @@ Status Server::Start() {
   socklen_t addr_len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr), &addr_len);
   port_ = ntohs(addr.sin_port);
+
+  // Seed the fallback request-id generator from the wall clock so
+  // generated ids stay distinct across server restarts even when the
+  // flight recorder (whose trace-id counter otherwise supplies ids) is
+  // disabled.
+  request_seq_.store(WallClockMs() * 1'000'003 + 1,
+                     std::memory_order_relaxed);
 
   stopping_ = false;
   running_ = true;
@@ -300,68 +318,133 @@ void Server::HandleConnection(int fd) {
     case HttpParseResult::kTimeout:
       return;  // Nobody is listening for an error page.
     case HttpParseResult::kMalformed:
-      WriteError(fd, 400, "MalformedRequest", "unparseable HTTP request");
+      WriteError(fd, nullptr, 400, "MalformedRequest",
+                 "unparseable HTTP request");
       return;
     case HttpParseResult::kHeadersTooLarge:
-      WriteError(fd, 431, "HeadersTooLarge", "request header block too large");
+      WriteError(fd, nullptr, 431, "HeadersTooLarge",
+                 "request header block too large");
       return;
     case HttpParseResult::kBodyTooLarge:
-      WriteError(fd, 413, "BodyTooLarge",
+      WriteError(fd, nullptr, 413, "BodyTooLarge",
                  "request body exceeds max_body_bytes (" +
                      std::to_string(options_.max_body_bytes) + ")");
       return;
     case HttpParseResult::kUnsupported:
-      WriteError(fd, 411, "LengthRequired",
+      WriteError(fd, nullptr, 411, "LengthRequired",
                  "chunked request bodies are not supported; send Content-Length");
       return;
   }
   requests_->Add(1);
 
-  if (request.path == "/query") {
-    if (request.method != "POST") {
-      WriteError(fd, 405, "MethodNotAllowed", "/query takes POST");
-      return;
-    }
-    HandleQuery(fd, request);
-  } else if (request.path == "/contains") {
-    if (request.method != "POST") {
-      WriteError(fd, 405, "MethodNotAllowed", "/contains takes POST");
-      return;
-    }
-    HandleContains(fd, request);
-  } else if (request.path == "/write") {
-    if (request.method != "POST") {
-      WriteError(fd, 405, "MethodNotAllowed", "/write takes POST");
-      return;
-    }
-    HandleWrite(fd, request);
-  } else if (request.path == "/metrics") {
-    if (request.method != "GET") {
-      WriteError(fd, 405, "MethodNotAllowed", "/metrics takes GET");
-      return;
-    }
-    HandleMetrics(fd);
-  } else if (request.path == "/healthz") {
-    if (request.method != "GET") {
-      WriteError(fd, 405, "MethodNotAllowed", "/healthz takes GET");
-      return;
-    }
-    HandleHealth(fd);
-  } else if (request.path == "/block" && options_.enable_test_endpoints) {
-    HandleBlock(fd);
+  // Request identity: honour a client-supplied X-Request-Id (hashed onto
+  // a trace id when it is not already one), otherwise mint one. The id
+  // is echoed on every response and keys the trace, the access-log line
+  // and the slow-query log together.
+  RequestContext ctx;
+  TraceRecorder* recorder = db_->trace_recorder();
+  uint64_t trace_id;
+  auto id_header = request.headers.find("x-request-id");
+  if (id_header != request.headers.end() && !id_header->second.empty()) {
+    ctx.request_id = id_header->second;
+    trace_id = util::TraceIdFromRequestId(ctx.request_id);
   } else {
-    WriteError(fd, 404, "NotFound", "no such endpoint: " + request.path);
+    trace_id = recorder != nullptr
+                   ? recorder->NewTraceId()
+                   : request_seq_.fetch_add(1, std::memory_order_relaxed) | 1;
+    ctx.request_id = util::FormatTraceId(trace_id);
+  }
+  if (recorder != nullptr) {
+    ctx.trace = TraceContext(recorder, trace_id);
+    ctx.root_span = ctx.trace.StartSpan("request");
+    ctx.trace.Annotate(ctx.root_span, "method", request.method);
+    ctx.trace.Annotate(ctx.root_span, "path", request.path);
+  }
+
+  Timer request_timer;
+  Dispatch(fd, request, ctx);
+  uint64_t duration_ns = request_timer.ElapsedNanos();
+
+  if (ctx.root_span != 0) {
+    ctx.trace.Annotate(ctx.root_span, "status",
+                       static_cast<uint64_t>(ctx.status));
+    ctx.trace.EndSpan(ctx.root_span);
+  }
+  ctx.trace.Flush();
+
+  if (!options_.quiet) {
+    // One structured access-log line per parsed request; status 0 means
+    // the peer disappeared before (or while) a response was written.
+    util::JsonWriter line;
+    line.BeginObject();
+    line.Field("ts_ms", WallClockMs());
+    line.Field("request_id", ctx.request_id);
+    line.Field("method", request.method);
+    line.Field("path", request.path);
+    line.Field("status", static_cast<int64_t>(ctx.status));
+    line.Field("duration_ms",
+               static_cast<double>(duration_ns) / 1e6);
+    line.Field("rows", ctx.rows);
+    line.Field("bytes", ctx.bytes);
+    line.EndObject();
+    LogLine(std::move(line).str());
   }
 }
 
-void Server::HandleQuery(int fd, const HttpRequest& request) {
+void Server::Dispatch(int fd, const HttpRequest& request, RequestContext& ctx) {
+  if (request.path == "/query") {
+    if (request.method != "POST") {
+      WriteError(fd, &ctx, 405, "MethodNotAllowed", "/query takes POST");
+      return;
+    }
+    HandleQuery(fd, request, ctx);
+  } else if (request.path == "/contains") {
+    if (request.method != "POST") {
+      WriteError(fd, &ctx, 405, "MethodNotAllowed", "/contains takes POST");
+      return;
+    }
+    HandleContains(fd, request, ctx);
+  } else if (request.path == "/write") {
+    if (request.method != "POST") {
+      WriteError(fd, &ctx, 405, "MethodNotAllowed", "/write takes POST");
+      return;
+    }
+    HandleWrite(fd, request, ctx);
+  } else if (request.path == "/metrics") {
+    if (request.method != "GET") {
+      WriteError(fd, &ctx, 405, "MethodNotAllowed", "/metrics takes GET");
+      return;
+    }
+    HandleMetrics(fd, request, ctx);
+  } else if (request.path == "/debug/trace") {
+    if (request.method != "GET") {
+      WriteError(fd, &ctx, 405, "MethodNotAllowed", "/debug/trace takes GET");
+      return;
+    }
+    HandleDebugTrace(fd, request, ctx);
+  } else if (request.path == "/healthz") {
+    if (request.method != "GET") {
+      WriteError(fd, &ctx, 405, "MethodNotAllowed", "/healthz takes GET");
+      return;
+    }
+    HandleHealth(fd, ctx);
+  } else if (request.path == "/block" && options_.enable_test_endpoints) {
+    HandleBlock(fd, ctx);
+  } else {
+    WriteError(fd, &ctx, 404, "NotFound", "no such endpoint: " + request.path);
+  }
+}
+
+void Server::HandleQuery(int fd, const HttpRequest& request,
+                         RequestContext& ctx) {
   queries_->Add(1);
+  Timer query_timer;
   uint64_t limit = 0;
   uint64_t deadline_ms = 0;
   if (!UintParam(request, "limit", 0, &limit) ||
       !UintParam(request, "deadline_ms", options_.default_deadline_ms,
                  &deadline_ms)) {
-    WriteError(fd, 400, "InvalidParameter",
+    WriteError(fd, &ctx, 400, "InvalidParameter",
                "limit and deadline_ms must be non-negative integers");
     return;
   }
@@ -376,11 +459,23 @@ void Server::HandleQuery(int fd, const HttpRequest& request) {
     auto it = request.params.find("stats");
     want_stats = it != request.params.end() && it->second == "1";
   }
+  bool want_trace = false;
+  {
+    auto it = request.params.find("trace");
+    want_trace = it != request.params.end() && it->second == "1";
+  }
+  // The slow-query log captures the EXPLAIN tree, so while the log is
+  // armed every query collects stats whether or not it asked to.
+  const bool slow_log = options_.slow_query_ms >= 0;
 
   ExecOptions exec;
   exec.row_limit = limit;
   exec.cancel = MakeCancelToken();
-  exec.collect_stats = want_stats;
+  exec.collect_stats = want_stats || slow_log;
+  if (ctx.trace.enabled()) {
+    exec.trace = &ctx.trace;
+    exec.trace_parent = ctx.root_span;
+  }
   if (deadline_ms != 0) {
     exec.WithTimeout(std::chrono::milliseconds(deadline_ms));
   }
@@ -394,8 +489,8 @@ void Server::HandleQuery(int fd, const HttpRequest& request) {
   if (!stmt.ok()) {
     const QueryDiagnostics& diag = stmt.diagnostics();
     http_errors_->Add(1);
-    WriteHttpResponse(fd, DiagnosticsHttpStatus(diag.code), "application/json",
-                      DiagnosticsJson(diag));
+    WriteResponse(fd, ctx, DiagnosticsHttpStatus(diag.code),
+                  "application/json", DiagnosticsJson(diag));
     return;
   }
   Cursor cursor = stmt.Execute(snapshot, exec);
@@ -407,8 +502,8 @@ void Server::HandleQuery(int fd, const HttpRequest& request) {
   if (!has_row && cursor.state() == Cursor::State::kFailed) {
     const QueryDiagnostics& diag = cursor.diagnostics();
     http_errors_->Add(1);
-    WriteHttpResponse(fd, DiagnosticsHttpStatus(diag.code), "application/json",
-                      DiagnosticsJson(diag));
+    WriteResponse(fd, ctx, DiagnosticsHttpStatus(diag.code),
+                  "application/json", DiagnosticsJson(diag));
     return;
   }
 
@@ -422,8 +517,38 @@ void Server::HandleQuery(int fd, const HttpRequest& request) {
   }
   head += "],\"rows\":[";
 
+  // One JSON line per offending query while the slow-query log is armed:
+  // everything an operator needs to act on the query from the log alone —
+  // the request id (keys the access log and /debug/trace), the pattern,
+  // how it ended, and the captured EXPLAIN tree.
+  auto maybe_log_slow = [&](const char* outcome) {
+    if (!slow_log) return;
+    uint64_t elapsed_ns = query_timer.ElapsedNanos();
+    if (elapsed_ns / 1'000'000 <
+        static_cast<uint64_t>(options_.slow_query_ms)) {
+      return;
+    }
+    std::string line = "{\"slow_query\":true,\"request_id\":\"";
+    line += util::JsonEscape(ctx.request_id);
+    line += "\",\"pattern\":\"";
+    line += util::JsonEscape(std::string_view(request.body).substr(0, 512));
+    line += "\",\"outcome\":\"";
+    line += outcome;
+    line += "\",\"duration_ms\":";
+    line += std::to_string(static_cast<double>(elapsed_ns) / 1e6);
+    line += ",\"rows\":" + std::to_string(cursor.rows());
+    if (cursor.stats() != nullptr) {
+      line += ",\"explain\":" + cursor.stats()->ToJson();
+    }
+    line += "}";
+    LogLine(line);
+  };
+
   ChunkedWriter writer(fd);
-  bool alive = writer.Begin(200, "application/json") && writer.Write(head);
+  bool alive = writer.Begin(200, "application/json",
+                            {{"X-Request-Id", ctx.request_id}}) &&
+               writer.Write(head);
+  ctx.status = 200;
   uint64_t streamed = 0;
   uint32_t probe_every = options_.disconnect_probe_interval == 0
                              ? 1
@@ -437,6 +562,7 @@ void Server::HandleQuery(int fd, const HttpRequest& request) {
     if (alive && streamed % probe_every == 0 && PeerClosed(fd)) alive = false;
     if (alive) has_row = cursor.Next();
   }
+  ctx.rows = streamed;
 
   if (!alive) {
     // The client went away mid-stream. Fire the request's token (the
@@ -446,6 +572,9 @@ void Server::HandleQuery(int fd, const HttpRequest& request) {
     cursor.Close();
     client_disconnects_->Add(1);
     bytes_streamed_->Add(writer.bytes_written());
+    ctx.bytes += writer.bytes_written();
+    ctx.status = 0;  // Nobody received the response.
+    maybe_log_slow("client_disconnect");
     return;
   }
 
@@ -458,12 +587,23 @@ void Server::HandleQuery(int fd, const HttpRequest& request) {
     // execution's own account of itself alongside.
     tail += ",\"stats\":" + cursor.stats()->ToJson();
   }
+  if (want_trace && ctx.trace.enabled()) {
+    // Inline spans after the status trailer. The root `request` span is
+    // still open here (the response itself is part of it) and renders
+    // with its duration so far.
+    tail += ",\"trace\":{\"trace_id\":\"";
+    tail += util::FormatTraceId(ctx.trace.trace_id());
+    tail += "\",\"spans\":" + ctx.trace.SpansJson() + "}";
+  }
   tail += "}";
   if (writer.Write(tail)) writer.End();
   bytes_streamed_->Add(writer.bytes_written());
+  ctx.bytes += writer.bytes_written();
+  maybe_log_slow(QueryOutcome(cursor));
 }
 
-void Server::HandleContains(int fd, const HttpRequest& request) {
+void Server::HandleContains(int fd, const HttpRequest& request,
+                            RequestContext& ctx) {
   queries_->Add(1);
   // Body: line 1 = pattern text, then one "?var value" binding per line.
   std::string_view body = request.body;
@@ -475,8 +615,8 @@ void Server::HandleContains(int fd, const HttpRequest& request) {
   if (!stmt.ok()) {
     const QueryDiagnostics& diag = stmt.diagnostics();
     http_errors_->Add(1);
-    WriteHttpResponse(fd, DiagnosticsHttpStatus(diag.code), "application/json",
-                      DiagnosticsJson(diag));
+    WriteResponse(fd, ctx, DiagnosticsHttpStatus(diag.code),
+                  "application/json", DiagnosticsJson(diag));
     return;
   }
 
@@ -495,7 +635,7 @@ void Server::HandleContains(int fd, const HttpRequest& request) {
     if (line.empty()) continue;
     std::size_t space = line.find(' ');
     if (space == std::string_view::npos) {
-      WriteError(fd, 400, "InvalidBinding",
+      WriteError(fd, &ctx, 400, "InvalidBinding",
                  "binding lines are \"?var value\": " + std::string(line));
       return;
     }
@@ -503,13 +643,13 @@ void Server::HandleContains(int fd, const HttpRequest& request) {
     std::string_view value = line.substr(space + 1);
     while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
     if (var_name.empty() || var_name.front() != '?' || value.empty()) {
-      WriteError(fd, 400, "InvalidBinding",
+      WriteError(fd, &ctx, 400, "InvalidBinding",
                  "binding lines are \"?var value\": " + std::string(line));
       return;
     }
     const std::vector<std::string>& vars = stmt.variables();
     if (std::find(vars.begin(), vars.end(), std::string(var_name)) == vars.end()) {
-      WriteError(fd, 400, "InvalidBinding",
+      WriteError(fd, &ctx, 400, "InvalidBinding",
                  "variable " + std::string(var_name) + " is not in the pattern");
       return;
     }
@@ -521,7 +661,8 @@ void Server::HandleContains(int fd, const HttpRequest& request) {
     std::optional<TermId> var = pool.FindVariable(var_name.substr(1));
     std::optional<TermId> iri = pool.FindIri(value);
     if (!var.has_value()) {
-      WriteError(fd, 500, "Internal", "statement variable missing from pool");
+      WriteError(fd, &ctx, 500, "Internal",
+                 "statement variable missing from pool");
       return;
     }
     if (!iri.has_value()) {
@@ -531,7 +672,7 @@ void Server::HandleContains(int fd, const HttpRequest& request) {
       continue;
     }
     if (!mu.Bind(*var, *iri)) {
-      WriteError(fd, 400, "InvalidBinding",
+      WriteError(fd, &ctx, 400, "InvalidBinding",
                  "conflicting bindings for " + std::string(var_name));
       return;
     }
@@ -542,15 +683,17 @@ void Server::HandleContains(int fd, const HttpRequest& request) {
                           (contains ? "true" : "false") +
                           ",\"generation\":" +
                           std::to_string(snapshot.generation()) + "}";
-  WriteHttpResponse(fd, 200, "application/json", body_json);
+  WriteResponse(fd, ctx, 200, "application/json", body_json);
 }
 
-void Server::HandleWrite(int fd, const HttpRequest& request) {
+void Server::HandleWrite(int fd, const HttpRequest& request,
+                         RequestContext& ctx) {
   writes_->Add(1);
   WriteBatch batch;
   Status parsed = batch.LoadNTriples(request.body);
   if (!parsed.ok()) {
-    WriteError(fd, 400, StatusCodeToString(parsed.code()), parsed.message());
+    WriteError(fd, &ctx, 400, StatusCodeToString(parsed.code()),
+               parsed.message());
     return;
   }
   ApplyResult result;
@@ -560,10 +703,12 @@ void Server::HandleWrite(int fd, const HttpRequest& request) {
     // one after another. Readers (and open /query streams) never wait —
     // they hold pinned views.
     std::lock_guard<std::mutex> lock(write_mutex_);
-    applied = db_->Apply(std::move(batch), &result);
+    applied = db_->Apply(std::move(batch), &result,
+                         ctx.trace.enabled() ? &ctx.trace : nullptr);
   }
   if (!applied.ok()) {
-    WriteError(fd, 500, StatusCodeToString(applied.code()), applied.message());
+    WriteError(fd, &ctx, 500, StatusCodeToString(applied.code()),
+               applied.message());
     return;
   }
   util::JsonWriter json;
@@ -575,30 +720,58 @@ void Server::HandleWrite(int fd, const HttpRequest& request) {
   json.Field("publishes", result.publishes);
   json.Field("generation", db_->generation());
   json.EndObject();
-  WriteHttpResponse(fd, 200, "application/json", std::move(json).str());
+  WriteResponse(fd, ctx, 200, "application/json", std::move(json).str());
 }
 
-void Server::HandleMetrics(int fd) {
-  WriteHttpResponse(fd, 200, "application/json",
-                    db_->DumpMetrics(MetricsFormat::kJson));
+void Server::HandleMetrics(int fd, const HttpRequest& request,
+                           RequestContext& ctx) {
+  auto it = request.params.find("format");
+  std::string format = it == request.params.end() ? "json" : it->second;
+  if (format == "prometheus") {
+    WriteResponse(fd, ctx, 200, "text/plain; version=0.0.4; charset=utf-8",
+                  db_->DumpMetrics(MetricsFormat::kPrometheus));
+  } else if (format == "text") {
+    WriteResponse(fd, ctx, 200, "text/plain; charset=utf-8",
+                  db_->DumpMetrics(MetricsFormat::kText));
+  } else if (format == "json") {
+    WriteResponse(fd, ctx, 200, "application/json",
+                  db_->DumpMetrics(MetricsFormat::kJson));
+  } else {
+    WriteError(fd, &ctx, 400, "InvalidParameter",
+               "format must be json, text or prometheus");
+  }
 }
 
-void Server::HandleHealth(int fd) {
+void Server::HandleDebugTrace(int fd, const HttpRequest& request,
+                              RequestContext& ctx) {
+  uint64_t n = 0;
+  if (!UintParam(request, "n", 16, &n) || n == 0) {
+    WriteError(fd, &ctx, 400, "InvalidParameter",
+               "n must be a positive integer");
+    return;
+  }
+  // The recorder holds a bounded window anyway; clamping keeps one
+  // debug poll from building an arbitrarily large response.
+  if (n > 256) n = 256;
+  WriteResponse(fd, ctx, 200, "application/json", db_->DumpTraces(n));
+}
+
+void Server::HandleHealth(int fd, RequestContext& ctx) {
   Status storage = db_->storage_status();
   if (storage.ok()) {
     std::string body = "{\"status\":\"ok\",\"triples\":" +
                        std::to_string(db_->size()) +
                        ",\"generation\":" + std::to_string(db_->generation()) +
                        "}";
-    WriteHttpResponse(fd, 200, "application/json", body);
+    WriteResponse(fd, ctx, 200, "application/json", body);
   } else {
-    WriteHttpResponse(fd, 503, "application/json",
-                      ErrorJson(StatusCodeToString(storage.code()),
-                                storage.message()));
+    WriteResponse(fd, ctx, 503, "application/json",
+                  ErrorJson(StatusCodeToString(storage.code()),
+                            storage.message()));
   }
 }
 
-void Server::HandleBlock(int fd) {
+void Server::HandleBlock(int fd, RequestContext& ctx) {
   // Test-only: park this worker until the test (or a drain) releases
   // it. Gives tests a deterministic way to fill the pool and the
   // admission queue.
@@ -608,13 +781,36 @@ void Server::HandleBlock(int fd) {
       return unblocked_ || stopping_.load(std::memory_order_relaxed);
     });
   }
-  WriteHttpResponse(fd, 200, "application/json", "{\"status\":\"unblocked\"}");
+  WriteResponse(fd, ctx, 200, "application/json", "{\"status\":\"unblocked\"}");
 }
 
-void Server::WriteError(int fd, int status, const std::string& code,
-                        const std::string& message) {
+void Server::WriteResponse(int fd, RequestContext& ctx, int status,
+                           std::string_view content_type,
+                           std::string_view body,
+                           std::map<std::string, std::string> extra_headers) {
+  extra_headers["X-Request-Id"] = ctx.request_id;
+  uint64_t bytes = 0;
+  WriteHttpResponse(fd, status, content_type, body, extra_headers, &bytes);
+  ctx.status = status;
+  ctx.bytes += bytes;
+}
+
+void Server::WriteError(int fd, RequestContext* ctx, int status,
+                        const std::string& code, const std::string& message) {
   if (status >= 400) http_errors_->Add(1);
-  WriteHttpResponse(fd, status, "application/json", ErrorJson(code, message));
+  if (ctx != nullptr) {
+    WriteResponse(fd, *ctx, status, "application/json",
+                  ErrorJson(code, message));
+  } else {
+    WriteHttpResponse(fd, status, "application/json", ErrorJson(code, message));
+  }
+}
+
+void Server::LogLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  std::fwrite(line.data(), 1, line.size(), log_stream_);
+  std::fputc('\n', log_stream_);
+  std::fflush(log_stream_);
 }
 
 }  // namespace server

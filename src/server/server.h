@@ -4,9 +4,12 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -30,8 +33,21 @@
 ///   POST /contains  wdEVAL membership: line 1 = pattern, then one
 ///                   "?var value" binding per line; snapshot-bound.
 ///   POST /write     N-Triples body applied as ONE WriteBatch.
-///   GET  /metrics   `Database::DumpMetrics(kJson)` verbatim.
+///   GET  /metrics   `Database::DumpMetrics` — JSON by default,
+///                   Prometheus text exposition with `?format=prometheus`.
 ///   GET  /healthz   liveness + triple count + storage health.
+///   GET  /debug/trace  the flight recorder's most recent complete
+///                   traces as JSON (`?n=K`, default 16).
+///
+/// Request identity and tracing: every request gets a request id —
+/// honoured from an `X-Request-Id` header or generated — echoed back in
+/// the response headers. When the database's flight recorder is enabled
+/// the server opens a root `request` span per request; query execution
+/// (parse/plan/enumerate/subtree) and commits attach below it, and
+/// `?trace=1` on /query additionally inlines the spans after the status
+/// trailer. A structured access-log line per request (and a slow-query
+/// log line with the captured EXPLAIN, when `slow_query_ms` is set)
+/// goes to `log_stream`.
 ///
 /// Robustness model:
 ///  * A fixed worker pool (`num_workers`) handles requests; accepted
@@ -92,6 +108,33 @@ struct ServerOptions {
   /// tests can fill the pool and the admission queue deterministically.
   /// Never enable in production builds of the tool.
   bool enable_test_endpoints = false;
+
+  /// Slow-query log threshold: a /query taking at least this many
+  /// milliseconds end-to-end writes one JSON line (request id, pattern,
+  /// outcome, duration, rows, and the EXPLAIN tree — `collect_stats` is
+  /// forced on /query while enabled so the EXPLAIN is always captured).
+  /// 0 logs every query; negative (the default) disables the log.
+  int64_t slow_query_ms = -1;
+
+  /// Suppresses the per-request access log (the slow-query log, if
+  /// enabled, still writes).
+  bool quiet = false;
+
+  /// Destination of the access and slow-query logs; null means stderr.
+  std::FILE* log_stream = nullptr;
+};
+
+/// Per-request state threaded through the handlers: the request id
+/// (honoured from `X-Request-Id` or generated, echoed on every
+/// response), the trace context writing into the database's flight
+/// recorder, and the response facts the access log reports.
+struct RequestContext {
+  std::string request_id;
+  TraceContext trace;      ///< Disabled (null recorder) when tracing is off.
+  uint32_t root_span = 0;  ///< The root `request` span; 0 when disabled.
+  int status = 0;          ///< HTTP status written; 0 = none (peer vanished).
+  uint64_t rows = 0;       ///< Result rows streamed (/query only).
+  uint64_t bytes = 0;      ///< Response payload bytes written.
 };
 
 /// The HTTP server. Construct over a database, `Start`, eventually
@@ -126,16 +169,29 @@ class Server {
   void AcceptLoop();
   void WorkerLoop();
   void HandleConnection(int fd);
-  void HandleQuery(int fd, const HttpRequest& request);
-  void HandleContains(int fd, const HttpRequest& request);
-  void HandleWrite(int fd, const HttpRequest& request);
-  void HandleMetrics(int fd);
-  void HandleHealth(int fd);
-  void HandleBlock(int fd);
+  void Dispatch(int fd, const HttpRequest& request, RequestContext& ctx);
+  void HandleQuery(int fd, const HttpRequest& request, RequestContext& ctx);
+  void HandleContains(int fd, const HttpRequest& request, RequestContext& ctx);
+  void HandleWrite(int fd, const HttpRequest& request, RequestContext& ctx);
+  void HandleMetrics(int fd, const HttpRequest& request, RequestContext& ctx);
+  void HandleDebugTrace(int fd, const HttpRequest& request,
+                        RequestContext& ctx);
+  void HandleHealth(int fd, RequestContext& ctx);
+  void HandleBlock(int fd, RequestContext& ctx);
 
-  /// Writes a `{"error": ...}` response and counts it.
-  void WriteError(int fd, int status, const std::string& code,
-                  const std::string& message);
+  /// Writes one whole response with the request id echoed and records
+  /// the status / payload size on `ctx` for the access log.
+  void WriteResponse(int fd, RequestContext& ctx, int status,
+                     std::string_view content_type, std::string_view body,
+                     std::map<std::string, std::string> extra_headers = {});
+
+  /// Writes a `{"error": ...}` response and counts it. `ctx` may be null
+  /// for errors raised before a request context exists (parse failures).
+  void WriteError(int fd, RequestContext* ctx, int status,
+                  const std::string& code, const std::string& message);
+
+  /// Appends one line to the access / slow-query log (serialised).
+  void LogLine(const std::string& line);
 
   Database* db_;
   ServerOptions options_;
@@ -162,6 +218,16 @@ class Server {
   // The engine is single-writer: /write commits (and nothing else in
   // the server) serialise here.
   std::mutex write_mutex_;
+
+  // Access / slow-query log sink (options_.log_stream or stderr) and the
+  // mutex keeping concurrent workers' lines whole.
+  std::mutex log_mutex_;
+  std::FILE* log_stream_ = nullptr;
+
+  // Fallback request-id generator for servers whose database runs with
+  // the flight recorder disabled (seeded from the wall clock at Start so
+  // ids stay distinct across restarts).
+  std::atomic<uint64_t> request_seq_{1};
 
   // Cached instrument pointers (stable addresses for the registry's
   // lifetime; see wdsparql/metrics.h).

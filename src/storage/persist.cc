@@ -32,6 +32,7 @@ void RecordSnapshotBytes(MetricsRegistry* metrics, const std::string& path) {
 Result<Database> Database::Open(const std::string& path, const OpenOptions& options) {
   DatabaseOptions db_options;
   db_options.merge_threshold = options.merge_threshold;
+  db_options.trace_capacity = options.trace_capacity;
   Database db(db_options);
   DatabaseImpl* impl = &DatabaseImpl::Get(db);
 
@@ -145,14 +146,27 @@ Status Database::Checkpoint() {
         "Checkpoint requires a database opened with Database::Open");
   }
   Timer checkpoint_timer;
-  if (impl_->store.delta_size() > 0) Compact();
-  WDSPARQL_RETURN_IF_ERROR(
-      storage::WriteSnapshot(impl_->snapshot_path, *impl_->pool, impl_->store));
+  // Checkpoints are rare, writer-side events: give each one its own
+  // self-rooted trace so /debug/trace answers "what did that latency
+  // spike pay for" after the fact.
+  TraceContext trace(impl_->trace.get());
+  const uint32_t checkpoint_span = trace.StartSpan("checkpoint");
+  {
+    ScopedTraceSpan span(&trace, "compact", checkpoint_span);
+    if (impl_->store.delta_size() > 0) Compact();
+  }
+  {
+    ScopedTraceSpan span(&trace, "write_snapshot", checkpoint_span);
+    WDSPARQL_RETURN_IF_ERROR(storage::WriteSnapshot(
+        impl_->snapshot_path, *impl_->pool, impl_->store));
+  }
   // Only after the snapshot rename is durable may the log forget its
   // records; the reverse order could lose acknowledged mutations.
   if (impl_->wal != nullptr) {
+    ScopedTraceSpan span(&trace, "wal.truncate", checkpoint_span);
     WDSPARQL_RETURN_IF_ERROR(impl_->wal->Truncate());
   }
+  trace.EndSpan(checkpoint_span);
   // The snapshot now carries every applied mutation and the log is
   // empty, so a previously latched append failure no longer describes
   // the database: mutations may resume.

@@ -119,12 +119,16 @@ WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
   fsync_ns_metric_ = other.fsync_ns_metric_;
   bytes_metric_ = other.bytes_metric_;
   groups_metric_ = other.groups_metric_;
+  trace_ = other.trace_;
+  trace_parent_ = other.trace_parent_;
   other.fd_ = -1;
   other.append_offset_ = sizeof(WalHeader);
   other.append_ns_metric_ = nullptr;
   other.fsync_ns_metric_ = nullptr;
   other.bytes_metric_ = nullptr;
   other.groups_metric_ = nullptr;
+  other.trace_ = nullptr;
+  other.trace_parent_ = 0;
   return *this;
 }
 
@@ -346,17 +350,30 @@ Status WriteAheadLog::WriteScratchFrame() {
   // stores happen only with a registry attached.)
   const bool timed = append_ns_metric_ != nullptr;
   Timer append_timer;
-  ssize_t written = ::pwrite(fd_, scratch_.data(), scratch_.size(),
-                             static_cast<off_t>(append_offset_));
-  if (written != static_cast<ssize_t>(scratch_.size())) {
-    return Status::IoError("append to " + path_ + ": " + std::strerror(errno));
+  Status append_status = Status::OK();
+  {
+    ScopedTraceSpan span(trace_, "wal.append", trace_parent_);
+    span.Annotate("bytes", static_cast<uint64_t>(scratch_.size()));
+    ssize_t written = ::pwrite(fd_, scratch_.data(), scratch_.size(),
+                               static_cast<off_t>(append_offset_));
+    if (written != static_cast<ssize_t>(scratch_.size())) {
+      append_status =
+          Status::IoError("append to " + path_ + ": " + std::strerror(errno));
+    }
   }
+  if (!append_status.ok()) return append_status;
   if (timed) append_ns_metric_->Observe(append_timer.ElapsedNanos());
   if (sync_ == WalSyncMode::kEveryRecord) {
     Timer fsync_timer;
-    if (::fsync(fd_) != 0) {
-      return Status::IoError("fsync " + path_ + ": " + std::strerror(errno));
+    Status fsync_status = Status::OK();
+    {
+      ScopedTraceSpan span(trace_, "wal.fsync", trace_parent_);
+      if (::fsync(fd_) != 0) {
+        fsync_status =
+            Status::IoError("fsync " + path_ + ": " + std::strerror(errno));
+      }
     }
+    if (!fsync_status.ok()) return fsync_status;
     if (timed) fsync_ns_metric_->Observe(fsync_timer.ElapsedNanos());
   }
   if (timed) {

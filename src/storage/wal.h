@@ -12,6 +12,7 @@
 #include "util/status.h"
 #include "wdsparql/metrics.h"
 #include "wdsparql/storage.h"
+#include "wdsparql/trace.h"
 
 /// \file
 /// The write-ahead log.
@@ -89,6 +90,15 @@ class WriteAheadLog {
   /// pointers are cached so the append path skips the name lookup.
   void set_metrics(std::shared_ptr<MetricsRegistry> metrics);
 
+  /// Installs a request-scoped trace sink for the duration of a commit:
+  /// subsequent appends emit `wal.append` / `wal.fsync` spans into `ctx`
+  /// under `parent`. Null detaches. Writer-side only (the WAL has a
+  /// single writer); the caller detaches before `ctx` dies.
+  void set_trace(TraceContext* ctx, uint32_t parent) {
+    trace_ = ctx;
+    trace_parent_ = parent;
+  }
+
   /// Appends one framed record; with `WalSyncMode::kEveryRecord` the
   /// frame is fsynced before returning. The record is durable (per the
   /// sync mode) when this returns OK — callers must not mutate the
@@ -135,6 +145,10 @@ class WriteAheadLog {
   Histogram* fsync_ns_metric_ = nullptr;
   Counter* bytes_metric_ = nullptr;
   Counter* groups_metric_ = nullptr;
+
+  // Commit-scoped trace sink (null when detached); see set_trace.
+  TraceContext* trace_ = nullptr;
+  uint32_t trace_parent_ = 0;
 };
 
 }  // namespace storage

@@ -1,0 +1,373 @@
+#include "wdsparql/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "util/json.h"
+#include "util/trace.h"
+
+namespace wdsparql {
+
+namespace {
+
+void CopyBounded(char* dst, std::size_t dst_size, std::string_view src) {
+  const std::size_t n = std::min(src.size(), dst_size - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+std::size_t RoundUpPow2(std::size_t v) {
+  std::size_t p = 16;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// TraceSpan
+// ---------------------------------------------------------------------
+
+void TraceSpan::SetName(const char* n) {
+  CopyBounded(name, sizeof(name), n != nullptr ? std::string_view(n)
+                                               : std::string_view());
+}
+
+void TraceSpan::Annotate(const char* key, std::string_view value) {
+  if (annotation_count >= kMaxAnnotations) return;
+  Annotation& a = annotations[annotation_count++];
+  CopyBounded(a.key, sizeof(a.key),
+              key != nullptr ? std::string_view(key) : std::string_view());
+  CopyBounded(a.value, sizeof(a.value), value);
+}
+
+void TraceSpan::Annotate(const char* key, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  Annotate(key, std::string_view(buf));
+}
+
+// ---------------------------------------------------------------------
+// TraceRecorder
+// ---------------------------------------------------------------------
+
+TraceRecorder::TraceRecorder(std::size_t capacity_spans)
+    : capacity_(RoundUpPow2(capacity_spans == 0 ? 1 : capacity_spans)),
+      slots_(new Slot[capacity_]),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t TraceRecorder::NewTraceId() {
+  return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceRecorder::NowNs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void TraceRecorder::Publish(const TraceSpan* spans, std::size_t count) {
+  if (count == 0) return;
+  if (count > capacity_) {
+    // A trace larger than the whole ring can never be read back complete;
+    // keep the newest slice so the root (first span) is what gets dropped
+    // and the reader's completeness check discards it cleanly.
+    spans += count - capacity_;
+    count = capacity_;
+  }
+  const std::uint64_t base = head_.fetch_add(count, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t pos = base + i;
+    Slot& slot = slots_[pos & (capacity_ - 1)];
+    // Seqlock writer: mark the slot busy, fence so the payload stores
+    // cannot become visible before the busy mark, write, then mark
+    // complete with a sequence derived from the absolute position (a
+    // reader expecting position `pos` rejects recycled slots outright).
+    slot.seq.store(2 * pos + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    std::uint64_t words[kSpanWords];
+    std::memcpy(words, &spans[i], sizeof(TraceSpan));
+    for (std::size_t w = 0; w < kSpanWords; ++w) {
+      slot.words[w].store(words[w], std::memory_order_relaxed);
+    }
+    slot.seq.store(2 * pos + 2, std::memory_order_release);
+  }
+}
+
+std::vector<std::vector<TraceSpan>> TraceRecorder::CollectTraces(
+    std::size_t max_traces) const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t begin = head > capacity_ ? head - capacity_ : 0;
+
+  struct Group {
+    std::vector<TraceSpan> spans;
+    std::uint64_t newest_pos = 0;
+  };
+  std::map<std::uint64_t, Group> groups;
+
+  for (std::uint64_t pos = begin; pos < head; ++pos) {
+    const Slot& slot = slots_[pos & (capacity_ - 1)];
+    const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 != 2 * pos + 2) continue;  // busy, recycled, or never written
+    std::uint64_t words[kSpanWords];
+    for (std::size_t w = 0; w < kSpanWords; ++w) {
+      words[w] = slot.words[w].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != s1) continue;  // torn
+    TraceSpan span;
+    std::memcpy(&span, words, sizeof(TraceSpan));
+    if (span.trace_id == 0) continue;
+    Group& g = groups[span.trace_id];
+    g.spans.push_back(span);
+    g.newest_pos = std::max(g.newest_pos, pos);
+  }
+
+  // A trace is reportable only if its root survived and every span the
+  // flush recorded is still present (partially-overwritten traces drop).
+  std::vector<std::pair<std::uint64_t, Group*>> complete;
+  for (auto& [id, g] : groups) {
+    (void)id;
+    std::sort(g.spans.begin(), g.spans.end(),
+              [](const TraceSpan& a, const TraceSpan& b) {
+                return a.span_id < b.span_id;
+              });
+    const TraceSpan& root = g.spans.front();
+    if (root.span_id != 1 || root.parent_id != 0) continue;
+    if (root.trace_spans == 0 || g.spans.size() != root.trace_spans) continue;
+    bool distinct = true;
+    for (std::size_t i = 1; i < g.spans.size(); ++i) {
+      if (g.spans[i].span_id == g.spans[i - 1].span_id) distinct = false;
+    }
+    if (!distinct) continue;
+    complete.emplace_back(g.newest_pos, &g);
+  }
+  std::sort(complete.begin(), complete.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<std::vector<TraceSpan>> out;
+  out.reserve(std::min(max_traces, complete.size()));
+  for (auto& [pos, g] : complete) {
+    (void)pos;
+    if (out.size() >= max_traces) break;
+    out.push_back(std::move(g->spans));
+  }
+  return out;
+}
+
+std::string TraceRecorder::DumpJson(std::size_t max_traces) const {
+  const std::vector<std::vector<TraceSpan>> traces = CollectTraces(max_traces);
+  const std::uint64_t now = NowNs();
+  util::JsonWriter w;
+  w.BeginObject();
+  w.BeginArray("traces");
+  for (const std::vector<TraceSpan>& trace : traces) {
+    w.BeginObject();
+    w.Field("trace_id", util::FormatTraceId(trace.front().trace_id));
+    w.BeginArray("spans");
+    for (const TraceSpan& span : trace) {
+      util::AppendSpanJson(w, span, now);
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).str();
+}
+
+// ---------------------------------------------------------------------
+// TraceContext
+// ---------------------------------------------------------------------
+
+TraceContext::TraceContext(TraceRecorder* recorder)
+    : recorder_(recorder),
+      trace_id_(recorder != nullptr ? recorder->NewTraceId() : 0) {}
+
+TraceContext::TraceContext(TraceRecorder* recorder, std::uint64_t trace_id)
+    : recorder_(recorder), trace_id_(trace_id) {
+  if (recorder_ != nullptr && trace_id_ == 0) {
+    trace_id_ = recorder_->NewTraceId();
+  }
+}
+
+TraceContext::~TraceContext() { Flush(); }
+
+TraceContext::TraceContext(TraceContext&& other) noexcept
+    : recorder_(other.recorder_),
+      trace_id_(other.trace_id_),
+      dropped_(other.dropped_),
+      flushed_(other.flushed_),
+      spans_(std::move(other.spans_)) {
+  other.recorder_ = nullptr;
+  other.spans_.clear();
+}
+
+TraceContext& TraceContext::operator=(TraceContext&& other) noexcept {
+  if (this != &other) {
+    Flush();
+    recorder_ = other.recorder_;
+    trace_id_ = other.trace_id_;
+    dropped_ = other.dropped_;
+    flushed_ = other.flushed_;
+    spans_ = std::move(other.spans_);
+    other.recorder_ = nullptr;
+    other.spans_.clear();
+  }
+  return *this;
+}
+
+std::uint64_t TraceContext::NowNs() const {
+  return recorder_ != nullptr ? recorder_->NowNs() : 0;
+}
+
+std::uint32_t TraceContext::StartSpan(const char* name, std::uint32_t parent) {
+  if (recorder_ == nullptr) return 0;
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_;
+    return 0;
+  }
+  if (spans_.empty()) spans_.reserve(16);
+  spans_.emplace_back();
+  TraceSpan& span = spans_.back();
+  span.trace_id = trace_id_;
+  span.span_id = static_cast<std::uint32_t>(spans_.size());
+  span.parent_id = parent;
+  span.start_ns = recorder_->NowNs();
+  span.duration_ns = TraceSpan::kOpenDuration;
+  span.SetName(name);
+  return span.span_id;
+}
+
+void TraceContext::EndSpan(std::uint32_t span) {
+  if (span == 0 || recorder_ == nullptr || span > spans_.size()) return;
+  TraceSpan& s = spans_[span - 1];
+  if (s.duration_ns == TraceSpan::kOpenDuration) {
+    const std::uint64_t now = recorder_->NowNs();
+    s.duration_ns = now > s.start_ns ? now - s.start_ns : 0;
+  }
+}
+
+std::uint32_t TraceContext::AddCompleteSpan(const char* name,
+                                            std::uint32_t parent,
+                                            std::uint64_t start_ns,
+                                            std::uint64_t duration_ns) {
+  const std::uint32_t id = StartSpan(name, parent);
+  if (id == 0) return 0;
+  TraceSpan& span = spans_[id - 1];
+  span.start_ns = start_ns;
+  span.duration_ns = duration_ns;
+  return id;
+}
+
+void TraceContext::Annotate(std::uint32_t span, const char* key,
+                            std::string_view value) {
+  if (span == 0 || recorder_ == nullptr || span > spans_.size()) return;
+  spans_[span - 1].Annotate(key, value);
+}
+
+void TraceContext::Annotate(std::uint32_t span, const char* key,
+                            std::uint64_t value) {
+  if (span == 0 || recorder_ == nullptr || span > spans_.size()) return;
+  spans_[span - 1].Annotate(key, value);
+}
+
+void TraceContext::Flush() {
+  if (recorder_ == nullptr || flushed_) return;
+  flushed_ = true;
+  for (std::uint32_t id = 1; id <= spans_.size(); ++id) {
+    EndSpan(id);
+  }
+  if (spans_.empty()) return;
+  if (dropped_ != 0) {
+    spans_.front().Annotate("dropped", static_cast<std::uint64_t>(dropped_));
+  }
+  spans_.front().trace_spans = static_cast<std::uint16_t>(spans_.size());
+  recorder_->Publish(spans_.data(), spans_.size());
+}
+
+std::string TraceContext::SpansJson() const {
+  const std::uint64_t now = NowNs();
+  util::JsonWriter w;
+  w.BeginArray();
+  for (const TraceSpan& span : spans_) {
+    util::AppendSpanJson(w, span, now);
+  }
+  w.EndArray();
+  return std::move(w).str();
+}
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+namespace util {
+
+void AppendSpanJson(JsonWriter& w, const TraceSpan& span,
+                    std::uint64_t now_ns) {
+  w.BeginObject();
+  w.Field("id", static_cast<std::uint64_t>(span.span_id));
+  w.Field("parent", static_cast<std::uint64_t>(span.parent_id));
+  w.Field("name", span.name);
+  w.Field("start_ns", span.start_ns);
+  if (span.duration_ns == TraceSpan::kOpenDuration) {
+    w.Field("duration_ns",
+            now_ns > span.start_ns ? now_ns - span.start_ns : 0);
+    w.Field("open", "true");
+  } else {
+    w.Field("duration_ns", span.duration_ns);
+  }
+  if (span.annotation_count != 0) {
+    w.BeginObject("annotations");
+    const std::uint16_t n =
+        std::min<std::uint16_t>(span.annotation_count,
+                                TraceSpan::kMaxAnnotations);
+    for (std::uint16_t i = 0; i < n; ++i) {
+      w.Field(span.annotations[i].key, span.annotations[i].value);
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+}
+
+std::string FormatTraceId(std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, id);
+  return std::string(buf);
+}
+
+std::uint64_t TraceIdFromRequestId(std::string_view request_id) {
+  if (!request_id.empty() && request_id.size() <= 16) {
+    std::uint64_t value = 0;
+    bool all_hex = true;
+    for (char c : request_id) {
+      int digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = c - 'a' + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = c - 'A' + 10;
+      } else {
+        all_hex = false;
+        break;
+      }
+      value = (value << 4) | static_cast<std::uint64_t>(digit);
+    }
+    if (all_hex) return value != 0 ? value : 1;
+  }
+  // FNV-1a 64-bit over the raw bytes.
+  std::uint64_t hash = 14695981039346656037ull;
+  for (char c : request_id) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash != 0 ? hash : 1;
+}
+
+}  // namespace util
+}  // namespace wdsparql

@@ -1,0 +1,34 @@
+#ifndef WDSPARQL_UTIL_TRACE_H_
+#define WDSPARQL_UTIL_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+#include "wdsparql/trace.h"
+
+/// \file
+/// Internal helpers shared by the trace implementation, the HTTP server
+/// (request-id handling, inline `?trace=1` rendering) and the tools.
+
+namespace wdsparql {
+namespace util {
+
+/// Renders one span as a JSON object into `w`. A still-open span
+/// (duration == TraceSpan::kOpenDuration) is rendered with its duration up
+/// to `now_ns` and an `"open":true` marker.
+void AppendSpanJson(JsonWriter& w, const TraceSpan& span, std::uint64_t now_ns);
+
+/// Fixed-width lowercase hex rendering of a trace id (the wire form of a
+/// generated X-Request-Id).
+std::string FormatTraceId(std::uint64_t id);
+
+/// Maps a client-supplied X-Request-Id to a trace id: 1-16 hex digits parse
+/// directly, anything else is FNV-1a hashed. Never returns 0.
+std::uint64_t TraceIdFromRequestId(std::string_view request_id);
+
+}  // namespace util
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_UTIL_TRACE_H_

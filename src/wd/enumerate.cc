@@ -34,6 +34,8 @@ SolutionEnumerator::SolutionEnumerator(const PatternForest& forest,
                                        EnumerationHooks hooks)
     : forest_(&forest), hooks_(std::move(hooks)) {}
 
+SolutionEnumerator::~SolutionEnumerator() { EndSubtreeSpan(); }
+
 ExecStats::Subpattern* SolutionEnumerator::CurSubpattern() {
   return sink_has_cur_ ? &sink_->subpatterns.back() : nullptr;
 }
@@ -56,7 +58,10 @@ bool SolutionEnumerator::AdvanceSubtree() {
       // list; holding it lets the machine suspend between any two
       // candidates.
       std::size_t next = tree_idx_ + 1;  // kNoTree wraps to 0.
-      if (next >= forest_->trees.size()) return false;
+      if (next >= forest_->trees.size()) {
+        EndSubtreeSpan();
+        return false;
+      }
       tree_idx_ = next;
       subtrees_.clear();
       EnumerateSubtrees(forest_->trees[tree_idx_],
@@ -69,6 +74,18 @@ bool SolutionEnumerator::AdvanceSubtree() {
     children_ = SubtreeChildren(subtree);
     buffer_.clear();
     buffer_pos_ = 0;
+    // One span per wdpf subtree, covering its whole candidate batch and
+    // the maximality work until the next boundary — this is the subtree-
+    // granular "where did the time go" answer; per-candidate cost stays
+    // out of the trace entirely.
+    if (trace_ != nullptr) {
+      EndSubtreeSpan();
+      subtree_span_ = trace_->StartSpan("subtree", trace_parent_);
+      trace_->Annotate(subtree_span_, "tree",
+                       static_cast<uint64_t>(tree_idx_));
+      trace_->Annotate(subtree_span_, "subtree",
+                       static_cast<uint64_t>(subtree_idx_ - 1));
+    }
     hooks_.candidates(pattern_, [this](const VarAssignment& assignment) {
       // The interrupt check sits inside candidate generation, so even a
       // subtree with a huge match set stops within check_interval steps
@@ -82,7 +99,14 @@ bool SolutionEnumerator::AdvanceSubtree() {
       buffer_.push_back(std::move(mu));
       return true;
     });
-    if (interrupted_) return false;  // Partial buffer: never delivered.
+    if (interrupted_) {
+      EndSubtreeSpan();
+      return false;  // Partial buffer: never delivered.
+    }
+    if (trace_ != nullptr) {
+      trace_->Annotate(subtree_span_, "candidates",
+                       static_cast<uint64_t>(buffer_.size()));
+    }
     if (sink_ != nullptr) {
       sink_has_cur_ = !buffer_.empty();
       if (buffer_.empty()) {
@@ -111,6 +135,7 @@ bool SolutionEnumerator::Next(Mapping* out) {
   while (true) {
     if (CheckInterrupt()) {
       state_ = State::kDone;
+      EndSubtreeSpan();
       return false;
     }
     if (buffer_pos_ >= buffer_.size()) {

@@ -13,6 +13,7 @@
 #include "sparql/mapping.h"
 #include "wd/eval.h"
 #include "wdsparql/stats.h"
+#include "wdsparql/trace.h"
 
 /// \file
 /// Answer enumeration under the domination-width promise.
@@ -88,6 +89,7 @@ class SolutionEnumerator {
   };
 
   SolutionEnumerator(const PatternForest& forest, EnumerationHooks hooks);
+  ~SolutionEnumerator();
 
   /// Advances to the next distinct maximal solution. Returns false when
   /// the solution set is exhausted (state() == kDone from then on) or
@@ -125,6 +127,16 @@ class SolutionEnumerator {
     sink_pool_ = pool;
   }
 
+  /// Installs a request-scoped trace sink (see wdsparql/trace.h): the
+  /// enumerator then emits one `subtree` span per wdpf subtree it opens,
+  /// parented under `parent` — a span at subtree *boundaries*, never per
+  /// candidate or per row, so the hot loop stays untouched. The context
+  /// must outlive the enumerator; install before the first `Next`.
+  void SetTraceSink(TraceContext* trace, uint32_t parent) {
+    trace_ = trace;
+    trace_parent_ = parent;
+  }
+
  private:
   /// Moves the machine to the next subtree with candidates; fills the
   /// candidate buffer. Returns false when every tree is exhausted.
@@ -139,6 +151,15 @@ class SolutionEnumerator {
   /// while `sink_` is set and the current subtree produced candidates).
   ExecStats::Subpattern* CurSubpattern();
 
+  /// Ends the open subtree's trace span, if any (subtree boundary,
+  /// exhaustion, interruption, destruction — whichever comes first).
+  void EndSubtreeSpan() {
+    if (subtree_span_ != 0) {
+      trace_->EndSpan(subtree_span_);
+      subtree_span_ = 0;
+    }
+  }
+
   const PatternForest* forest_;
   EnumerationHooks hooks_;
   EnumerateStats stats_;
@@ -148,6 +169,12 @@ class SolutionEnumerator {
   ExecStats* sink_ = nullptr;
   const TermPool* sink_pool_ = nullptr;
   bool sink_has_cur_ = false;  // Does subpatterns.back() describe the open subtree?
+
+  // Optional per-subtree tracing (see SetTraceSink). `subtree_span_` is
+  // the open subtree's span, ended at the next boundary (or destruction).
+  TraceContext* trace_ = nullptr;
+  uint32_t trace_parent_ = 0;
+  uint32_t subtree_span_ = 0;
 
   // Cooperative interruption (see SetInterruptProbe).
   std::function<bool()> probe_;

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
@@ -476,6 +477,251 @@ TEST(ServeContainsTest, EndpointAnswersMembershipOverThePinnedSnapshot) {
   ASSERT_TRUE(client.Post("/contains",
                           "(?s <http://t/p1> ?o)\n?z <http://t/s1>\n",
                           &response).ok());
+  EXPECT_EQ(response.status, 400);
+  server->Stop();
+}
+
+// ---------------------------------------------------------------------
+// Request identity, tracing, logs, Prometheus
+// ---------------------------------------------------------------------
+
+TEST(ServeTraceTest, GeneratesAndEchoesRequestId) {
+  Database db;
+  Populate(&db);
+  auto server = StartServer(&db, [] {
+    ServerOptions options;
+    options.quiet = true;
+    return options;
+  }());
+  HttpClient client = ClientFor(*server);
+
+  HttpResponse response;
+  ASSERT_TRUE(client.Post("/query", "(?s <http://t/p1> ?o)", &response).ok());
+  ASSERT_EQ(response.status, 200);
+  std::string generated = response.headers["x-request-id"];
+  ASSERT_EQ(generated.size(), 16u);
+  EXPECT_EQ(generated.find_first_not_of("0123456789abcdef"),
+            std::string::npos);
+
+  // A client-supplied id is echoed verbatim — on every endpoint.
+  ASSERT_TRUE(client.Fetch("GET", "/healthz", "", &response,
+                           {{"X-Request-Id", "my-custom-id-42"}})
+                  .ok());
+  EXPECT_EQ(response.headers["x-request-id"], "my-custom-id-42");
+  server->Stop();
+}
+
+TEST(ServeTraceTest, DebugTraceRoundTripByRequestId) {
+  Database db;
+  Populate(&db);
+  auto server = StartServer(&db, [] {
+    ServerOptions options;
+    options.quiet = true;
+    return options;
+  }());
+  HttpClient client = ClientFor(*server);
+
+  // A hex request id maps directly onto the trace id, so the trace of
+  // THIS request is findable in /debug/trace by the id alone.
+  HttpResponse response;
+  ASSERT_TRUE(client.Fetch("POST", "/query", "(?s <http://t/p1> ?o)",
+                           &response, {{"X-Request-Id", "cafe1234"}})
+                  .ok());
+  ASSERT_EQ(response.status, 200);
+  EXPECT_EQ(response.headers["x-request-id"], "cafe1234");
+
+  // The trace flushes right after the response bytes; poll briefly.
+  HttpResponse dump;
+  ASSERT_TRUE(Eventually([&] {
+    if (!client.Get("/debug/trace?n=8", &dump).ok()) return false;
+    return dump.body.find("00000000cafe1234") != std::string::npos;
+  }));
+  EXPECT_EQ(dump.status, 200);
+  EXPECT_NE(dump.body.find("\"name\":\"request\""), std::string::npos);
+  EXPECT_NE(dump.body.find("\"name\":\"enumerate\""), std::string::npos);
+  EXPECT_NE(dump.body.find("\"name\":\"subtree\""), std::string::npos);
+  server->Stop();
+}
+
+TEST(ServeTraceTest, TraceParamInlinesSpans) {
+  Database db;
+  Populate(&db);
+  auto server = StartServer(&db, [] {
+    ServerOptions options;
+    options.quiet = true;
+    return options;
+  }());
+  HttpClient client = ClientFor(*server);
+
+  HttpResponse response;
+  ASSERT_TRUE(
+      client.Post("/query?trace=1", "(?s <http://t/p1> ?o)", &response).ok());
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"trace\":{"), std::string::npos);
+  EXPECT_NE(response.body.find("\"spans\":["), std::string::npos);
+  EXPECT_NE(response.body.find("\"name\":\"enumerate\""), std::string::npos);
+  // The inline trace id matches the echoed request id.
+  EXPECT_NE(response.body.find("\"trace_id\":\"" +
+                               response.headers["x-request-id"] + "\""),
+            std::string::npos);
+
+  // Without the param the tail carries no trace object.
+  ASSERT_TRUE(client.Post("/query", "(?s <http://t/p1> ?o)", &response).ok());
+  EXPECT_EQ(response.body.find("\"trace\":{"), std::string::npos);
+  server->Stop();
+}
+
+TEST(ServeTraceTest, TracingDisabledServesEverythingStill) {
+  DatabaseOptions db_options;
+  db_options.trace_capacity = 0;  // Flight recorder off.
+  Database db(db_options);
+  Populate(&db);
+  auto server = StartServer(&db, [] {
+    ServerOptions options;
+    options.quiet = true;
+    return options;
+  }());
+  HttpClient client = ClientFor(*server);
+
+  HttpResponse response;
+  ASSERT_TRUE(
+      client.Post("/query?trace=1", "(?s <http://t/p1> ?o)", &response).ok());
+  EXPECT_EQ(response.status, 200);
+  // Requests still get ids; there are just no spans behind them.
+  EXPECT_FALSE(response.headers["x-request-id"].empty());
+  EXPECT_EQ(response.body.find("\"trace\":{"), std::string::npos);
+  ASSERT_TRUE(client.Get("/debug/trace", &response).ok());
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "{\"traces\":[]}");
+  server->Stop();
+}
+
+TEST(ServeLogTest, AccessLogOneLinePerRequestAndQuietSuppresses) {
+  Database db;
+  Populate(&db);
+  std::FILE* log = std::tmpfile();
+  ASSERT_NE(log, nullptr);
+  {
+    ServerOptions options;
+    options.log_stream = log;
+    auto server = StartServer(&db, options);
+    HttpClient client = ClientFor(*server);
+    HttpResponse response;
+    ASSERT_TRUE(client.Fetch("POST", "/query", "(?s <http://t/p1> ?o)",
+                             &response, {{"X-Request-Id", "log-test-id"}})
+                    .ok());
+    ASSERT_TRUE(client.Get("/healthz", &response).ok());
+    server->Stop();  // Drain: every access-log line is flushed.
+  }
+  std::rewind(log);
+  std::string contents;
+  char buffer[4096];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), log)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(log);
+  EXPECT_NE(contents.find("\"request_id\":\"log-test-id\""),
+            std::string::npos);
+  EXPECT_NE(contents.find("\"path\":\"/query\""), std::string::npos);
+  EXPECT_NE(contents.find("\"path\":\"/healthz\""), std::string::npos);
+  EXPECT_NE(contents.find("\"status\":200"), std::string::npos);
+  EXPECT_NE(contents.find("\"rows\":20"), std::string::npos);
+
+  // --quiet: same traffic, silent log.
+  std::FILE* quiet_log = std::tmpfile();
+  ASSERT_NE(quiet_log, nullptr);
+  {
+    ServerOptions options;
+    options.log_stream = quiet_log;
+    options.quiet = true;
+    auto server = StartServer(&db, options);
+    HttpClient client = ClientFor(*server);
+    HttpResponse response;
+    ASSERT_TRUE(client.Get("/healthz", &response).ok());
+    server->Stop();
+  }
+  std::rewind(quiet_log);
+  EXPECT_EQ(std::fread(buffer, 1, sizeof(buffer), quiet_log), 0u);
+  std::fclose(quiet_log);
+}
+
+TEST(ServeLogTest, SlowQueryLogCapturesExplain) {
+  Database db;
+  Populate(&db);
+  std::FILE* log = std::tmpfile();
+  ASSERT_NE(log, nullptr);
+  {
+    ServerOptions options;
+    options.log_stream = log;
+    options.quiet = true;          // Isolate the slow-query lines.
+    options.slow_query_ms = 0;     // Every query is "slow".
+    auto server = StartServer(&db, options);
+    HttpClient client = ClientFor(*server);
+    HttpResponse response;
+    ASSERT_TRUE(client.Fetch("POST", "/query", "(?s <http://t/p1> ?o)",
+                             &response, {{"X-Request-Id", "slow-one"}})
+                    .ok());
+    ASSERT_EQ(response.status, 200);
+    // The forced collect_stats stays server-side: the response tail has
+    // no stats object unless the client asked.
+    EXPECT_EQ(response.body.find("\"stats\":{"), std::string::npos);
+    server->Stop();
+  }
+  std::rewind(log);
+  std::string contents;
+  char buffer[8192];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), log)) > 0) {
+    contents.append(buffer, n);
+  }
+  std::fclose(log);
+  EXPECT_NE(contents.find("\"slow_query\":true"), std::string::npos);
+  EXPECT_NE(contents.find("\"request_id\":\"slow-one\""), std::string::npos);
+  EXPECT_NE(contents.find("\"pattern\":\"(?s <http://t/p1> ?o)\""),
+            std::string::npos);
+  EXPECT_NE(contents.find("\"outcome\":\"exhausted\""), std::string::npos);
+  EXPECT_NE(contents.find("\"rows\":20"), std::string::npos);
+  // The captured EXPLAIN tree: the ExecStats JSON, subpatterns included.
+  EXPECT_NE(contents.find("\"explain\":{"), std::string::npos);
+  EXPECT_NE(contents.find("rows_emitted"), std::string::npos);
+  EXPECT_NE(contents.find("subpatterns"), std::string::npos);
+}
+
+TEST(ServeMetricsTest, PrometheusFormatExposition) {
+  Database db;
+  Populate(&db);
+  auto server = StartServer(&db, [] {
+    ServerOptions options;
+    options.quiet = true;
+    return options;
+  }());
+  HttpClient client = ClientFor(*server);
+
+  // One query first so the request histogram has observations.
+  HttpResponse response;
+  ASSERT_TRUE(client.Post("/query", "(?s <http://t/p1> ?o)", &response).ok());
+
+  ASSERT_TRUE(client.Get("/metrics?format=prometheus", &response).ok());
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.headers["content-type"].find("text/plain"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("# TYPE server_requests counter"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("# TYPE server_inflight gauge"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("# TYPE server_request_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("_bucket{le=\"+Inf\"}"), std::string::npos);
+  EXPECT_NE(response.body.find("server_request_ns_sum"), std::string::npos);
+  EXPECT_NE(response.body.find("server_request_ns_count"), std::string::npos);
+
+  // The default stays JSON; an unknown format is a 400.
+  ASSERT_TRUE(client.Get("/metrics", &response).ok());
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.headers["content-type"].find("application/json"),
+            std::string::npos);
+  ASSERT_TRUE(client.Get("/metrics?format=xml", &response).ok());
   EXPECT_EQ(response.status, 400);
   server->Stop();
 }

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <string>
@@ -368,6 +369,82 @@ TEST(MetricsRegistryTest, HistogramBuckets) {
   Histogram h;
   h.Observe(3);
   EXPECT_EQ(h.bucket(2), 1u);
+}
+
+TEST(MetricsRegistryTest, HistogramQuantilesInterpolate) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0.0);  // Empty: no mass anywhere.
+  // 100 zeros: every quantile sits in bucket 0, which holds only 0.
+  for (int i = 0; i < 100; ++i) h.Observe(0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(0.99), 0.0);
+
+  Histogram spread;
+  // 90 samples in bucket [1,2), 10 in [1024,2048): p50 interpolates
+  // inside the low bucket, p99 inside the high one.
+  for (int i = 0; i < 90; ++i) spread.Observe(1);
+  for (int i = 0; i < 10; ++i) spread.Observe(1500);
+  EXPECT_GE(spread.Quantile(0.5), 1.0);
+  EXPECT_LE(spread.Quantile(0.5), 2.0);
+  double p99 = spread.Quantile(0.99);
+  EXPECT_GE(p99, 1024.0);
+  EXPECT_LE(p99, 2048.0);
+  // Monotone in q.
+  EXPECT_LE(spread.Quantile(0.5), spread.Quantile(0.95));
+  EXPECT_LE(spread.Quantile(0.95), spread.Quantile(0.99));
+}
+
+TEST(MetricsRegistryTest, DumpsCarryQuantiles) {
+  MetricsRegistry registry;
+  for (int i = 0; i < 100; ++i) registry.histogram("h").Observe(8);
+
+  std::string text = registry.Dump(MetricsFormat::kText);
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p95="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+
+  std::string json = registry.Dump(MetricsFormat::kJson);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, PrometheusExposition) {
+  MetricsRegistry registry;
+  registry.counter("server.requests").Add(5);
+  registry.gauge("server.inflight").Set(2);
+  registry.histogram("request.ns").Observe(0);
+  registry.histogram("request.ns").Observe(5);
+  registry.histogram("request.ns").Observe(1000);
+
+  std::string prom = registry.Dump(MetricsFormat::kPrometheus);
+  // Dots sanitised to underscores; one # TYPE line per instrument.
+  EXPECT_NE(prom.find("# TYPE server_requests counter"), std::string::npos);
+  EXPECT_NE(prom.find("server_requests 5"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE server_inflight gauge"), std::string::npos);
+  EXPECT_NE(prom.find("server_inflight 2"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE request_ns histogram"), std::string::npos);
+  // Cumulative buckets: le="0" holds the zero sample; le="7" (bucket of
+  // 5) adds the second; +Inf carries all three, agreeing with _count.
+  EXPECT_NE(prom.find("request_ns_bucket{le=\"0\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("request_ns_bucket{le=\"7\"} 2"), std::string::npos);
+  EXPECT_NE(prom.find("request_ns_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("request_ns_sum 1005"), std::string::npos);
+  EXPECT_NE(prom.find("request_ns_count 3"), std::string::npos);
+
+  // Every non-comment line is "name{labels}? value": tokenises to
+  // exactly two space-separated fields.
+  std::size_t start = 0;
+  while (start < prom.size()) {
+    std::size_t end = prom.find('\n', start);
+    if (end == std::string::npos) end = prom.size();
+    std::string line = prom.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    std::size_t spaces = std::count(line.begin(), line.end(), ' ');
+    EXPECT_EQ(spaces, 1u) << "malformed exposition line: " << line;
+  }
 }
 
 TEST(MetricsRegistryTest, DatabaseTracksViewLifecycleAndQueries) {

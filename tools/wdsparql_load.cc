@@ -1,7 +1,8 @@
 /// \file
 /// wdsparql_load: stream an N-Triples file into a single-file snapshot.
 ///
-///   wdsparql_load [--batch-size N] [--wal] [--quiet] <input.nt> <output.snap>
+///   wdsparql_load [--batch-size N] [--wal] [--quiet] [--trace]
+///                 <input.nt> <output.snap>
 ///
 /// The bulk-load path, built on the public `WriteBatch` API — the exact
 /// ingestion machinery `Database::Apply` serves, no bespoke loader-only
@@ -24,7 +25,10 @@
 /// line per committed batch with its ingest throughput; `--quiet`
 /// silences these), and the run ends with the engine's own metrics
 /// summary (`Database::DumpMetrics`) — the loader derives no timing of
-/// its own beyond the shared stopwatch.
+/// its own beyond the shared stopwatch. `--trace` additionally dumps
+/// the flight recorder's most recent commit/checkpoint traces as JSON
+/// (wdsparql/trace.h), showing where each batch's time went:
+/// delta_build vs publish/compact vs wal.append/wal.fsync.
 ///
 /// Query the result with `query_tool --db <output.snap>` or
 /// `Database::Open`.
@@ -46,7 +50,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: wdsparql_load [--batch-size N] [--wal] [--quiet] "
-               "<input.nt> <output.snap>\n");
+               "[--trace] <input.nt> <output.snap>\n");
   return 1;
 }
 
@@ -61,6 +65,7 @@ int main(int argc, char** argv) {
   std::size_t batch_size = 4096;
   bool use_wal = false;
   bool quiet = false;
+  bool dump_trace = false;
   const char* input_path = nullptr;
   const char* output_path = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -72,6 +77,8 @@ int main(int argc, char** argv) {
       use_wal = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      dump_trace = true;
     } else if (argv[i][0] == '-' && argv[i][1] != '\0') {
       std::fprintf(stderr, "error: unknown flag '%s'\n", argv[i]);
       return Usage();
@@ -141,5 +148,11 @@ int main(int argc, char** argv) {
   // WAL appends and fsyncs, checkpoint duration, snapshot bytes):
   // report its registry instead of re-deriving any of it here.
   std::fprintf(stderr, "-- metrics --\n%s", db.DumpMetrics().c_str());
+  if (dump_trace) {
+    // The most recent commit/checkpoint traces (newest first): per batch
+    // one `commit` root with delta_build / publish-or-compact children,
+    // plus wal.append/wal.fsync under --wal and the final checkpoint.
+    std::fprintf(stdout, "%s\n", db.DumpTraces(8).c_str());
+  }
   return 0;
 }

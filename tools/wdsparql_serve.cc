@@ -3,6 +3,7 @@
 ///
 ///   wdsparql_serve [--db <path.snap>] [--wal] [--host H] [--port N]
 ///                  [--workers N] [--queue N] [--deadline-ms N]
+///                  [--slow-query-ms N] [--trace-capacity N] [--quiet]
 ///
 /// Serves the endpoints documented in docs/SERVING.md (POST /query with
 /// chunked row streaming, POST /contains, POST /write, GET /metrics,
@@ -48,6 +49,8 @@ int Usage() {
                "[--port N]\n"
                "                      [--workers N] [--queue N] "
                "[--deadline-ms N]\n"
+               "                      [--slow-query-ms N] [--trace-capacity N] "
+               "[--quiet]\n"
                "\n"
                "  --db <path.snap>  open this snapshot (with --wal: create if "
                "missing,\n"
@@ -58,7 +61,15 @@ int Usage() {
                "  --queue N         admission queue capacity (default 64)\n"
                "  --deadline-ms N   hard per-query deadline ceiling, 0 = "
                "unbounded\n"
-               "                    (default 10000)\n");
+               "                    (default 10000)\n"
+               "  --slow-query-ms N log queries taking >= N ms as one JSON "
+               "line with\n"
+               "                    the captured EXPLAIN (0 logs every query; "
+               "default off)\n"
+               "  --trace-capacity N  flight-recorder span ring capacity "
+               "(default 4096,\n"
+               "                    0 disables request tracing)\n"
+               "  --quiet           suppress the per-request access log\n");
   return 1;
 }
 
@@ -87,6 +98,7 @@ bool ParseUint(const char* text, unsigned long* out) {
 int main(int argc, char** argv) {
   const char* db_path = nullptr;
   bool use_wal = false;
+  unsigned long trace_capacity = TraceRecorder::kDefaultCapacity;
   server::ServerOptions options;
   options.port = 8080;
   for (int i = 1; i < argc; ++i) {
@@ -135,6 +147,22 @@ int main(int argc, char** argv) {
         return Usage();
       }
       options.default_deadline_ms = parsed;
+    } else if (std::strcmp(argv[i], "--slow-query-ms") == 0) {
+      const char* text = value("--slow-query-ms");
+      if (text == nullptr || !ParseUint(text, &parsed)) {
+        std::fprintf(stderr, "error: bad --slow-query-ms value\n");
+        return Usage();
+      }
+      options.slow_query_ms = static_cast<int64_t>(parsed);
+    } else if (std::strcmp(argv[i], "--trace-capacity") == 0) {
+      const char* text = value("--trace-capacity");
+      if (text == nullptr || !ParseUint(text, &parsed)) {
+        std::fprintf(stderr, "error: bad --trace-capacity value\n");
+        return Usage();
+      }
+      trace_capacity = parsed;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      options.quiet = true;
     } else {
       std::fprintf(stderr, "error: unknown argument '%s'\n", argv[i]);
       return Usage();
@@ -145,9 +173,12 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
-  Database db;
+  DatabaseOptions db_options;
+  db_options.trace_capacity = trace_capacity;
+  Database db(db_options);
   if (db_path != nullptr) {
     OpenOptions open_options;
+    open_options.trace_capacity = trace_capacity;
     if (use_wal) {
       open_options.durability = Durability::kWal;
       open_options.create_if_missing = true;
