@@ -105,9 +105,11 @@ class Statement {
   /// Snapshot-bound execution: the cursor enumerates exactly the state
   /// `snapshot` pinned, regardless of batches committed since —
   /// repeatable reads across many cursors (see wdsparql/snapshot.h).
-  /// Only the indexed backend serves snapshots: a naive-hash session
-  /// yields a kFailed cursor with kUnimplemented diagnostics, an
-  /// invalid snapshot or one from another database a kFailed cursor
+  /// Both backends serve snapshots: the indexed backend enumerates the
+  /// pinned view in place; the naive-hash oracle materialises a private
+  /// copy of the pinned content at Open (O(dataset) per cursor — meant
+  /// for differential testing, not production reads). An invalid
+  /// snapshot or one from another database yields a kFailed cursor
   /// with kInternal diagnostics.
   Cursor Execute(const Snapshot& snapshot, const ExecOptions& options = {}) const;
   Cursor Execute(const std::vector<std::string>& projection,

@@ -32,9 +32,11 @@
 ///  * The `Database` must outlive the snapshot (the snapshot pins
 ///    storage, not the database object).
 ///  * Snapshots are immutable and freely copyable; copies share the pin.
-///  * Only the indexed backend can serve a snapshot-bound execution;
-///    the naive oracle backend reads live state and reports
-///    `kUnimplemented` instead of silently ignoring the snapshot.
+///  * Both backends serve snapshot-bound executions. The indexed
+///    backend reads the pinned view in place; the naive oracle
+///    materialises a private copy of the pinned content per cursor —
+///    O(dataset) at Open, intended for differential testing against
+///    the indexed engine under a live writer.
 
 namespace wdsparql {
 

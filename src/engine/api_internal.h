@@ -2,6 +2,7 @@
 #define WDSPARQL_ENGINE_API_INTERNAL_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_set>
@@ -9,6 +10,7 @@
 
 #include "engine/indexed_store.h"
 #include "engine/join.h"
+#include "engine/parallel_exec.h"
 #include "engine/read_view.h"
 #include "ptree/forest.h"
 #include "rdf/graph.h"
@@ -164,10 +166,21 @@ struct CursorImpl {
   std::vector<std::string> column_names;
   bool dedup = false;  // Proper-subset projection: eliminate duplicates.
 
-  // Live enumeration machinery (created at Open).
+  // Live enumeration machinery (created at Open). Exactly one of
+  // `enumerator` (serial) and `parallel` (ExecOptions::parallelism > 1
+  // on the indexed backend) is non-null while the cursor is open.
   std::unique_ptr<SolutionEnumerator> enumerator;
+  std::unique_ptr<ParallelEnumerator> parallel;
   std::unordered_set<Mapping, MappingHash> emitted;
   Mapping row;
+
+  /// Snapshot-bound naive execution: the pinned view's content,
+  /// materialised into a cursor-owned copy at Open (the COW half of the
+  /// view is what makes the copy consistent with zero writer
+  /// synchronisation), plus the hash scan index over it. Null on every
+  /// other path.
+  std::unique_ptr<TripleSet> snapshot_copy;
+  std::unique_ptr<HashTripleSource> snapshot_source;
 
   /// The store snapshot this cursor reads (indexed backend). Pinned at
   /// `Open` — or copied from a user-held `Snapshot` at `Execute` when
@@ -225,11 +238,24 @@ const HashTripleSource& HashSourceOf(const Database& db);
 /// caller — this is the cursor's pin-at-open step); the naive backend
 /// reads the live hash graph and `view` may be null. A non-null
 /// `join_stats` (indexed backend only) receives the join layer's scan
-/// and dictionary counters; it must outlive the hooks.
+/// and dictionary counters; it must outlive the hooks. A non-null
+/// `root_claim` (indexed backend only) is installed into every
+/// candidate generator the hooks open — the parallel workers' space-
+/// partitioning filter (see JoinCursor::SetRootClaim).
 EnumerationHooks MakeEnumerationHooks(const DatabaseImpl& db,
                                       const SessionOptions& options,
                                       std::shared_ptr<const ReadView> view,
-                                      JoinStats* join_stats = nullptr);
+                                      JoinStats* join_stats = nullptr,
+                                      std::function<bool()> root_claim = nullptr);
+
+/// Naive-backend hooks over an explicit materialised triple source (the
+/// snapshot-bound oracle path): candidate generation and maximality run
+/// against `source` — not the live hash graph — so the execution reads
+/// exactly the pinned state however the writer churns. `source` must
+/// outlive the hooks; `pebble_promise > 0` switches the maximality
+/// certificate to the (k+1)-pebble game, mirroring SessionOptions.
+EnumerationHooks MakeNaiveSnapshotHooks(const HashTripleSource& source,
+                                        int pebble_promise);
 
 /// wdEVAL membership on the session's backend (no filter application).
 /// Pins its own view for the duration of the call on the indexed

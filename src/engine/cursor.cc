@@ -8,9 +8,24 @@ namespace {
 
 /// Snapshots the enumerator's aggregate counters into the cursor before
 /// the machinery is released (the finish paths reset the enumerator, but
-/// its totals feed the registry merge).
+/// its totals feed the registry merge). The parallel path shuts the
+/// worker pool down first — Shutdown is where worker-local counters
+/// merge into the cursor's sinks, and it must happen before the stats
+/// are read whichever finish path runs first.
 void AbsorbEnumeratorTotals(CursorImpl* impl) {
-  if (impl->enumerator != nullptr) impl->enum_totals = impl->enumerator->stats();
+  if (impl->parallel != nullptr) {
+    impl->parallel->Shutdown();
+    impl->enum_totals = impl->parallel->stats();
+  } else if (impl->enumerator != nullptr) {
+    impl->enum_totals = impl->enumerator->stats();
+  }
+}
+
+/// Releases the live enumeration machinery (either engine) on a finish
+/// path; totals must have been absorbed first.
+void ReleaseEnumerators(CursorImpl* impl) {
+  impl->enumerator.reset();
+  impl->parallel.reset();
 }
 
 /// The once-per-execution finish step: folds the cursor-local counters
@@ -120,41 +135,100 @@ bool Cursor::Open() {
       impl_->view = std::move(pinned);
     }
   }
-  impl_->enumerator = std::make_unique<SolutionEnumerator>(
-      stmt.forest,
-      engine_internal::MakeEnumerationHooks(
-          *stmt.db, stmt.options, impl_->view,
-          impl_->stats != nullptr ? &impl_->join_stats : nullptr));
-  if (impl_->stats != nullptr) {
-    impl_->enumerator->SetStatsSink(impl_->stats.get(), stmt.db->pool);
-  }
   if (impl_->exec.trace != nullptr && impl_->exec.trace->enabled()) {
     // One span covering the whole enumeration (ended with rows/outcome
     // annotations at finish), with per-wdpf-subtree child spans emitted
-    // by the enumerator at subtree boundaries — never per row.
+    // by the enumerator at subtree boundaries — never per row. In the
+    // parallel mode the children are per-worker spans instead.
     impl_->enumerate_span =
         impl_->exec.trace->StartSpan("enumerate", impl_->exec.trace_parent);
-    impl_->enumerator->SetTraceSink(impl_->exec.trace, impl_->enumerate_span);
   }
-  stmt.db->metrics->counter("query.cursors_opened").Add(1);
+  // The user probe closes over copies of the bounds: the ExecOptions
+  // value itself stays untouched, and the shared cancellation token may
+  // be flipped from any thread (relaxed load — the flag is the only
+  // communication, no ordering is needed).
+  std::function<bool()> probe;
   if (impl_->exec.deadline.has_value() || impl_->exec.cancel != nullptr) {
-    // The probe closes over copies of the bounds: the ExecOptions value
-    // itself stays untouched, and the shared cancellation token may be
-    // flipped from any thread (relaxed load — the flag is the only
-    // communication, no ordering is needed).
     CancelToken cancel = impl_->exec.cancel;
     std::optional<std::chrono::steady_clock::time_point> deadline =
         impl_->exec.deadline;
-    impl_->enumerator->SetInterruptProbe(
-        [cancel, deadline]() {
-          if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
-            return true;
-          }
-          return deadline.has_value() &&
-                 std::chrono::steady_clock::now() >= *deadline;
-        },
-        impl_->exec.check_interval);
+    probe = [cancel, deadline]() {
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        return true;
+      }
+      return deadline.has_value() &&
+             std::chrono::steady_clock::now() >= *deadline;
+    };
   }
+  if (impl_->exec.parallelism > 1 && stmt.options.backend == Backend::kIndexed) {
+    // Parallel mode: fan the candidate space across a worker pool, every
+    // worker enumerating the same pinned view. Each worker gets its own
+    // hooks (own JoinStats struct, own claim filter) built on its own
+    // thread; the factory captures the shared immutable ingredients by
+    // value so it outlives this frame.
+    ParallelEnumerator::Options popts;
+    popts.workers = impl_->exec.parallelism;
+    popts.check_interval = impl_->exec.check_interval;
+    const DatabaseImpl* db = stmt.db;
+    SessionOptions sopts = stmt.options;
+    std::shared_ptr<const ReadView> view = impl_->view;
+    popts.hooks_factory = [db, sopts, view](JoinStats* stats,
+                                            std::function<bool()> claim) {
+      return engine_internal::MakeEnumerationHooks(*db, sopts, view, stats,
+                                                   std::move(claim));
+    };
+    impl_->parallel =
+        std::make_unique<ParallelEnumerator>(stmt.forest, std::move(popts));
+    if (impl_->stats != nullptr) {
+      impl_->parallel->SetStatsSink(impl_->stats.get(), stmt.db->pool,
+                                    &impl_->join_stats);
+    }
+    if (impl_->enumerate_span != 0) {
+      impl_->parallel->SetTraceSink(impl_->exec.trace, impl_->enumerate_span);
+    }
+    if (probe) {
+      impl_->parallel->SetInterruptProbe(std::move(probe),
+                                         impl_->exec.check_interval);
+    }
+  } else {
+    EnumerationHooks hooks;
+    if (impl_->snapshot_bound && stmt.options.backend == Backend::kNaiveHash) {
+      // Snapshot-bound naive oracle: materialise the pinned view's
+      // content into a cursor-owned copy and run the naive machinery
+      // against it. The view is immutable, so the scan is a consistent
+      // copy with zero writer synchronisation; from here on the cursor
+      // never touches live state, making the oracle safe to run while a
+      // writer churns — exactly what the differential harness needs.
+      impl_->snapshot_copy = std::make_unique<TripleSet>();
+      TripleSet* copy = impl_->snapshot_copy.get();
+      impl_->view->ScanPattern(Triple(kAnyTerm, kAnyTerm, kAnyTerm),
+                               [copy](const Triple& t) {
+                                 copy->Insert(t);
+                                 return true;
+                               });
+      impl_->snapshot_source =
+          std::make_unique<HashTripleSource>(*impl_->snapshot_copy);
+      hooks = engine_internal::MakeNaiveSnapshotHooks(
+          *impl_->snapshot_source, stmt.options.pebble_promise);
+    } else {
+      hooks = engine_internal::MakeEnumerationHooks(
+          *stmt.db, stmt.options, impl_->view,
+          impl_->stats != nullptr ? &impl_->join_stats : nullptr);
+    }
+    impl_->enumerator =
+        std::make_unique<SolutionEnumerator>(stmt.forest, std::move(hooks));
+    if (impl_->stats != nullptr) {
+      impl_->enumerator->SetStatsSink(impl_->stats.get(), stmt.db->pool);
+    }
+    if (impl_->enumerate_span != 0) {
+      impl_->enumerator->SetTraceSink(impl_->exec.trace, impl_->enumerate_span);
+    }
+    if (probe) {
+      impl_->enumerator->SetInterruptProbe(std::move(probe),
+                                           impl_->exec.check_interval);
+    }
+  }
+  stmt.db->metrics->counter("query.cursors_opened").Add(1);
   impl_->state = State::kOpen;
   return true;
 }
@@ -173,7 +247,7 @@ bool NextRow(CursorImpl* impl) {
     // answer set from a truncated one.
     impl->state = Cursor::State::kLimited;
     AbsorbEnumeratorTotals(impl);
-    impl->enumerator.reset();
+    ReleaseEnumerators(impl);
     impl->view.reset();
     return false;
   }
@@ -187,13 +261,17 @@ bool NextRow(CursorImpl* impl) {
     impl->diagnostics.code = QueryDiagnostics::Code::kInvalidated;
     impl->diagnostics.message =
         "cursor invalidated: the database mutated during enumeration "
-        "(naive backend cursors cannot pin a snapshot)";
+        "(bind a Snapshot at Execute to read pinned state instead)";
     AbsorbEnumeratorTotals(impl);
-    impl->enumerator.reset();
+    ReleaseEnumerators(impl);
     return false;
   }
+  // Pull from whichever enumeration engine this cursor runs (exactly one
+  // is live while open).
+  ParallelEnumerator* parallel = impl->parallel.get();
+  SolutionEnumerator* serial = impl->enumerator.get();
   Mapping mu;
-  while (impl->enumerator->Next(&mu)) {
+  while (parallel != nullptr ? parallel->Next(&mu) : serial->Next(&mu)) {
     bool filtered_out = false;
     for (const FilterCondition& filter : stmt.filters) {
       if (!filter.Satisfied(mu)) {
@@ -215,7 +293,7 @@ bool NextRow(CursorImpl* impl) {
     if (impl->stats != nullptr) ++impl->stats->rows_emitted;
     return true;
   }
-  if (impl->enumerator->interrupted()) {
+  if (parallel != nullptr ? parallel->interrupted() : serial->interrupted()) {
     // Stopped mid-subtree by the ExecOptions probe. The token is
     // checked first so a cancel that races the deadline reports as a
     // cancellation (the caller's explicit action wins the tie).
@@ -232,7 +310,7 @@ bool NextRow(CursorImpl* impl) {
     impl->state = Cursor::State::kExhausted;
   }
   AbsorbEnumeratorTotals(impl);
-  impl->enumerator.reset();
+  ReleaseEnumerators(impl);
   impl->view.reset();  // Release the pinned snapshot promptly.
   return false;
 }
@@ -260,7 +338,7 @@ void Cursor::Close() {
     impl_->state = State::kClosed;
   }
   FinalizeCursorStats(impl_.get());
-  impl_->enumerator.reset();
+  ReleaseEnumerators(impl_.get());
   impl_->emitted.clear();
   // The explicit view release: dropping the last pin lets the store
   // free superseded runs (and unmap a snapshot file they borrowed).

@@ -417,10 +417,34 @@ const HashTripleSource& HashSourceOf(const Database& db) {
   return DatabaseImpl::Get(db).hash_source;
 }
 
+namespace {
+
+/// `CandidateGenerator` over a resumable `JoinCursor`: the indexed
+/// backend's suspendable candidate source. Shares ownership of the
+/// pinned view through the cursor; an optional root claim partitions
+/// the candidate space across parallel workers.
+class JoinCursorGenerator final : public CandidateGenerator {
+ public:
+  JoinCursorGenerator(std::shared_ptr<const ReadView> view,
+                      const std::vector<Triple>& patterns, JoinStats* stats,
+                      const std::function<bool()>& claim)
+      : cursor_(std::move(view), patterns, VarAssignment{}, stats) {
+    if (claim) cursor_.SetRootClaim(claim);
+  }
+
+  bool Next(VarAssignment* out) override { return cursor_.Next(out); }
+
+ private:
+  JoinCursor cursor_;
+};
+
+}  // namespace
+
 EnumerationHooks MakeEnumerationHooks(const DatabaseImpl& db,
                                       const SessionOptions& options,
                                       std::shared_ptr<const ReadView> view,
-                                      JoinStats* join_stats) {
+                                      JoinStats* join_stats,
+                                      std::function<bool()> root_claim) {
   EnumerationHooks hooks;
   if (options.backend == Backend::kIndexed) {
     // The hooks share ownership of the pinned view: the enumeration
@@ -428,6 +452,12 @@ EnumerationHooks MakeEnumerationHooks(const DatabaseImpl& db,
     // does meanwhile. `join_stats` (when collecting) is cursor-local and
     // outlives the hooks by contract, so the lambdas capture it raw.
     if (view == nullptr) view = db.store.PinView();
+    hooks.open_candidates =
+        [view, join_stats, claim = std::move(root_claim)](
+            const TripleSet& pattern) -> std::unique_ptr<CandidateGenerator> {
+      return std::make_unique<JoinCursorGenerator>(view, pattern.triples(),
+                                                   join_stats, claim);
+    };
     hooks.candidates = [view, join_stats](
                            const TripleSet& pattern,
                            const std::function<bool(const VarAssignment&)>& emit) {
@@ -454,6 +484,28 @@ EnumerationHooks MakeEnumerationHooks(const DatabaseImpl& db,
   } else {
     hooks.extends = [source](const TripleSet& combined, const Mapping& mu) {
       return HasHomomorphism(combined, MappingToAssignment(mu), *source);
+    };
+  }
+  return hooks;
+}
+
+EnumerationHooks MakeNaiveSnapshotHooks(const HashTripleSource& source,
+                                        int pebble_promise) {
+  EnumerationHooks hooks;
+  const HashTripleSource* src = &source;
+  hooks.candidates = [src](const TripleSet& pattern,
+                           const std::function<bool(const VarAssignment&)>& emit) {
+    EnumerateHomomorphisms(pattern, VarAssignment{}, *src, emit);
+  };
+  if (pebble_promise > 0) {
+    int k = pebble_promise;
+    hooks.extends = [src, k](const TripleSet& combined, const Mapping& mu) {
+      return PebbleGameWins(combined, MappingToAssignment(mu), src->triple_set(),
+                            k + 1);
+    };
+  } else {
+    hooks.extends = [src](const TripleSet& combined, const Mapping& mu) {
+      return HasHomomorphism(combined, MappingToAssignment(mu), *src);
     };
   }
   return hooks;

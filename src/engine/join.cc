@@ -15,17 +15,53 @@ struct EncConjunct {
   int var[3];          // -1 where a constant sits.
 };
 
-/// Variable-at-a-time join state.
-class JoinRun {
- public:
-  JoinRun(const ReadView& store, const VarAssignment& fixed,
-          const std::function<bool(const VarAssignment&)>& callback, JoinStats* stats)
-      : store_(store), fixed_(fixed), callback_(callback), stats_(stats) {}
+}  // namespace
+
+/// The whole resumable join state. The recursion of the old callback
+/// join became an explicit stack: one {values, position} frame per
+/// variable level, advanced iteratively so `Next` can return mid-descent
+/// and resume exactly there.
+struct JoinCursor::State {
+  State(std::shared_ptr<const ReadView> owned, const ReadView& view,
+        const VarAssignment& fixed_in, JoinStats* stats_in)
+      : keepalive(std::move(owned)), store(view), fixed(fixed_in), stats(stats_in) {}
+
+  /// One descent level: the intersected candidate values of the level's
+  /// variable under the bindings above it, and the resume position.
+  struct Level {
+    std::vector<DataId> values;
+    std::size_t pos = 0;
+  };
+
+  std::shared_ptr<const ReadView> keepalive;  // Null for borrowed views.
+  const ReadView& store;
+  VarAssignment fixed;  // By value: the cursor outlives the Execute call.
+  JoinStats* stats;
+  std::function<bool()> claim;  // Null = every root value is ours.
+
+  std::vector<EncConjunct> conjuncts;
+  std::vector<TermId> vars;
+  std::unordered_map<TermId, int> var_index;
+  std::vector<std::vector<std::size_t>> conjuncts_of_var;
+  std::vector<int> order;
+  std::vector<DataId> binding;
+  std::vector<Level> levels;
+  int depth = -1;  // -1 = not started.
+  bool done = false;
+
+  int LocalVar(TermId term) {
+    auto it = var_index.find(term);
+    if (it != var_index.end()) return it->second;
+    int idx = static_cast<int>(vars.size());
+    var_index[term] = idx;
+    vars.push_back(term);
+    return idx;
+  }
 
   /// Returns false iff setup proved the join empty.
   bool Setup(const std::vector<Triple>& patterns) {
     for (const Triple& raw : patterns) {
-      Triple t = ApplyAssignment(fixed_, raw);
+      Triple t = ApplyAssignment(fixed, raw);
       EncConjunct c;
       bool ground = true;
       EncTriple enc_ground;
@@ -37,53 +73,42 @@ class JoinRun {
           ground = false;
           continue;
         }
-        if (stats_ != nullptr) ++stats_->dict_encodes;
-        DataId id = store_.dict().Encode(term);
+        if (stats != nullptr) ++stats->dict_encodes;
+        DataId id = store.dict().Encode(term);
         if (id == kNoDataId) return false;  // Constant absent from the store.
         c.constant[pos] = id;
         c.var[pos] = -1;
         (pos == 0 ? enc_ground.s : (pos == 1 ? enc_ground.p : enc_ground.o)) = id;
       }
       if (ground) {
-        if (!store_.Contains(enc_ground)) return false;
+        if (!store.Contains(enc_ground)) return false;
         continue;  // Satisfied unconditionally; drop the conjunct.
       }
-      conjuncts_.push_back(c);
+      conjuncts.push_back(c);
     }
 
     // Bind most-constrained variables first: descending pattern count,
     // ties by TermId for determinism.
-    conjuncts_of_var_.assign(vars_.size(), {});
-    for (std::size_t ci = 0; ci < conjuncts_.size(); ++ci) {
+    conjuncts_of_var.assign(vars.size(), {});
+    for (std::size_t ci = 0; ci < conjuncts.size(); ++ci) {
       for (int pos = 0; pos < 3; ++pos) {
-        int v = conjuncts_[ci].var[pos];
+        int v = conjuncts[ci].var[pos];
         if (v < 0) continue;
-        std::vector<std::size_t>& list = conjuncts_of_var_[v];
+        std::vector<std::size_t>& list = conjuncts_of_var[v];
         if (list.empty() || list.back() != ci) list.push_back(ci);
       }
     }
-    order_.resize(vars_.size());
-    for (std::size_t i = 0; i < order_.size(); ++i) order_[i] = static_cast<int>(i);
-    std::sort(order_.begin(), order_.end(), [this](int a, int b) {
-      std::size_t ca = conjuncts_of_var_[a].size();
-      std::size_t cb = conjuncts_of_var_[b].size();
+    order.resize(vars.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(), [this](int a, int b) {
+      std::size_t ca = conjuncts_of_var[a].size();
+      std::size_t cb = conjuncts_of_var[b].size();
       if (ca != cb) return ca > cb;
-      return vars_[a] < vars_[b];
+      return vars[a] < vars[b];
     });
-    binding_.assign(vars_.size(), kNoDataId);
+    binding.assign(vars.size(), kNoDataId);
+    levels.resize(order.size());
     return true;
-  }
-
-  void Run() { Descend(0); }
-
- private:
-  int LocalVar(TermId term) {
-    auto it = var_index_.find(term);
-    if (it != var_index_.end()) return it->second;
-    int idx = static_cast<int>(vars_.size());
-    var_index_[term] = idx;
-    vars_.push_back(term);
-    return idx;
   }
 
   /// Sorted distinct candidate values for variable `v` from conjunct
@@ -91,7 +116,7 @@ class JoinRun {
   /// permutation range; when `v` sits right after the bound prefix they
   /// are already sorted, otherwise a sort pass normalises them.
   std::vector<DataId> CollectValues(std::size_t ci, int v) {
-    const EncConjunct& c = conjuncts_[ci];
+    const EncConjunct& c = conjuncts[ci];
     EncPattern probe;
     int v_positions[3];
     int num_v_positions = 0;
@@ -102,7 +127,7 @@ class JoinRun {
       } else if (c.var[pos] == v) {
         v_positions[num_v_positions++] = pos;
       } else {
-        bound = binding_[c.var[pos]];  // kNoDataId while unbound: wildcard.
+        bound = binding[c.var[pos]];  // kNoDataId while unbound: wildcard.
       }
       (pos == 0 ? probe.s : (pos == 1 ? probe.p : probe.o)) = bound;
     }
@@ -116,15 +141,15 @@ class JoinRun {
       if (num_v_positions > 2 && t[v_positions[2]] != t[v_positions[0]]) return;
       values.push_back(t[v_positions[0]]);
     };
-    if (stats_ == nullptr) {
-      for (const EncTriple& t : store_.Scan(probe)) keep(t);
+    if (stats == nullptr) {
+      for (const EncTriple& t : store.Scan(probe)) keep(t);
     } else {
       // Instrumented walk: the explicit iterator exposes which run each
       // triple came from, attributing scan volume to base vs delta.
-      ++stats_->ranges_scanned;
-      MergedScan scan = store_.Scan(probe);
+      ++stats->ranges_scanned;
+      MergedScan scan = store.Scan(probe);
       for (auto it = scan.begin(); it != scan.end(); ++it) {
-        ++(it.on_delta() ? stats_->delta_scanned : stats_->base_scanned);
+        ++(it.on_delta() ? stats->delta_scanned : stats->base_scanned);
         keep(*it);
       }
     }
@@ -146,7 +171,7 @@ class JoinRun {
       next.reserve(current.size());
       auto it = other.begin();
       for (DataId value : current) {
-        if (stats_ != nullptr) ++stats_->values_probed;
+        if (stats != nullptr) ++stats->values_probed;
         it = std::lower_bound(it, other.end(), value);
         if (it == other.end()) break;
         if (*it == value) next.push_back(value);
@@ -156,69 +181,114 @@ class JoinRun {
     return current;
   }
 
-  /// Returns false iff the callback stopped the enumeration.
-  bool Descend(std::size_t depth) {
-    if (depth == order_.size()) {
-      VarAssignment out = fixed_;
-      for (std::size_t i = 0; i < vars_.size(); ++i) {
-        out[vars_[i]] = store_.dict().Decode(binding_[i]);
-      }
-      if (stats_ != nullptr) {
-        ++stats_->emitted;
-        stats_->dict_decodes += vars_.size();
-      }
-      return callback_(out);
-    }
-    int v = order_[depth];
+  /// Computes level `d`'s value list under the bindings above it. An
+  /// empty conjunct list short-circuits to an empty level (dead branch).
+  void FillLevel(std::size_t d) {
+    Level& level = levels[d];
+    level.values.clear();
+    level.pos = 0;
+    int v = order[d];
     std::vector<std::vector<DataId>> lists;
-    lists.reserve(conjuncts_of_var_[v].size());
-    for (std::size_t ci : conjuncts_of_var_[v]) {
+    lists.reserve(conjuncts_of_var[v].size());
+    for (std::size_t ci : conjuncts_of_var[v]) {
       lists.push_back(CollectValues(ci, v));
-      if (lists.back().empty()) return true;  // Dead branch.
+      if (lists.back().empty()) return;  // Dead branch.
     }
-    for (DataId value : Intersect(std::move(lists))) {
-      binding_[v] = value;
-      if (!Descend(depth + 1)) return false;
-    }
-    binding_[v] = kNoDataId;
-    return true;
+    level.values = Intersect(std::move(lists));
   }
 
-  const ReadView& store_;
-  const VarAssignment& fixed_;
-  const std::function<bool(const VarAssignment&)>& callback_;
-  JoinStats* stats_;
+  void Emit(VarAssignment* out) {
+    *out = fixed;
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      (*out)[vars[i]] = store.dict().Decode(binding[i]);
+    }
+    if (stats != nullptr) {
+      ++stats->emitted;
+      stats->dict_decodes += vars.size();
+    }
+  }
 
-  std::vector<EncConjunct> conjuncts_;
-  std::vector<TermId> vars_;
-  std::unordered_map<TermId, int> var_index_;
-  std::vector<std::vector<std::size_t>> conjuncts_of_var_;
-  std::vector<int> order_;
-  std::vector<DataId> binding_;
+  bool Next(VarAssignment* out) {
+    if (done) return false;
+    if (depth < 0) {
+      if (order.empty()) {
+        // Zero unbound variables: the one (fixed) solution. It still
+        // counts as one root-claim unit, so exactly one of a set of
+        // partitioned cursors emits it.
+        done = true;
+        if (claim && !claim()) return false;
+        Emit(out);
+        return true;
+      }
+      depth = 0;
+      FillLevel(0);
+    }
+    // Resuming after an emission, `depth` stands at the deepest level
+    // with its position already past the emitted value — the loop
+    // continues the descent exactly where it stopped.
+    while (depth >= 0) {
+      Level& level = levels[depth];
+      if (level.pos < level.values.size()) {
+        DataId value = level.values[level.pos++];
+        if (depth == 0 && claim && !claim()) continue;  // Another worker's.
+        binding[order[depth]] = value;
+        if (depth + 1 == static_cast<int>(order.size())) {
+          Emit(out);
+          return true;
+        }
+        ++depth;
+        FillLevel(depth);
+      } else {
+        binding[order[depth]] = kNoDataId;
+        --depth;
+      }
+    }
+    done = true;
+    return false;
+  }
 };
 
-}  // namespace
+JoinCursor::JoinCursor(std::shared_ptr<const ReadView> view,
+                       const std::vector<Triple>& patterns,
+                       const VarAssignment& fixed, JoinStats* stats) {
+  WDSPARQL_CHECK(view != nullptr);
+  const ReadView& ref = *view;
+  state_ = std::make_unique<State>(std::move(view), ref, fixed, stats);
+  if (!state_->Setup(patterns)) state_->done = true;
+}
+
+JoinCursor::JoinCursor(const ReadView& view, const std::vector<Triple>& patterns,
+                       const VarAssignment& fixed, JoinStats* stats)
+    : state_(std::make_unique<State>(nullptr, view, fixed, stats)) {
+  if (!state_->Setup(patterns)) state_->done = true;
+}
+
+JoinCursor::~JoinCursor() = default;
+JoinCursor::JoinCursor(JoinCursor&&) noexcept = default;
+JoinCursor& JoinCursor::operator=(JoinCursor&&) noexcept = default;
+
+bool JoinCursor::Next(VarAssignment* out) { return state_->Next(out); }
+
+void JoinCursor::SetRootClaim(std::function<bool()> claim) {
+  state_->claim = std::move(claim);
+}
 
 void JoinEnumerate(const ReadView& store, const std::vector<Triple>& patterns,
                    const VarAssignment& fixed,
                    const std::function<bool(const VarAssignment&)>& callback,
                    JoinStats* stats) {
-  JoinRun run(store, fixed, callback, stats);
-  if (!run.Setup(patterns)) return;
-  run.Run();
+  JoinCursor cursor(store, patterns, fixed, stats);
+  VarAssignment out;
+  while (cursor.Next(&out)) {
+    if (!callback(out)) return;
+  }
 }
 
 bool JoinExists(const ReadView& store, const std::vector<Triple>& patterns,
                 const VarAssignment& fixed, JoinStats* stats) {
-  bool found = false;
-  JoinEnumerate(
-      store, patterns, fixed,
-      [&found](const VarAssignment&) {
-        found = true;
-        return false;  // First witness suffices.
-      },
-      stats);
-  return found;
+  JoinCursor cursor(store, patterns, fixed, stats);
+  VarAssignment out;
+  return cursor.Next(&out);
 }
 
 }  // namespace wdsparql

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "engine/read_view.h"
@@ -21,6 +22,11 @@
 /// leapfrog triejoin, with galloping (exponential-probe) merges over the
 /// permutation ranges of `IndexedStore`. Candidate values arrive sorted
 /// because `DataId` order is preserved inside every permutation range.
+///
+/// The join is exposed two ways: `JoinCursor`, a pull-based resumable
+/// iterator (the engine's suspendable enumeration and the parallel
+/// execution mode both build on it), and the callback-shaped
+/// `JoinEnumerate`/`JoinExists`, which are thin drivers over a cursor.
 
 namespace wdsparql {
 
@@ -35,6 +41,52 @@ struct JoinStats {
   uint64_t delta_scanned = 0;   ///< Triples read from delta runs.
   uint64_t dict_encodes = 0;    ///< Term -> DataId dictionary probes.
   uint64_t dict_decodes = 0;    ///< DataId -> Term resolutions.
+};
+
+/// Pull-based resumable join: each `Next` call produces one assignment
+/// and suspends with the whole descent state (one {values, position}
+/// frame per bound variable) intact, so a caller that stops after the
+/// first row pays for one row — not for the subtree's whole match set.
+///
+/// The cursor copies `fixed` and may share ownership of the view, so it
+/// can outlive the `Execute` call that created it; `stats` (optional)
+/// must outlive the cursor and is written from the pulling thread only.
+///
+/// Determinism: over a fixed view, every cursor for the same (patterns,
+/// fixed) walks the identical variable order and value lists — the
+/// parallel execution mode relies on this to stride one candidate space
+/// across workers without coordination beyond a shared counter (see
+/// `SetRootClaim`).
+class JoinCursor {
+ public:
+  /// Shares ownership of `view` (the safe form for long-lived cursors).
+  JoinCursor(std::shared_ptr<const ReadView> view,
+             const std::vector<Triple>& patterns, const VarAssignment& fixed,
+             JoinStats* stats = nullptr);
+  /// Borrows `view`, which must outlive the cursor (the classic
+  /// callback drivers below use this form).
+  JoinCursor(const ReadView& view, const std::vector<Triple>& patterns,
+             const VarAssignment& fixed, JoinStats* stats = nullptr);
+  ~JoinCursor();
+  JoinCursor(JoinCursor&&) noexcept;
+  JoinCursor& operator=(JoinCursor&&) noexcept;
+
+  /// Produces the next solution (including `fixed`, same convention as
+  /// EnumerateHomomorphisms). Returns false once exhausted (and from
+  /// then on).
+  bool Next(VarAssignment* out);
+
+  /// Installs a work-partitioning claim consulted once per root-level
+  /// binding, in the cursor's deterministic candidate order: `claim()`
+  /// returning false skips that root value (and its whole sub-descent).
+  /// A set of cursors over the same view and inputs whose claims
+  /// partition the call sequence partitions the solution space exactly.
+  /// Install before the first `Next`.
+  void SetRootClaim(std::function<bool()> claim);
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
 };
 
 /// Enumerates every assignment of vars(`patterns`) \ dom(`fixed`) such

@@ -202,15 +202,10 @@ Cursor Statement::ExecuteInternal(const std::vector<std::string>& projection,
   if (snapshot != nullptr) {
     // Snapshot binding happens here, not at Open: a refused combination
     // must fail loudly at Execute time, never silently read live state.
-    if (impl_->options.backend != Backend::kIndexed) {
-      cursor->state = Cursor::State::kFailed;
-      cursor->diagnostics.code = QueryDiagnostics::Code::kUnimplemented;
-      cursor->diagnostics.message =
-          "snapshot-bound execution is not implemented on the naive-hash "
-          "oracle backend (it reads live state and cannot pin a view); "
-          "use Backend::kIndexed";
-      return Cursor(std::move(cursor));
-    }
+    // Both backends accept a snapshot — the indexed one enumerates the
+    // pinned view directly; the naive oracle materialises a private copy
+    // of the view's content at Open, so differential tests can compare
+    // both backends against the same pinned state under a live writer.
     if (!snapshot->valid()) {
       cursor->state = Cursor::State::kFailed;
       cursor->diagnostics.code = QueryDiagnostics::Code::kInternal;

@@ -441,12 +441,21 @@ void Server::HandleQuery(int fd, const HttpRequest& request,
   Timer query_timer;
   uint64_t limit = 0;
   uint64_t deadline_ms = 0;
+  uint64_t parallelism = 0;
   if (!UintParam(request, "limit", 0, &limit) ||
       !UintParam(request, "deadline_ms", options_.default_deadline_ms,
-                 &deadline_ms)) {
+                 &deadline_ms) ||
+      !UintParam(request, "parallelism", 0, &parallelism)) {
     WriteError(fd, &ctx, 400, "InvalidParameter",
-               "limit and deadline_ms must be non-negative integers");
+               "limit, deadline_ms and parallelism must be non-negative "
+               "integers");
     return;
+  }
+  // Parallelism is clamped to the server ceiling, not refused: unlike a
+  // loosened deadline it cannot change the answer set, only how many
+  // threads one request may occupy.
+  if (parallelism > options_.max_parallelism) {
+    parallelism = options_.max_parallelism;
   }
   // The server default is a *hard* ceiling: a request may tighten its
   // deadline, never escape it (unless the server runs unbounded).
@@ -470,6 +479,7 @@ void Server::HandleQuery(int fd, const HttpRequest& request,
 
   ExecOptions exec;
   exec.row_limit = limit;
+  exec.parallelism = static_cast<uint32_t>(parallelism);
   exec.cancel = MakeCancelToken();
   exec.collect_stats = want_stats || slow_log;
   if (ctx.trace.enabled()) {

@@ -28,6 +28,25 @@ std::string RenderPattern(const TermPool& pool, const TripleSet& pattern) {
   return out;
 }
 
+/// Batch-hook fallback: the whole candidate set, materialised up front
+/// and drained one pull at a time. Keeps hooks that only provide the
+/// callback-shaped `candidates` (the naive oracle backends) working
+/// unchanged behind the pull interface.
+class MaterializedGenerator final : public CandidateGenerator {
+ public:
+  bool Next(VarAssignment* out) override {
+    if (pos_ >= buffer_.size()) return false;
+    *out = std::move(buffer_[pos_++]);
+    return true;
+  }
+
+  std::vector<VarAssignment>& buffer() { return buffer_; }
+
+ private:
+  std::vector<VarAssignment> buffer_;
+  std::size_t pos_ = 0;
+};
+
 }  // namespace
 
 SolutionEnumerator::SolutionEnumerator(const PatternForest& forest,
@@ -72,9 +91,9 @@ bool SolutionEnumerator::AdvanceSubtree() {
     cur_tree_ = subtree.tree;
     pattern_ = SubtreePattern(subtree);
     children_ = SubtreeChildren(subtree);
-    buffer_.clear();
-    buffer_pos_ = 0;
-    // One span per wdpf subtree, covering its whole candidate batch and
+    cur_candidates_ = 0;
+    sink_has_cur_ = false;
+    // One span per wdpf subtree, covering its whole candidate pull and
     // the maximality work until the next boundary — this is the subtree-
     // granular "where did the time go" answer; per-candidate cost stays
     // out of the trace entirely.
@@ -86,45 +105,29 @@ bool SolutionEnumerator::AdvanceSubtree() {
       trace_->Annotate(subtree_span_, "subtree",
                        static_cast<uint64_t>(subtree_idx_ - 1));
     }
-    hooks_.candidates(pattern_, [this](const VarAssignment& assignment) {
+    if (hooks_.open_candidates) {
+      // Suspendable path: the generator carries the whole join state;
+      // candidates are produced one `Next` pull at a time, never
+      // materialised.
+      generator_ = hooks_.open_candidates(pattern_);
+      return true;
+    }
+    // Batch fallback: materialise the subtree's match set up front.
+    auto materialized = std::make_unique<MaterializedGenerator>();
+    hooks_.candidates(pattern_, [this, &materialized](const VarAssignment& assignment) {
       // The interrupt check sits inside candidate generation, so even a
       // subtree with a huge match set stops within check_interval steps
       // (returning false tells the backend scan to stop mid-range).
       if (CheckInterrupt()) return false;
-      ++stats_.candidates;
-      Mapping mu;
-      for (const auto& [var, value] : assignment) {
-        WDSPARQL_CHECK(mu.Bind(var, value));
-      }
-      buffer_.push_back(std::move(mu));
+      materialized->buffer().push_back(assignment);
       return true;
     });
     if (interrupted_) {
       EndSubtreeSpan();
-      return false;  // Partial buffer: never delivered.
+      return false;  // Partial batch: never delivered.
     }
-    if (trace_ != nullptr) {
-      trace_->Annotate(subtree_span_, "candidates",
-                       static_cast<uint64_t>(buffer_.size()));
-    }
-    if (sink_ != nullptr) {
-      sink_has_cur_ = !buffer_.empty();
-      if (buffer_.empty()) {
-        ++sink_->empty_subpatterns;
-      } else {
-        // One breakdown entry per subtree that produced candidates
-        // (empty subtrees are only tallied, or a wide forest would drown
-        // the report in zero rows).
-        ExecStats::Subpattern sub;
-        sub.tree = tree_idx_;
-        sub.subtree = subtree_idx_ - 1;
-        sub.pattern = RenderPattern(*sink_pool_, pattern_);
-        sub.candidates = buffer_.size();
-        sink_->subpatterns.push_back(std::move(sub));
-        sink_->candidates += buffer_.size();
-      }
-    }
-    if (!buffer_.empty()) return true;  // Else: empty subtree, keep looking.
+    generator_ = std::move(materialized);
+    return true;
   }
 }
 
@@ -132,20 +135,50 @@ bool SolutionEnumerator::Next(Mapping* out) {
   WDSPARQL_CHECK(out != nullptr);
   if (state_ == State::kDone) return false;
   state_ = State::kActive;
+  VarAssignment assignment;
   while (true) {
     if (CheckInterrupt()) {
       state_ = State::kDone;
       EndSubtreeSpan();
       return false;
     }
-    if (buffer_pos_ >= buffer_.size()) {
+    if (generator_ == nullptr) {
       if (!AdvanceSubtree()) {
         state_ = State::kDone;
         return false;
       }
       continue;
     }
-    const Mapping& mu = buffer_[buffer_pos_++];
+    if (!generator_->Next(&assignment)) {
+      // Subtree exhausted. Empty subtrees are only tallied (no
+      // breakdown entry), or a wide forest would drown the report in
+      // zero rows.
+      if (sink_ != nullptr && cur_candidates_ == 0) ++sink_->empty_subpatterns;
+      generator_.reset();
+      continue;
+    }
+    ++stats_.candidates;
+    ++cur_candidates_;
+    if (sink_ != nullptr) {
+      if (cur_candidates_ == 1) {
+        // Lazily opened breakdown entry: with a suspendable generator,
+        // whether a subtree has candidates at all is only known at the
+        // first successful pull.
+        ExecStats::Subpattern sub;
+        sub.tree = tree_idx_;
+        sub.subtree = subtree_idx_ - 1;
+        sub.pattern = RenderPattern(*sink_pool_, pattern_);
+        sink_->subpatterns.push_back(std::move(sub));
+        sink_has_cur_ = true;
+      }
+      ++sink_->candidates;
+      ++CurSubpattern()->candidates;
+    }
+    Mapping candidate;
+    for (const auto& [var, value] : assignment) {
+      WDSPARQL_CHECK(candidate.Bind(var, value));
+    }
+    const Mapping& mu = candidate;
     if (seen_.count(mu) > 0) {
       if (sink_ != nullptr) {
         ++sink_->dedup_rejected;

@@ -2,6 +2,7 @@
 #define WDSPARQL_WD_ENUMERATE_H_
 
 #include <functional>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
@@ -44,15 +45,42 @@ struct EnumerateStats {
   uint64_t candidates = 0;   ///< Homomorphisms considered.
   uint64_t emitted = 0;      ///< Answers produced (pre-deduplication).
   uint64_t maximality_tests = 0;
+  /// Duplicates dropped at the cross-worker merge (parallel execution
+  /// only; always 0 for a serial enumeration).
+  uint64_t merge_dedup = 0;
+};
+
+/// A suspendable candidate source: one subtree pattern's homomorphisms,
+/// delivered one `Next` call at a time. Generators carry their whole
+/// search state between calls, so a consumer that stops early (row
+/// limits, cancellation, a partitioned parallel worker) pays only for
+/// the candidates it actually pulled — never for the subtree's whole
+/// match set.
+class CandidateGenerator {
+ public:
+  virtual ~CandidateGenerator() = default;
+
+  /// Produces the next candidate homomorphism; false once exhausted
+  /// (and from then on).
+  virtual bool Next(VarAssignment* out) = 0;
 };
 
 /// Hooks customising the enumeration skeleton.
 struct EnumerationHooks {
   /// Streams the homomorphism candidates of one subtree pattern into
-  /// `emit`; must stop when `emit` returns false.
+  /// `emit`; must stop when `emit` returns false. Fallback used when
+  /// `open_candidates` is unset: the enumerator materialises the batch
+  /// up front (the pre-suspendable behaviour — the naive oracle backends
+  /// still run this way).
   std::function<void(const TripleSet& pattern,
                      const std::function<bool(const VarAssignment&)>& emit)>
       candidates;
+  /// Pull-based candidate source for one subtree pattern; preferred over
+  /// `candidates` when set. The engine's indexed backend wires a
+  /// resumable `JoinCursor` through here, which is what makes the whole
+  /// enumeration suspendable candidate-by-candidate.
+  std::function<std::unique_ptr<CandidateGenerator>(const TripleSet& pattern)>
+      open_candidates;
   /// Maximality certificate: true iff some homomorphism of `combined`
   /// (the subtree pattern plus one child pattern) extends `mu`.
   std::function<bool(const TripleSet& combined, const Mapping& mu)> extends;
@@ -69,14 +97,16 @@ void EnumerateSolutionsWith(const PatternForest& forest, const EnumerationHooks&
 
 /// Pull-based, suspendable instantiation of the same skeleton — the
 /// engine's `Cursor` runs on this. The enumeration is an explicit state
-/// machine over (tree, subtree, candidate-buffer) coordinates: each
-/// `Next` call resumes exactly where the previous one stopped, performs
-/// the deduplication and per-child maximality certificates for as many
+/// machine over (tree, subtree, candidate-generator) coordinates: each
+/// `Next` call resumes exactly where the previous one stopped, pulls
+/// candidates one at a time from the open subtree's generator, performs
+/// deduplication and the per-child maximality certificates for as many
 /// candidates as it takes to reach the next answer, and suspends again.
-/// Candidates of the *current* subtree are materialised in one batch
-/// (they are answers-to-be and bounded by the subtree's match count);
-/// the expensive maximality certificates stay lazy, so closing a cursor
-/// early skips them for every unvisited candidate.
+/// With a pull-based `open_candidates` hook (the indexed backend's
+/// resumable join) nothing is materialised at all: a `row_limit=1`
+/// execution generates one candidate, not the subtree's whole match
+/// set. Hooks providing only the batch `candidates` callback keep the
+/// old materialise-per-subtree behaviour.
 ///
 /// The forest must outlive the enumerator, and the hooks must stay
 /// valid (they typically close over the storage backend).
@@ -138,8 +168,9 @@ class SolutionEnumerator {
   }
 
  private:
-  /// Moves the machine to the next subtree with candidates; fills the
-  /// candidate buffer. Returns false when every tree is exhausted.
+  /// Opens the next subtree (pattern, children, candidate generator,
+  /// trace span). Returns false when every tree is exhausted or the
+  /// interruption probe fired mid-materialisation.
   bool AdvanceSubtree();
 
   /// Counts one enumeration step; every `probe_interval_` steps asks
@@ -152,9 +183,12 @@ class SolutionEnumerator {
   ExecStats::Subpattern* CurSubpattern();
 
   /// Ends the open subtree's trace span, if any (subtree boundary,
-  /// exhaustion, interruption, destruction — whichever comes first).
+  /// exhaustion, interruption, destruction — whichever comes first),
+  /// annotating it with the candidates pulled so far — a lazy generator
+  /// only knows its candidate count at the boundary, not up front.
   void EndSubtreeSpan() {
     if (subtree_span_ != 0) {
+      trace_->Annotate(subtree_span_, "candidates", cur_candidates_);
       trace_->EndSpan(subtree_span_);
       subtree_span_ = 0;
     }
@@ -191,8 +225,11 @@ class SolutionEnumerator {
   std::size_t subtree_idx_ = 0;          // Next subtree to open.
   TripleSet pattern_;                    // pat(T') of the open subtree.
   std::vector<NodeId> children_;         // Children of the open subtree.
-  std::vector<Mapping> buffer_;          // Candidates of the open subtree.
-  std::size_t buffer_pos_ = 0;
+  /// The open subtree's candidate source (null between subtrees). A
+  /// pull-based hook keeps the full suspendable-join state here; the
+  /// batch fallback wraps a materialised vector.
+  std::unique_ptr<CandidateGenerator> generator_;
+  uint64_t cur_candidates_ = 0;          // Candidates pulled from `generator_`.
   std::unordered_set<Mapping, MappingHash> seen_;  // Cross-subtree dedup.
 };
 
