@@ -24,6 +24,17 @@
 ///                (parse once with --save, then query many times with
 ///                --db)
 ///   --plan       print wdpf(P) (the pattern forest) and the width report
+///   --explain-plan
+///                execute once with statistics collection, suppress the
+///                rows, and print the EXPLAIN tree — including, per wdpf
+///                subtree, the cost-based optimizer's chosen variable
+///                order / scan permutations and estimated vs actual
+///                cardinalities (indexed backend; needs compacted or
+///                snapshot-loaded statistics)
+///   --no-optimize
+///                disable the cost-based planner for this execution
+///                (ExecOptions::optimize = false): the historic
+///                most-constrained-first heuristic order runs instead
 ///   --count      print |JPKG| only
 ///   --promise K  verify every answer with PebbleWdEval at promise K
 ///   --backend    storage/execution backend (default: indexed — the
@@ -89,8 +100,8 @@ int Usage() {
                "usage: query_tool <graph.nt> '<pattern>' [--plan] [--count] "
                "[--promise K] [--backend naive|indexed] [--select ?x,?y] "
                "[--table] [--save <snapshot>] [--batch-size N] [--stats] "
-               "[--metrics] [--limit N] [--deadline-ms N] "
-               "[--cancel-after-ms N] [--parallelism N]\n"
+               "[--explain-plan] [--no-optimize] [--metrics] [--limit N] "
+               "[--deadline-ms N] [--cancel-after-ms N] [--parallelism N]\n"
                "       query_tool --db <snapshot> '<pattern>' [same flags] "
                "[--wal]\n");
   return 1;
@@ -144,6 +155,8 @@ int main(int argc, char** argv) {
   bool as_table = false;
   bool open_wal = false;
   bool show_stats = false;
+  bool explain_plan = false;
+  bool no_optimize = false;
   bool show_metrics = false;
   int promise = 0;
   long limit = 0;
@@ -177,6 +190,10 @@ int main(int argc, char** argv) {
       as_table = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       show_stats = true;
+    } else if (std::strcmp(argv[i], "--explain-plan") == 0) {
+      explain_plan = true;
+    } else if (std::strcmp(argv[i], "--no-optimize") == 0) {
+      no_optimize = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       show_metrics = true;
     } else if (std::strcmp(argv[i], "--promise") == 0 && i + 1 < argc) {
@@ -257,7 +274,8 @@ int main(int argc, char** argv) {
     }
   };
   ExecOptions exec;
-  exec.collect_stats = show_stats;
+  exec.collect_stats = show_stats || explain_plan;
+  exec.optimize = !no_optimize;
   if (limit > 0) exec.row_limit = static_cast<uint64_t>(limit);
   if (parallelism > 0) exec.parallelism = static_cast<uint32_t>(parallelism);
   if (deadline_ms > 0) exec.WithTimeout(std::chrono::milliseconds(deadline_ms));
@@ -283,6 +301,13 @@ int main(int argc, char** argv) {
                    cursor.diagnostics().message.c_str());
     }
   };
+
+  if (explain_plan && options.backend == Backend::kIndexed) {
+    // Cardinality statistics are gathered at delta merge; an in-memory
+    // load below the merge threshold has none yet. One Compact makes the
+    // EXPLAIN show real plans instead of "no statistics".
+    db.Compact();
+  }
 
   Session session = db.OpenSession(options);
   Statement stmt = session.Prepare(pattern_text);
@@ -348,7 +373,9 @@ int main(int argc, char** argv) {
     }
     report_outcome(counting);
     std::printf("%llu\n", static_cast<unsigned long long>(count));
-    if (show_stats && counting.stats() != nullptr) {
+    if (explain_plan && counting.stats() != nullptr) {
+      std::printf("%s", counting.stats()->ToText().c_str());
+    } else if (show_stats && counting.stats() != nullptr) {
       std::fprintf(stderr, "%s", counting.stats()->ToText().c_str());
     }
     dump_metrics();
@@ -380,12 +407,19 @@ int main(int argc, char** argv) {
   // Deterministic output: cursor arrival order is backend-dependent, so
   // the printed answer list is sorted (both backends byte-identical).
   std::sort(answers.begin(), answers.end());
-  for (const Mapping& mu : answers) {
-    std::printf("%s\n", mu.ToString(pool).c_str());
+  if (!explain_plan) {
+    for (const Mapping& mu : answers) {
+      std::printf("%s\n", mu.ToString(pool).c_str());
+    }
   }
   std::fprintf(stderr, "%zu answer(s), graph: %zu triple(s), backend: %s\n",
                answers.size(), db.size(), BackendToString(options.backend));
-  if (show_stats && cursor.stats() != nullptr) {
+  if (explain_plan && cursor.stats() != nullptr) {
+    // The plan report IS the output in this mode: one execution served
+    // both the enumeration (for actual cardinalities) and the EXPLAIN —
+    // the query is never run twice.
+    std::printf("%s", cursor.stats()->ToText().c_str());
+  } else if (show_stats && cursor.stats() != nullptr) {
     // The cursor is exhausted, so these are the execution's final
     // numbers (scan and dictionary counters folded in at finish).
     std::fprintf(stderr, "%s", cursor.stats()->ToText().c_str());

@@ -77,6 +77,15 @@ struct ExecOptions {
   /// within one `check_interval`.
   uint32_t parallelism = 0;
 
+  /// Cost-based variable-order optimization (indexed backend only):
+  /// when true and the store carries cardinality statistics, each wdpf
+  /// subtree's leapfrog binding order is chosen by the bottom-up planner
+  /// instead of the built-in most-constrained-first heuristic. The
+  /// answer *set* is identical either way (the order only changes work);
+  /// set false to reproduce pre-optimizer plans exactly (A/B runs,
+  /// plan-regression triage).
+  bool optimize = true;
+
   /// Collect per-execution `ExecStats` (see wdsparql/stats.h) on the
   /// cursor: counters per subpattern, scan/dictionary totals and phase
   /// timers, retrievable via `Cursor::stats()`. Off by default: the

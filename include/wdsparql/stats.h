@@ -46,6 +46,14 @@ struct ExecStats {
     uint64_t non_maximal = 0;       ///< Dropped: a child pattern extends them.
     uint64_t maximality_tests = 0;  ///< Extension certificates run.
     uint64_t rows = 0;        ///< Answers this subpattern contributed.
+
+    // Cost-based optimizer report (indexed backend with statistics;
+    // est_rows stays -1 when no plan was chosen — e.g.
+    // `ExecOptions::optimize = false` or a stats-less legacy snapshot).
+    double est_rows = -1;     ///< Estimated candidates (compare `candidates`).
+    double est_cost = 0;      ///< Estimated scan volume of the chosen order.
+    uint64_t plan_ns = 0;     ///< Time the optimizer spent on this subtree.
+    std::string plan;         ///< Chosen order, e.g. "order=[?y ?x] scans=[POS SPO]".
   };
 
   // Phase timers (nanoseconds). Parse/check/plan are properties of the
@@ -55,7 +63,12 @@ struct ExecStats {
   uint64_t parse_ns = 0;      ///< Pattern text -> AST.
   uint64_t check_ns = 0;      ///< Well-designedness check.
   uint64_t plan_ns = 0;       ///< wdpf forest construction + projection.
+  uint64_t optimize_ns = 0;   ///< Cost-based variable-order planning.
   uint64_t enumerate_ns = 0;  ///< Time spent pulling rows.
+
+  /// Summed estimated scan volume across the planned subpatterns (0 when
+  /// the optimizer never ran — see `Subpattern::est_rows`).
+  double est_cost = 0;
 
   // Enumeration totals.
   uint64_t rows_emitted = 0;     ///< Rows the cursor delivered (== Cursor::rows()).

@@ -86,7 +86,10 @@ namespace storage_format {
 
 /// Snapshot format version written by this library; `Open` rejects
 /// newer-versioned files with `kCorruption` rather than misreading them.
-inline constexpr uint32_t kSnapshotVersion = 1;
+/// Version 2 added the six optional cardinality-statistics sections
+/// (the optimizer's aggregated counts); version-1 files still open —
+/// the statistics are rebuilt lazily on the first Compact.
+inline constexpr uint32_t kSnapshotVersion = 2;
 
 /// WAL format version. Version 2 added group frames (one CRC-framed
 /// record carrying a whole `WriteBatch`, replayed all-or-nothing);

@@ -241,12 +241,16 @@ const HashTripleSource& HashSourceOf(const Database& db);
 /// and dictionary counters; it must outlive the hooks. A non-null
 /// `root_claim` (indexed backend only) is installed into every
 /// candidate generator the hooks open — the parallel workers' space-
-/// partitioning filter (see JoinCursor::SetRootClaim).
+/// partitioning filter (see JoinCursor::SetRootClaim). `optimize`
+/// (indexed backend only) enables the cost-based variable-order planner
+/// for each opened generator when the view carries cardinality
+/// statistics; false preserves the historic heuristic order exactly.
 EnumerationHooks MakeEnumerationHooks(const DatabaseImpl& db,
                                       const SessionOptions& options,
                                       std::shared_ptr<const ReadView> view,
                                       JoinStats* join_stats = nullptr,
-                                      std::function<bool()> root_claim = nullptr);
+                                      std::function<bool()> root_claim = nullptr,
+                                      bool optimize = true);
 
 /// Naive-backend hooks over an explicit materialised triple source (the
 /// snapshot-bound oracle path): candidate generation and maximality run

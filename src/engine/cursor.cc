@@ -50,6 +50,13 @@ void FinalizeCursorStats(CursorImpl* impl) {
     stats.delta_triples_scanned = impl->join_stats.delta_scanned;
     stats.dict_encodes = impl->join_stats.dict_encodes;
     stats.dict_decodes = impl->join_stats.dict_decodes;
+    // Optimizer totals, folded up from the per-subtree breakdown (the
+    // planner runs once per opened generator; parallel merges keep one
+    // representative entry per subtree).
+    for (const ExecStats::Subpattern& sub : stats.subpatterns) {
+      stats.optimize_ns += sub.plan_ns;
+      if (sub.est_rows >= 0) stats.est_cost += sub.est_cost;
+    }
   }
   MetricsRegistry& metrics = *impl->stmt->db->metrics;
   metrics.counter("query.rows_emitted").Add(impl->rows);
@@ -172,10 +179,11 @@ bool Cursor::Open() {
     const DatabaseImpl* db = stmt.db;
     SessionOptions sopts = stmt.options;
     std::shared_ptr<const ReadView> view = impl_->view;
-    popts.hooks_factory = [db, sopts, view](JoinStats* stats,
-                                            std::function<bool()> claim) {
+    const bool optimize = impl_->exec.optimize;
+    popts.hooks_factory = [db, sopts, view, optimize](
+                              JoinStats* stats, std::function<bool()> claim) {
       return engine_internal::MakeEnumerationHooks(*db, sopts, view, stats,
-                                                   std::move(claim));
+                                                   std::move(claim), optimize);
     };
     impl_->parallel =
         std::make_unique<ParallelEnumerator>(stmt.forest, std::move(popts));
@@ -213,7 +221,8 @@ bool Cursor::Open() {
     } else {
       hooks = engine_internal::MakeEnumerationHooks(
           *stmt.db, stmt.options, impl_->view,
-          impl_->stats != nullptr ? &impl_->join_stats : nullptr);
+          impl_->stats != nullptr ? &impl_->join_stats : nullptr,
+          /*root_claim=*/nullptr, impl_->exec.optimize);
     }
     impl_->enumerator =
         std::make_unique<SolutionEnumerator>(stmt.forest, std::move(hooks));

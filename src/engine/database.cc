@@ -7,8 +7,10 @@
 #include "engine/join.h"
 #include "hom/homomorphism.h"
 #include "hom/pebble.h"
+#include "optimizer/planner.h"
 #include "ptree/tgraph.h"
 #include "rdf/ntriples.h"
+#include "util/timer.h"
 #include "wd/eval.h"
 
 namespace wdsparql {
@@ -423,18 +425,58 @@ namespace {
 /// backend's suspendable candidate source. Shares ownership of the
 /// pinned view through the cursor; an optional root claim partitions
 /// the candidate space across parallel workers.
+///
+/// When `optimize` is set and the view carries cardinality statistics,
+/// the subtree's variable order comes from the cost-based planner and
+/// the chosen plan is surfaced through `plan_info()`. Planning is a pure
+/// function of (view, patterns), so parallel workers — each constructing
+/// their own generator over the same pinned view — compute identical
+/// orders, which is what keeps root-claim partitioning exact.
 class JoinCursorGenerator final : public CandidateGenerator {
  public:
   JoinCursorGenerator(std::shared_ptr<const ReadView> view,
                       const std::vector<Triple>& patterns, JoinStats* stats,
-                      const std::function<bool()>& claim)
-      : cursor_(std::move(view), patterns, VarAssignment{}, stats) {
+                      const std::function<bool()>& claim, bool optimize,
+                      const TermPool* pool, Counter* plans_metric,
+                      Histogram* plan_ns_metric)
+      : plan_(MakePlan(view.get(), patterns, optimize, plans_metric,
+                       plan_ns_metric, &info_.plan_ns)),
+        cursor_(std::move(view), patterns, VarAssignment{}, stats,
+                plan_.has_value() ? &plan_->var_order : nullptr) {
+    if (plan_.has_value()) {
+      info_.est_rows = plan_->est_rows;
+      info_.est_cost = plan_->est_cost;
+      info_.description = optimizer::DescribePlan(*plan_, *pool);
+    }
     if (claim) cursor_.SetRootClaim(claim);
   }
 
   bool Next(VarAssignment* out) override { return cursor_.Next(out); }
 
+  const CandidatePlanInfo* plan_info() const override {
+    return plan_.has_value() ? &info_ : nullptr;
+  }
+
  private:
+  static std::optional<optimizer::SubtreePlan> MakePlan(
+      const ReadView* view, const std::vector<Triple>& patterns, bool optimize,
+      Counter* plans_metric, Histogram* plan_ns_metric, uint64_t* plan_ns) {
+    if (!optimize || view->stats() == nullptr) return std::nullopt;
+    Timer timer;
+    std::optional<optimizer::SubtreePlan> plan =
+        optimizer::PlanSubtree(*view, patterns);
+    *plan_ns = timer.ElapsedNanos();
+    if (plan.has_value()) {
+      plans_metric->Add(1);
+      plan_ns_metric->Observe(*plan_ns);
+    }
+    return plan;
+  }
+
+  // Declaration order is load-bearing: `plan_` initialises (writing
+  // `info_.plan_ns`) before `cursor_`, which consumes the chosen order.
+  CandidatePlanInfo info_;
+  std::optional<optimizer::SubtreePlan> plan_;
   JoinCursor cursor_;
 };
 
@@ -444,7 +486,8 @@ EnumerationHooks MakeEnumerationHooks(const DatabaseImpl& db,
                                       const SessionOptions& options,
                                       std::shared_ptr<const ReadView> view,
                                       JoinStats* join_stats,
-                                      std::function<bool()> root_claim) {
+                                      std::function<bool()> root_claim,
+                                      bool optimize) {
   EnumerationHooks hooks;
   if (options.backend == Backend::kIndexed) {
     // The hooks share ownership of the pinned view: the enumeration
@@ -452,11 +495,20 @@ EnumerationHooks MakeEnumerationHooks(const DatabaseImpl& db,
     // does meanwhile. `join_stats` (when collecting) is cursor-local and
     // outlives the hooks by contract, so the lambdas capture it raw.
     if (view == nullptr) view = db.store.PinView();
+    // Optimizer plumbing, resolved once per hooks build (instrument
+    // addresses are registry-stable; the lookup mutex is fine off the
+    // per-row hot path). The pool pointer renders plan descriptions.
+    const TermPool* pool = db.pool;
+    Counter* plans_metric = &db.metrics->counter("optimizer.plans");
+    Histogram* plan_ns_metric = &db.metrics->histogram("optimizer.plan_ns");
     hooks.open_candidates =
-        [view, join_stats, claim = std::move(root_claim)](
+        [view, join_stats, claim = std::move(root_claim), optimize, pool,
+         plans_metric, plan_ns_metric](
             const TripleSet& pattern) -> std::unique_ptr<CandidateGenerator> {
       return std::make_unique<JoinCursorGenerator>(view, pattern.triples(),
-                                                   join_stats, claim);
+                                                   join_stats, claim, optimize,
+                                                   pool, plans_metric,
+                                                   plan_ns_metric);
     };
     hooks.candidates = [view, join_stats](
                            const TripleSet& pattern,

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <unordered_set>
 
+#include "optimizer/cardinality.h"
 #include "util/timer.h"
 
 namespace wdsparql {
@@ -87,7 +88,8 @@ IndexedStore IndexedStore::Build(const std::vector<Triple>& triples) {
 IndexedStore IndexedStore::FromSnapshot(Dictionary dict, const EncTriple* spo,
                                         const EncTriple* pos, const EncTriple* osp,
                                         std::size_t count,
-                                        std::shared_ptr<const void> keepalive) {
+                                        std::shared_ptr<const void> keepalive,
+                                        std::shared_ptr<const CardinalityStats> stats) {
   IndexedStore store;
   store.dict_ = std::move(dict);
   auto base = std::make_shared<BaseRuns>();
@@ -95,6 +97,7 @@ IndexedStore IndexedStore::FromSnapshot(Dictionary dict, const EncTriple* spo,
   base->pos.Borrow(pos, count);
   base->osp.Borrow(osp, count);
   base->keepalive = std::move(keepalive);
+  base->stats = std::move(stats);
   store.base_ = std::move(base);
   store.Publish();
   return store;
@@ -107,6 +110,8 @@ void IndexedStore::SetBuilt(Dictionary dict, std::vector<EncTriple> spo,
   base->spo.Assign(std::move(spo));
   base->pos.Assign(std::move(pos));
   base->osp.Assign(std::move(osp));
+  base->stats = CardinalityStats::Build(base->spo.data(), base->pos.data(),
+                                        base->osp.data(), base->spo.size());
   base_ = std::move(base);
   delta_ = std::make_shared<const DeltaRuns>();
   Publish();
@@ -117,12 +122,14 @@ void IndexedStore::set_metrics(std::shared_ptr<MetricsRegistry> metrics) {
   if (metrics_ == nullptr) {
     publishes_metric_ = nullptr;
     compactions_metric_ = nullptr;
+    stats_rebuilds_metric_ = nullptr;
     delta_build_ns_metric_ = nullptr;
     compaction_ns_metric_ = nullptr;
     return;
   }
   publishes_metric_ = &metrics_->counter("write.publishes");
   compactions_metric_ = &metrics_->counter("store.compactions");
+  stats_rebuilds_metric_ = &metrics_->counter("optimizer.stats_rebuilds");
   delta_build_ns_metric_ = &metrics_->histogram("write.delta_build_ns");
   compaction_ns_metric_ = &metrics_->histogram("store.compaction_ns");
 }
@@ -365,7 +372,23 @@ void IndexedStore::MaybeMerge() {
 }
 
 void IndexedStore::MergeDelta() {
-  if (delta_->dspo.empty() && delta_->dead.empty()) return;
+  if (delta_->dspo.empty() && delta_->dead.empty()) {
+    if (base_->stats != nullptr) return;
+    // Nothing to merge, but the base carries no cardinality statistics —
+    // a legacy snapshot opened before the stats sections existed. This
+    // compaction is the lazy upgrade: rebuild the stats over the
+    // unchanged runs and republish, so subsequent views (and the next
+    // Checkpoint) carry them. Copying the BaseRuns is cheap here: the
+    // runs are borrowed (pointer copies) or empty.
+    auto upgraded = std::make_shared<BaseRuns>(*base_);
+    upgraded->stats = CardinalityStats::Build(
+        upgraded->spo.data(), upgraded->pos.data(), upgraded->osp.data(),
+        upgraded->spo.size());
+    base_ = std::move(upgraded);
+    if (stats_rebuilds_metric_ != nullptr) stats_rebuilds_metric_->Add(1);
+    Publish();
+    return;
+  }
   Timer merge_timer;
   const DeltaRuns& delta = *delta_;
   auto merged_base = std::make_shared<BaseRuns>();
@@ -398,6 +421,11 @@ void IndexedStore::MergeDelta() {
   merge_one(base_->spo, delta.dspo, &merged_base->spo, Permutation::kSpo);
   merge_one(base_->pos, delta.dpos, &merged_base->pos, Permutation::kPos);
   merge_one(base_->osp, delta.dosp, &merged_base->osp, Permutation::kOsp);
+  // Fresh base, fresh census: one more linear pass per permutation keeps
+  // every published view's statistics exact for the runs it scans.
+  merged_base->stats = CardinalityStats::Build(
+      merged_base->spo.data(), merged_base->pos.data(), merged_base->osp.data(),
+      merged_base->spo.size());
   base_ = std::move(merged_base);
   delta_ = std::make_shared<const DeltaRuns>();
   if (compactions_metric_ != nullptr) {

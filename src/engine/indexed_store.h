@@ -77,10 +77,15 @@ class IndexedStore final : public TripleSource {
   /// keepalive is stored inside the published base runs, so the mapping
   /// lives exactly as long as the last `ReadView` that borrows from it
   /// (the next `MergeDelta` migrates the store itself to owned storage).
+  /// `stats` are the snapshot's persisted cardinality statistics (null
+  /// for legacy snapshots without stats sections; `MergeDelta` rebuilds
+  /// them on the first compaction).
   static IndexedStore FromSnapshot(Dictionary dict, const EncTriple* spo,
                                    const EncTriple* pos, const EncTriple* osp,
                                    std::size_t count,
-                                   std::shared_ptr<const void> keepalive);
+                                   std::shared_ptr<const void> keepalive,
+                                   std::shared_ptr<const CardinalityStats> stats =
+                                       nullptr);
 
   // Mutation (single writer) ------------------------------------------
 
@@ -116,6 +121,10 @@ class IndexedStore final : public TripleSource {
   /// linear merge pass per permutation, then publishes. Idempotent;
   /// `DataId`s and the dictionary are unchanged. Views pinned before the
   /// merge keep the pre-merge runs alive and stay fully readable.
+  /// The merged base always gets fresh `CardinalityStats`; an empty
+  /// delta over a stats-less base (a legacy snapshot) rebuilds the stats
+  /// in place and republishes, so "Compact" is also the lazy
+  /// stats-upgrade path.
   void MergeDelta();
 
   /// Pending un-merged work: delta triples plus tombstones.
@@ -192,6 +201,13 @@ class IndexedStore final : public TripleSource {
   /// \internal Length of each base run.
   std::size_t base_size() const { return base_->spo.size(); }
 
+  /// \internal Cardinality statistics over the current base runs, or
+  /// null when none have been built yet (see `MergeDelta`). Writer-side;
+  /// readers use `PinView()->stats()`.
+  const std::shared_ptr<const CardinalityStats>& stats() const {
+    return base_->stats;
+  }
+
   /// \internal True when any base run still borrows mapped storage.
   bool borrows_snapshot() const {
     return base_->spo.borrowed() || base_->pos.borrowed() || base_->osp.borrowed();
@@ -234,6 +250,7 @@ class IndexedStore final : public TripleSource {
   std::shared_ptr<MetricsRegistry> metrics_;
   Counter* publishes_metric_ = nullptr;
   Counter* compactions_metric_ = nullptr;
+  Counter* stats_rebuilds_metric_ = nullptr;
   Histogram* delta_build_ns_metric_ = nullptr;
   Histogram* compaction_ns_metric_ = nullptr;
 };

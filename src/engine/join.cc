@@ -59,7 +59,8 @@ struct JoinCursor::State {
   }
 
   /// Returns false iff setup proved the join empty.
-  bool Setup(const std::vector<Triple>& patterns) {
+  bool Setup(const std::vector<Triple>& patterns,
+             const std::vector<TermId>* preferred_order) {
     for (const Triple& raw : patterns) {
       Triple t = ApplyAssignment(fixed, raw);
       EncConjunct c;
@@ -106,6 +107,26 @@ struct JoinCursor::State {
       if (ca != cb) return ca > cb;
       return vars[a] < vars[b];
     });
+    // A planner-chosen order overrides the heuristic — but only when it
+    // is exactly a permutation of this pattern's unbound variables, so a
+    // mismatched plan degrades to the heuristic instead of to a wrong
+    // (partial) binding order.
+    if (preferred_order != nullptr && preferred_order->size() == vars.size()) {
+      std::vector<int> mapped;
+      mapped.reserve(vars.size());
+      std::vector<char> used(vars.size(), 0);
+      bool ok = true;
+      for (TermId term : *preferred_order) {
+        auto it = var_index.find(term);
+        if (it == var_index.end() || used[it->second]) {
+          ok = false;
+          break;
+        }
+        used[it->second] = 1;
+        mapped.push_back(it->second);
+      }
+      if (ok) order = std::move(mapped);
+    }
     binding.assign(vars.size(), kNoDataId);
     levels.resize(order.size());
     return true;
@@ -250,17 +271,19 @@ struct JoinCursor::State {
 
 JoinCursor::JoinCursor(std::shared_ptr<const ReadView> view,
                        const std::vector<Triple>& patterns,
-                       const VarAssignment& fixed, JoinStats* stats) {
+                       const VarAssignment& fixed, JoinStats* stats,
+                       const std::vector<TermId>* var_order) {
   WDSPARQL_CHECK(view != nullptr);
   const ReadView& ref = *view;
   state_ = std::make_unique<State>(std::move(view), ref, fixed, stats);
-  if (!state_->Setup(patterns)) state_->done = true;
+  if (!state_->Setup(patterns, var_order)) state_->done = true;
 }
 
 JoinCursor::JoinCursor(const ReadView& view, const std::vector<Triple>& patterns,
-                       const VarAssignment& fixed, JoinStats* stats)
+                       const VarAssignment& fixed, JoinStats* stats,
+                       const std::vector<TermId>* var_order)
     : state_(std::make_unique<State>(nullptr, view, fixed, stats)) {
-  if (!state_->Setup(patterns)) state_->done = true;
+  if (!state_->Setup(patterns, var_order)) state_->done = true;
 }
 
 JoinCursor::~JoinCursor() = default;

@@ -60,13 +60,26 @@ struct JoinStats {
 class JoinCursor {
  public:
   /// Shares ownership of `view` (the safe form for long-lived cursors).
+  ///
+  /// `var_order` (optional, both constructors) injects a planner-chosen
+  /// variable binding order: the `TermId`s of the pattern's unbound
+  /// variables, first-bound first. Any order over the same variable set
+  /// yields the same solution set (a conjunctive pattern's homomorphisms
+  /// do not depend on enumeration order), just different work. The
+  /// pointer is only read during construction. An order that does not
+  /// cover the unbound variables exactly is ignored in favour of the
+  /// built-in heuristic, so a stale plan can never produce wrong
+  /// answers. Passing null preserves the historic heuristic order
+  /// exactly (the `ExecOptions::optimize = false` contract).
   JoinCursor(std::shared_ptr<const ReadView> view,
              const std::vector<Triple>& patterns, const VarAssignment& fixed,
-             JoinStats* stats = nullptr);
+             JoinStats* stats = nullptr,
+             const std::vector<TermId>* var_order = nullptr);
   /// Borrows `view`, which must outlive the cursor (the classic
   /// callback drivers below use this form).
   JoinCursor(const ReadView& view, const std::vector<Triple>& patterns,
-             const VarAssignment& fixed, JoinStats* stats = nullptr);
+             const VarAssignment& fixed, JoinStats* stats = nullptr,
+             const std::vector<TermId>* var_order = nullptr);
   ~JoinCursor();
   JoinCursor(JoinCursor&&) noexcept;
   JoinCursor& operator=(JoinCursor&&) noexcept;

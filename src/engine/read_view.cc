@@ -59,6 +59,12 @@ const std::shared_ptr<const DeltaRuns>& EmptyDeltaRuns() {
 
 }  // namespace
 
+namespace enc_order {
+
+Permutation PermForBoundMask(int mask) { return kPermForMask[mask & 7]; }
+
+}  // namespace enc_order
+
 // ---------------------------------------------------------------------
 // MergedScan
 // ---------------------------------------------------------------------

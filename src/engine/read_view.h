@@ -74,6 +74,11 @@ inline const int* OrderOf(Permutation perm) {
   return kPermOrder[static_cast<int>(perm)];
 }
 
+/// The permutation whose sort prefix covers a bound-position mask
+/// (bit 0 = S bound, bit 1 = P, bit 2 = O): the choice `Scan` makes, so
+/// the planner can predict/report which index a scan will touch.
+Permutation PermForBoundMask(int mask);
+
 /// Lexicographic comparator in the given permutation order.
 struct PermLess {
   const int* order;
@@ -220,15 +225,22 @@ class EncRun {
   std::vector<EncTriple> owned_;
 };
 
+class CardinalityStats;  // optimizer/cardinality.h
+
 /// The three base runs of one store generation. Immutable once
 /// published; replaced wholesale by `MergeDelta`. `keepalive` pins
 /// whatever external storage the runs borrow (the mapped snapshot
 /// file), so the mapping lives exactly as long as the last view over it.
+/// `stats`, when set, are the aggregated cardinality counts over
+/// exactly these runs (built at merge time or borrowed from the
+/// snapshot's stats sections) — null for legacy snapshots until the
+/// first Compact rebuilds them.
 struct BaseRuns {
   EncRun spo;
   EncRun pos;
   EncRun osp;
   std::shared_ptr<const void> keepalive;
+  std::shared_ptr<const CardinalityStats> stats;
 };
 
 /// The mutable tail of the store, frozen: sorted delta runs absorbing
@@ -301,6 +313,13 @@ class ReadView final : public TripleSource {
 
   /// Un-merged work captured in this view (delta triples + tombstones).
   std::size_t pending_delta() const { return delta_->pending(); }
+
+  /// Cardinality statistics over this view's base runs, or null when
+  /// the base carries none (legacy snapshot not yet compacted, or a
+  /// store that has never merged). The stats describe the base only —
+  /// `pending_delta()` triples are not counted; the planner treats them
+  /// as estimation noise.
+  const CardinalityStats* stats() const { return base_->stats.get(); }
 
   /// \internal True when any base run of this view borrows mapped
   /// snapshot storage.

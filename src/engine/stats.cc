@@ -9,6 +9,13 @@
 namespace wdsparql {
 namespace {
 
+/// Cardinality/cost estimate -> short human form ("123", "4.57e+08").
+std::string HumanCount(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
 /// "1234567" ns -> "1.23ms"-style human duration.
 std::string HumanNs(uint64_t ns) {
   char buf[32];
@@ -30,8 +37,9 @@ std::string ExecStats::ToText() const {
   std::ostringstream out;
   out << "ExecStats (" << backend << " backend)\n";
   out << "  phases: parse=" << HumanNs(parse_ns) << " check=" << HumanNs(check_ns)
-      << " plan=" << HumanNs(plan_ns) << " enumerate=" << HumanNs(enumerate_ns)
-      << "\n";
+      << " plan=" << HumanNs(plan_ns) << " optimize=" << HumanNs(optimize_ns)
+      << " enumerate=" << HumanNs(enumerate_ns) << "\n";
+  if (est_cost > 0) out << "  est_cost=" << HumanCount(est_cost) << "\n";
   out << "  rows_emitted=" << rows_emitted << " candidates=" << candidates
       << " dedup_rejected=" << dedup_rejected << " non_maximal=" << non_maximal
       << " maximality_tests=" << maximality_tests << "\n";
@@ -51,6 +59,13 @@ std::string ExecStats::ToText() const {
         << sub.dedup_rejected << " non_maximal=" << sub.non_maximal
         << " maximality_tests=" << sub.maximality_tests << " rows=" << sub.rows
         << "\n";
+    if (sub.est_rows >= 0) {
+      // The est-vs-actual line of the EXPLAIN report: `candidates` above
+      // is the actual cardinality the estimate should be judged against.
+      out << "    plan: " << sub.plan << " est_rows=" << HumanCount(sub.est_rows)
+          << " est_cost=" << HumanCount(sub.est_cost)
+          << " plan_time=" << HumanNs(sub.plan_ns) << "\n";
+    }
   }
   return out.str();
 }
@@ -63,8 +78,10 @@ std::string ExecStats::ToJson() const {
   json.Field("parse", parse_ns);
   json.Field("check", check_ns);
   json.Field("plan", plan_ns);
+  json.Field("optimize", optimize_ns);
   json.Field("enumerate", enumerate_ns);
   json.EndObject();
+  json.Field("est_cost", est_cost);
   json.Field("rows_emitted", rows_emitted);
   json.Field("candidates", candidates);
   json.Field("dedup_rejected", dedup_rejected);
@@ -91,6 +108,10 @@ std::string ExecStats::ToJson() const {
     json.Field("non_maximal", sub.non_maximal);
     json.Field("maximality_tests", sub.maximality_tests);
     json.Field("rows", sub.rows);
+    json.Field("est_rows", sub.est_rows);
+    json.Field("est_cost", sub.est_cost);
+    json.Field("plan_ns", sub.plan_ns);
+    json.Field("plan", sub.plan);
     json.EndObject();
   }
   json.EndArray();

@@ -1,0 +1,90 @@
+#include "optimizer/cardinality.h"
+
+#include <algorithm>
+
+namespace wdsparql {
+
+namespace {
+
+// One pass over a run sorted on (first, second, ...): emits the count
+// per distinct `first` value and per distinct (first, second) prefix.
+// `first`/`second` are the triple positions the run sorts on.
+void Aggregate(const EncTriple* run, std::size_t count, int first, int second,
+               std::vector<ValueCount>* singles, std::vector<PairCount>* pairs) {
+  singles->clear();
+  pairs->clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    const DataId a = run[i][first];
+    const DataId b = run[i][second];
+    if (singles->empty() || singles->back().id != a) {
+      singles->push_back(ValueCount{a, 0, 0});
+    }
+    ++singles->back().count;
+    if (pairs->empty() || pairs->back().a != a || pairs->back().b != b) {
+      pairs->push_back(PairCount{a, b, 0});
+    }
+    ++pairs->back().count;
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const CardinalityStats> CardinalityStats::Build(
+    const EncTriple* spo, const EncTriple* pos, const EncTriple* osp,
+    std::size_t count) {
+  auto stats = std::shared_ptr<CardinalityStats>(new CardinalityStats());
+  stats->total_ = count;
+  std::vector<ValueCount> singles;
+  std::vector<PairCount> pairs;
+  Aggregate(spo, count, 0, 1, &singles, &pairs);
+  stats->single_[0].Assign(std::move(singles));
+  stats->pair_[0].Assign(std::move(pairs));
+  Aggregate(pos, count, 1, 2, &singles, &pairs);
+  stats->single_[1].Assign(std::move(singles));
+  stats->pair_[1].Assign(std::move(pairs));
+  Aggregate(osp, count, 2, 0, &singles, &pairs);
+  stats->single_[2].Assign(std::move(singles));
+  stats->pair_[2].Assign(std::move(pairs));
+  return stats;
+}
+
+std::shared_ptr<const CardinalityStats> CardinalityStats::Borrow(
+    const ValueCount* s, std::size_t s_n, const ValueCount* p, std::size_t p_n,
+    const ValueCount* o, std::size_t o_n, const PairCount* sp, std::size_t sp_n,
+    const PairCount* po, std::size_t po_n, const PairCount* os, std::size_t os_n,
+    uint64_t total, std::shared_ptr<const void> keepalive) {
+  auto stats = std::shared_ptr<CardinalityStats>(new CardinalityStats());
+  stats->total_ = total;
+  stats->single_[0].Borrow(s, s_n);
+  stats->single_[1].Borrow(p, p_n);
+  stats->single_[2].Borrow(o, o_n);
+  stats->pair_[0].Borrow(sp, sp_n);
+  stats->pair_[1].Borrow(po, po_n);
+  stats->pair_[2].Borrow(os, os_n);
+  stats->keepalive_ = std::move(keepalive);
+  return stats;
+}
+
+uint64_t CardinalityStats::Count1(int pos, DataId id) const {
+  const Array<ValueCount>& arr = single_[pos];
+  const ValueCount* end = arr.data + arr.size;
+  const ValueCount* it = std::lower_bound(
+      arr.data, end, id,
+      [](const ValueCount& entry, DataId key) { return entry.id < key; });
+  if (it == end || it->id != id) return 0;
+  return it->count;
+}
+
+uint64_t CardinalityStats::CountPair(PairKind kind, DataId a, DataId b) const {
+  const Array<PairCount>& arr = pair_[static_cast<int>(kind)];
+  const PairCount* end = arr.data + arr.size;
+  const PairCount* it = std::lower_bound(
+      arr.data, end, std::make_pair(a, b),
+      [](const PairCount& entry, const std::pair<DataId, DataId>& key) {
+        return entry.a != key.first ? entry.a < key.first : entry.b < key.second;
+      });
+  if (it == end || it->a != a || it->b != b) return 0;
+  return it->count;
+}
+
+}  // namespace wdsparql

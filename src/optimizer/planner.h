@@ -1,0 +1,76 @@
+#ifndef WDSPARQL_OPTIMIZER_PLANNER_H_
+#define WDSPARQL_OPTIMIZER_PLANNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/read_view.h"
+#include "wdsparql/term.h"
+
+/// \file
+/// Cost-based variable-order planning for one conjunctive subtree.
+///
+/// The engine evaluates a well-designed pattern forest subtree by
+/// subtree; inside one subtree the pattern is purely conjunctive, and
+/// its solution set — the homomorphisms of the triple-pattern set — is
+/// independent of the order in which the leapfrog join binds variables.
+/// That is the legality boundary the optimizer lives inside: *any*
+/// variable order within a subtree is a correct plan, while reordering
+/// *across* subtrees would change which maximality certificates wdEVAL
+/// tests and is never attempted. So the search space per subtree is
+/// (variable order) x (scan permutation per conjunct), where the
+/// permutation is a function of the order (the store picks the index
+/// whose sort prefix covers the bound positions of each scan).
+///
+/// Costing follows RDF-3X: exact cardinalities for the conjunct's
+/// constant bindings from `CardinalityStats`, the independence
+/// assumption for positions bound by earlier variables (divide by the
+/// position's distinct-value count), and a bottom-up dynamic program
+/// over variable subsets (Held-Karp style, exact up to `kDpMaxVars`
+/// variables, greedy beyond) minimising estimated scan volume.
+///
+/// Determinism matters beyond reproducibility: parallel workers each
+/// plan their own cursor over the same pinned view and partition work
+/// by position in the cursor's candidate sequence — identical plans are
+/// what keeps the partition exact. `PlanSubtree` is a pure function of
+/// (view stats, patterns) with deterministic tie-breaking.
+
+namespace wdsparql {
+namespace optimizer {
+
+/// Exact dynamic programming is used up to this many unbound variables
+/// per subtree (2^n subset states); larger subtrees fall back to the
+/// same cost model driven greedily.
+inline constexpr int kDpMaxVars = 12;
+
+/// The chosen plan for one conjunctive subtree.
+struct SubtreePlan {
+  /// Variable binding order (global `TermId`s, first-bound first) —
+  /// what `JoinCursor` consumes.
+  std::vector<TermId> var_order;
+  /// Per non-ground conjunct, in pattern order: the permutation index
+  /// its first scan under `var_order` touches (reporting only; the
+  /// store re-derives this from bound positions at scan time).
+  std::vector<Permutation> scan_perms;
+  /// Estimated solutions of the subtree (independence assumption).
+  double est_rows = 0;
+  /// Estimated scan volume of the whole descent under `var_order`.
+  double est_cost = 0;
+};
+
+/// Plans one subtree against `view`. Returns nullopt when there is
+/// nothing to plan with or for: the view carries no statistics, the
+/// pattern has no unbound variables, or a constant is absent from the
+/// view (the join is provably empty; any order is equally cheap).
+std::optional<SubtreePlan> PlanSubtree(const ReadView& view,
+                                       const std::vector<Triple>& patterns);
+
+/// Renders the plan for EXPLAIN output, e.g.
+/// "order=[?y ?x] scans=[POS SPO]".
+std::string DescribePlan(const SubtreePlan& plan, const TermPool& pool);
+
+}  // namespace optimizer
+}  // namespace wdsparql
+
+#endif  // WDSPARQL_OPTIMIZER_PLANNER_H_

@@ -451,6 +451,21 @@ void Server::HandleQuery(int fd, const HttpRequest& request,
                "integers");
     return;
   }
+  // Default parallelism policy: a request that names no `?parallelism=`
+  // gets a server-chosen degree — the machine's core count divided by
+  // the requests currently in flight (this one included), so a lone
+  // query fans wide while a busy pool degrades towards serial instead of
+  // oversubscribing every core `max_parallelism`-fold. An explicit
+  // `parallelism=0` still means "serial, please" — the policy only fills
+  // silence, it never overrides a choice.
+  if (request.params.find("parallelism") == request.params.end()) {
+    uint32_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    int64_t inflight = inflight_->value();
+    if (inflight < 1) inflight = 1;
+    parallelism = hw / static_cast<uint64_t>(inflight);
+    if (parallelism < 1) parallelism = 1;
+  }
   // Parallelism is clamped to the server ceiling, not refused: unlike a
   // loosened deadline it cannot change the answer set, only how many
   // threads one request may occupy.
@@ -477,8 +492,17 @@ void Server::HandleQuery(int fd, const HttpRequest& request,
   // armed every query collects stats whether or not it asked to.
   const bool slow_log = options_.slow_query_ms >= 0;
 
+  // `?optimize=0` bypasses the cost-based planner for this query (A/B
+  // comparisons, plan-regression triage); anything else keeps it on.
+  bool optimize = true;
+  {
+    auto it = request.params.find("optimize");
+    optimize = it == request.params.end() || it->second != "0";
+  }
+
   ExecOptions exec;
   exec.row_limit = limit;
+  exec.optimize = optimize;
   exec.parallelism = static_cast<uint32_t>(parallelism);
   exec.cancel = MakeCancelToken();
   exec.collect_stats = want_stats || slow_log;

@@ -114,6 +114,10 @@ struct ServerOptions {
   /// snapshot). Requests above the ceiling are clamped, not refused —
   /// parallelism is a hint, unlike the deadline it never changes the
   /// answer set. 0 disables parallel execution entirely.
+  ///
+  /// A request that sends no `?parallelism=` gets a server-chosen
+  /// degree: hardware cores divided by in-flight requests, clamped to
+  /// [1, this ceiling]. An explicit `parallelism=0` stays serial.
   uint32_t max_parallelism = 8;
 
   /// Slow-query log threshold: a /query taking at least this many

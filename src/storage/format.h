@@ -54,6 +54,18 @@ enum SectionId : uint32_t {
   kSectionSpo = 3,
   kSectionPos = 4,
   kSectionOsp = 5,
+  /// Cardinality statistics (format version >= 2, optional as a group:
+  /// either all six are present or none). The three single-value
+  /// sections are `ValueCount[distinct]` sorted by id; the three pair
+  /// sections are `PairCount[distinct prefixes]` sorted by (a, b). See
+  /// optimizer/cardinality.h for the 16-byte entry layouts and
+  /// docs/FILE_FORMAT.md for the validation rules.
+  kSectionStatsS = 6,
+  kSectionStatsP = 7,
+  kSectionStatsO = 8,
+  kSectionStatsSp = 9,
+  kSectionStatsPo = 10,
+  kSectionStatsOs = 11,
 };
 
 /// Fixed-size snapshot header, first bytes of the file.

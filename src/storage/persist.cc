@@ -95,7 +95,7 @@ Result<Database> Database::Open(const std::string& path, const OpenOptions& opti
                               static_cast<std::size_t>(view->dict_sorted_limit())),
         view->run(Permutation::kSpo), view->run(Permutation::kPos),
         view->run(Permutation::kOsp), static_cast<std::size_t>(view->triple_count()),
-        view));
+        view, view->BorrowStats(view)));
     impl->graph_hydrated = false;  // Hash row store hydrates on demand.
   }
   impl->snapshot_path = path;
@@ -134,7 +134,10 @@ Result<Database> Database::Open(const std::string& path, const OpenOptions& opti
 }
 
 Status Database::Save(const std::string& path) {
-  if (impl_->store.delta_size() > 0) Compact();
+  // Unconditional: an empty-delta Compact is a no-op unless the base
+  // lacks cardinality statistics (legacy snapshot), in which case it
+  // rebuilds them so the file written below carries the stats sections.
+  Compact();
   WDSPARQL_RETURN_IF_ERROR(storage::WriteSnapshot(path, *impl_->pool, impl_->store));
   RecordSnapshotBytes(impl_->metrics.get(), path);
   return Status::OK();
@@ -153,7 +156,9 @@ Status Database::Checkpoint() {
   const uint32_t checkpoint_span = trace.StartSpan("checkpoint");
   {
     ScopedTraceSpan span(&trace, "compact", checkpoint_span);
-    if (impl_->store.delta_size() > 0) Compact();
+    // Unconditional for the same reason as Save: a stats-less base
+    // (legacy snapshot) gets its statistics rebuilt here.
+    Compact();
   }
   {
     ScopedTraceSpan span(&trace, "write_snapshot", checkpoint_span);

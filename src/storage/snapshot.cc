@@ -29,20 +29,21 @@ void CopyBytes(void* dst, const void* src, uint64_t n) {
 
 /// The one place the snapshot header is assembled — the streaming and
 /// materialised write paths must stay byte-identical.
-SnapshotHeader BuildHeader(const SectionEntry (&entries)[5], uint64_t file_size,
+SnapshotHeader BuildHeader(const std::vector<SectionEntry>& entries,
+                           uint32_t version, uint64_t file_size,
                            uint64_t triple_count, uint64_t iri_count,
                            uint64_t term_count, uint64_t dict_sorted_limit) {
   SnapshotHeader header{};
   std::memcpy(header.magic, kSnapshotMagic, sizeof(kSnapshotMagic));
-  header.version = storage_format::kSnapshotVersion;
+  header.version = version;
   header.endian = kEndianTag;
   header.file_size = file_size;
   header.triple_count = triple_count;
   header.iri_count = iri_count;
   header.term_count = term_count;
   header.dict_sorted_limit = dict_sorted_limit;
-  header.section_count = 5;
-  header.directory_crc = Crc32(entries, sizeof(entries));
+  header.section_count = static_cast<uint32_t>(entries.size());
+  header.directory_crc = Crc32(entries.data(), entries.size() * sizeof(SectionEntry));
   header.header_crc = 0;
   header.header_crc = Crc32(&header, sizeof(header));
   return header;
@@ -106,7 +107,7 @@ Result<SnapshotView> SnapshotView::Open(const std::string& path,
   view.term_count_ = header.term_count;
   view.dict_sorted_limit_ = header.dict_sorted_limit;
 
-  bool seen[6] = {false, false, false, false, false, false};
+  bool seen[12] = {};
   for (uint32_t i = 0; i < header.section_count; ++i) {
     SectionEntry entry;
     std::memcpy(&entry, directory + i * sizeof(SectionEntry), sizeof(entry));
@@ -165,12 +166,71 @@ Result<SnapshotView> SnapshotView::Open(const std::string& path,
         view.runs_[run] = run_data;
         break;
       }
+      case kSectionStatsS:
+      case kSectionStatsP:
+      case kSectionStatsO: {
+        // Single-value counts: sorted, in-dictionary keys whose counts
+        // sum to the triple count. Unconditional like the run checks —
+        // a corrupt census must fail structurally, never surface as a
+        // silently wrong plan.
+        if (entry.length % sizeof(ValueCount) != 0) {
+          return Corrupt(path, "stats section " + std::to_string(entry.id) +
+                                   " length mismatch");
+        }
+        const uint64_t n = entry.length / sizeof(ValueCount);
+        const ValueCount* data = reinterpret_cast<const ValueCount*>(payload);
+        uint64_t sum = 0;
+        for (uint64_t t = 0; t < n; ++t) {
+          if (data[t].id >= view.term_count_ ||
+              (t > 0 && data[t].id <= data[t - 1].id)) {
+            return Corrupt(path, "stats section " + std::to_string(entry.id) +
+                                     " keys out of order");
+          }
+          sum += data[t].count;
+        }
+        if (sum != view.triple_count_) {
+          return Corrupt(path, "stats section " + std::to_string(entry.id) +
+                                   " count sum mismatch");
+        }
+        int slot = static_cast<int>(entry.id) - kSectionStatsS;
+        view.stats_single_[slot] = data;
+        view.stats_single_count_[slot] = n;
+        break;
+      }
+      case kSectionStatsSp:
+      case kSectionStatsPo:
+      case kSectionStatsOs: {
+        if (entry.length % sizeof(PairCount) != 0) {
+          return Corrupt(path, "stats section " + std::to_string(entry.id) +
+                                   " length mismatch");
+        }
+        const uint64_t n = entry.length / sizeof(PairCount);
+        const PairCount* data = reinterpret_cast<const PairCount*>(payload);
+        uint64_t sum = 0;
+        for (uint64_t t = 0; t < n; ++t) {
+          if (data[t].a >= view.term_count_ || data[t].b >= view.term_count_ ||
+              (t > 0 && !(data[t - 1].a < data[t].a ||
+                          (data[t - 1].a == data[t].a && data[t - 1].b < data[t].b)))) {
+            return Corrupt(path, "stats section " + std::to_string(entry.id) +
+                                     " keys out of order");
+          }
+          sum += data[t].count;
+        }
+        if (sum != view.triple_count_) {
+          return Corrupt(path, "stats section " + std::to_string(entry.id) +
+                                   " count sum mismatch");
+        }
+        int slot = static_cast<int>(entry.id) - kSectionStatsSp;
+        view.stats_pair_[slot] = data;
+        view.stats_pair_count_[slot] = n;
+        break;
+      }
       default:
         // Unknown sections from a newer minor revision are skippable by
         // construction; their CRC was still verified above.
         continue;
     }
-    if (entry.id < 6) {
+    if (entry.id < 12) {
       if (seen[entry.id]) return Corrupt(path, "duplicate section " + std::to_string(entry.id));
       seen[entry.id] = true;
     }
@@ -178,11 +238,33 @@ Result<SnapshotView> SnapshotView::Open(const std::string& path,
   for (uint32_t id = kSectionTerms; id <= kSectionOsp; ++id) {
     if (!seen[id]) return Corrupt(path, "missing section " + std::to_string(id));
   }
+  // The statistics sections travel as a group: all six or none. A file
+  // carrying only some is a torn/corrupt write, not a legacy snapshot.
+  int stats_sections = 0;
+  for (int slot = 0; slot < 3; ++slot) {
+    if (view.stats_single_[slot] != nullptr) ++stats_sections;
+    if (view.stats_pair_[slot] != nullptr) ++stats_sections;
+  }
+  if (stats_sections == 6) {
+    view.has_stats_ = true;
+  } else if (stats_sections != 0) {
+    return Corrupt(path, "incomplete statistics sections");
+  }
   return view;
 }
 
+std::shared_ptr<const CardinalityStats> SnapshotView::BorrowStats(
+    std::shared_ptr<const void> keepalive) const {
+  if (!has_stats_) return nullptr;
+  return CardinalityStats::Borrow(
+      stats_single_[0], stats_single_count_[0], stats_single_[1],
+      stats_single_count_[1], stats_single_[2], stats_single_count_[2],
+      stats_pair_[0], stats_pair_count_[0], stats_pair_[1], stats_pair_count_[1],
+      stats_pair_[2], stats_pair_count_[2], triple_count_, std::move(keepalive));
+}
+
 Status WriteSnapshot(const std::string& path, const TermPool& pool,
-                     const IndexedStore& store) {
+                     const IndexedStore& store, bool include_stats) {
   if (store.delta_size() != 0) {
     return Status::FailedPrecondition(
         "snapshot requires a merged store (call MergeDelta/Compact first)");
@@ -191,6 +273,11 @@ Status WriteSnapshot(const std::string& path, const TermPool& pool,
   const uint64_t iri_count = pool.NumIris();
   const uint64_t term_count = dict.size();
   const uint64_t triple_count = store.base_size();
+  // A store without built statistics (possible via direct WriteSnapshot
+  // calls; Save/Checkpoint always compact first, which builds them)
+  // degrades to a version-1 file rather than inventing empty sections.
+  const CardinalityStats* stats = include_stats ? store.stats().get() : nullptr;
+  const uint32_t version = stats != nullptr ? storage_format::kSnapshotVersion : 1;
 
   // The terms offset table is the only piece not already contiguous in
   // memory; everything else streams straight from the live structures.
@@ -203,35 +290,52 @@ Status WriteSnapshot(const std::string& path, const TermPool& pool,
   term_offsets[iri_count] = blob_bytes;
   const uint64_t terms_table_bytes = term_offsets.size() * sizeof(uint64_t);
 
-  const uint64_t section_lengths[5] = {
-      terms_table_bytes + blob_bytes,
-      term_count * sizeof(TermId),
-      triple_count * sizeof(EncTriple),
-      triple_count * sizeof(EncTriple),
-      triple_count * sizeof(EncTriple),
+  // The section manifest. Index 0 (terms) is assembled by streaming and
+  // carries no flat payload pointer; everything else is one contiguous
+  // array in the live structures.
+  struct FlatSection {
+    uint32_t id;
+    const void* data;
+    uint64_t length;
   };
-  const uint32_t section_ids[5] = {kSectionTerms, kSectionDict, kSectionSpo,
-                                   kSectionPos, kSectionOsp};
-
-  // Lay the file out: header, directory, aligned payloads.
-  uint64_t cursor = sizeof(SnapshotHeader) + 5 * sizeof(SectionEntry);
-  SectionEntry entries[5];
-  for (int i = 0; i < 5; ++i) {
-    cursor = AlignUp(cursor);
-    entries[i].id = section_ids[i];
-    entries[i].reserved = 0;
-    entries[i].offset = cursor;
-    entries[i].length = section_lengths[i];
-    entries[i].crc = 0;
-    entries[i].pad = 0;
-    cursor += section_lengths[i];
+  std::vector<FlatSection> sections;
+  sections.push_back({kSectionTerms, nullptr, terms_table_bytes + blob_bytes});
+  sections.push_back({kSectionDict, dict.terms_data(), term_count * sizeof(TermId)});
+  sections.push_back({kSectionSpo, store.base_data(Permutation::kSpo),
+                      triple_count * sizeof(EncTriple)});
+  sections.push_back({kSectionPos, store.base_data(Permutation::kPos),
+                      triple_count * sizeof(EncTriple)});
+  sections.push_back({kSectionOsp, store.base_data(Permutation::kOsp),
+                      triple_count * sizeof(EncTriple)});
+  if (stats != nullptr) {
+    for (int pos = 0; pos < 3; ++pos) {
+      sections.push_back({static_cast<uint32_t>(kSectionStatsS + pos),
+                          stats->single_data(pos),
+                          stats->single_size(pos) * sizeof(ValueCount)});
+    }
+    for (int kind = 0; kind < 3; ++kind) {
+      sections.push_back({static_cast<uint32_t>(kSectionStatsSp + kind),
+                          stats->pair_data(static_cast<PairKind>(kind)),
+                          stats->pair_size(static_cast<PairKind>(kind)) *
+                              sizeof(PairCount)});
+    }
   }
 
-  // The contiguous payloads: dictionary array and the three runs.
-  const void* flat_payloads[5] = {nullptr, dict.terms_data(),
-                                  store.base_data(Permutation::kSpo),
-                                  store.base_data(Permutation::kPos),
-                                  store.base_data(Permutation::kOsp)};
+  // Lay the file out: header, directory, aligned payloads.
+  uint64_t cursor =
+      sizeof(SnapshotHeader) + sections.size() * sizeof(SectionEntry);
+  std::vector<SectionEntry> entries(sections.size());
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    cursor = AlignUp(cursor);
+    entries[i].id = sections[i].id;
+    entries[i].reserved = 0;
+    entries[i].offset = cursor;
+    entries[i].length = sections[i].length;
+    entries[i].crc = 0;
+    entries[i].pad = 0;
+    cursor += sections[i].length;
+  }
+  const uint64_t directory_bytes = entries.size() * sizeof(SectionEntry);
 
   Result<AtomicFileWriter> created = AtomicFileWriter::Create(path);
   if (!created.ok() && created.status().code() != StatusCode::kInternal) {
@@ -266,22 +370,22 @@ Status WriteSnapshot(const std::string& path, const TermPool& pool,
       }
     }
     entries[0].crc = terms_crc;
-    for (int i = 1; i < 5; ++i) {
+    for (std::size_t i = 1; i < sections.size(); ++i) {
       if (entries[i].length > 0) {
         WDSPARQL_RETURN_IF_ERROR(
-            writer.WriteAt(entries[i].offset, flat_payloads[i], entries[i].length));
+            writer.WriteAt(entries[i].offset, sections[i].data, entries[i].length));
       }
-      entries[i].crc = Crc32(flat_payloads[i], entries[i].length);
+      entries[i].crc = Crc32(sections[i].data, entries[i].length);
     }
     // Pin the declared file size (the last section may be empty, ending
     // the writes before the laid-out end; the gap reads back as zeros).
     WDSPARQL_RETURN_IF_ERROR(writer.SetLength(cursor));
 
-    SnapshotHeader header = BuildHeader(entries, cursor, triple_count, iri_count,
-                                        term_count, dict.sorted_limit());
+    SnapshotHeader header = BuildHeader(entries, version, cursor, triple_count,
+                                        iri_count, term_count, dict.sorted_limit());
     WDSPARQL_RETURN_IF_ERROR(writer.WriteAt(0, &header, sizeof(header)));
     WDSPARQL_RETURN_IF_ERROR(
-        writer.WriteAt(sizeof(SnapshotHeader), entries, sizeof(entries)));
+        writer.WriteAt(sizeof(SnapshotHeader), entries.data(), directory_bytes));
     return writer.Commit();
   }
 
@@ -297,16 +401,16 @@ Status WriteSnapshot(const std::string& path, const TermPool& pool,
       CopyBytes(blob + term_offsets[i], spelling.data(), spelling.size());
     }
   }
-  for (int i = 1; i < 5; ++i) {
-    CopyBytes(file.data() + entries[i].offset, flat_payloads[i], entries[i].length);
+  for (std::size_t i = 1; i < sections.size(); ++i) {
+    CopyBytes(file.data() + entries[i].offset, sections[i].data, entries[i].length);
   }
   for (SectionEntry& entry : entries) {
     entry.crc = Crc32(file.data() + entry.offset, entry.length);
   }
-  std::memcpy(file.data() + sizeof(SnapshotHeader), entries, sizeof(entries));
+  std::memcpy(file.data() + sizeof(SnapshotHeader), entries.data(), directory_bytes);
 
-  SnapshotHeader header = BuildHeader(entries, file.size(), triple_count, iri_count,
-                                      term_count, dict.sorted_limit());
+  SnapshotHeader header = BuildHeader(entries, version, file.size(), triple_count,
+                                      iri_count, term_count, dict.sorted_limit());
   std::memcpy(file.data(), &header, sizeof(header));
 
   return WriteFileAtomic(path, file.data(), file.size());

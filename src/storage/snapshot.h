@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "engine/indexed_store.h"
+#include "optimizer/cardinality.h"
 #include "storage/file.h"
 #include "storage/format.h"
 #include "wdsparql/storage.h"
@@ -56,6 +57,17 @@ class SnapshotView {
   /// The permutation run sorted in `perm` order: `EncTriple[triple_count()]`.
   const EncTriple* run(Permutation perm) const { return runs_[static_cast<int>(perm)]; }
 
+  /// True when the file carries the six cardinality-statistics sections
+  /// (format version >= 2; legacy snapshots answer false and the store
+  /// rebuilds the statistics on its first Compact).
+  bool has_stats() const { return has_stats_; }
+
+  /// Assembles the persisted statistics as an in-place borrow over the
+  /// mapped sections, pinned by `keepalive` (the shared SnapshotView
+  /// itself). Null when `has_stats()` is false.
+  std::shared_ptr<const CardinalityStats> BorrowStats(
+      std::shared_ptr<const void> keepalive) const;
+
   /// True when the view is a live memory mapping (diagnostics only).
   bool mapped() const { return buffer_.mapped(); }
 
@@ -69,13 +81,24 @@ class SnapshotView {
   const uint8_t* term_blob_ = nullptr;
   const TermId* dict_ = nullptr;
   const EncTriple* runs_[3] = {nullptr, nullptr, nullptr};
+  bool has_stats_ = false;
+  const ValueCount* stats_single_[3] = {nullptr, nullptr, nullptr};  // S, P, O.
+  uint64_t stats_single_count_[3] = {0, 0, 0};
+  const PairCount* stats_pair_[3] = {nullptr, nullptr, nullptr};  // SP, PO, OS.
+  uint64_t stats_pair_count_[3] = {0, 0, 0};
 };
 
 /// Serializes `pool` + `store` to `path` (atomic rename). The store's
 /// delta must already be merged (`MergeDelta`); a pending delta is
 /// `kFailedPrecondition`.
+///
+/// When the store carries `CardinalityStats` (and `include_stats` is
+/// left true) the file is written at format version 2 with the six
+/// statistics sections; otherwise a version-1 file is produced,
+/// byte-identical to the legacy writer. `include_stats = false` exists
+/// for tests exercising the legacy open-and-rebuild path.
 Status WriteSnapshot(const std::string& path, const TermPool& pool,
-                     const IndexedStore& store);
+                     const IndexedStore& store, bool include_stats = true);
 
 }  // namespace storage
 }  // namespace wdsparql

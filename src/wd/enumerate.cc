@@ -168,6 +168,12 @@ bool SolutionEnumerator::Next(Mapping* out) {
         sub.tree = tree_idx_;
         sub.subtree = subtree_idx_ - 1;
         sub.pattern = RenderPattern(*sink_pool_, pattern_);
+        if (const CandidatePlanInfo* info = generator_->plan_info()) {
+          sub.est_rows = info->est_rows;
+          sub.est_cost = info->est_cost;
+          sub.plan_ns = info->plan_ns;
+          sub.plan = info->description;
+        }
         sink_->subpatterns.push_back(std::move(sub));
         sink_has_cur_ = true;
       }

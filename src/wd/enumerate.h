@@ -50,6 +50,16 @@ struct EnumerateStats {
   uint64_t merge_dedup = 0;
 };
 
+/// What a cost-based generator decided for its subtree, surfaced for
+/// EXPLAIN output: the estimates feed `ExecStats::Subpattern` so a
+/// report shows estimated next to actual cardinality per subtree.
+struct CandidatePlanInfo {
+  double est_rows = 0;       ///< Estimated subtree solutions.
+  double est_cost = 0;       ///< Estimated scan volume of the descent.
+  uint64_t plan_ns = 0;      ///< Time spent planning this subtree.
+  std::string description;   ///< e.g. "order=[?y ?x] scans=[POS SPO]".
+};
+
 /// A suspendable candidate source: one subtree pattern's homomorphisms,
 /// delivered one `Next` call at a time. Generators carry their whole
 /// search state between calls, so a consumer that stops early (row
@@ -63,6 +73,11 @@ class CandidateGenerator {
   /// Produces the next candidate homomorphism; false once exhausted
   /// (and from then on).
   virtual bool Next(VarAssignment* out) = 0;
+
+  /// The cost-based plan behind this generator, when one was chosen
+  /// (the indexed backend with statistics available); null otherwise.
+  /// Valid as long as the generator lives.
+  virtual const CandidatePlanInfo* plan_info() const { return nullptr; }
 };
 
 /// Hooks customising the enumeration skeleton.

@@ -38,8 +38,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
+#include "storage/format.h"
 #include "util/timer.h"
 #include "wdsparql/wdsparql.h"
 
@@ -57,6 +60,49 @@ int Usage() {
 /// Triples-per-second, guarded against a sub-resolution elapsed time.
 double Throughput(std::size_t triples, double seconds) {
   return seconds > 0 ? static_cast<double>(triples) / seconds : 0.0;
+}
+
+/// Reads the freshly written snapshot's header + section directory and
+/// reports the cardinality-statistics footprint (sections 6-11) — the
+/// bytes the cost-based optimizer's persisted counts add to the file.
+/// Best-effort: a short or legacy (version 1) file just prints nothing.
+void ReportStatsSections(const char* path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return;
+  storage::SnapshotHeader header{};
+  if (!file.read(reinterpret_cast<char*>(&header), sizeof(header))) return;
+  if (std::memcmp(header.magic, storage::kSnapshotMagic, 8) != 0) return;
+  if (header.section_count == 0 || header.section_count > storage::kMaxSections) {
+    return;
+  }
+  std::vector<storage::SectionEntry> entries(header.section_count);
+  if (!file.read(reinterpret_cast<char*>(entries.data()),
+                 static_cast<std::streamsize>(entries.size() *
+                                              sizeof(storage::SectionEntry)))) {
+    return;
+  }
+  static const char* const kNames[6] = {"s", "p", "o", "sp", "po", "os"};
+  uint64_t total = 0;
+  std::string detail;
+  for (const storage::SectionEntry& entry : entries) {
+    if (entry.id < storage::kSectionStatsS || entry.id > storage::kSectionStatsOs) {
+      continue;
+    }
+    total += entry.length;
+    if (!detail.empty()) detail += ' ';
+    detail += kNames[entry.id - storage::kSectionStatsS];
+    detail += '=';
+    detail += std::to_string(entry.length);
+  }
+  if (total == 0) {
+    std::fprintf(stderr,
+                 "stats sections: none (version %u snapshot; statistics "
+                 "rebuild on first Compact after open)\n",
+                 header.version);
+    return;
+  }
+  std::fprintf(stderr, "stats sections: %llu byte(s) [%s]\n",
+               static_cast<unsigned long long>(total), detail.c_str());
 }
 
 }  // namespace
@@ -138,6 +184,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s: %s\n", output_path, persisted.ToString().c_str());
     return 1;
   }
+
+  ReportStatsSections(output_path);
 
   double total_seconds = total_timer.ElapsedSeconds();
   std::fprintf(stderr, "%s: %zu triple(s), %zu batch commit(s) of <= %zu, "
